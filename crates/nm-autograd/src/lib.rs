@@ -1,0 +1,33 @@
+//! # nm-autograd
+//!
+//! Tape-based reverse-mode automatic differentiation over
+//! [`nm_tensor::Tensor`], purpose-built for the NMCDR reproduction.
+//!
+//! ## Model
+//!
+//! A [`Tape`] records a DAG of operations as they execute. Each op
+//! returns a [`Var`] — a copyable index into the tape. Calling
+//! [`Tape::backward`] on a scalar loss seeds its gradient with 1 and
+//! sweeps the tape in reverse, accumulating gradients into every node
+//! that requires them. One tape is built per training step and dropped
+//! afterwards; parameters live outside the tape (see `nm-nn`) and are
+//! re-bound as leaves each step.
+//!
+//! ## Op coverage
+//!
+//! Exactly what the paper's models need: dense matmul, broadcasting
+//! arithmetic, ReLU/sigmoid/tanh/softplus, row softmax, CSR SpMM (the
+//! GNN aggregation kernel, Eq. 4/9/14), row gather/scatter (embedding
+//! lookup), repeat/segment-sum rows (per-user attention over candidate
+//! items, Eq. 18–19), concat, slicing, reductions, and a fused
+//! numerically-stable `BCE-with-logits` loss (Eq. 21).
+//!
+//! Gradients are verified against central finite differences in
+//! `tests/grad_check.rs` for every op.
+
+mod check;
+mod ops;
+mod tape;
+
+pub use check::finite_difference_grad;
+pub use tape::{Tape, Var};

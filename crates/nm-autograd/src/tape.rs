@@ -1,0 +1,706 @@
+//! The autodiff tape: forward constructors and the reverse sweep.
+
+use crate::ops::Op;
+use nm_graph::Csr;
+use nm_tensor::{classify_broadcast, sigmoid_scalar, Axis, Broadcast, Tensor};
+use std::rc::Rc;
+
+/// Handle to a node on a [`Tape`]. Only valid for the tape that created
+/// it; using it on another tape is a logic error caught by shape
+/// assertions at best.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub grad: Option<Tensor>,
+    pub needs_grad: bool,
+    pub op: Op,
+}
+
+/// A single-use computation tape. Build the forward pass through the
+/// constructor methods, call [`Tape::backward`] once on a scalar loss,
+/// read gradients with [`Tape::grad`], then drop the tape.
+pub struct Tape {
+    nodes: Vec<Node>,
+    id: u64,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        Self {
+            nodes: Vec::new(),
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Process-unique identity of this tape. `nm-nn` parameters cache
+    /// their leaf binding per tape id so a parameter used several times
+    /// in one forward pass is a single leaf node.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of recorded nodes (diagnostics/tests).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        let needs_grad = match &op {
+            Op::Leaf { requires_grad } => *requires_grad,
+            other => other
+                .parents()
+                .iter()
+                .flatten()
+                .any(|p| self.nodes[p.0].needs_grad),
+        };
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            needs_grad,
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Trainable leaf (parameter binding).
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(
+            value,
+            Op::Leaf {
+                requires_grad: true,
+            },
+        )
+    }
+
+    /// Non-trainable input (features, labels used as values).
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(
+            value,
+            Op::Leaf {
+                requires_grad: false,
+            },
+        )
+    }
+
+    /// The tensor value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of `v`, if it required one and
+    /// `backward` has run.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    // ---- arithmetic -------------------------------------------------
+
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let bc = classify_broadcast(self.value(a).shape(), self.value(b).shape(), "tape.add");
+        let value = self.value(a).add(self.value(b));
+        self.push(value, Op::Add(a, b, bc))
+    }
+
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let bc = classify_broadcast(self.value(a).shape(), self.value(b).shape(), "tape.sub");
+        let value = self.value(a).sub(self.value(b));
+        self.push(value, Op::Sub(a, b, bc))
+    }
+
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let bc = classify_broadcast(self.value(a).shape(), self.value(b).shape(), "tape.mul");
+        let value = self.value(a).mul(self.value(b));
+        self.push(value, Op::Mul(a, b, bc))
+    }
+
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).scale(s);
+        self.push(value, Op::Scale(a, s))
+    }
+
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).add_scalar(s);
+        self.push(value, Op::AddScalar(a))
+    }
+
+    pub fn neg(&mut self, a: Var) -> Var {
+        let value = self.value(a).neg();
+        self.push(value, Op::Neg(a))
+    }
+
+    /// `1 - a` — the gate complement used by Eq. 10/16.
+    pub fn one_minus(&mut self, a: Var) -> Var {
+        let n = self.neg(a);
+        self.add_scalar(n, 1.0)
+    }
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::Matmul(a, b))
+    }
+
+    // ---- activations ------------------------------------------------
+
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).relu();
+        self.push(value, Op::Relu(a))
+    }
+
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).sigmoid();
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).tanh();
+        self.push(value, Op::Tanh(a))
+    }
+
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let value = self.value(a).softplus();
+        self.push(value, Op::Softplus(a))
+    }
+
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let value = self.value(a).softmax_rows();
+        self.push(value, Op::SoftmaxRows(a))
+    }
+
+    // ---- structure --------------------------------------------------
+
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).concat_cols(self.value(b));
+        self.push(value, Op::ConcatCols(a, b))
+    }
+
+    pub fn slice_rows(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let value = self.value(a).slice_rows(start, end);
+        self.push(value, Op::SliceRows(a, start, end))
+    }
+
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let value = self.value(a).slice_cols(start, end);
+        self.push(value, Op::SliceCols(a, start, end))
+    }
+
+    pub fn gather_rows(&mut self, a: Var, indices: Rc<Vec<u32>>) -> Var {
+        let value = self.value(a).gather_rows(&indices);
+        self.push(value, Op::GatherRows(a, indices))
+    }
+
+    pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let value = self
+            .value(a)
+            .reshape(rows, cols)
+            .expect("tape.reshape: element count mismatch");
+        self.push(value, Op::Reshape(a))
+    }
+
+    /// Repeats each row `k` times consecutively: `R x C -> (R*k) x C`.
+    pub fn repeat_rows(&mut self, a: Var, k: usize) -> Var {
+        assert!(k > 0, "repeat_rows: k must be positive");
+        let src = self.value(a);
+        let (r, c) = src.shape();
+        let mut out = Tensor::zeros(r * k, c);
+        for i in 0..r {
+            let row = src.row_slice(i);
+            for j in 0..k {
+                out.row_slice_mut(i * k + j).copy_from_slice(row);
+            }
+        }
+        self.push(out, Op::RepeatRows(a, k))
+    }
+
+    /// Sums consecutive groups of `k` rows: `(R*k) x C -> R x C`.
+    pub fn segment_sum_rows(&mut self, a: Var, k: usize) -> Var {
+        assert!(k > 0, "segment_sum_rows: k must be positive");
+        let src = self.value(a);
+        let (rk, c) = src.shape();
+        assert_eq!(rk % k, 0, "segment_sum_rows: {rk} rows not divisible by {k}");
+        let r = rk / k;
+        let mut out = Tensor::zeros(r, c);
+        for i in 0..r {
+            for j in 0..k {
+                let s = src.row_slice(i * k + j);
+                for (o, &v) in out.row_slice_mut(i).iter_mut().zip(s) {
+                    *o += v;
+                }
+            }
+        }
+        self.push(out, Op::SegmentSumRows(a, k))
+    }
+
+    // ---- sparse -----------------------------------------------------
+
+    /// `adj @ x` where `adj` is CSR and `adj_t` its precomputed
+    /// transpose (backward is `adj_t @ grad`).
+    ///
+    /// # Panics
+    /// If `adj_t` is not shape-consistent with `adj`.
+    pub fn spmm(&mut self, adj: Rc<Csr>, adj_t: Rc<Csr>, x: Var) -> Var {
+        assert_eq!(
+            (adj.n_cols(), adj.n_rows()),
+            (adj_t.n_rows(), adj_t.n_cols()),
+            "spmm: adj_t is not the transpose shape of adj"
+        );
+        let xv = self.value(x);
+        let width = xv.cols();
+        assert_eq!(
+            adj.n_cols(),
+            xv.rows(),
+            "spmm: adj cols {} != x rows {}",
+            adj.n_cols(),
+            xv.rows()
+        );
+        let out = adj.spmm(xv.data(), width);
+        let value = Tensor::new(adj.n_rows(), width, out);
+        self.push(value, Op::Spmm(adj_t, x))
+    }
+
+    // ---- reductions & losses -----------------------------------------
+
+    pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).rowwise_dot(self.value(b));
+        self.push(value, Op::RowwiseDot(a, b))
+    }
+
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).sum());
+        self.push(value, Op::SumAll(a))
+    }
+
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).mean());
+        self.push(value, Op::MeanAll(a))
+    }
+
+    /// Row sums -> `R x 1`.
+    pub fn sum_axis_cols(&mut self, a: Var) -> Var {
+        let value = self.value(a).sum_axis(Axis::Cols);
+        self.push(value, Op::SumAxisCols(a))
+    }
+
+    pub fn sum_squares(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).sum_squares());
+        self.push(value, Op::SumSquares(a))
+    }
+
+    /// Numerically-stable mean binary-cross-entropy on logits:
+    /// `mean(softplus(x) - x * y)` (Eq. 21 with `ŷ = σ(x)` fused in).
+    ///
+    /// # Panics
+    /// If `targets` shape differs from the logits.
+    pub fn bce_with_logits_mean(&mut self, logits: Var, targets: Rc<Tensor>) -> Var {
+        let x = self.value(logits);
+        assert_eq!(
+            x.shape(),
+            targets.shape(),
+            "bce: logits {:?} vs targets {:?}",
+            x.shape(),
+            targets.shape()
+        );
+        let n = x.len().max(1) as f32;
+        let loss = x
+            .data()
+            .iter()
+            .zip(targets.data())
+            .map(|(&xi, &yi)| nm_tensor::softplus_scalar(xi) - xi * yi)
+            .sum::<f32>()
+            / n;
+        self.push(Tensor::scalar(loss), Op::BceWithLogits(logits, targets))
+    }
+
+    // ---- backward -----------------------------------------------------
+
+    fn accumulate(&mut self, v: Var, contribution: Tensor) {
+        if !self.nodes[v.0].needs_grad {
+            return;
+        }
+        match &mut self.nodes[v.0].grad {
+            Some(g) => g.add_assign(&contribution),
+            slot @ None => *slot = Some(contribution),
+        }
+    }
+
+    /// Reduces an output-shaped gradient onto a broadcast operand.
+    fn reduce_for_broadcast(grad: &Tensor, bc: Broadcast) -> Tensor {
+        match bc {
+            Broadcast::Same => grad.clone(),
+            Broadcast::RowVector => grad.sum_axis(Axis::Rows),
+            Broadcast::ColVector => grad.sum_axis(Axis::Cols),
+            Broadcast::Scalar => Tensor::scalar(grad.sum()),
+        }
+    }
+
+    /// Runs the reverse sweep from `loss`, which must be `1 x 1`.
+    ///
+    /// May be called once per tape; a second call would double-count
+    /// (gradients accumulate), so it panics.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward: loss must be a 1x1 scalar"
+        );
+        assert!(
+            self.nodes.iter().all(|n| n.grad.is_none()),
+            "backward: tape already swept"
+        );
+        if !self.nodes[loss.0].needs_grad {
+            return; // loss does not depend on any parameter
+        }
+        self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
+
+        for i in (0..=loss.0).rev() {
+            let Some(grad) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            // Clone the small op metadata; tensors inside are Rc'd.
+            match &self.nodes[i].op {
+                Op::Leaf { .. } => {}
+                &Op::Add(a, b, bc) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, Self::reduce_for_broadcast(&grad, bc));
+                }
+                &Op::Sub(a, b, bc) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, Self::reduce_for_broadcast(&grad, bc).neg());
+                }
+                &Op::Mul(a, b, bc) => {
+                    let bv = self.nodes[b.0].value.clone();
+                    let av = self.nodes[a.0].value.clone();
+                    // d/da: grad ⊙ b (b broadcasts onto grad's shape)
+                    self.accumulate(a, grad.mul(&bv));
+                    // d/db: reduce(grad ⊙ a) onto b's shape
+                    let gb = Self::reduce_for_broadcast(&grad.mul(&av), bc);
+                    self.accumulate(b, gb);
+                }
+                &Op::Scale(a, s) => self.accumulate(a, grad.scale(s)),
+                &Op::AddScalar(a) => self.accumulate(a, grad.clone()),
+                &Op::Neg(a) => self.accumulate(a, grad.neg()),
+                &Op::Matmul(a, b) => {
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    self.accumulate(a, grad.matmul_nt(&bv));
+                    self.accumulate(b, av.matmul_tn(&grad));
+                }
+                &Op::Relu(a) => {
+                    let xv = &self.nodes[a.0].value;
+                    let mut g = grad.clone();
+                    for (gv, &xv) in g.data_mut().iter_mut().zip(xv.data()) {
+                        if xv <= 0.0 {
+                            *gv = 0.0;
+                        }
+                    }
+                    self.accumulate(a, g);
+                }
+                &Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let mut g = grad.clone();
+                    for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+                        *gv *= yv * (1.0 - yv);
+                    }
+                    self.accumulate(a, g);
+                }
+                &Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let mut g = grad.clone();
+                    for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+                        *gv *= 1.0 - yv * yv;
+                    }
+                    self.accumulate(a, g);
+                }
+                &Op::Softplus(a) => {
+                    let xv = &self.nodes[a.0].value;
+                    let mut g = grad.clone();
+                    for (gv, &x) in g.data_mut().iter_mut().zip(xv.data()) {
+                        *gv *= sigmoid_scalar(x);
+                    }
+                    self.accumulate(a, g);
+                }
+                &Op::SoftmaxRows(a) => {
+                    let p = &self.nodes[i].value;
+                    let (r, c) = p.shape();
+                    let mut g = Tensor::zeros(r, c);
+                    for row in 0..r {
+                        let prow = p.row_slice(row);
+                        let grow = grad.row_slice(row);
+                        let dot: f32 = prow.iter().zip(grow).map(|(&pv, &gv)| pv * gv).sum();
+                        for ((o, &pv), &gv) in
+                            g.row_slice_mut(row).iter_mut().zip(prow).zip(grow)
+                        {
+                            *o = pv * (gv - dot);
+                        }
+                    }
+                    self.accumulate(a, g);
+                }
+                &Op::ConcatCols(a, b) => {
+                    let ca = self.nodes[a.0].value.cols();
+                    let cb = self.nodes[b.0].value.cols();
+                    self.accumulate(a, grad.slice_cols(0, ca));
+                    self.accumulate(b, grad.slice_cols(ca, ca + cb));
+                }
+                &Op::SliceRows(a, start, _end) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut g = Tensor::zeros(r, c);
+                    let idx: Vec<u32> = (start..start + grad.rows()).map(|x| x as u32).collect();
+                    g.scatter_add_rows(&idx, &grad);
+                    self.accumulate(a, g);
+                }
+                &Op::SliceCols(a, start, end) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut g = Tensor::zeros(r, c);
+                    for row in 0..r {
+                        g.row_slice_mut(row)[start..end].copy_from_slice(grad.row_slice(row));
+                    }
+                    self.accumulate(a, g);
+                }
+                Op::GatherRows(a, indices) => {
+                    let a = *a;
+                    let indices = Rc::clone(indices);
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut g = Tensor::zeros(r, c);
+                    g.scatter_add_rows(&indices, &grad);
+                    self.accumulate(a, g);
+                }
+                Op::Spmm(adj_t, x) => {
+                    let x = *x;
+                    let adj_t = Rc::clone(adj_t);
+                    let width = grad.cols();
+                    let gx = adj_t.spmm(grad.data(), width);
+                    let gx = Tensor::new(adj_t.n_rows(), width, gx);
+                    self.accumulate(x, gx);
+                }
+                &Op::RowwiseDot(a, b) => {
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    // grad is R x 1; broadcast across columns
+                    self.accumulate(a, bv.mul(&grad));
+                    self.accumulate(b, av.mul(&grad));
+                }
+                &Op::SumAll(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    self.accumulate(a, Tensor::full(r, c, grad.item()));
+                }
+                &Op::MeanAll(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let n = (r * c).max(1) as f32;
+                    self.accumulate(a, Tensor::full(r, c, grad.item() / n));
+                }
+                &Op::SumAxisCols(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    // grad: R x 1 broadcast across the row
+                    self.accumulate(a, Tensor::ones(r, c).mul(&grad));
+                }
+                &Op::SumSquares(a) => {
+                    let av = self.nodes[a.0].value.clone();
+                    self.accumulate(a, av.scale(2.0 * grad.item()));
+                }
+                Op::BceWithLogits(x, targets) => {
+                    let x = *x;
+                    let targets = Rc::clone(targets);
+                    let xv = &self.nodes[x.0].value;
+                    let n = xv.len().max(1) as f32;
+                    let scale = grad.item() / n;
+                    let mut g = xv.clone();
+                    for (gv, &yv) in g.data_mut().iter_mut().zip(targets.data()) {
+                        *gv = (sigmoid_scalar(*gv) - yv) * scale;
+                    }
+                    self.accumulate(x, g);
+                }
+                &Op::Reshape(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let g = grad.reshape(r, c).expect("reshape backward");
+                    self.accumulate(a, g);
+                }
+                &Op::RepeatRows(a, k) => {
+                    // adjoint of repeat = segment sum
+                    let (rk, c) = grad.shape();
+                    let r = rk / k;
+                    let mut g = Tensor::zeros(r, c);
+                    for row in 0..r {
+                        for j in 0..k {
+                            let s = grad.row_slice(row * k + j);
+                            for (o, &v) in g.row_slice_mut(row).iter_mut().zip(s) {
+                                *o += v;
+                            }
+                        }
+                    }
+                    self.accumulate(a, g);
+                }
+                &Op::SegmentSumRows(a, k) => {
+                    // adjoint of segment sum = repeat
+                    let (r, c) = grad.shape();
+                    let mut g = Tensor::zeros(r * k, c);
+                    for row in 0..r {
+                        let s = grad.row_slice(row);
+                        for j in 0..k {
+                            g.row_slice_mut(row * k + j).copy_from_slice(s);
+                        }
+                    }
+                    self.accumulate(a, g);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_gradient() {
+        // loss = mean( (x * 3) + 1 )  => dloss/dx = 3/n
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::new(1, 2, vec![1.0, 2.0]));
+        let y = t.scale(x, 3.0);
+        let z = t.add_scalar(y, 1.0);
+        let l = t.mean_all(z);
+        t.backward(l);
+        let g = t.grad(x).unwrap();
+        assert!((g.data()[0] - 1.5).abs() < 1e-6);
+        assert!((g.data()[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_gradients_match_manual() {
+        // loss = sum(A @ B); dA = 1 @ B^T, dB = A^T @ 1
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::new(2, 2, vec![1., 2., 3., 4.]));
+        let b = t.leaf(Tensor::new(2, 2, vec![5., 6., 7., 8.]));
+        let c = t.matmul(a, b);
+        let l = t.sum_all(c);
+        t.backward(l);
+        let ga = t.grad(a).unwrap();
+        let gb = t.grad(b).unwrap();
+        assert_eq!(ga.data(), &[11., 15., 11., 15.]);
+        assert_eq!(gb.data(), &[4., 4., 6., 6.]);
+    }
+
+    #[test]
+    fn constant_gets_no_grad() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::scalar(2.0));
+        let c = t.constant(Tensor::scalar(3.0));
+        let y = t.mul(x, c);
+        let l = t.sum_all(y);
+        t.backward(l);
+        assert!(t.grad(c).is_none());
+        assert_eq!(t.grad(x).unwrap().item(), 3.0);
+    }
+
+    #[test]
+    fn grad_accumulates_over_reuse() {
+        // y = x + x => dy/dx = 2
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::scalar(1.0));
+        let y = t.add(x, x);
+        let l = t.sum_all(y);
+        t.backward(l);
+        assert_eq!(t.grad(x).unwrap().item(), 2.0);
+    }
+
+    #[test]
+    fn bce_with_logits_value_and_grad() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::new(1, 2, vec![0.0, 0.0]));
+        let y = Rc::new(Tensor::new(1, 2, vec![1.0, 0.0]));
+        let l = t.bce_with_logits_mean(x, y);
+        // at logit 0: loss = ln 2 each
+        assert!((t.value(l).item() - std::f32::consts::LN_2).abs() < 1e-6);
+        t.backward(l);
+        let g = t.grad(x).unwrap();
+        // d/dx = (sigma(0) - y)/2 = (0.5-1)/2, (0.5-0)/2
+        assert!((g.data()[0] + 0.25).abs() < 1e-6);
+        assert!((g.data()[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a 1x1 scalar")]
+    fn backward_requires_scalar() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::zeros(2, 2));
+        t.backward(x);
+    }
+
+    #[test]
+    #[should_panic(expected = "already swept")]
+    fn double_backward_panics() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::scalar(1.0));
+        let l = t.sum_all(x);
+        t.backward(l);
+        t.backward(l);
+    }
+
+    #[test]
+    fn spmm_forward_and_backward() {
+        // adjacency 2x3: row0 -> {0:1, 2:0.5}, row1 -> {1:2}
+        let adj = Rc::new(Csr::from_edges(
+            2,
+            3,
+            &[(0, 0, 1.0), (0, 2, 0.5), (1, 1, 2.0)],
+        ));
+        let adj_t = Rc::new(adj.transpose());
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::new(3, 1, vec![1., 2., 3.]));
+        let y = t.spmm(Rc::clone(&adj), adj_t, x);
+        assert_eq!(t.value(y).data(), &[2.5, 4.0]);
+        let l = t.sum_all(y);
+        t.backward(l);
+        // grad x = A^T @ 1 = col sums of A
+        assert_eq!(t.grad(x).unwrap().data(), &[1.0, 2.0, 0.5]);
+    }
+
+    #[test]
+    fn repeat_and_segment_sum_are_adjoint_shapes() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::new(2, 2, vec![1., 2., 3., 4.]));
+        let r = t.repeat_rows(x, 3);
+        assert_eq!(t.value(r).shape(), (6, 2));
+        let s = t.segment_sum_rows(r, 3);
+        assert_eq!(t.value(s).shape(), (2, 2));
+        // segment_sum(repeat(x, 3), 3) == 3x
+        assert_eq!(t.value(s).data(), &[3., 6., 9., 12.]);
+        let l = t.sum_all(s);
+        t.backward(l);
+        assert_eq!(t.grad(x).unwrap().data(), &[3., 3., 3., 3.]);
+    }
+
+    #[test]
+    fn gather_rows_grad_scatters() {
+        let mut t = Tape::new();
+        let table = t.leaf(Tensor::new(3, 2, vec![1., 1., 2., 2., 3., 3.]));
+        let g = t.gather_rows(table, Rc::new(vec![2, 2, 0]));
+        let l = t.sum_all(g);
+        t.backward(l);
+        let grad = t.grad(table).unwrap();
+        assert_eq!(grad.row_slice(0), &[1., 1.]);
+        assert_eq!(grad.row_slice(1), &[0., 0.]);
+        assert_eq!(grad.row_slice(2), &[2., 2.]);
+    }
+
+    #[test]
+    fn loss_without_params_is_noop() {
+        let mut t = Tape::new();
+        let c = t.constant(Tensor::scalar(5.0));
+        let l = t.sum_all(c);
+        t.backward(l); // must not panic
+        assert!(t.grad(c).is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Criterion benchmarks for whole-model training steps and inference —
+//! the measured counterpart of the paper's §III-B-6 efficiency
+//! comparison (PLE / MiNet / HeroGraph / NMCDR).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nm_bench::{ExpProfile, ModelKind};
+use nm_data::batch::Batch;
+use nm_data::Scenario;
+use nm_models::{CdrModel, Domain};
+
+fn profile() -> ExpProfile {
+    ExpProfile {
+        scale: 0.002,
+        dim: 16,
+        epochs: 1,
+        eval_negatives: 20,
+        match_neighbors: 32,
+        ..Default::default()
+    }
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let profile = profile();
+    let data = profile
+        .dataset(Scenario::ClothSport)
+        .with_overlap_ratio(0.5, profile.seed);
+    let mut group = c.benchmark_group("train_step");
+    for kind in [
+        ModelKind::Ple,
+        ModelKind::MiNet,
+        ModelKind::HeroGraph,
+        ModelKind::Nmcdr,
+    ] {
+        let task = profile.task(data.clone());
+        let (nu_a, ni_a) = (task.split_a.n_users as u32, task.split_a.n_items as u32);
+        let batch = Batch {
+            users: (0..256u32).map(|i| i % nu_a).collect(),
+            items: (0..256u32).map(|i| i % ni_a).collect(),
+            labels: (0..256).map(|i| (i % 2) as f32).collect(),
+        };
+        let model = kind.build(task, &profile);
+        let task_b = model.task();
+        let (nu_b, ni_b) = (task_b.split_b.n_users as u32, task_b.split_b.n_items as u32);
+        let batch_b = Batch {
+            users: (0..256u32).map(|i| i % nu_b).collect(),
+            items: (0..256u32).map(|i| i % ni_b).collect(),
+            labels: (0..256).map(|i| (i % 2) as f32).collect(),
+        };
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut tape = nm_autograd::Tape::new();
+                let loss = model.loss(&mut tape, &batch, &batch_b, 0);
+                tape.backward(loss);
+                nm_nn::absorb_all(&*model, &tape);
+                for p in model.params() {
+                    p.zero_grad();
+                }
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let profile = profile();
+    let data = profile
+        .dataset(Scenario::ClothSport)
+        .with_overlap_ratio(0.5, profile.seed);
+    let mut group = c.benchmark_group("inference_512");
+    for kind in [
+        ModelKind::Ple,
+        ModelKind::MiNet,
+        ModelKind::HeroGraph,
+        ModelKind::Nmcdr,
+    ] {
+        let task = profile.task(data.clone());
+        let mut model = kind.build(task.clone(), &profile);
+        model.prepare_eval();
+        let users: Vec<u32> = (0..512u32).map(|i| i % task.split_a.n_users as u32).collect();
+        let items: Vec<u32> = (0..512u32).map(|i| i % task.split_a.n_items as u32).collect();
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(model.eval_scores(Domain::A, &users, &items)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = models;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_train_step, bench_inference
+);
+criterion_main!(models);

@@ -1,0 +1,51 @@
+//! §III-B-6 — model efficiency: parameter counts and per-batch
+//! training/inference wall-clock for PLE, MiNet, HeroGraph and NMCDR
+//! (the paper's comparison set), on the Cloth-Sport scenario.
+
+use nm_bench::{run_model, ExpProfile, ModelKind};
+use nm_data::Scenario;
+use nm_models::Domain;
+use std::time::Instant;
+
+fn main() {
+    let profile = ExpProfile::from_env();
+    let kinds = [
+        ModelKind::Ple,
+        ModelKind::MiNet,
+        ModelKind::HeroGraph,
+        ModelKind::Nmcdr,
+    ];
+    println!("Model efficiency (Cloth-Sport, scale {})", profile.scale);
+    println!(
+        "{:<10} {:>10} {:>16} {:>16}",
+        "Model", "Params", "train s/step", "test s/batch"
+    );
+    let data = profile
+        .dataset(Scenario::ClothSport)
+        .with_overlap_ratio(0.5, profile.seed);
+    for kind in kinds {
+        let task = profile.task(data.clone());
+        let (row, _stats) = run_model("efficiency", Scenario::ClothSport, kind, task.clone(), &profile, 0.5, 1.0);
+        // measure inference: score one batch of 512 pairs with a trained-shape model
+        let mut model = kind.build(task.clone(), &profile);
+        model.prepare_eval();
+        let users: Vec<u32> = (0..512u32).map(|i| i % task.split_a.n_users as u32).collect();
+        let items: Vec<u32> = (0..512u32).map(|i| i % task.split_a.n_items as u32).collect();
+        let t0 = Instant::now();
+        let reps = 20;
+        for _ in 0..reps {
+            let _ = model.eval_scores(Domain::A, &users, &items);
+        }
+        let test_secs = t0.elapsed().as_secs_f64() / reps as f64;
+        println!(
+            "{:<10} {:>10} {:>16.6} {:>16.6}",
+            kind.name(),
+            row.params,
+            row.secs_per_step,
+            test_secs
+        );
+    }
+    println!(
+        "\nPaper (full scale, A100): PLE 0.16M / 2.96e-4s train; MiNet 0.78M / 7.65e-4s;\nHeroGraph 0.64M / 6.84e-4s; NMCDR 0.56M / 5.34e-4s — same order of magnitude across models\nis the reproduced claim (absolute numbers are hardware-bound)."
+    );
+}

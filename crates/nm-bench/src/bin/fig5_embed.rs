@@ -1,0 +1,78 @@
+//! Fig. 5 — head/tail user-embedding alignment across NMCDR's stages.
+//!
+//! The paper t-SNE-plots Cloth-Sport user embeddings after (a) the
+//! graph encoder, (b) intra-to-inter matching, (c) complementing, and
+//! observes the tail cloud progressively aligning with the head cloud.
+//! We reproduce the claim quantitatively: the normalized head/tail
+//! separation should **decrease** stage by stage. PCA coordinates are
+//! also dumped for external plotting.
+
+use nm_bench::{nmcdr_config, ExpProfile};
+use nm_data::Scenario;
+use nm_eval::projection::{pca_2d, separation};
+use nm_graph::UserClass;
+use nm_models::train_joint;
+use nmcdr_core::{Ablation, NmcdrModel};
+use std::fmt::Write as _;
+
+fn main() {
+    let profile = ExpProfile::from_env();
+    let overlap = 0.5;
+    println!("Fig. 5: head/tail embedding separation per stage (Cloth-Sport, K_u = {overlap})");
+
+    let data = profile
+        .dataset(Scenario::ClothSport)
+        .with_overlap_ratio(overlap, profile.seed);
+    let task = profile.task(data);
+    let is_head_a: Vec<bool> = (0..task.split_a.n_users)
+        .map(|u| task.partition_a.class_of(u) == UserClass::Head)
+        .collect();
+    let is_head_b: Vec<bool> = (0..task.split_b.n_users)
+        .map(|u| task.partition_b.class_of(u) == UserClass::Head)
+        .collect();
+
+    let mut model = NmcdrModel::new(task.clone(), nmcdr_config(&profile, Ablation::none()));
+    let stats = train_joint(&mut model, &profile.train_config());
+    println!(
+        "trained NMCDR: HR@10 {:.2}/{:.2}\n",
+        stats.final_a.hr, stats.final_b.hr
+    );
+
+    let stages = model.stage_embeddings();
+    let named = [
+        ("after graph encoder (g1)", &stages.g1),
+        ("after intra matching (g2)", &stages.g2),
+        ("after inter matching (g3)", &stages.g3),
+        ("after complementing (g4)", &stages.g4),
+    ];
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "Stage", "Cloth sep", "Sport sep"
+    );
+    let mut csv = String::from("stage,domain,user,x,y,is_head\n");
+    for (name, tables) in named {
+        let sa = separation(&tables[0], &is_head_a);
+        let sb = separation(&tables[1], &is_head_b);
+        println!(
+            "{:<28} {:>14.4} {:>14.4}",
+            name, sa.normalized_separation, sb.normalized_separation
+        );
+        for (z, (table, mask)) in [(&tables[0], &is_head_a), (&tables[1], &is_head_b)]
+            .into_iter()
+            .enumerate()
+        {
+            let proj = pca_2d(table);
+            for (u, (x, y)) in proj.coords.iter().enumerate() {
+                writeln!(csv, "{name},{z},{u},{x},{y},{}", mask[u] as u8).expect("string write");
+            }
+        }
+    }
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/fig5_coords.csv", csv).is_ok()
+    {
+        println!("\n[PCA coordinates saved to results/fig5_coords.csv]");
+    }
+    println!(
+        "\nExpected shape (paper Fig. 5): separation decreases monotonically\nstage by stage as tail embeddings align with head embeddings."
+    );
+}

@@ -1,0 +1,57 @@
+//! Table I — dataset statistics for the four scenarios, as produced by
+//! the calibrated synthetic generators, next to the paper's full-scale
+//! numbers.
+
+use nm_bench::ExpProfile;
+use nm_data::Scenario;
+
+fn main() {
+    let profile = ExpProfile::from_env();
+    println!("Table I: statistics of the generated datasets (scale = {})", profile.scale);
+    println!(
+        "{:<12} {:<8} {:>8} {:>8} {:>9} {:>10} {:>9}  | paper (full scale)",
+        "Scenario", "Domain", "Users", "Items", "Ratings", "#Overlap", "Density"
+    );
+    println!("{}", "-".repeat(100));
+    for s in Scenario::ALL {
+        let data = profile.dataset(s);
+        let (pa_u, pa_i, pa_r, pb_u, pb_i, pb_r, pov) = s.paper_stats();
+        let sa = data.domain_a.stats();
+        let sb = data.domain_b.stats();
+        println!(
+            "{:<12} {:<8} {:>8} {:>8} {:>9} {:>10} {:>8.3}%  | {} users, {} items, {} ratings",
+            s.name(),
+            sa.name,
+            sa.users,
+            sa.items,
+            sa.ratings,
+            data.true_overlap.len(),
+            sa.density * 100.0,
+            pa_u,
+            pa_i,
+            pa_r
+        );
+        println!(
+            "{:<12} {:<8} {:>8} {:>8} {:>9} {:>10} {:>8.3}%  | {} users, {} items, {} ratings (overlap {})",
+            "",
+            sb.name,
+            sb.users,
+            sb.items,
+            sb.ratings,
+            "",
+            sb.density * 100.0,
+            pb_u,
+            pb_i,
+            pb_r,
+            pov
+        );
+        println!(
+            "{:<12} avg item interactions: {:.2} / {:.2} (paper {:.2} / {:.2})",
+            "",
+            data.domain_a.avg_item_interactions(),
+            data.domain_b.avg_item_interactions(),
+            pa_r as f64 / pa_i as f64,
+            pb_r as f64 / pb_i as f64
+        );
+    }
+}

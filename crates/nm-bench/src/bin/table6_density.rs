@@ -1,0 +1,43 @@
+//! Table VI — density sweep D_s ∈ {10%, 50%, 70%} on the Cloth-Sport
+//! and Loan-Fund scenarios (overlap ratio fixed at the dataset's full
+//! known overlap, as in the paper's density study).
+
+use nm_bench::{run_model, save_rows, selected_models, ExpProfile, ResultRow};
+use nm_data::Scenario;
+
+fn main() {
+    let profile = ExpProfile::from_env();
+    let models = selected_models();
+    let densities = [0.10, 0.50, 0.70];
+    let mut all_rows: Vec<ResultRow> = Vec::new();
+
+    for scenario in [Scenario::ClothSport, Scenario::LoanFund] {
+        println!("\n######## Table VI: {} under density settings ########", scenario.name());
+        let base = profile.dataset(scenario);
+        let (da, db) = scenario.domains();
+        print!("{:<10}", "Method");
+        for d in &densities {
+            print!(" | Ds={:<4.2} {da}:NDCG/HR {db}:NDCG/HR", d);
+        }
+        println!();
+        for &kind in &models {
+            print!("{:<10}", kind.name());
+            for &ds in &densities {
+                // min_keep = 3 keeps every user leave-one-out-eligible (2 train
+                // + 1 test) even at the harshest density
+                let data = base.with_density(ds, 3, profile.seed);
+                let task = profile.task(data);
+                let (row, _) = run_model("table_VI", scenario, kind, task, &profile, 1.0, ds);
+                print!(
+                    " | {:>5.2}/{:>5.2} {:>5.2}/{:>5.2}",
+                    row.ndcg_a, row.hr_a, row.ndcg_b, row.hr_b
+                );
+                all_rows.push(row);
+                use std::io::Write;
+                std::io::stdout().flush().ok();
+            }
+            println!();
+        }
+    }
+    save_rows("table6_density", &all_rows);
+}

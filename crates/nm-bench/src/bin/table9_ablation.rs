@@ -1,0 +1,108 @@
+//! Table IX — ablation study at K_u = 50%: the full model vs `w/o-Igm`
+//! (no intra matching), `w/o-Cgm` (no inter matching), `w/o-Inc` (no
+//! complementing) and `w/o-Sup` (no companion objectives), on all four
+//! scenarios, NDCG@10 / HR@10 per domain.
+//!
+//! Two extra design ablations from DESIGN.md are included: `gate-off`
+//! (plain addition instead of the Eq. 10/16 gates) and `obs-only`
+//! (complement candidates restricted to observed neighbours).
+
+use nm_bench::{nmcdr_config, save_rows, ExpProfile, ResultRow};
+use nm_data::Scenario;
+use nm_models::train_joint;
+use nmcdr_core::{Ablation, ComplementCandidates, NmcdrModel};
+
+fn variants() -> Vec<(&'static str, Ablation, Option<ComplementCandidates>)> {
+    let base = Ablation::none();
+    vec![
+        (
+            "w/o-Igm",
+            Ablation {
+                no_intra_matching: true,
+                ..base
+            },
+            None,
+        ),
+        (
+            "w/o-Cgm",
+            Ablation {
+                no_inter_matching: true,
+                ..base
+            },
+            None,
+        ),
+        (
+            "w/o-Inc",
+            Ablation {
+                no_complementing: true,
+                ..base
+            },
+            None,
+        ),
+        (
+            "w/o-Sup",
+            Ablation {
+                no_companion: true,
+                ..base
+            },
+            None,
+        ),
+        ("gate-off", Ablation { gate_off: true, ..base }, None),
+        (
+            "obs-only",
+            base,
+            Some(ComplementCandidates::ObservedOnly { max_observed: 8 }),
+        ),
+        ("Ours", base, None),
+    ]
+}
+
+fn main() {
+    let profile = ExpProfile::from_env();
+    let overlap = 0.5;
+    let mut rows: Vec<ResultRow> = Vec::new();
+
+    println!("Table IX: NMCDR ablations at K_u = {overlap}");
+    for scenario in Scenario::ALL {
+        let (da, db) = scenario.domains();
+        println!("\n--- {} ---", scenario.name());
+        println!(
+            "{:<10} {:>7} {:>7}   {:>7} {:>7}",
+            "Variant",
+            format!("{da}:NDCG"),
+            "HR",
+            format!("{db}:NDCG"),
+            "HR"
+        );
+        let data = profile
+            .dataset(scenario)
+            .with_overlap_ratio(overlap, profile.seed);
+        for (name, ablation, complement) in variants() {
+            let task = profile.task(data.clone());
+            let mut cfg = nmcdr_config(&profile, ablation);
+            if let Some(c) = complement {
+                cfg.complement = c;
+            }
+            let mut model = NmcdrModel::new(task, cfg);
+            let stats = train_joint(&mut model, &profile.train_config());
+            println!(
+                "{:<10} {:>7.2} {:>7.2}   {:>7.2} {:>7.2}",
+                name, stats.final_a.ndcg, stats.final_a.hr, stats.final_b.ndcg, stats.final_b.hr
+            );
+            rows.push(ResultRow {
+                experiment: "table_IX".into(),
+                scenario: scenario.name().into(),
+                model: name.into(),
+                overlap,
+                density: 1.0,
+                ndcg_a: stats.final_a.ndcg,
+                hr_a: stats.final_a.hr,
+                ndcg_b: stats.final_b.ndcg,
+                hr_b: stats.final_b.hr,
+                secs_per_step: stats.secs_per_step,
+                params: stats.param_count,
+            });
+        }
+    }
+    save_rows("table9_ablation", &rows);
+}

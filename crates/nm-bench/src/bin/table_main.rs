@@ -1,0 +1,108 @@
+//! Tables II–V — the main comparison: every model, every overlap ratio
+//! K_u ∈ {0.1%, 1%, 10%, 50%, 90%}, both domains, NDCG@10 / HR@10.
+//!
+//! Usage: `table_main [--scenario music-movie|cloth-sport|phone-elec|loan-fund]`
+//! (default: all four, i.e. the full Tables II–V sweep).
+//! `NMCDR_MODELS=NMCDR,PTUPCDR,...` restricts the model set;
+//! `NMCDR_RATIOS=0.1,0.5` restricts the sweep.
+
+use nm_bench::{run_model, save_rows, selected_models, ExpProfile, ResultRow};
+use nm_data::Scenario;
+
+fn ratios_from_env() -> Vec<f64> {
+    match std::env::var("NMCDR_RATIOS") {
+        Ok(list) if !list.trim().is_empty() => list
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect(),
+        _ => vec![0.001, 0.01, 0.10, 0.50, 0.90],
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scenarios: Vec<Scenario> = match args.iter().position(|a| a == "--scenario") {
+        Some(i) => {
+            let name = args.get(i + 1).expect("--scenario needs a value");
+            vec![Scenario::parse(name).unwrap_or_else(|| panic!("unknown scenario {name}"))]
+        }
+        None => Scenario::ALL.to_vec(),
+    };
+    let profile = ExpProfile::from_env();
+    let models = selected_models();
+    let ratios = ratios_from_env();
+    let mut all_rows: Vec<ResultRow> = Vec::new();
+
+    for scenario in scenarios {
+        let table_no = match scenario {
+            Scenario::MusicMovie => "II",
+            Scenario::ClothSport => "III",
+            Scenario::PhoneElec => "IV",
+            Scenario::LoanFund => "V",
+        };
+        println!("\n################ Table {table_no}: {} ################", scenario.name());
+        let base = profile.dataset(scenario);
+        let (da, db) = scenario.domains();
+        // header
+        print!("{:<10}", "Method");
+        for r in &ratios {
+            print!(" | Ku={:<5.3} {da}:NDCG/HR {db}:NDCG/HR", r);
+        }
+        println!();
+        for &kind in &models {
+            print!("{:<10}", kind.name());
+            for &r in &ratios {
+                let data = base.with_overlap_ratio(r, profile.seed);
+                let task = profile.task(data);
+                let (row, _) = run_model(
+                    &format!("table_{table_no}"),
+                    scenario,
+                    kind,
+                    task,
+                    &profile,
+                    r,
+                    1.0,
+                );
+                print!(
+                    " | {:>5.2}/{:>5.2} {:>5.2}/{:>5.2}",
+                    row.ndcg_a, row.hr_a, row.ndcg_b, row.hr_b
+                );
+                all_rows.push(row);
+                use std::io::Write;
+                std::io::stdout().flush().ok();
+            }
+            println!();
+        }
+    }
+    save_rows("table_main", &all_rows);
+
+    // Improvement summary (the paper's boldface/underline narrative).
+    for scenario in Scenario::ALL {
+        let rows: Vec<&ResultRow> = all_rows
+            .iter()
+            .filter(|r| r.scenario == scenario.name())
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        println!("\n--- {} improvement of NMCDR over the best baseline ---", scenario.name());
+        for &r in ratios_from_env().iter() {
+            let at: Vec<&&ResultRow> = rows.iter().filter(|x| (x.overlap - r).abs() < 1e-9).collect();
+            let nm = at.iter().find(|x| x.model == "NMCDR");
+            let best_other = at
+                .iter()
+                .filter(|x| x.model != "NMCDR")
+                .map(|x| (x.ndcg_a + x.ndcg_b) / 2.0)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if let Some(nm) = nm {
+                let ours = (nm.ndcg_a + nm.ndcg_b) / 2.0;
+                if best_other > 0.0 {
+                    println!(
+                        "  Ku={r:<6.3} mean NDCG {ours:.2} vs best baseline {best_other:.2}  ({:+.1}%)",
+                        (ours / best_other - 1.0) * 100.0
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! `nmcdr` — command-line interface to the NMCDR reproduction.
+//!
+//! ```text
+//! nmcdr generate --scenario cloth-sport --scale 0.004 --out data/
+//! nmcdr train    --scenario cloth-sport --model NMCDR --overlap 0.1 \
+//!                --checkpoint model.nmck
+//! nmcdr train    --domain-a data/cloth.txt --domain-b data/sport.txt \
+//!                --model NMCDR
+//! nmcdr evaluate --scenario cloth-sport --model NMCDR --checkpoint model.nmck
+//! nmcdr stats    --scenario loan-fund
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (`--key value`
+//! pairs); see `nmcdr help`.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        commands::print_help();
+        return ExitCode::FAILURE;
+    };
+    let parsed = match args::Args::parse(rest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(&parsed),
+        "train" => commands::train(&parsed),
+        "evaluate" => commands::evaluate(&parsed),
+        "stats" => commands::stats(&parsed),
+        "help" | "--help" | "-h" => {
+            commands::print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'; try `nmcdr help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Mini-batch iteration over training examples.
+
+use crate::negative::TrainExamples;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One training mini-batch.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    pub users: Vec<u32>,
+    pub items: Vec<u32>,
+    pub labels: Vec<f32>,
+}
+
+impl Batch {
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+/// Shuffles examples and cuts them into batches of `batch_size` (last
+/// batch may be smaller). Deterministic per `seed`.
+pub fn batches(examples: &TrainExamples, batch_size: usize, seed: u64) -> Vec<Batch> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let mut order: Vec<usize> = (0..examples.pairs.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order
+        .chunks(batch_size)
+        .map(|chunk| {
+            let mut users = Vec::with_capacity(chunk.len());
+            let mut items = Vec::with_capacity(chunk.len());
+            let mut labels = Vec::with_capacity(chunk.len());
+            for &ix in chunk {
+                let (u, i) = examples.pairs[ix];
+                users.push(u);
+                items.push(i);
+                labels.push(examples.labels[ix]);
+            }
+            Batch {
+                users,
+                items,
+                labels,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn examples() -> TrainExamples {
+        TrainExamples {
+            pairs: (0..10).map(|i| (i as u32, (i * 2) as u32)).collect(),
+            labels: (0..10).map(|i| (i % 2) as f32).collect(),
+        }
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let ex = examples();
+        let bs = batches(&ex, 3, 1);
+        assert_eq!(bs.len(), 4);
+        let total: usize = bs.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 10);
+        let mut seen: Vec<u32> = bs.iter().flat_map(|b| b.users.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn labels_stay_aligned_with_pairs() {
+        let ex = examples();
+        for b in batches(&ex, 4, 2) {
+            for ((u, i), l) in b.users.iter().zip(&b.items).zip(&b.labels) {
+                // construction invariant: item = 2*user, label = user % 2
+                assert_eq!(*i, u * 2);
+                assert_eq!(*l, (*u % 2) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ex = examples();
+        assert_eq!(batches(&ex, 3, 7)[0].users, batches(&ex, 3, 7)[0].users);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_panics() {
+        let _ = batches(&examples(), 0, 0);
+    }
+}

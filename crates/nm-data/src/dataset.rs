@@ -1,0 +1,291 @@
+//! Dataset containers and the K_u / D_s experiment knobs.
+
+use nm_graph::BipartiteGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One domain's interaction data.
+#[derive(Debug, Clone)]
+pub struct DomainData {
+    pub name: String,
+    pub n_users: usize,
+    pub n_items: usize,
+    /// `(user, item)` pairs, deduplicated, in per-user *chronological*
+    /// order (generation order stands in for timestamps; leave-one-out
+    /// takes each user's last pair).
+    pub interactions: Vec<(u32, u32)>,
+}
+
+impl DomainData {
+    /// Builds the bipartite graph view.
+    pub fn graph(&self) -> BipartiteGraph {
+        BipartiteGraph::from_interactions(self.n_users, self.n_items, &self.interactions)
+    }
+
+    /// Per-user interaction lists, preserving order.
+    pub fn by_user(&self) -> Vec<Vec<u32>> {
+        let mut v = vec![Vec::new(); self.n_users];
+        for &(u, i) in &self.interactions {
+            v[u as usize].push(i);
+        }
+        v
+    }
+
+    /// Table-I statistics for this domain.
+    pub fn stats(&self) -> DomainStats {
+        DomainStats {
+            name: self.name.clone(),
+            users: self.n_users,
+            items: self.n_items,
+            ratings: self.interactions.len(),
+            density: self.interactions.len() as f64 / (self.n_users * self.n_items) as f64,
+        }
+    }
+
+    /// Mean interactions per item — the paper's §III-B-4(ii) statistic
+    /// explaining where NMCDR's improvement is largest.
+    pub fn avg_item_interactions(&self) -> f64 {
+        self.interactions.len() as f64 / self.n_items as f64
+    }
+}
+
+/// Table-I row for one domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainStats {
+    pub name: String,
+    pub users: usize,
+    pub items: usize,
+    pub ratings: usize,
+    pub density: f64,
+}
+
+/// A two-domain CDR dataset with a (partially known) user alignment.
+#[derive(Debug, Clone)]
+pub struct CdrDataset {
+    pub domain_a: DomainData,
+    pub domain_b: DomainData,
+    /// *Known* aligned user pairs `(user_in_a, user_in_b)` — the
+    /// overlapped users a model may exploit. Controlled by
+    /// [`CdrDataset::with_overlap_ratio`].
+    pub overlap: Vec<(u32, u32)>,
+    /// All alignments that exist in the underlying population
+    /// (including ones hidden from the models). Fixed at generation.
+    pub true_overlap: Vec<(u32, u32)>,
+}
+
+impl CdrDataset {
+    /// Restricts the *known* overlap to `ratio` of the true overlap —
+    /// the paper's `K_u` (0.001 ..= 0.9). Deterministic given `seed`.
+    ///
+    /// # Panics
+    /// If `ratio` is outside `[0, 1]`.
+    pub fn with_overlap_ratio(&self, ratio: f64, seed: u64) -> CdrDataset {
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "overlap ratio {ratio} outside [0,1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let mut pairs = self.true_overlap.clone();
+        pairs.shuffle(&mut rng);
+        let keep = ((pairs.len() as f64) * ratio).round() as usize;
+        pairs.truncate(keep);
+        pairs.sort_unstable();
+        CdrDataset {
+            domain_a: self.domain_a.clone(),
+            domain_b: self.domain_b.clone(),
+            overlap: pairs,
+            true_overlap: self.true_overlap.clone(),
+        }
+    }
+
+    /// Subsamples interactions to `density` of the original — the
+    /// paper's `D_s` (Table VI). Every user keeps at least `min_keep`
+    /// interactions so leave-one-out stays well-defined.
+    ///
+    /// # Panics
+    /// If `density` is outside `(0, 1]`.
+    pub fn with_density(&self, density: f64, min_keep: usize, seed: u64) -> CdrDataset {
+        assert!(
+            density > 0.0 && density <= 1.0,
+            "density {density} outside (0,1]"
+        );
+        let thin = |d: &DomainData, salt: u64| -> DomainData {
+            let mut rng = StdRng::seed_from_u64(seed ^ salt);
+            let mut kept = Vec::with_capacity(d.interactions.len());
+            let by_user = d.by_user();
+            for (u, items) in by_user.iter().enumerate() {
+                if items.is_empty() {
+                    continue;
+                }
+                let target = (((items.len() as f64) * density).round() as usize)
+                    .max(min_keep)
+                    .min(items.len());
+                // Keep a uniform subset but preserve chronological order,
+                // always retaining the final (test) interaction.
+                let mut idx: Vec<usize> = (0..items.len() - 1).collect();
+                idx.shuffle(&mut rng);
+                let mut chosen: Vec<usize> = idx.into_iter().take(target.saturating_sub(1)).collect();
+                chosen.push(items.len() - 1);
+                chosen.sort_unstable();
+                for i in chosen {
+                    kept.push((u as u32, items[i]));
+                }
+            }
+            DomainData {
+                name: d.name.clone(),
+                n_users: d.n_users,
+                n_items: d.n_items,
+                interactions: kept,
+            }
+        };
+        CdrDataset {
+            domain_a: thin(&self.domain_a, 0xA),
+            domain_b: thin(&self.domain_b, 0xB),
+            overlap: self.overlap.clone(),
+            true_overlap: self.true_overlap.clone(),
+        }
+    }
+
+    /// Known-overlap lookup: for each user of A, its aligned user in B.
+    pub fn overlap_map_a_to_b(&self) -> Vec<Option<u32>> {
+        let mut m = vec![None; self.domain_a.n_users];
+        for &(a, b) in &self.overlap {
+            m[a as usize] = Some(b);
+        }
+        m
+    }
+
+    /// Known-overlap lookup: for each user of B, its aligned user in A.
+    pub fn overlap_map_b_to_a(&self) -> Vec<Option<u32>> {
+        let mut m = vec![None; self.domain_b.n_users];
+        for &(a, b) in &self.overlap {
+            m[b as usize] = Some(a);
+        }
+        m
+    }
+
+    /// Users of A with no known alignment (ascending).
+    pub fn non_overlapped_a(&self) -> Vec<u32> {
+        let m = self.overlap_map_a_to_b();
+        (0..self.domain_a.n_users as u32)
+            .filter(|&u| m[u as usize].is_none())
+            .collect()
+    }
+
+    /// Users of B with no known alignment (ascending).
+    pub fn non_overlapped_b(&self) -> Vec<u32> {
+        let m = self.overlap_map_b_to_a();
+        (0..self.domain_b.n_users as u32)
+            .filter(|&u| m[u as usize].is_none())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> CdrDataset {
+        let da = DomainData {
+            name: "A".into(),
+            n_users: 4,
+            n_items: 5,
+            interactions: vec![
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 1),
+                (1, 3),
+                (2, 2),
+                (2, 4),
+                (3, 0),
+                (3, 4),
+            ],
+        };
+        let db = DomainData {
+            name: "B".into(),
+            n_users: 3,
+            n_items: 4,
+            interactions: vec![(0, 0), (0, 1), (1, 2), (1, 3), (2, 0), (2, 3)],
+        };
+        CdrDataset {
+            domain_a: da,
+            domain_b: db,
+            overlap: vec![(0, 0), (1, 2), (2, 1)],
+            true_overlap: vec![(0, 0), (1, 2), (2, 1)],
+        }
+    }
+
+    #[test]
+    fn stats_density() {
+        let d = toy();
+        let s = d.domain_a.stats();
+        assert_eq!(s.ratings, 9);
+        assert!((s.density - 9.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_ratio_keeps_fraction() {
+        let d = toy();
+        let r = d.with_overlap_ratio(1.0 / 3.0, 1);
+        assert_eq!(r.overlap.len(), 1);
+        assert_eq!(r.true_overlap.len(), 3);
+        let full = d.with_overlap_ratio(1.0, 1);
+        assert_eq!(full.overlap.len(), 3);
+        let none = d.with_overlap_ratio(0.0, 1);
+        assert_eq!(none.overlap.len(), 0);
+    }
+
+    #[test]
+    fn overlap_ratio_deterministic() {
+        let d = toy();
+        let a = d.with_overlap_ratio(0.5, 9);
+        let b = d.with_overlap_ratio(0.5, 9);
+        assert_eq!(a.overlap, b.overlap);
+    }
+
+    #[test]
+    fn overlap_maps_consistent() {
+        let d = toy();
+        let ab = d.overlap_map_a_to_b();
+        let ba = d.overlap_map_b_to_a();
+        for &(a, b) in &d.overlap {
+            assert_eq!(ab[a as usize], Some(b));
+            assert_eq!(ba[b as usize], Some(a));
+        }
+        assert_eq!(d.non_overlapped_a(), vec![3]);
+        assert!(d.non_overlapped_b().is_empty());
+    }
+
+    #[test]
+    fn density_respects_min_keep_and_last_interaction() {
+        let d = toy();
+        let thin = d.with_density(0.4, 2, 3);
+        let by_user = thin.domain_a.by_user();
+        let orig = d.domain_a.by_user();
+        for (u, items) in by_user.iter().enumerate() {
+            if orig[u].is_empty() {
+                continue;
+            }
+            assert!(items.len() >= 2.min(orig[u].len()), "user {u} kept {items:?}");
+            // last interaction preserved
+            assert_eq!(items.last(), orig[u].last());
+        }
+        assert!(thin.domain_a.interactions.len() <= d.domain_a.interactions.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_ratio_panics() {
+        toy().with_overlap_ratio(1.5, 0);
+    }
+
+    #[test]
+    fn graph_view_matches_counts() {
+        let d = toy();
+        let g = d.domain_a.graph();
+        assert_eq!(g.n_interactions(), 9);
+        assert_eq!(g.user_degrees(), vec![3, 2, 2, 2]);
+    }
+}

@@ -1,0 +1,392 @@
+//! The synthetic CDR dataset generator.
+//!
+//! A latent-factor world model produces interactions whose *structure*
+//! matches the paper's data (long-tail degrees, partial overlap, shared
+//! cross-domain preferences) while staying fully reproducible. See the
+//! crate docs and DESIGN.md for the substitution argument.
+
+use crate::{CdrDataset, DomainData, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The hidden world model behind a generated dataset. Kept around for
+/// the A/B-test simulator (which needs ground-truth conversion
+/// probabilities) and for generator tests.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    pub latent_dim: usize,
+    /// Row-major `n_users_a x latent_dim`.
+    pub user_factors_a: Vec<f32>,
+    pub user_factors_b: Vec<f32>,
+    pub item_factors_a: Vec<f32>,
+    pub item_factors_b: Vec<f32>,
+}
+
+impl GroundTruth {
+    /// True affinity of `(user, item)` in domain A.
+    pub fn affinity_a(&self, user: usize, item: usize) -> f32 {
+        dot(
+            &self.user_factors_a[user * self.latent_dim..(user + 1) * self.latent_dim],
+            &self.item_factors_a[item * self.latent_dim..(item + 1) * self.latent_dim],
+        )
+    }
+
+    /// True affinity of `(user, item)` in domain B.
+    pub fn affinity_b(&self, user: usize, item: usize) -> f32 {
+        dot(
+            &self.user_factors_b[user * self.latent_dim..(user + 1) * self.latent_dim],
+            &self.item_factors_b[item * self.latent_dim..(item + 1) * self.latent_dim],
+        )
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Zipf-like weights for `n` entities with exponent `alpha`, assigned in
+/// a random permutation so entity id carries no popularity signal.
+fn zipf_weights(n: usize, alpha: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut ranks: Vec<usize> = (0..n).collect();
+    ranks.shuffle(rng);
+    let mut w = vec![0.0; n];
+    for (i, &r) in ranks.iter().enumerate() {
+        w[i] = 1.0 / ((r + 1) as f64).powf(alpha);
+    }
+    w
+}
+
+/// Cumulative-sum sampler over positive weights.
+struct CumSampler {
+    cum: Vec<f64>,
+}
+
+impl CumSampler {
+    fn new(weights: &[f64]) -> Self {
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cum.push(acc);
+        }
+        Self { cum }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cum.last().expect("empty sampler");
+        let x = rng.gen_range(0.0..total);
+        self.cum.partition_point(|&c| c <= x)
+    }
+}
+
+/// Draws per-user interaction counts with a Zipf head, scaled to hit
+/// `mean_degree` on average, floored at `min_degree`.
+fn user_degrees(
+    n_users: usize,
+    mean_degree: f64,
+    min_degree: usize,
+    alpha: f64,
+    max_degree: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let w = zipf_weights(n_users, alpha, rng);
+    let w_sum: f64 = w.iter().sum();
+    let extra_total = (mean_degree - min_degree as f64).max(0.0) * n_users as f64;
+    w.iter()
+        .map(|&wi| {
+            let extra = (wi / w_sum * extra_total).round() as usize;
+            (min_degree + extra).min(max_degree)
+        })
+        .collect()
+}
+
+/// Generates one domain's interactions given user latent factors.
+fn generate_domain(
+    name: &str,
+    user_factors: &[f32],
+    n_users: usize,
+    n_items: usize,
+    latent_dim: usize,
+    mean_degree: f64,
+    min_degree: usize,
+    item_zipf: f64,
+    rng: &mut StdRng,
+) -> (DomainData, Vec<f32>) {
+    // Item factors.
+    let mut item_factors = vec![0.0f32; n_items * latent_dim];
+    let scale = 1.0 / (latent_dim as f32).sqrt();
+    for v in &mut item_factors {
+        *v = normal(rng) * scale;
+    }
+    // Popularity.
+    let pop = zipf_weights(n_items, item_zipf, rng);
+    let sampler = CumSampler::new(&pop);
+    // Degrees. Cap at half the catalogue so candidate sampling terminates.
+    let degrees = user_degrees(n_users, mean_degree, min_degree, 1.1, n_items / 2, rng);
+
+    let mut interactions = Vec::with_capacity(degrees.iter().sum());
+    let mut chosen: Vec<u32> = Vec::new();
+    for (u, &deg) in degrees.iter().enumerate() {
+        chosen.clear();
+        let uf = &user_factors[u * latent_dim..(u + 1) * latent_dim];
+        // Popularity-biased candidate pool, affinity-ranked: draw 3x the
+        // degree, keep the top-affinity `deg` distinct items. This makes
+        // observed interactions correlate with the latent ground truth
+        // (so models can learn) while popularity skews item degrees
+        // (long tail).
+        let pool_target = (deg * 3).max(12).min(n_items);
+        let mut seen = std::collections::HashSet::with_capacity(pool_target * 2);
+        let mut scored: Vec<(f32, u32)> = Vec::with_capacity(pool_target);
+        let mut attempts = 0;
+        while scored.len() < pool_target && attempts < pool_target * 20 {
+            attempts += 1;
+            let j = sampler.sample(rng);
+            if !seen.insert(j) {
+                continue;
+            }
+            let vf = &item_factors[j * latent_dim..(j + 1) * latent_dim];
+            // Gumbel noise keeps choices stochastic around the affinity.
+            // The sharpness factor keeps the preference signal dominant
+            // over the noise (unit-scale factors give dot std ~ 1/sqrt(k));
+            // without it, interactions degenerate to popularity-only and
+            // no personalized model can beat a popularity ranker.
+            let g: f32 = -(-(rng.gen_range(1e-6f32..1.0)).ln()).ln();
+            let sharpness = 3.0 * (latent_dim as f32).sqrt().max(1.0) / 3.5;
+            scored.push((sharpness * dot(uf, vf) + 0.5 * g, j as u32));
+        }
+        scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        chosen.extend(scored.iter().take(deg).map(|&(_, j)| j));
+        // Random chronological order.
+        chosen.shuffle(rng);
+        for &j in chosen.iter() {
+            interactions.push((u as u32, j));
+        }
+    }
+    (
+        DomainData {
+            name: name.to_string(),
+            n_users,
+            n_items,
+            interactions,
+        },
+        item_factors,
+    )
+}
+
+/// Generates a [`CdrDataset`] plus its hidden [`GroundTruth`].
+pub fn generate_with_truth(cfg: &ScenarioConfig) -> (CdrDataset, GroundTruth) {
+    cfg.validate().expect("invalid ScenarioConfig");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let k = cfg.latent_dim;
+    let scale = 1.0 / (k as f32).sqrt();
+
+    // Overlapped users (ids 0..n_overlap in BOTH domains) share a core
+    // preference vector; each domain view adds independent noise.
+    let mut user_a = vec![0.0f32; cfg.n_users_a * k];
+    let mut user_b = vec![0.0f32; cfg.n_users_b * k];
+    for o in 0..cfg.n_overlap {
+        for d in 0..k {
+            let core = normal(&mut rng) * scale;
+            user_a[o * k + d] = core + normal(&mut rng) * cfg.domain_noise * scale;
+            user_b[o * k + d] = core + normal(&mut rng) * cfg.domain_noise * scale;
+        }
+    }
+    for v in &mut user_a[cfg.n_overlap * k..] {
+        *v = normal(&mut rng) * scale;
+    }
+    for v in &mut user_b[cfg.n_overlap * k..] {
+        *v = normal(&mut rng) * scale;
+    }
+
+    let (na, nb) = cfg.scenario.domains();
+    let (domain_a, item_a) = generate_domain(
+        na,
+        &user_a,
+        cfg.n_users_a,
+        cfg.n_items_a,
+        k,
+        cfg.mean_degree_a,
+        cfg.min_degree,
+        cfg.item_zipf,
+        &mut rng,
+    );
+    let (domain_b, item_b) = generate_domain(
+        nb,
+        &user_b,
+        cfg.n_users_b,
+        cfg.n_items_b,
+        k,
+        cfg.mean_degree_b,
+        cfg.min_degree,
+        cfg.item_zipf,
+        &mut rng,
+    );
+
+    let true_overlap: Vec<(u32, u32)> = (0..cfg.n_overlap as u32).map(|i| (i, i)).collect();
+    (
+        CdrDataset {
+            domain_a,
+            domain_b,
+            overlap: true_overlap.clone(),
+            true_overlap,
+        },
+        GroundTruth {
+            latent_dim: k,
+            user_factors_a: user_a,
+            user_factors_b: user_b,
+            item_factors_a: item_a,
+            item_factors_b: item_b,
+        },
+    )
+}
+
+/// Generates a [`CdrDataset`] (ground truth discarded).
+pub fn generate(cfg: &ScenarioConfig) -> CdrDataset {
+    generate_with_truth(cfg).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+
+    fn small_cfg() -> ScenarioConfig {
+        let mut c = Scenario::ClothSport.config(0.005);
+        c.n_users_a = 300;
+        c.n_users_b = 400;
+        c.n_items_a = 120;
+        c.n_items_b = 150;
+        c.n_overlap = 80;
+        c
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = small_cfg();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.domain_a.interactions, b.domain_a.interactions);
+        assert_eq!(a.domain_b.interactions, b.domain_b.interactions);
+    }
+
+    #[test]
+    fn every_user_meets_min_degree() {
+        let cfg = small_cfg();
+        let d = generate(&cfg);
+        for (u, items) in d.domain_a.by_user().iter().enumerate() {
+            assert!(items.len() >= cfg.min_degree, "user {u} has {}", items.len());
+        }
+        for items in d.domain_b.by_user() {
+            assert!(items.len() >= cfg.min_degree);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_interactions_per_user() {
+        let d = generate(&small_cfg());
+        for (u, items) in d.domain_a.by_user().iter().enumerate() {
+            let set: std::collections::HashSet<_> = items.iter().collect();
+            assert_eq!(set.len(), items.len(), "user {u} has duplicates");
+        }
+    }
+
+    #[test]
+    fn degrees_are_long_tailed() {
+        let cfg = small_cfg();
+        let d = generate(&cfg);
+        let mut degs: Vec<usize> = d.domain_a.by_user().iter().map(|v| v.len()).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        // head (top 10%) mean should well exceed tail (bottom 50%) mean
+        let n = degs.len();
+        let head: f64 = degs[..n / 10].iter().sum::<usize>() as f64 / (n / 10) as f64;
+        let tail: f64 = degs[n / 2..].iter().sum::<usize>() as f64 / (n - n / 2) as f64;
+        assert!(
+            head > tail * 2.0,
+            "not long-tailed: head mean {head}, tail mean {tail}"
+        );
+    }
+
+    #[test]
+    fn item_popularity_is_skewed() {
+        let cfg = small_cfg();
+        let d = generate(&cfg);
+        let g = d.domain_a.graph();
+        let mut degs = g.item_degrees();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = degs[..degs.len() / 10].iter().sum();
+        let total: usize = degs.iter().sum();
+        assert!(
+            top10 as f64 > total as f64 * 0.2,
+            "top-10% items hold only {top10}/{total}"
+        );
+    }
+
+    #[test]
+    fn overlapped_users_share_preferences() {
+        // The affinity of an overlapped user's A-factors against their
+        // B-factors' world should correlate: check core sharing directly.
+        let cfg = small_cfg();
+        let (_, truth) = generate_with_truth(&cfg);
+        let k = truth.latent_dim;
+        // cosine similarity between domain views of the same overlapped user
+        let mut sims = Vec::new();
+        for o in 0..cfg.n_overlap {
+            let a = &truth.user_factors_a[o * k..(o + 1) * k];
+            let b = &truth.user_factors_b[o * k..(o + 1) * k];
+            let na = dot(a, a).sqrt();
+            let nb = dot(b, b).sqrt();
+            sims.push(dot(a, b) / (na * nb + 1e-9));
+        }
+        let mean_overlap: f32 = sims.iter().sum::<f32>() / sims.len() as f32;
+        // non-overlapped pairs should be near zero
+        let mut rand_sims = Vec::new();
+        for o in cfg.n_overlap..(cfg.n_overlap + 50) {
+            let a = &truth.user_factors_a[o * k..(o + 1) * k];
+            let b = &truth.user_factors_b[o * k..(o + 1) * k];
+            let na = dot(a, a).sqrt();
+            let nb = dot(b, b).sqrt();
+            rand_sims.push(dot(a, b) / (na * nb + 1e-9));
+        }
+        let mean_rand: f32 = rand_sims.iter().sum::<f32>() / rand_sims.len() as f32;
+        assert!(
+            mean_overlap > 0.5 && mean_overlap > mean_rand + 0.4,
+            "overlap sim {mean_overlap}, random sim {mean_rand}"
+        );
+    }
+
+    #[test]
+    fn interactions_correlate_with_affinity() {
+        let cfg = small_cfg();
+        let (data, truth) = generate_with_truth(&cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for &(u, i) in data.domain_a.interactions.iter().take(2000) {
+            pos.push(truth.affinity_a(u as usize, i as usize));
+            let j = rng.gen_range(0..cfg.n_items_a);
+            neg.push(truth.affinity_a(u as usize, j));
+        }
+        let mp: f32 = pos.iter().sum::<f32>() / pos.len() as f32;
+        let mn: f32 = neg.iter().sum::<f32>() / neg.len() as f32;
+        assert!(mp > mn + 0.1, "positive affinity {mp} vs random {mn}");
+    }
+
+    #[test]
+    fn mean_degree_near_target() {
+        let cfg = small_cfg();
+        let d = generate(&cfg);
+        let mean = d.domain_a.interactions.len() as f64 / cfg.n_users_a as f64;
+        assert!(
+            mean > cfg.mean_degree_a * 0.6 && mean < cfg.mean_degree_a * 1.6,
+            "mean degree {mean} vs target {}",
+            cfg.mean_degree_a
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! Loading real interaction logs.
+//!
+//! The reproduction itself runs on synthetic data (DESIGN.md), but a
+//! downstream user with the actual Amazon dumps (or any two-domain
+//! interaction log) can load them here: one whitespace/comma-separated
+//! `user item [timestamp]` file per domain plus an optional alignment
+//! file of `user_a user_b` pairs. Ids are arbitrary strings and are
+//! densely re-indexed; interactions are ordered by timestamp when one
+//! is present (otherwise file order), matching the generator's
+//! chronological convention so [`crate::leave_one_out`] behaves
+//! identically.
+
+use crate::{CdrDataset, DomainData};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors from interaction-log parsing.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    /// `(line_number, message)`
+    Parse(usize, String),
+    /// An alignment references a user absent from a domain file.
+    UnknownUser(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(line, msg) => write!(f, "parse error on line {line}: {msg}"),
+            IoError::UnknownUser(u) => write!(f, "alignment references unknown user '{u}'"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// A parsed domain log with its string-id vocabularies.
+#[derive(Debug)]
+pub struct LoadedDomain {
+    pub data: DomainData,
+    pub user_ids: Vec<String>,
+    pub item_ids: Vec<String>,
+    user_index: HashMap<String, u32>,
+}
+
+impl LoadedDomain {
+    /// Dense id of an external user id.
+    pub fn user_of(&self, external: &str) -> Option<u32> {
+        self.user_index.get(external).copied()
+    }
+}
+
+fn split_fields(line: &str) -> Vec<&str> {
+    line.split(|c: char| c == ',' || c == '\t' || c == ' ')
+        .filter(|f| !f.is_empty())
+        .collect()
+}
+
+/// Parses a `user item [timestamp]` log from a reader. Lines starting
+/// with `#` and blank lines are skipped. Duplicate `(user, item)` pairs
+/// keep their first occurrence.
+pub fn parse_domain<R: BufRead>(name: &str, reader: R) -> Result<LoadedDomain, IoError> {
+    let mut user_index: HashMap<String, u32> = HashMap::new();
+    let mut item_index: HashMap<String, u32> = HashMap::new();
+    let mut user_ids = Vec::new();
+    let mut item_ids = Vec::new();
+    // (user, item, timestamp, input order)
+    let mut rows: Vec<(u32, u32, i64, usize)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (ln, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields = split_fields(trimmed);
+        if fields.len() < 2 {
+            return Err(IoError::Parse(
+                ln + 1,
+                format!("expected at least 'user item', got '{trimmed}'"),
+            ));
+        }
+        let ts: i64 = if fields.len() >= 3 {
+            fields[2]
+                .parse()
+                .map_err(|_| IoError::Parse(ln + 1, format!("bad timestamp '{}'", fields[2])))?
+        } else {
+            0
+        };
+        let u = *user_index.entry(fields[0].to_string()).or_insert_with(|| {
+            user_ids.push(fields[0].to_string());
+            (user_ids.len() - 1) as u32
+        });
+        let i = *item_index.entry(fields[1].to_string()).or_insert_with(|| {
+            item_ids.push(fields[1].to_string());
+            (item_ids.len() - 1) as u32
+        });
+        if seen.insert((u, i)) {
+            rows.push((u, i, ts, rows.len()));
+        }
+    }
+    // chronological per input: sort by (user-stable) timestamp then
+    // input order; leave_one_out groups per user preserving this order.
+    rows.sort_by_key(|&(_, _, ts, ord)| (ts, ord));
+    let interactions = rows.iter().map(|&(u, i, _, _)| (u, i)).collect();
+    Ok(LoadedDomain {
+        data: DomainData {
+            name: name.to_string(),
+            n_users: user_ids.len(),
+            n_items: item_ids.len(),
+            interactions,
+        },
+        user_ids,
+        item_ids,
+        user_index,
+    })
+}
+
+/// Parses an alignment file of `user_a user_b` pairs against two loaded
+/// domains.
+pub fn parse_alignment<R: BufRead>(
+    reader: R,
+    a: &LoadedDomain,
+    b: &LoadedDomain,
+) -> Result<Vec<(u32, u32)>, IoError> {
+    let mut pairs = Vec::new();
+    for (ln, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields = split_fields(trimmed);
+        if fields.len() != 2 {
+            return Err(IoError::Parse(
+                ln + 1,
+                format!("expected 'user_a user_b', got '{trimmed}'"),
+            ));
+        }
+        let ua = a
+            .user_of(fields[0])
+            .ok_or_else(|| IoError::UnknownUser(fields[0].to_string()))?;
+        let ub = b
+            .user_of(fields[1])
+            .ok_or_else(|| IoError::UnknownUser(fields[1].to_string()))?;
+        pairs.push((ua, ub));
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    Ok(pairs)
+}
+
+/// Loads a full two-domain dataset from files. When `alignment` is
+/// `None`, users sharing the *same external id* in both files are
+/// treated as overlapped (the Amazon convention).
+pub fn load_cdr_dataset(
+    name_a: &str,
+    path_a: &Path,
+    name_b: &str,
+    path_b: &Path,
+    alignment: Option<&Path>,
+) -> Result<CdrDataset, IoError> {
+    let fa = std::io::BufReader::new(std::fs::File::open(path_a)?);
+    let fb = std::io::BufReader::new(std::fs::File::open(path_b)?);
+    let a = parse_domain(name_a, fa)?;
+    let b = parse_domain(name_b, fb)?;
+    let overlap = match alignment {
+        Some(p) => {
+            let f = std::io::BufReader::new(std::fs::File::open(p)?);
+            parse_alignment(f, &a, &b)?
+        }
+        None => {
+            let mut pairs: Vec<(u32, u32)> = a
+                .user_ids
+                .iter()
+                .enumerate()
+                .filter_map(|(ua, ext)| b.user_of(ext).map(|ub| (ua as u32, ub)))
+                .collect();
+            pairs.sort_unstable();
+            pairs
+        }
+    };
+    Ok(CdrDataset {
+        domain_a: a.data,
+        domain_b: b.data,
+        overlap: overlap.clone(),
+        true_overlap: overlap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const LOG_A: &str = "\
+# domain A
+alice item1 100
+bob item2 50
+alice item2 200
+carol item1 10
+alice item1 300
+";
+
+    const LOG_B: &str = "\
+bob prodX
+dave prodY
+bob prodY
+";
+
+    #[test]
+    fn parse_domain_reindexes_and_orders() {
+        let d = parse_domain("A", Cursor::new(LOG_A)).unwrap();
+        assert_eq!(d.data.n_users, 3);
+        assert_eq!(d.data.n_items, 2);
+        // duplicate (alice, item1) dropped
+        assert_eq!(d.data.interactions.len(), 4);
+        // timestamps order the stream: carol(10), bob(50), alice item1(100), alice item2(200)
+        let by_user = d.data.by_user();
+        let alice = d.user_of("alice").unwrap() as usize;
+        assert_eq!(by_user[alice].len(), 2);
+        // alice's last interaction chronologically is item2 (ts 200)
+        let item2 = d.item_ids.iter().position(|s| s == "item2").unwrap() as u32;
+        assert_eq!(*by_user[alice].last().unwrap(), item2);
+    }
+
+    #[test]
+    fn parse_domain_rejects_garbage() {
+        let err = parse_domain("A", Cursor::new("justonefield\n")).unwrap_err();
+        assert!(matches!(err, IoError::Parse(1, _)));
+        let err = parse_domain("A", Cursor::new("u i notatimestamp\n")).unwrap_err();
+        assert!(matches!(err, IoError::Parse(1, _)));
+    }
+
+    #[test]
+    fn alignment_by_shared_ids() {
+        let a = parse_domain("A", Cursor::new(LOG_A)).unwrap();
+        let b = parse_domain("B", Cursor::new(LOG_B)).unwrap();
+        // shared external id: bob
+        let pairs: Vec<(u32, u32)> = a
+            .user_ids
+            .iter()
+            .enumerate()
+            .filter_map(|(ua, ext)| b.user_of(ext).map(|ub| (ua as u32, ub)))
+            .collect();
+        assert_eq!(pairs.len(), 1);
+        let (ua, ub) = pairs[0];
+        assert_eq!(a.user_ids[ua as usize], "bob");
+        assert_eq!(b.user_ids[ub as usize], "bob");
+    }
+
+    #[test]
+    fn alignment_file_parse_and_validation() {
+        let a = parse_domain("A", Cursor::new(LOG_A)).unwrap();
+        let b = parse_domain("B", Cursor::new(LOG_B)).unwrap();
+        let pairs = parse_alignment(Cursor::new("alice dave\n# comment\nbob bob\n"), &a, &b).unwrap();
+        assert_eq!(pairs.len(), 2);
+        let err = parse_alignment(Cursor::new("nosuchuser dave\n"), &a, &b).unwrap_err();
+        assert!(matches!(err, IoError::UnknownUser(_)));
+    }
+
+    #[test]
+    fn load_cdr_dataset_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("nmcdr_io_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pa = dir.join("a.txt");
+        let pb = dir.join("b.txt");
+        std::fs::write(&pa, LOG_A).unwrap();
+        std::fs::write(&pb, LOG_B).unwrap();
+        let d = load_cdr_dataset("A", &pa, "B", &pb, None).unwrap();
+        assert_eq!(d.domain_a.n_users, 3);
+        assert_eq!(d.domain_b.n_users, 2);
+        assert_eq!(d.overlap.len(), 1); // bob
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

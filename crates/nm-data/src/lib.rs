@@ -1,0 +1,40 @@
+//! # nm-data
+//!
+//! Synthetic multi-domain recommendation data calibrated to the paper's
+//! Table I statistics, replacing the Amazon-2014 dumps and MYbank's
+//! proprietary logs (see DESIGN.md, "Substitutions").
+//!
+//! ## What the generator guarantees
+//!
+//! * **Long-tail degree distributions** for users and items (Zipf-like),
+//!   so the head/tail machinery of the paper has the structure it
+//!   targets;
+//! * a **shared latent ground truth**: overlapped users keep the same
+//!   core preference vector in both domains (plus domain-specific
+//!   noise), so cross-domain transfer is genuinely learnable and models
+//!   that exploit overlap are rewarded — exactly the signal the paper's
+//!   K_u sweeps measure;
+//! * per-user minimum interaction counts compatible with leave-one-out
+//!   evaluation (the paper removes users with fewer than 5
+//!   interactions);
+//! * knobs for the two experimental axes: **overlap ratio** `K_u`
+//!   (Tables II–V) and **density** `D_s` (Table VI).
+//!
+//! ## Pipeline
+//!
+//! [`ScenarioConfig`] → [`generate::generate`] →
+//! [`CdrDataset`] → [`CdrDataset::with_overlap_ratio`] /
+//! [`CdrDataset::with_density`] → [`split::leave_one_out`] →
+//! [`negative::EvalCandidates`] / training batches.
+
+pub mod batch;
+mod config;
+mod dataset;
+pub mod generate;
+pub mod io;
+pub mod negative;
+pub mod split;
+
+pub use config::{Scenario, ScenarioConfig};
+pub use dataset::{CdrDataset, DomainData, DomainStats};
+pub use split::{leave_one_out, SplitDomain};

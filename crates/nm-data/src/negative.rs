@@ -1,0 +1,207 @@
+//! Negative sampling for training and ranking evaluation.
+//!
+//! The paper trains with 1 sampled negative per positive and evaluates
+//! by ranking 1 held-out positive against 199 sampled negatives
+//! (§III-A-2/4).
+
+use crate::SplitDomain;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Training examples: positives interleaved with sampled negatives.
+#[derive(Debug, Clone)]
+pub struct TrainExamples {
+    /// `(user, item)` pairs.
+    pub pairs: Vec<(u32, u32)>,
+    /// 1.0 for observed interactions, 0.0 for sampled negatives;
+    /// parallel to `pairs`.
+    pub labels: Vec<f32>,
+}
+
+/// Samples `neg_per_pos` negatives for every training positive. A
+/// negative for user `u` is an item `u` never interacted with (train or
+/// test — the standard protocol avoids sampling the held-out positive).
+pub fn train_examples(split: &SplitDomain, neg_per_pos: usize, seed: u64) -> TrainExamples {
+    let known = split.all_by_user();
+    let known_sets: Vec<HashSet<u32>> = known
+        .iter()
+        .map(|v| v.iter().copied().collect())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cap = split.train.len() * (1 + neg_per_pos);
+    let mut pairs = Vec::with_capacity(cap);
+    let mut labels = Vec::with_capacity(cap);
+    for &(u, i) in &split.train {
+        pairs.push((u, i));
+        labels.push(1.0);
+        for _ in 0..neg_per_pos {
+            let item = sample_negative(split.n_items, &known_sets[u as usize], &mut rng);
+            pairs.push((u, item));
+            labels.push(0.0);
+        }
+    }
+    TrainExamples { pairs, labels }
+}
+
+fn sample_negative(n_items: usize, known: &HashSet<u32>, rng: &mut StdRng) -> u32 {
+    assert!(
+        known.len() < n_items,
+        "user has interacted with every item; cannot sample a negative"
+    );
+    loop {
+        let j = rng.gen_range(0..n_items) as u32;
+        if !known.contains(&j) {
+            return j;
+        }
+    }
+}
+
+/// Ranking candidates for one evaluation user: the positive at index 0
+/// followed by `n_negatives` sampled negatives.
+#[derive(Debug, Clone)]
+pub struct EvalCandidates {
+    pub user: u32,
+    /// `1 + n_negatives` item ids; index 0 is the ground-truth positive.
+    pub items: Vec<u32>,
+}
+
+/// Builds the paper's 1-positive + 199-negative candidate lists for
+/// every test user.
+pub fn eval_candidates(split: &SplitDomain, n_negatives: usize, seed: u64) -> Vec<EvalCandidates> {
+    candidates_for(split, &split.test, n_negatives, seed)
+}
+
+/// Candidate lists for the *validation* positives (empty unless the
+/// split was built with [`crate::split::leave_one_out_with_valid`]).
+pub fn valid_candidates(split: &SplitDomain, n_negatives: usize, seed: u64) -> Vec<EvalCandidates> {
+    candidates_for(split, &split.valid, n_negatives, seed ^ 0x5A11D)
+}
+
+/// Shared candidate construction for an arbitrary positive list.
+fn candidates_for(
+    split: &SplitDomain,
+    positives: &[(u32, u32)],
+    n_negatives: usize,
+    seed: u64,
+) -> Vec<EvalCandidates> {
+    let known = split.all_by_user();
+    let known_sets: Vec<HashSet<u32>> = known
+        .iter()
+        .map(|v| v.iter().copied().collect())
+        .collect();
+    const EVAL_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut rng = StdRng::seed_from_u64(seed ^ EVAL_SALT);
+    positives
+        .iter()
+        .map(|&(u, pos)| {
+            // A data-rich user may know most of a small catalogue; clamp
+            // the negative count to what actually exists so sampling
+            // terminates (distinct negatives required).
+            let available = split.n_items - known_sets[u as usize].len();
+            let want = n_negatives.min(available);
+            let mut items = Vec::with_capacity(1 + want);
+            items.push(pos);
+            let mut taken: HashSet<u32> = HashSet::with_capacity(want);
+            while items.len() < 1 + want {
+                let j = sample_negative(split.n_items, &known_sets[u as usize], &mut rng);
+                if taken.insert(j) {
+                    items.push(j);
+                }
+            }
+            EvalCandidates { user: u, items }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{leave_one_out, DomainData};
+
+    fn split() -> SplitDomain {
+        let d = DomainData {
+            name: "T".into(),
+            n_users: 2,
+            n_items: 250,
+            interactions: vec![(0, 0), (0, 1), (0, 2), (1, 10), (1, 11), (1, 12)],
+        };
+        leave_one_out(&d, 1)
+    }
+
+    #[test]
+    fn train_examples_have_balanced_labels() {
+        let ex = train_examples(&split(), 1, 7);
+        let pos = ex.labels.iter().filter(|&&l| l == 1.0).count();
+        let neg = ex.labels.iter().filter(|&&l| l == 0.0).count();
+        assert_eq!(pos, 4); // 2 train pairs per user
+        assert_eq!(neg, 4);
+        assert_eq!(ex.pairs.len(), ex.labels.len());
+    }
+
+    #[test]
+    fn negatives_never_collide_with_known_items() {
+        let s = split();
+        let ex = train_examples(&s, 3, 9);
+        let known = s.all_by_user();
+        for (&(u, i), &l) in ex.pairs.iter().zip(&ex.labels) {
+            if l == 0.0 {
+                assert!(!known[u as usize].contains(&i), "user {u} negative {i} is known");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_candidates_structure() {
+        let s = split();
+        let cands = eval_candidates(&s, 199, 3);
+        assert_eq!(cands.len(), 2);
+        for (c, &(u, pos)) in cands.iter().zip(&s.test) {
+            assert_eq!(c.user, u);
+            assert_eq!(c.items.len(), 200);
+            assert_eq!(c.items[0], pos);
+            // negatives unique and not known
+            let negs: HashSet<u32> = c.items[1..].iter().copied().collect();
+            assert_eq!(negs.len(), 199);
+        }
+    }
+
+    #[test]
+    fn eval_deterministic_per_seed() {
+        let s = split();
+        let a = eval_candidates(&s, 20, 5);
+        let b = eval_candidates(&s, 20, 5);
+        assert_eq!(a[0].items, b[0].items);
+        let c = eval_candidates(&s, 20, 6);
+        assert_ne!(a[0].items[1..], c[0].items[1..]);
+    }
+
+    #[test]
+    fn eval_negatives_clamped_by_small_catalogue() {
+        // 20 items, user knows 3 => at most 17 distinct negatives exist.
+        let d = DomainData {
+            name: "T".into(),
+            n_users: 1,
+            n_items: 20,
+            interactions: vec![(0, 0), (0, 1), (0, 2)],
+        };
+        let s = leave_one_out(&d, 1);
+        let cands = eval_candidates(&s, 199, 1);
+        assert_eq!(cands[0].items.len(), 1 + 17);
+        let set: HashSet<u32> = cands[0].items.iter().copied().collect();
+        assert_eq!(set.len(), cands[0].items.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample a negative")]
+    fn exhausted_catalogue_panics() {
+        let d = DomainData {
+            name: "T".into(),
+            n_users: 1,
+            n_items: 3,
+            interactions: vec![(0, 0), (0, 1), (0, 2)],
+        };
+        let s = leave_one_out(&d, 1);
+        let _ = train_examples(&s, 1, 0);
+    }
+}

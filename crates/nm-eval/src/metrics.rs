@@ -1,0 +1,118 @@
+//! Ranking metrics over candidate score lists.
+//!
+//! Convention: `scores[0]` belongs to the ground-truth positive, the
+//! rest to sampled negatives (matching
+//! [`nm_data::negative::EvalCandidates`]). The positive's rank counts
+//! items scoring *strictly higher* (ties resolve in the positive's
+//! favour — the convention of the NeuMF/NCF reference evaluation the
+//! paper follows).
+
+/// 1-based rank of `scores[0]` among all scores.
+///
+/// # Panics
+/// If `scores` is empty.
+pub fn rank_of_first(scores: &[f32]) -> usize {
+    assert!(!scores.is_empty(), "rank_of_first: empty scores");
+    let pos = scores[0];
+    1 + scores[1..].iter().filter(|&&s| s > pos).count()
+}
+
+/// Hit rate at `k`: 1.0 if the positive ranks within the top `k`.
+pub fn hit_rate_at(scores: &[f32], k: usize) -> f64 {
+    if rank_of_first(scores) <= k {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// NDCG at `k` for a single positive: `1 / log2(rank + 1)` when the
+/// positive is inside the top `k`, else 0.
+pub fn ndcg_at(scores: &[f32], k: usize) -> f64 {
+    let r = rank_of_first(scores);
+    if r <= k {
+        1.0 / ((r as f64) + 1.0).log2()
+    } else {
+        0.0
+    }
+}
+
+/// Reciprocal rank of the positive.
+pub fn mrr(scores: &[f32]) -> f64 {
+    1.0 / rank_of_first(scores) as f64
+}
+
+/// AUC of the positive against the negatives (ties count half).
+pub fn auc(scores: &[f32]) -> f64 {
+    assert!(scores.len() > 1, "auc needs at least one negative");
+    let pos = scores[0];
+    let mut wins = 0.0;
+    for &s in &scores[1..] {
+        if pos > s {
+            wins += 1.0;
+        } else if pos == s {
+            wins += 0.5;
+        }
+    }
+    wins / (scores.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_when_positive_is_best() {
+        assert_eq!(rank_of_first(&[0.9, 0.1, 0.5]), 1);
+    }
+
+    #[test]
+    fn rank_counts_strictly_greater() {
+        assert_eq!(rank_of_first(&[0.5, 0.5, 0.9, 0.1]), 2);
+    }
+
+    #[test]
+    fn hit_rate_boundary() {
+        // rank 10 with k=10 is a hit
+        let mut scores = vec![0.0; 200];
+        for (i, s) in scores.iter_mut().enumerate().skip(1).take(9) {
+            *s = 1.0 + i as f32;
+        }
+        assert_eq!(rank_of_first(&scores), 10);
+        assert_eq!(hit_rate_at(&scores, 10), 1.0);
+        // push one more above -> rank 11 -> miss
+        scores[40] = 99.0;
+        assert_eq!(hit_rate_at(&scores, 10), 0.0);
+    }
+
+    #[test]
+    fn ndcg_values() {
+        assert!((ndcg_at(&[1.0, 0.0], 10) - 1.0).abs() < 1e-12); // rank 1
+        let scores = [0.5, 0.9, 0.0];
+        // rank 2 => 1/log2(3)
+        assert!((ndcg_at(&scores, 10) - 1.0 / 3f64.log2()).abs() < 1e-12);
+        assert_eq!(ndcg_at(&scores, 1), 0.0);
+    }
+
+    #[test]
+    fn mrr_value() {
+        assert!((mrr(&[0.5, 0.9, 0.8, 0.1]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_perfect_and_worst() {
+        assert_eq!(auc(&[1.0, 0.0, 0.5]), 1.0);
+        assert_eq!(auc(&[0.0, 1.0, 0.5]), 0.0);
+        assert_eq!(auc(&[0.5, 0.5]), 0.5);
+    }
+
+    #[test]
+    fn ndcg_never_exceeds_hit_rate() {
+        for seed in 0..20u32 {
+            let scores: Vec<f32> = (0..50)
+                .map(|i| ((seed.wrapping_mul(31).wrapping_add(i) % 97) as f32) / 97.0)
+                .collect();
+            assert!(ndcg_at(&scores, 10) <= hit_rate_at(&scores, 10) + 1e-12);
+        }
+    }
+}

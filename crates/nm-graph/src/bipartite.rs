@@ -1,0 +1,155 @@
+//! Per-domain heterogeneous user–item interaction graph.
+
+use crate::Csr;
+
+/// The bipartite user–item graph of one domain (`G^Z` in the paper),
+/// stored in both directions with Laplacian-normalized and raw variants.
+///
+/// * `user_item` — raw adjacency, `n_users x n_items`, values = edge
+///   weights `e_{uv}` (1.0 for an observed interaction);
+/// * `user_item_norm` — row-normalized (`1/|N_u|`, Eq. 3);
+/// * `item_user_norm` — transposed then row-normalized (`1/|N_v|`), used
+///   when items aggregate from users.
+#[derive(Debug, Clone)]
+pub struct BipartiteGraph {
+    user_item: Csr,
+    user_item_norm: Csr,
+    item_user: Csr,
+    item_user_norm: Csr,
+}
+
+impl BipartiteGraph {
+    /// Builds from `(user, item)` interaction pairs with unit weights.
+    pub fn from_interactions(n_users: usize, n_items: usize, pairs: &[(u32, u32)]) -> Self {
+        let edges: Vec<(u32, u32, f32)> = pairs.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        let user_item = Csr::from_edges(n_users, n_items, &edges);
+        let item_user = user_item.transpose();
+        let user_item_norm = user_item.row_normalized();
+        let item_user_norm = item_user.row_normalized();
+        Self {
+            user_item,
+            user_item_norm,
+            item_user,
+            item_user_norm,
+        }
+    }
+
+    #[inline]
+    pub fn n_users(&self) -> usize {
+        self.user_item.n_rows()
+    }
+
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.user_item.n_cols()
+    }
+
+    /// Total observed interactions.
+    #[inline]
+    pub fn n_interactions(&self) -> usize {
+        self.user_item.nnz()
+    }
+
+    /// Raw user→item adjacency.
+    #[inline]
+    pub fn user_item(&self) -> &Csr {
+        &self.user_item
+    }
+
+    /// `1/|N_u|`-normalized user→item adjacency (Eq. 3's message norm).
+    #[inline]
+    pub fn user_item_norm(&self) -> &Csr {
+        &self.user_item_norm
+    }
+
+    /// Raw item→user adjacency.
+    #[inline]
+    pub fn item_user(&self) -> &Csr {
+        &self.item_user
+    }
+
+    /// `1/|N_v|`-normalized item→user adjacency.
+    #[inline]
+    pub fn item_user_norm(&self) -> &Csr {
+        &self.item_user_norm
+    }
+
+    /// `|N_u|` for every user — the quantity Eq. 5 thresholds on.
+    pub fn user_degrees(&self) -> Vec<usize> {
+        self.user_item.degrees()
+    }
+
+    /// `|N_v|` for every item.
+    pub fn item_degrees(&self) -> Vec<usize> {
+        self.item_user.degrees()
+    }
+
+    /// Density = interactions / (users * items), the Table I statistic.
+    pub fn density(&self) -> f64 {
+        let denom = (self.n_users() * self.n_items()) as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.n_interactions() as f64 / denom
+        }
+    }
+
+    /// Items interacted by `user`.
+    #[inline]
+    pub fn items_of(&self, user: usize) -> &[u32] {
+        self.user_item.row_indices(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> BipartiteGraph {
+        BipartiteGraph::from_interactions(3, 4, &[(0, 0), (0, 1), (1, 1), (2, 3)])
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let g = g();
+        assert_eq!(g.n_users(), 3);
+        assert_eq!(g.n_items(), 4);
+        assert_eq!(g.n_interactions(), 4);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = g();
+        assert_eq!(g.user_degrees(), vec![2, 1, 1]);
+        assert_eq!(g.item_degrees(), vec![1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn density_value() {
+        let g = g();
+        assert!((g.density() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_sums() {
+        let g = g();
+        // user 0 has 2 items, each normalized value 0.5
+        assert_eq!(g.user_item_norm().row_values(0), &[0.5, 0.5]);
+        // item 1 has 2 users
+        assert_eq!(g.item_user_norm().row_values(1), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn items_of_user() {
+        let g = g();
+        assert_eq!(g.items_of(0), &[0, 1]);
+        assert_eq!(g.items_of(2), &[3]);
+    }
+
+    #[test]
+    fn transpose_consistency() {
+        let g = g();
+        assert_eq!(g.item_user().nnz(), g.user_item().nnz());
+        assert_eq!(g.item_user().n_rows(), g.n_items());
+    }
+}

@@ -1,0 +1,132 @@
+//! Head/tail user discrimination (Eq. 5).
+//!
+//! The paper's Eq. 5 as printed says `|N_u| <= K_head => head`, but the
+//! prose (§III-E-2: "If the historical interactions of a user is greater
+//! than K_head, then he/she is regarded as a head user") says the
+//! opposite. We follow the prose — head users are the data-rich ones —
+//! which also matches the motivation (Fig. 1) and the long-tail framing.
+
+/// Classification of a user by interaction count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserClass {
+    /// Data-rich user: `degree > k_head`.
+    Head,
+    /// Data-sparse user: `degree <= k_head`.
+    Tail,
+}
+
+/// Partition of a domain's users into head and tail sets.
+#[derive(Debug, Clone)]
+pub struct HeadTailPartition {
+    k_head: usize,
+    classes: Vec<UserClass>,
+    head: Vec<u32>,
+    tail: Vec<u32>,
+}
+
+impl HeadTailPartition {
+    /// Partitions by `degree > k_head => head`.
+    pub fn new(degrees: &[usize], k_head: usize) -> Self {
+        let mut head = Vec::new();
+        let mut tail = Vec::new();
+        let classes = degrees
+            .iter()
+            .enumerate()
+            .map(|(u, &d)| {
+                if d > k_head {
+                    head.push(u as u32);
+                    UserClass::Head
+                } else {
+                    tail.push(u as u32);
+                    UserClass::Tail
+                }
+            })
+            .collect();
+        Self {
+            k_head,
+            classes,
+            head,
+            tail,
+        }
+    }
+
+    #[inline]
+    pub fn k_head(&self) -> usize {
+        self.k_head
+    }
+
+    #[inline]
+    pub fn class_of(&self, user: usize) -> UserClass {
+        self.classes[user]
+    }
+
+    /// Head-user ids, ascending.
+    #[inline]
+    pub fn head_users(&self) -> &[u32] {
+        &self.head
+    }
+
+    /// Tail-user ids, ascending.
+    #[inline]
+    pub fn tail_users(&self) -> &[u32] {
+        &self.tail
+    }
+
+    #[inline]
+    pub fn n_users(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Fraction of users classified as tail — the long-tail statistic
+    /// the paper's motivation leans on (most users should be tail).
+    pub fn tail_fraction(&self) -> f64 {
+        if self.classes.is_empty() {
+            0.0
+        } else {
+            self.tail.len() as f64 / self.classes.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_follows_prose_semantics() {
+        // K_head = 2: degree 3 is head, degree 2 and below are tail.
+        let p = HeadTailPartition::new(&[3, 2, 0, 7], 2);
+        assert_eq!(p.class_of(0), UserClass::Head);
+        assert_eq!(p.class_of(1), UserClass::Tail);
+        assert_eq!(p.class_of(2), UserClass::Tail);
+        assert_eq!(p.class_of(3), UserClass::Head);
+        assert_eq!(p.head_users(), &[0, 3]);
+        assert_eq!(p.tail_users(), &[1, 2]);
+    }
+
+    #[test]
+    fn boundary_is_tail() {
+        let p = HeadTailPartition::new(&[5], 5);
+        assert_eq!(p.class_of(0), UserClass::Tail);
+    }
+
+    #[test]
+    fn sets_partition_all_users() {
+        let degs = vec![1, 9, 4, 0, 12, 3];
+        let p = HeadTailPartition::new(&degs, 3);
+        assert_eq!(p.head_users().len() + p.tail_users().len(), degs.len());
+    }
+
+    #[test]
+    fn tail_fraction() {
+        let p = HeadTailPartition::new(&[1, 1, 1, 10], 5);
+        assert!((p.tail_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let p = HeadTailPartition::new(&[], 7);
+        assert_eq!(p.n_users(), 0);
+        assert_eq!(p.tail_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # nm-graph
+//!
+//! Sparse-graph substrate for the NMCDR reproduction:
+//!
+//! * [`Csr`] — compressed sparse row matrices with transpose,
+//!   Laplacian (1/degree) row normalization, and a dense SpMM kernel
+//!   operating on raw `f32` slices (so this crate stays dependency-free
+//!   and `nm-autograd` can wrap the kernel).
+//! * [`BipartiteGraph`] — the per-domain user–item interaction graph of
+//!   the paper's heterogeneous graph encoder (Eq. 2–4).
+//! * [`HeadTailPartition`] — Eq. 5's head/tail user discrimination by
+//!   interaction-count threshold `K_head`.
+//! * [`sampling`] — sampled "fully connected" user–user matching graphs
+//!   for the intra (Eq. 6–9) and inter (Eq. 12–14) node matching
+//!   components. The paper's graphs are conceptually fully connected but
+//!   its implementation samples 128–1024 matching neighbours (Fig. 3);
+//!   we do the same.
+
+mod bipartite;
+mod csr;
+mod headtail;
+pub mod sampling;
+
+pub use bipartite::BipartiteGraph;
+pub use csr::Csr;
+pub use headtail::{HeadTailPartition, UserClass};

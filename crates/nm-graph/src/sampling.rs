@@ -1,0 +1,267 @@
+//! Sampled matching-neighbour graphs.
+//!
+//! The paper's intra and inter node matching components operate on
+//! *conceptually* fully-connected user–user graphs (Eq. 6, 12) but in
+//! practice sample a fixed number of matching neighbours per user
+//! (Fig. 3 sweeps 128–1024; 512 is their default). This module builds
+//! those sampled graphs as row-normalized [`Csr`] matrices so that one
+//! SpMM implements the whole message-construction + aggregation of
+//! Eq. 8–9 / Eq. 13–14.
+//!
+//! Choices documented in DESIGN.md:
+//! * A user never samples itself as an intra matching neighbour (the
+//!   residual connection Eq. 11 already carries self information).
+//! * Sampling is without replacement; if the candidate pool is smaller
+//!   than the requested count the whole pool is used.
+
+use crate::{Csr, HeadTailPartition};
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+
+/// Sampled within-domain matching graphs: one bridge from head users,
+/// one from tail users (Eq. 6–9 use distinct transforms per bridge).
+#[derive(Debug, Clone)]
+pub struct IntraMatchingGraphs {
+    /// `n_users x n_users`; row `u` holds `u`'s sampled **head**
+    /// matching neighbours with values `1/|N^head_u|`.
+    pub head_bridge: Csr,
+    /// Same for sampled **tail** matching neighbours.
+    pub tail_bridge: Csr,
+}
+
+fn sample_from_pool(pool: &[u32], exclude: u32, count: usize, rng: &mut StdRng) -> Vec<u32> {
+    // Filter self out lazily: sample a couple extra then drop, to avoid
+    // an O(pool) copy per user.
+    if pool.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    if pool.len() <= count {
+        return pool.iter().copied().filter(|&x| x != exclude).collect();
+    }
+    let want = (count + 1).min(pool.len());
+    let mut picked: Vec<u32> = index_sample(rng, pool.len(), want)
+        .into_iter()
+        .map(|i| pool[i])
+        .filter(|&x| x != exclude)
+        .collect();
+    picked.truncate(count);
+    picked
+}
+
+fn normalized_bridge(n_rows: usize, n_cols: usize, rows: Vec<Vec<u32>>) -> Csr {
+    let mut edges = Vec::new();
+    for (u, neigh) in rows.into_iter().enumerate() {
+        if neigh.is_empty() {
+            continue;
+        }
+        let w = 1.0 / neigh.len() as f32;
+        for v in neigh {
+            edges.push((u as u32, v, w));
+        }
+    }
+    Csr::from_edges(n_rows, n_cols, &edges)
+}
+
+/// Builds the intra-domain matching graphs for one domain.
+///
+/// `n_neighbors` is the per-class sample size (the paper's "number of
+/// matching neighbors", split evenly between head and tail bridges here
+/// by passing the same budget to each).
+pub fn build_intra(
+    partition: &HeadTailPartition,
+    n_neighbors: usize,
+    seed: u64,
+) -> IntraMatchingGraphs {
+    let n = partition.n_users();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut head_rows = Vec::with_capacity(n);
+    let mut tail_rows = Vec::with_capacity(n);
+    for u in 0..n as u32 {
+        head_rows.push(sample_from_pool(
+            partition.head_users(),
+            u,
+            n_neighbors,
+            &mut rng,
+        ));
+        tail_rows.push(sample_from_pool(
+            partition.tail_users(),
+            u,
+            n_neighbors,
+            &mut rng,
+        ));
+    }
+    IntraMatchingGraphs {
+        head_bridge: normalized_bridge(n, n, head_rows),
+        tail_bridge: normalized_bridge(n, n, tail_rows),
+    }
+}
+
+/// Sampled cross-domain matching graph for one direction (Z ← Z̄).
+#[derive(Debug, Clone)]
+pub struct InterMatchingGraph {
+    /// `n_users_z x n_users_zbar`; row `u` holds sampled non-overlapped
+    /// foreign users with values `1/|N^cdr_u|` (Eq. 13's `other` bridge).
+    pub other_bridge: Csr,
+    /// For each user of Z, the index of the *same* user in Z̄ when the
+    /// user is a known overlapped user (Eq. 13's `self` bridge).
+    pub self_map: Vec<Option<u32>>,
+}
+
+/// Builds the Z ← Z̄ inter matching graph.
+///
+/// * `overlap_map[u]` — `Some(u_bar)` iff user `u` of domain Z is a
+///   *known* overlapped user whose identity in Z̄ is `u_bar`;
+/// * `foreign_non_overlapped` — ids (in Z̄) of the non-overlapped
+///   foreign users forming the `other` candidate pool;
+/// * `n_neighbors` — sampled pool size per user.
+pub fn build_inter(
+    n_users_z: usize,
+    n_users_zbar: usize,
+    overlap_map: &[Option<u32>],
+    foreign_non_overlapped: &[u32],
+    n_neighbors: usize,
+    seed: u64,
+) -> InterMatchingGraph {
+    assert_eq!(
+        overlap_map.len(),
+        n_users_z,
+        "overlap_map length {} != n_users_z {}",
+        overlap_map.len(),
+        n_users_z
+    );
+    for m in overlap_map.iter().flatten() {
+        assert!(
+            (*m as usize) < n_users_zbar,
+            "overlap target {} out of bounds ({} foreign users)",
+            m,
+            n_users_zbar
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n_users_z);
+    for _ in 0..n_users_z {
+        // `exclude` is in Z̄'s id space; u32::MAX never matches.
+        rows.push(sample_from_pool(
+            foreign_non_overlapped,
+            u32::MAX,
+            n_neighbors,
+            &mut rng,
+        ));
+    }
+    InterMatchingGraph {
+        other_bridge: normalized_bridge(n_users_z, n_users_zbar, rows),
+        self_map: overlap_map.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partition() -> HeadTailPartition {
+        // users 0..10; degrees make 0..3 head (deg 10), 4..9 tail (deg 1)
+        let degrees: Vec<usize> = (0..10).map(|u| if u < 4 { 10 } else { 1 }).collect();
+        HeadTailPartition::new(&degrees, 5)
+    }
+
+    #[test]
+    fn intra_rows_normalized() {
+        let g = build_intra(&partition(), 3, 42);
+        for u in 0..10 {
+            let s: f32 = g.head_bridge.row_values(u).iter().sum();
+            if g.head_bridge.degree(u) > 0 {
+                assert!((s - 1.0).abs() < 1e-5, "row {u} head sum {s}");
+            }
+            let s: f32 = g.tail_bridge.row_values(u).iter().sum();
+            if g.tail_bridge.degree(u) > 0 {
+                assert!((s - 1.0).abs() < 1e-5, "row {u} tail sum {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn intra_never_samples_self() {
+        let g = build_intra(&partition(), 100, 7);
+        for u in 0..10u32 {
+            assert!(!g.head_bridge.row_indices(u as usize).contains(&u));
+            assert!(!g.tail_bridge.row_indices(u as usize).contains(&u));
+        }
+    }
+
+    #[test]
+    fn intra_bridges_draw_from_correct_class() {
+        let p = partition();
+        let g = build_intra(&p, 100, 7);
+        let heads: std::collections::HashSet<u32> = p.head_users().iter().copied().collect();
+        for u in 0..10 {
+            for &n in g.head_bridge.row_indices(u) {
+                assert!(heads.contains(&n));
+            }
+            for &n in g.tail_bridge.row_indices(u) {
+                assert!(!heads.contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn intra_respects_sample_budget() {
+        let g = build_intra(&partition(), 2, 3);
+        for u in 0..10 {
+            assert!(g.head_bridge.degree(u) <= 2);
+            assert!(g.tail_bridge.degree(u) <= 2);
+        }
+    }
+
+    #[test]
+    fn intra_deterministic_per_seed() {
+        let a = build_intra(&partition(), 3, 11);
+        let b = build_intra(&partition(), 3, 11);
+        assert_eq!(a.head_bridge, b.head_bridge);
+        assert_eq!(a.tail_bridge, b.tail_bridge);
+    }
+
+    #[test]
+    fn inter_bridge_shape_and_norm() {
+        let overlap = vec![Some(0u32), None, None];
+        let foreign_non: Vec<u32> = (1..8).collect();
+        let g = build_inter(3, 8, &overlap, &foreign_non, 4, 5);
+        assert_eq!(g.other_bridge.n_rows(), 3);
+        assert_eq!(g.other_bridge.n_cols(), 8);
+        for u in 0..3 {
+            assert!(g.other_bridge.degree(u) <= 4);
+            let s: f32 = g.other_bridge.row_values(u).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert_eq!(g.self_map, overlap);
+    }
+
+    #[test]
+    fn inter_samples_only_from_pool() {
+        let overlap = vec![None; 5];
+        let foreign_non = vec![2u32, 3, 4];
+        let g = build_inter(5, 10, &overlap, &foreign_non, 10, 5);
+        for u in 0..5 {
+            for &n in g.other_bridge.row_indices(u) {
+                assert!(foreign_non.contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap target")]
+    fn inter_rejects_bad_overlap_target() {
+        let overlap = vec![Some(99u32)];
+        build_inter(1, 5, &overlap, &[0], 1, 0);
+    }
+
+    #[test]
+    fn small_pool_uses_everything() {
+        let p = HeadTailPartition::new(&[10, 10, 1], 5); // heads: 0,1; tail: 2
+        let g = build_intra(&p, 64, 1);
+        // user 2 should match with both heads
+        assert_eq!(g.head_bridge.degree(2), 2);
+        // user 0 matches head pool minus itself
+        assert_eq!(g.head_bridge.degree(0), 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! The paper's eleven comparison baselines (§III-A-3).
+//!
+//! Every model here is implemented against [`crate::CdrModel`] on the
+//! shared substrate. Where an original architecture depends on
+//! infrastructure outside this paper's scope, the simplification keeps
+//! the *mechanism the NMCDR paper contrasts against* (how overlap is
+//! exploited, how knowledge crosses domains) and is documented on the
+//! model type.
+
+pub mod bpr;
+pub mod conet;
+pub mod dml;
+pub mod gadtcdr;
+pub mod herograph;
+pub mod lr;
+pub mod minet;
+pub mod mmoe;
+pub mod neumf;
+pub mod ple;
+pub mod ptupcdr;

@@ -1,0 +1,45 @@
+//! # nm-models
+//!
+//! The paper's full comparison suite (§III-A-3), implemented on the
+//! shared substrate. Three families:
+//!
+//! **Single-domain:** [`LrModel`], [`BprModel`], [`NeuMfModel`] — no
+//! cross-domain structure at all; each domain learns independently.
+//!
+//! **Multi-task:** [`MmoeModel`], [`PleModel`] — a shared user space
+//! (known-overlapped users collapse to one identity) with
+//! mixture-of-experts towers per domain.
+//!
+//! **Cross-domain:** [`CoNetModel`], [`MiNetModel`], [`GaDtcdrModel`]
+//! (fully-overlapping style), and [`DmlModel`], [`HeroGraphModel`],
+//! [`PtupcdrModel`] (partial-overlap style).
+//!
+//! All models implement [`CdrModel`] and are trained by the shared
+//! [`train::train_joint`] loop; `nmcdr-core` plugs the paper's model
+//! into the same trait, so every experiment binary compares like with
+//! like. Simplifications relative to the original papers are documented
+//! per model and in DESIGN.md (each keeps the mechanism the NMCDR paper
+//! contrasts against: how overlap is exploited and how knowledge
+//! crosses domains).
+
+pub mod baselines;
+pub mod common;
+pub mod model;
+pub mod task;
+pub mod train;
+
+pub use baselines::bpr::BprModel;
+pub use baselines::conet::CoNetModel;
+pub use baselines::dml::DmlModel;
+pub use baselines::gadtcdr::GaDtcdrModel;
+pub use baselines::herograph::HeroGraphModel;
+pub use baselines::lr::LrModel;
+pub use baselines::minet::MiNetModel;
+pub use baselines::mmoe::MmoeModel;
+pub use baselines::neumf::NeuMfModel;
+pub use baselines::ple::PleModel;
+pub use baselines::ptupcdr::PtupcdrModel;
+pub use common::SharedUserIndex;
+pub use model::{CdrModel, Domain};
+pub use task::{CdrTask, TaskConfig};
+pub use train::{evaluate_model, evaluate_model_valid, train_joint, EpochLog, TrainConfig, TrainStats};

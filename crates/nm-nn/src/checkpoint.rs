@@ -1,0 +1,275 @@
+//! Parameter checkpointing.
+//!
+//! A minimal self-describing binary format (no external deps):
+//!
+//! ```text
+//! magic  "NMCK"              4 bytes
+//! version u32 LE             (currently 1)
+//! count   u32 LE
+//! per parameter:
+//!   name_len u32 LE, name bytes (UTF-8)
+//!   rows u32 LE, cols u32 LE
+//!   rows*cols f32 LE values
+//! ```
+//!
+//! Loading matches parameters **by name** and fails loudly on any
+//! missing name or shape mismatch — silent partial loads are how
+//! checkpoint bugs hide.
+
+use crate::Param;
+use nm_tensor::Tensor;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"NMCK";
+const VERSION: u32 = 1;
+
+/// Checkpoint errors.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(std::io::Error),
+    /// Not a checkpoint file / wrong version.
+    Format(String),
+    /// Parameter present in the file but not in the model, or vice
+    /// versa.
+    NameMismatch(String),
+    /// Shapes differ for a same-named parameter.
+    ShapeMismatch {
+        name: String,
+        file: (usize, usize),
+        model: (usize, usize),
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Format(m) => write!(f, "bad checkpoint format: {m}"),
+            CheckpointError::NameMismatch(n) => write!(f, "parameter name mismatch: {n}"),
+            CheckpointError::ShapeMismatch { name, file, model } => write!(
+                f,
+                "shape mismatch for '{name}': file {}x{}, model {}x{}",
+                file.0, file.1, model.0, model.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, CheckpointError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Serializes parameters to a writer.
+pub fn save_params<W: Write>(params: &[&Param], w: &mut W) -> Result<(), CheckpointError> {
+    w.write_all(MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_u32(w, params.len() as u32)?;
+    for p in params {
+        let name = p.name().as_bytes();
+        write_u32(w, name.len() as u32)?;
+        w.write_all(name)?;
+        let v = p.value();
+        write_u32(w, v.rows() as u32)?;
+        write_u32(w, v.cols() as u32)?;
+        for x in v.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Saves parameters to a file path.
+pub fn save_to_file(params: &[&Param], path: &Path) -> Result<(), CheckpointError> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    save_params(params, &mut f)
+}
+
+/// Reads a checkpoint into `(name, tensor)` pairs.
+pub fn read_checkpoint<R: Read>(r: &mut R) -> Result<Vec<(String, Tensor)>, CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let count = read_u32(r)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(r)? as usize;
+        if name_len > 1 << 20 {
+            return Err(CheckpointError::Format("unreasonable name length".into()));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| CheckpointError::Format("non-utf8 parameter name".into()))?;
+        let rows = read_u32(r)? as usize;
+        let cols = read_u32(r)? as usize;
+        let mut data = vec![0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for x in &mut data {
+            r.read_exact(&mut buf)?;
+            *x = f32::from_le_bytes(buf);
+        }
+        out.push((
+            name,
+            Tensor::from_vec(rows, cols, data)
+                .map_err(|e| CheckpointError::Format(e.to_string()))?,
+        ));
+    }
+    Ok(out)
+}
+
+/// Loads a checkpoint into a parameter set, matching strictly by name.
+/// Every model parameter must be present in the file and every file
+/// entry must match a parameter.
+pub fn load_params<R: Read>(params: &[&Param], r: &mut R) -> Result<(), CheckpointError> {
+    let entries = read_checkpoint(r)?;
+    let mut by_name: std::collections::HashMap<&str, &Tensor> =
+        entries.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    for p in params {
+        let t = by_name
+            .remove(p.name())
+            .ok_or_else(|| CheckpointError::NameMismatch(format!("'{}' not in file", p.name())))?;
+        if t.shape() != p.shape() {
+            return Err(CheckpointError::ShapeMismatch {
+                name: p.name().to_string(),
+                file: t.shape(),
+                model: p.shape(),
+            });
+        }
+        p.set_value(t.clone());
+    }
+    if let Some(extra) = by_name.keys().next() {
+        return Err(CheckpointError::NameMismatch(format!(
+            "'{extra}' in file but not in model"
+        )));
+    }
+    Ok(())
+}
+
+/// Loads from a file path.
+pub fn load_from_file(params: &[&Param], path: &Path) -> Result<(), CheckpointError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    load_params(params, &mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_tensor::TensorRng;
+
+    fn params() -> Vec<Param> {
+        let mut rng = TensorRng::seed_from(5);
+        vec![
+            Param::new("layer.w", Tensor::randn(3, 4, 1.0, &mut rng)),
+            Param::new("layer.b", Tensor::randn(1, 4, 1.0, &mut rng)),
+            Param::new("emb", Tensor::randn(10, 4, 1.0, &mut rng)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let src = params();
+        let refs: Vec<&Param> = src.iter().collect();
+        let mut buf = Vec::new();
+        save_params(&refs, &mut buf).unwrap();
+
+        let dst = params();
+        // perturb destination so the load is observable
+        for p in &dst {
+            p.update(|v, _| v.scale_assign(0.0));
+        }
+        let drefs: Vec<&Param> = dst.iter().collect();
+        load_params(&drefs, &mut buf.as_slice()).unwrap();
+        for (a, b) in src.iter().zip(&dst) {
+            assert_eq!(a.value(), b.value(), "param {}", a.name());
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let data = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00";
+        let err = read_checkpoint(&mut data.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
+    }
+
+    #[test]
+    fn missing_param_rejected() {
+        let src = params();
+        let refs: Vec<&Param> = src.iter().collect();
+        let mut buf = Vec::new();
+        save_params(&refs[..2], &mut buf).unwrap();
+        let drefs: Vec<&Param> = src.iter().collect();
+        let err = load_params(&drefs, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::NameMismatch(_)));
+    }
+
+    #[test]
+    fn extra_file_entry_rejected() {
+        let src = params();
+        let refs: Vec<&Param> = src.iter().collect();
+        let mut buf = Vec::new();
+        save_params(&refs, &mut buf).unwrap();
+        let dst = params();
+        let drefs: Vec<&Param> = dst.iter().take(2).collect();
+        let err = load_params(&drefs, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::NameMismatch(_)));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let src = params();
+        let refs: Vec<&Param> = src.iter().collect();
+        let mut buf = Vec::new();
+        save_params(&refs, &mut buf).unwrap();
+        let mut rng = TensorRng::seed_from(9);
+        let dst = vec![
+            Param::new("layer.w", Tensor::randn(4, 3, 1.0, &mut rng)), // transposed shape
+            Param::new("layer.b", Tensor::randn(1, 4, 1.0, &mut rng)),
+            Param::new("emb", Tensor::randn(10, 4, 1.0, &mut rng)),
+        ];
+        let drefs: Vec<&Param> = dst.iter().collect();
+        let err = load_params(&drefs, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("nmcdr_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.nmck");
+        let src = params();
+        let refs: Vec<&Param> = src.iter().collect();
+        save_to_file(&refs, &path).unwrap();
+        let dst = params();
+        for p in &dst {
+            p.update(|v, _| v.scale_assign(0.0));
+        }
+        let drefs: Vec<&Param> = dst.iter().collect();
+        load_from_file(&drefs, &path).unwrap();
+        assert_eq!(src[2].value(), dst[2].value());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

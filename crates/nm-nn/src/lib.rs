@@ -1,0 +1,53 @@
+//! # nm-nn
+//!
+//! Neural-network building blocks over `nm-autograd`:
+//!
+//! * [`Param`] — a trainable tensor living *outside* the per-step tape,
+//!   with gradient accumulation buffers and per-tape leaf binding;
+//! * [`Linear`], [`Embedding`], [`Mlp`] — the layers every model in the
+//!   workspace is assembled from;
+//! * [`GateFusion`] — the paper's fine-grained sigmoid gate
+//!   (Eq. 10 / Eq. 16): `tanh((1-H) ⊙ a + H ⊙ b)` with
+//!   `H = σ(a W_a + b_a + b W_b + b_b)`;
+//! * [`Activation`] — activation selector for MLP stacks.
+//!
+//! ## Lifecycle per training step
+//!
+//! ```text
+//! let mut tape = Tape::new();
+//! let y = model.forward(&mut tape, ...);   // params bind lazily as leaves
+//! let loss = ...;
+//! tape.backward(loss);
+//! for p in model.params() { p.absorb_grad(&tape); }
+//! optimizer.step(&model.params());
+//! ```
+
+pub mod checkpoint;
+mod gate;
+mod layers;
+mod param;
+
+pub use gate::GateFusion;
+pub use layers::{Activation, Embedding, Linear, Mlp};
+pub use param::Param;
+
+/// Anything that exposes trainable parameters.
+pub trait Module {
+    /// All trainable parameters, in a stable order (optimizer state is
+    /// keyed by position).
+    fn params(&self) -> Vec<&Param>;
+
+    /// Total scalar parameter count (the paper's §III-B-6 efficiency
+    /// statistic).
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.value().len()).sum()
+    }
+}
+
+/// Absorbs gradients from `tape` into every parameter of `module`.
+/// Call after `tape.backward(..)`.
+pub fn absorb_all(module: &dyn Module, tape: &nm_autograd::Tape) {
+    for p in module.params() {
+        p.absorb_grad(tape);
+    }
+}

@@ -1,0 +1,199 @@
+//! Trainable parameters.
+
+use nm_autograd::{Tape, Var};
+use nm_tensor::Tensor;
+use std::cell::{Cell, RefCell};
+
+/// A trainable tensor that outlives the per-step [`Tape`].
+///
+/// A `Param` owns its value and a same-shaped gradient accumulation
+/// buffer. During a forward pass it binds itself onto the tape as a leaf
+/// (at most once per tape — repeated `bind` calls on the same tape
+/// return the cached [`Var`]); after `backward` the tape's gradient is
+/// absorbed into the buffer with [`Param::absorb_grad`], and the
+/// optimizer then updates `value` from `grad`.
+///
+/// Single-threaded by design (interior mutability via `Cell`/`RefCell`);
+/// the training loops in this workspace are single-core.
+pub struct Param {
+    name: String,
+    value: RefCell<Tensor>,
+    grad: RefCell<Tensor>,
+    binding: Cell<Option<(u64, Var)>>,
+}
+
+impl std::fmt::Debug for Param {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = self.value.borrow();
+        write!(f, "Param({}, {}x{})", self.name, v.rows(), v.cols())
+    }
+}
+
+impl Param {
+    /// Wraps an initialized tensor as a parameter.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        Self {
+            name: name.into(),
+            value: RefCell::new(value),
+            grad: RefCell::new(grad),
+            binding: Cell::new(None),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Snapshot of the current value (clone; params are small relative
+    /// to training compute and this keeps borrow scopes trivial).
+    pub fn value(&self) -> Tensor {
+        self.value.borrow().clone()
+    }
+
+    /// Snapshot of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.grad.borrow().clone()
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        self.value.borrow().shape()
+    }
+
+    /// Binds this parameter onto `tape` as a trainable leaf, caching the
+    /// binding per tape id.
+    pub fn bind(&self, tape: &mut Tape) -> Var {
+        if let Some((tid, var)) = self.binding.get() {
+            if tid == tape.id() {
+                return var;
+            }
+        }
+        let var = tape.leaf(self.value.borrow().clone());
+        self.binding.set(Some((tape.id(), var)));
+        var
+    }
+
+    /// Adds the tape's gradient for this parameter (if it was bound on
+    /// this tape and received one) into the accumulation buffer, then
+    /// clears the binding.
+    pub fn absorb_grad(&self, tape: &Tape) {
+        if let Some((tid, var)) = self.binding.get() {
+            if tid == tape.id() {
+                if let Some(g) = tape.grad(var) {
+                    self.grad.borrow_mut().add_assign(g);
+                }
+                self.binding.set(None);
+            }
+        }
+    }
+
+    /// Zeroes the gradient buffer (start of a step).
+    pub fn zero_grad(&self) {
+        self.grad.borrow_mut().zero_assign();
+    }
+
+    /// Applies `value += -lr * grad`-style updates via a closure over
+    /// `(value, grad)`. The optimizer's entry point.
+    pub fn update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
+        let g = self.grad.borrow();
+        let mut v = self.value.borrow_mut();
+        f(&mut v, &g);
+    }
+
+    /// Directly overwrites the value (tests, weight loading).
+    pub fn set_value(&self, value: Tensor) {
+        assert_eq!(
+            self.shape(),
+            value.shape(),
+            "Param::set_value: shape mismatch on {}",
+            self.name
+        );
+        *self.value.borrow_mut() = value;
+    }
+
+    /// Global L2 norm of the gradient buffer.
+    pub fn grad_norm_sq(&self) -> f32 {
+        self.grad.borrow().sum_squares()
+    }
+
+    /// Scales the gradient buffer in place (gradient clipping).
+    pub fn scale_grad(&self, s: f32) {
+        self.grad.borrow_mut().scale_assign(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_caches_per_tape() {
+        let p = Param::new("w", Tensor::scalar(2.0));
+        let mut t1 = Tape::new();
+        let a = p.bind(&mut t1);
+        let b = p.bind(&mut t1);
+        assert_eq!(a, b);
+        assert_eq!(t1.len(), 1);
+        let mut t2 = Tape::new();
+        let c = p.bind(&mut t2);
+        // new tape gets a fresh leaf at index 0
+        assert_eq!(c, a);
+        assert_eq!(t2.len(), 1);
+    }
+
+    #[test]
+    fn absorb_accumulates_and_clears_binding() {
+        let p = Param::new("w", Tensor::scalar(3.0));
+        let mut tape = Tape::new();
+        let v = p.bind(&mut tape);
+        let l = tape.sum_all(v);
+        tape.backward(l);
+        p.absorb_grad(&tape);
+        assert_eq!(p.grad().item(), 1.0);
+        // absorbing twice is a no-op (binding cleared)
+        p.absorb_grad(&tape);
+        assert_eq!(p.grad().item(), 1.0);
+    }
+
+    #[test]
+    fn grads_accumulate_across_tapes_until_zeroed() {
+        let p = Param::new("w", Tensor::scalar(1.0));
+        for _ in 0..3 {
+            let mut tape = Tape::new();
+            let v = p.bind(&mut tape);
+            let y = tape.scale(v, 2.0);
+            let l = tape.sum_all(y);
+            tape.backward(l);
+            p.absorb_grad(&tape);
+        }
+        assert_eq!(p.grad().item(), 6.0);
+        p.zero_grad();
+        assert_eq!(p.grad().item(), 0.0);
+    }
+
+    #[test]
+    fn update_applies_closure() {
+        let p = Param::new("w", Tensor::scalar(1.0));
+        let mut tape = Tape::new();
+        let v = p.bind(&mut tape);
+        let l = tape.sum_all(v);
+        tape.backward(l);
+        p.absorb_grad(&tape);
+        p.update(|v, g| v.axpy(-0.5, g));
+        assert_eq!(p.value().item(), 0.5);
+    }
+
+    #[test]
+    fn param_used_twice_gets_summed_gradient() {
+        // y = w*w_same_leaf... actually y = w + w via two binds -> same leaf
+        let p = Param::new("w", Tensor::scalar(4.0));
+        let mut tape = Tape::new();
+        let a = p.bind(&mut tape);
+        let b = p.bind(&mut tape);
+        let y = tape.add(a, b);
+        let l = tape.sum_all(y);
+        tape.backward(l);
+        p.absorb_grad(&tape);
+        assert_eq!(p.grad().item(), 2.0);
+    }
+}

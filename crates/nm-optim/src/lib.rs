@@ -1,0 +1,348 @@
+//! # nm-optim
+//!
+//! Optimizers and gradient utilities for the NMCDR workspace.
+//!
+//! * [`Sgd`] — plain stochastic gradient descent with optional weight
+//!   decay;
+//! * [`Adam`] — the paper's optimizer (§III-A-4), with bias correction;
+//! * [`clip_global_norm`] — global-norm gradient clipping across a
+//!   parameter set;
+//! * [`LrSchedule`] — constant / exponential-decay learning rates.
+//!
+//! Optimizer state (Adam moments) is keyed by *position* in the slice
+//! passed to `step`, so callers must pass parameters in a stable order —
+//! exactly what [`nm_nn::Module::params`] guarantees.
+
+use nm_nn::Param;
+use nm_tensor::Tensor;
+
+/// Learning-rate schedule.
+#[derive(Debug, Clone, Copy)]
+pub enum LrSchedule {
+    /// Fixed learning rate (the paper fixes 1e-4).
+    Constant(f32),
+    /// `base * gamma^epoch`.
+    ExpDecay { base: f32, gamma: f32 },
+}
+
+impl LrSchedule {
+    /// Learning rate at `epoch` (0-based).
+    pub fn at(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::ExpDecay { base, gamma } => base * gamma.powi(epoch as i32),
+        }
+    }
+}
+
+/// A gradient-descent optimizer over an externally-owned parameter set.
+pub trait Optimizer {
+    /// Applies one update from the parameters' accumulated gradients,
+    /// then zeroes them.
+    fn step(&mut self, params: &[&Param]);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Overrides the learning rate (schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Plain SGD: `w -= lr * (g + weight_decay * w)`.
+pub struct Sgd {
+    lr: f32,
+    weight_decay: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
+    }
+
+    pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
+        Self { lr, weight_decay }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &[&Param]) {
+        for p in params {
+            let lr = self.lr;
+            let wd = self.weight_decay;
+            p.update(|v, g| {
+                if wd > 0.0 {
+                    // w -= lr * (g + wd * w) == w * (1 - lr*wd) - lr*g
+                    v.scale_assign(1.0 - lr * wd);
+                }
+                v.axpy(-lr, g);
+            });
+            p.zero_grad();
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction — the paper's optimizer.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: i32,
+    /// First/second moment per parameter, keyed by position.
+    state: Vec<(Tensor, Tensor)>,
+}
+
+impl Adam {
+    /// Adam with the standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            state: Vec::new(),
+        }
+    }
+
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> i32 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &[&Param]) {
+        if self.state.is_empty() {
+            self.state = params
+                .iter()
+                .map(|p| {
+                    let (r, c) = p.shape();
+                    (Tensor::zeros(r, c), Tensor::zeros(r, c))
+                })
+                .collect();
+        }
+        assert_eq!(
+            self.state.len(),
+            params.len(),
+            "Adam: parameter set size changed between steps ({} vs {})",
+            self.state.len(),
+            params.len()
+        );
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (p, (m, v)) in params.iter().zip(self.state.iter_mut()) {
+            let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+            p.update(|val, grad| {
+                let md = m.data_mut();
+                let vd = v.data_mut();
+                let w = val.data_mut();
+                for i in 0..w.len() {
+                    let mut g = grad.data()[i];
+                    if wd > 0.0 {
+                        g += wd * w[i];
+                    }
+                    md[i] = b1 * md[i] + (1.0 - b1) * g;
+                    vd[i] = b2 * vd[i] + (1.0 - b2) * g * g;
+                    let mhat = md[i] / bc1;
+                    let vhat = vd[i] / bc2;
+                    w[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            });
+            p.zero_grad();
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Scales every gradient so the global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_global_norm(params: &[&Param], max_norm: f32) -> f32 {
+    let total: f32 = params.iter().map(|p| p.grad_norm_sq()).sum::<f32>().sqrt();
+    if total > max_norm && total > 0.0 {
+        let s = max_norm / total;
+        for p in params {
+            p.scale_grad(s);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_autograd::Tape;
+    use std::rc::Rc;
+
+    /// Minimizes mean((x - 3)^2)-style BCE-free quadratic via tape ops.
+    fn quadratic_step(p: &Param) -> f32 {
+        let mut tape = Tape::new();
+        let x = p.bind(&mut tape);
+        let t = tape.add_scalar(x, -3.0);
+        let sq = tape.mul(t, t);
+        let l = tape.mean_all(sq);
+        let loss = tape.value(l).item();
+        tape.backward(l);
+        p.absorb_grad(&tape);
+        loss
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Param::new("x", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            quadratic_step(&p);
+            opt.step(&[&p]);
+        }
+        assert!((p.value().item() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Param::new("x", Tensor::scalar(0.0));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            quadratic_step(&p);
+            opt.step(&[&p]);
+        }
+        assert!((p.value().item() - 3.0).abs() < 1e-2);
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn adam_beats_sgd_on_ill_scaled_problem() {
+        // loss = (x0 - 1)^2 + 100 (x1 - 1)^2 — Adam's per-coordinate
+        // scaling should reach the optimum where tiny-lr SGD crawls.
+        let step = |p: &Param| {
+            let mut tape = Tape::new();
+            let x = p.bind(&mut tape);
+            let shift = tape.add_scalar(x, -1.0);
+            let sq = tape.mul(shift, shift);
+            let weights = tape.constant(Tensor::new(1, 2, vec![1.0, 100.0]));
+            let weighted = tape.mul(sq, weights);
+            let l = tape.sum_all(weighted);
+            tape.backward(l);
+            p.absorb_grad(&tape);
+        };
+        let pa = Param::new("a", Tensor::new(1, 2, vec![0.0, 0.0]));
+        let mut adam = Adam::new(0.05);
+        for _ in 0..400 {
+            step(&pa);
+            adam.step(&[&pa]);
+        }
+        let ps = Param::new("s", Tensor::new(1, 2, vec![0.0, 0.0]));
+        let mut sgd = Sgd::new(0.004); // larger diverges on the x1 axis
+        for _ in 0..400 {
+            step(&ps);
+            sgd.step(&[&ps]);
+        }
+        let err_adam = (pa.value().get(0, 0) - 1.0).abs() + (pa.value().get(0, 1) - 1.0).abs();
+        let err_sgd = (ps.value().get(0, 0) - 1.0).abs() + (ps.value().get(0, 1) - 1.0).abs();
+        assert!(err_adam < err_sgd, "adam {err_adam} vs sgd {err_sgd}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let p = Param::new("x", Tensor::scalar(10.0));
+        let mut opt = Sgd::with_weight_decay(0.1, 1.0);
+        // zero gradient; only decay acts
+        opt.step(&[&p]);
+        assert!((p.value().item() - 9.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_global_norm_scales() {
+        let p1 = Param::new("a", Tensor::scalar(0.0));
+        let p2 = Param::new("b", Tensor::scalar(0.0));
+        // manufacture gradients 3 and 4 => norm 5
+        let mut tape = Tape::new();
+        let a = p1.bind(&mut tape);
+        let b = p2.bind(&mut tape);
+        let a3 = tape.scale(a, 3.0);
+        let b4 = tape.scale(b, 4.0);
+        let s = tape.add(a3, b4);
+        let l = tape.sum_all(s);
+        tape.backward(l);
+        p1.absorb_grad(&tape);
+        p2.absorb_grad(&tape);
+        let pre = clip_global_norm(&[&p1, &p2], 1.0);
+        assert!((pre - 5.0).abs() < 1e-5);
+        let post = (p1.grad_norm_sq() + p2.grad_norm_sq()).sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_noop_under_threshold() {
+        let p = Param::new("a", Tensor::scalar(0.0));
+        let mut tape = Tape::new();
+        let a = p.bind(&mut tape);
+        let l = tape.sum_all(a);
+        tape.backward(l);
+        p.absorb_grad(&tape);
+        clip_global_norm(&[&p], 10.0);
+        assert!((p.grad().item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lr_schedule() {
+        let c = LrSchedule::Constant(0.1);
+        assert_eq!(c.at(0), 0.1);
+        assert_eq!(c.at(5), 0.1);
+        let e = LrSchedule::ExpDecay {
+            base: 1.0,
+            gamma: 0.5,
+        };
+        assert_eq!(e.at(0), 1.0);
+        assert_eq!(e.at(2), 0.25);
+    }
+
+    #[test]
+    fn bce_training_with_adam_end_to_end() {
+        // logistic regression on a linearly separable toy set
+        let mut rng = nm_tensor::TensorRng::seed_from(7);
+        let w = Param::new("w", Tensor::randn(2, 1, 0.1, &mut rng));
+        let x = Tensor::new(4, 2, vec![2., 0., 1.5, 0.5, -2., 0., -1., -1.]);
+        let y = Rc::new(Tensor::new(4, 1, vec![1., 1., 0., 0.]));
+        let mut opt = Adam::new(0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..200 {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let wv = w.bind(&mut tape);
+            let logits = tape.matmul(xv, wv);
+            let l = tape.bce_with_logits_mean(logits, Rc::clone(&y));
+            last = tape.value(l).item();
+            tape.backward(l);
+            w.absorb_grad(&tape);
+            opt.step(&[&w]);
+        }
+        assert!(last < 0.1, "final loss {last}");
+    }
+}

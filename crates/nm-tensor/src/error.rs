@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Errors from data-driven tensor construction.
+///
+/// Shape mismatches inside arithmetic ops are programmer errors and panic
+/// instead (see crate docs); this type only covers cases where the error
+/// depends on runtime data a caller may legitimately need to handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// `data.len()` does not equal `rows * cols`.
+    LengthMismatch {
+        rows: usize,
+        cols: usize,
+        len: usize,
+    },
+    /// A reshape target has a different element count than the source.
+    ReshapeMismatch {
+        from: (usize, usize),
+        to: (usize, usize),
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { rows, cols, len } => write!(
+                f,
+                "tensor data length {len} does not match shape {rows}x{cols} ({} elements)",
+                rows * cols
+            ),
+            TensorError::ReshapeMismatch { from, to } => write!(
+                f,
+                "cannot reshape {}x{} ({} elems) into {}x{} ({} elems)",
+                from.0,
+                from.1,
+                from.0 * from.1,
+                to.0,
+                to.1,
+                to.0 * to.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            rows: 2,
+            cols: 3,
+            len: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("5"));
+        assert!(s.contains("2x3"));
+    }
+
+    #[test]
+    fn display_reshape_mismatch() {
+        let e = TensorError::ReshapeMismatch {
+            from: (2, 3),
+            to: (4, 2),
+        };
+        assert!(e.to_string().contains("6 elems"));
+    }
+}

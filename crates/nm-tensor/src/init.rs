@@ -1,0 +1,161 @@
+//! Random tensor initialization.
+//!
+//! All randomness in the workspace flows through seeded [`TensorRng`]
+//! handles so every experiment is bit-for-bit reproducible (DESIGN.md,
+//! "Determinism").
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG for tensor initialization.
+///
+/// Thin wrapper over `StdRng` so downstream crates never depend on the
+/// concrete RNG choice.
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child RNG (used to give each module its
+    /// own stream so adding a module never shifts another's init).
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let s: u64 = self.rng.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from(s)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Standard normal sample (Box–Muller; avoids a rand_distr dep).
+    pub fn normal(&mut self) -> f32 {
+        loop {
+            let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = self.rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+            if z.is_finite() {
+                return z;
+            }
+        }
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "TensorRng::index: empty range");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Uniform `f64` in `[0,1)` (dataset generator probabilities).
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Access the underlying rand RNG for crates that need distributions.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+impl Tensor {
+    /// Tensor with i.i.d. `N(0, std^2)` entries.
+    pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut TensorRng) -> Tensor {
+        let mut t = Tensor::zeros(rows, cols);
+        for v in t.data_mut() {
+            *v = rng.normal() * std;
+        }
+        t
+    }
+
+    /// Tensor with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut TensorRng) -> Tensor {
+        let mut t = Tensor::zeros(rows, cols);
+        for v in t.data_mut() {
+            *v = rng.uniform(lo, hi);
+        }
+        t
+    }
+
+    /// Xavier/Glorot uniform init for a `fan_in x fan_out` weight matrix.
+    pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> Tensor {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::rand_uniform(fan_in, fan_out, -bound, bound, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = TensorRng::seed_from(7);
+        let mut b = TensorRng::seed_from(7);
+        let ta = Tensor::randn(3, 3, 1.0, &mut a);
+        let tb = Tensor::randn(3, 3, 1.0, &mut b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TensorRng::seed_from(1);
+        let mut b = TensorRng::seed_from(2);
+        let ta = Tensor::randn(4, 4, 1.0, &mut a);
+        let tb = Tensor::randn(4, 4, 1.0, &mut b);
+        assert!(ta.max_abs_diff(&tb) > 0.0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_later_use() {
+        let mut root1 = TensorRng::seed_from(42);
+        let mut c1 = root1.fork(1);
+        let v1 = Tensor::randn(2, 2, 1.0, &mut c1);
+
+        let mut root2 = TensorRng::seed_from(42);
+        let mut c2 = root2.fork(1);
+        // extra draws from root2 after forking must not change c2's stream
+        let _ = root2.normal();
+        let v2 = Tensor::randn(2, 2, 1.0, &mut c2);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut rng = TensorRng::seed_from(123);
+        let n = 20_000;
+        let mut sum = 0.0f64;
+        let mut sq = 0.0f64;
+        for _ in 0..n {
+            let x = rng.normal() as f64;
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = TensorRng::seed_from(5);
+        let t = Tensor::xavier_uniform(64, 64, &mut rng);
+        let bound = (6.0 / 128.0f32).sqrt();
+        assert!(t.max() <= bound && t.min() >= -bound);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = TensorRng::seed_from(9);
+        let t = Tensor::rand_uniform(10, 10, -0.5, 0.5, &mut rng);
+        assert!(t.max() < 0.5 && t.min() >= -0.5);
+    }
+}

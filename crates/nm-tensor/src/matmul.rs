@@ -1,0 +1,160 @@
+//! Dense matrix multiplication kernels.
+//!
+//! `ikj` loop order keeps the inner loop streaming over contiguous rows
+//! of both the output and `rhs`, which LLVM auto-vectorizes. The
+//! transpose-fused variants avoid materializing transposed operands in
+//! the autograd backward pass.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// `self (R x K) * rhs (K x C) -> R x C`.
+    ///
+    /// # Panics
+    /// On inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul: inner dim mismatch {}x{} * {}x{}",
+            self.rows(),
+            self.cols(),
+            rhs.rows(),
+            rhs.cols()
+        );
+        let (r, k) = self.shape();
+        let c = rhs.cols();
+        let mut out = Tensor::zeros(r, c);
+        let a = self.data();
+        let b = rhs.data();
+        let o = out.data_mut();
+        for i in 0..r {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut o[i * c..(i + 1) * c];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * c..(kk + 1) * c];
+                for (ov, &bv) in orow.iter_mut().zip(brow) {
+                    *ov += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T (K x R)^T=(R x K? no) …` — computes `self.transpose() * rhs`
+    /// without materializing the transpose: `self (K x R), rhs (K x C) -> R x C`.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows(),
+            rhs.rows(),
+            "matmul_tn: dim mismatch {}x{} ^T * {}x{}",
+            self.rows(),
+            self.cols(),
+            rhs.rows(),
+            rhs.cols()
+        );
+        let (k, r) = self.shape();
+        let c = rhs.cols();
+        let mut out = Tensor::zeros(r, c);
+        let a = self.data();
+        let b = rhs.data();
+        let o = out.data_mut();
+        // out[i][j] = sum_k a[k][i] * b[k][j]
+        for kk in 0..k {
+            let arow = &a[kk * r..(kk + 1) * r];
+            let brow = &b[kk * c..(kk + 1) * c];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut o[i * c..(i + 1) * c];
+                for (ov, &bv) in orow.iter_mut().zip(brow) {
+                    *ov += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes `self * rhs.transpose()` without materializing the
+    /// transpose: `self (R x K), rhs (C x K) -> R x C`.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols(),
+            rhs.cols(),
+            "matmul_nt: dim mismatch {}x{} * {}x{} ^T",
+            self.rows(),
+            self.cols(),
+            rhs.rows(),
+            rhs.cols()
+        );
+        let (r, k) = self.shape();
+        let c = rhs.rows();
+        let mut out = Tensor::zeros(r, c);
+        let a = self.data();
+        let b = rhs.data();
+        let o = out.data_mut();
+        for i in 0..r {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut o[i * c..(i + 1) * c];
+            for (j, ov) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                *ov = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_2x2() {
+        let a = Tensor::new(2, 2, vec![1., 2., 3., 4.]);
+        let b = Tensor::new(2, 2, vec![5., 6., 7., 8.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::new(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.matmul(&Tensor::eye(3)).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::new(1, 3, vec![1., 2., 3.]);
+        let b = Tensor::new(3, 2, vec![1., 0., 0., 1., 1., 1.]);
+        assert_eq!(a.matmul(&b).data(), &[4., 5.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dim mismatch")]
+    fn matmul_mismatch_panics() {
+        let _ = Tensor::zeros(2, 3).matmul(&Tensor::zeros(2, 3));
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = Tensor::new(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::new(3, 4, (0..12).map(|x| x as f32).collect());
+        let expect = a.transpose().matmul(&b);
+        let got = a.matmul_tn(&b);
+        assert!(expect.max_abs_diff(&got) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Tensor::new(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::new(4, 3, (0..12).map(|x| x as f32).collect());
+        let expect = a.matmul(&b.transpose());
+        let got = a.matmul_nt(&b);
+        assert!(expect.max_abs_diff(&got) < 1e-6);
+    }
+}

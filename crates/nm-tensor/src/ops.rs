@@ -1,0 +1,274 @@
+//! Elementwise and broadcasting arithmetic.
+//!
+//! Broadcasting rules (all the paper's math requires):
+//! * same shape — elementwise;
+//! * `R x C (op) 1 x C` — the row vector is broadcast down the rows
+//!   (bias addition);
+//! * `R x C (op) R x 1` — the column vector is broadcast across columns
+//!   (degree normalization, per-row gates);
+//! * `R x C (op) 1 x 1` — scalar broadcast.
+//!
+//! Anything else panics with both shapes in the message.
+
+use crate::Tensor;
+
+/// How `rhs` broadcasts against `lhs`. Shared by forward ops here and by
+/// the autograd backward passes (which must reduce gradients the same
+/// way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Broadcast {
+    Same,
+    RowVector,
+    ColVector,
+    Scalar,
+}
+
+/// Classifies the broadcast of `rhs` onto `lhs`, panicking on
+/// incompatible shapes.
+pub fn classify_broadcast(lhs: (usize, usize), rhs: (usize, usize), op: &str) -> Broadcast {
+    if lhs == rhs {
+        Broadcast::Same
+    } else if rhs == (1, 1) {
+        Broadcast::Scalar
+    } else if rhs.0 == 1 && rhs.1 == lhs.1 {
+        Broadcast::RowVector
+    } else if rhs.1 == 1 && rhs.0 == lhs.0 {
+        Broadcast::ColVector
+    } else {
+        panic!(
+            "{op}: incompatible shapes {}x{} vs {}x{}",
+            lhs.0, lhs.1, rhs.0, rhs.1
+        );
+    }
+}
+
+impl Tensor {
+    fn binary(&self, rhs: &Tensor, op: &str, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let bc = classify_broadcast(self.shape(), rhs.shape(), op);
+        let (r, c) = self.shape();
+        let mut out = self.clone();
+        let od = out.data_mut();
+        let rd = rhs.data();
+        match bc {
+            Broadcast::Same => {
+                for (o, &b) in od.iter_mut().zip(rd) {
+                    *o = f(*o, b);
+                }
+            }
+            Broadcast::Scalar => {
+                let b = rd[0];
+                for o in od.iter_mut() {
+                    *o = f(*o, b);
+                }
+            }
+            Broadcast::RowVector => {
+                for i in 0..r {
+                    let row = &mut od[i * c..(i + 1) * c];
+                    for (o, &b) in row.iter_mut().zip(rd) {
+                        *o = f(*o, b);
+                    }
+                }
+            }
+            Broadcast::ColVector => {
+                for i in 0..r {
+                    let b = rd[i];
+                    for o in &mut od[i * c..(i + 1) * c] {
+                        *o = f(*o, b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise/broadcast addition.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        self.binary(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise/broadcast subtraction.
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        self.binary(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise/broadcast (Hadamard) product.
+    pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        self.binary(rhs, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise/broadcast division.
+    pub fn div(&self, rhs: &Tensor) -> Tensor {
+        self.binary(rhs, "div", |a, b| a / b)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.map(|x| -x)
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut out = self.clone();
+        for x in out.data_mut() {
+            *x = f(*x);
+        }
+        out
+    }
+
+    /// In-place `self += rhs` (same shape only — the accumulation path
+    /// used by gradient buffers, kept allocation-free).
+    pub fn add_assign(&mut self, rhs: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "add_assign: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        for (a, &b) in self.data_mut().iter_mut().zip(rhs.data()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * rhs` (axpy).
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "axpy: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        for (a, &b) in self.data_mut().iter_mut().zip(rhs.data()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in self.data_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Zeroes the tensor in place (gradient reset).
+    pub fn zero_assign(&mut self) {
+        for a in self.data_mut() {
+            *a = 0.0;
+        }
+    }
+
+    /// Clamps each element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Per-row dot product of two `R x C` tensors, producing `R x 1`.
+    ///
+    /// This is the user·item affinity kernel (Eq. 18 / BPR / GMF).
+    pub fn rowwise_dot(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "rowwise_dot: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let (r, c) = self.shape();
+        let mut out = Tensor::zeros(r, 1);
+        for i in 0..r {
+            let a = self.row_slice(i);
+            let b = rhs.row_slice(i);
+            out.data_mut()[i] = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        }
+        let _ = c;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::new(2, 2, vec![1., 2., 3., 4.]);
+        let b = Tensor::new(2, 2, vec![10., 20., 30., 40.]);
+        assert_eq!(a.add(&b).data(), &[11., 22., 33., 44.]);
+    }
+
+    #[test]
+    fn add_row_vector_broadcast() {
+        let a = Tensor::new(2, 3, vec![0.; 6]);
+        let b = Tensor::row(vec![1., 2., 3.]);
+        assert_eq!(a.add(&b).data(), &[1., 2., 3., 1., 2., 3.]);
+    }
+
+    #[test]
+    fn mul_col_vector_broadcast() {
+        let a = Tensor::ones(2, 3);
+        let b = Tensor::col(vec![2., 3.]);
+        assert_eq!(a.mul(&b).data(), &[2., 2., 2., 3., 3., 3.]);
+    }
+
+    #[test]
+    fn scalar_broadcast() {
+        let a = Tensor::new(1, 3, vec![1., 2., 3.]);
+        let s = Tensor::scalar(10.0);
+        assert_eq!(a.mul(&s).data(), &[10., 20., 30.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible shapes")]
+    fn incompatible_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(3, 2);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn sub_div_neg() {
+        let a = Tensor::new(1, 2, vec![4., 9.]);
+        let b = Tensor::new(1, 2, vec![2., 3.]);
+        assert_eq!(a.sub(&b).data(), &[2., 6.]);
+        assert_eq!(a.div(&b).data(), &[2., 3.]);
+        assert_eq!(a.neg().data(), &[-4., -9.]);
+    }
+
+    #[test]
+    fn axpy_and_add_assign() {
+        let mut a = Tensor::new(1, 2, vec![1., 1.]);
+        let b = Tensor::new(1, 2, vec![2., 4.]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[3., 5.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[4., 7.]);
+        a.zero_assign();
+        assert_eq!(a.data(), &[0., 0.]);
+    }
+
+    #[test]
+    fn rowwise_dot_values() {
+        let a = Tensor::new(2, 2, vec![1., 2., 3., 4.]);
+        let b = Tensor::new(2, 2, vec![5., 6., 7., 8.]);
+        let d = a.rowwise_dot(&b);
+        assert_eq!(d.shape(), (2, 1));
+        assert_eq!(d.data(), &[17., 53.]);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let a = Tensor::new(1, 3, vec![-2., 0.5, 9.]);
+        assert_eq!(a.clamp(0.0, 1.0).data(), &[0., 0.5, 1.]);
+    }
+}

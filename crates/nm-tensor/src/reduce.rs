@@ -1,0 +1,160 @@
+//! Reductions: sums, means, axis reductions, norms, arg-reductions.
+
+use crate::Tensor;
+
+/// Axis selector for reductions. `Rows` collapses the row dimension
+/// (output `1 x C`); `Cols` collapses the column dimension (output
+/// `R x 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    Rows,
+    Cols,
+}
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements; 0.0 for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Axis sum. `Axis::Rows` -> `1 x C` column sums; `Axis::Cols` ->
+    /// `R x 1` row sums.
+    pub fn sum_axis(&self, axis: Axis) -> Tensor {
+        let (r, c) = self.shape();
+        match axis {
+            Axis::Rows => {
+                let mut out = Tensor::zeros(1, c);
+                for i in 0..r {
+                    let row = self.row_slice(i);
+                    for (o, &v) in out.data_mut().iter_mut().zip(row) {
+                        *o += v;
+                    }
+                }
+                out
+            }
+            Axis::Cols => {
+                let mut out = Tensor::zeros(r, 1);
+                for i in 0..r {
+                    out.data_mut()[i] = self.row_slice(i).iter().sum();
+                }
+                out
+            }
+        }
+    }
+
+    /// Axis mean (see [`Tensor::sum_axis`]).
+    pub fn mean_axis(&self, axis: Axis) -> Tensor {
+        let (r, c) = self.shape();
+        let n = match axis {
+            Axis::Rows => r,
+            Axis::Cols => c,
+        } as f32;
+        let mut out = self.sum_axis(axis);
+        if n > 0.0 {
+            out.scale_assign(1.0 / n);
+        }
+        out
+    }
+
+    /// Largest element; `-inf` for an empty tensor.
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element; `+inf` for an empty tensor.
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the largest element in each row (`R`-element vector).
+    /// Ties resolve to the first occurrence.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows())
+            .map(|i| {
+                let row = self.row_slice(i);
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (j, &v)| {
+                        if v > bv {
+                            (j, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect()
+    }
+
+    /// Frobenius / L2 norm.
+    pub fn norm_l2(&self) -> f32 {
+        self.data().iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Sum of squares (cheaper than `norm_l2` squared; used by weight
+    /// decay and gradient-clipping).
+    pub fn sum_squares(&self) -> f32 {
+        self.data().iter().map(|x| x * x).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_mean() {
+        let t = Tensor::new(2, 2, vec![1., 2., 3., 4.]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+    }
+
+    #[test]
+    fn sum_axis_rows_cols() {
+        let t = Tensor::new(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.sum_axis(Axis::Rows).data(), &[5., 7., 9.]);
+        assert_eq!(t.sum_axis(Axis::Cols).data(), &[6., 15.]);
+    }
+
+    #[test]
+    fn mean_axis() {
+        let t = Tensor::new(2, 2, vec![1., 3., 5., 7.]);
+        assert_eq!(t.mean_axis(Axis::Rows).data(), &[3., 5.]);
+        assert_eq!(t.mean_axis(Axis::Cols).data(), &[2., 6.]);
+    }
+
+    #[test]
+    fn max_min() {
+        let t = Tensor::new(1, 4, vec![-1., 7., 3., 0.]);
+        assert_eq!(t.max(), 7.0);
+        assert_eq!(t.min(), -1.0);
+    }
+
+    #[test]
+    fn argmax_rows_ties_first() {
+        let t = Tensor::new(2, 3, vec![1., 5., 5., 9., 2., 3.]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn norms() {
+        let t = Tensor::new(1, 2, vec![3., 4.]);
+        assert_eq!(t.norm_l2(), 5.0);
+        assert_eq!(t.sum_squares(), 25.0);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        let t = Tensor::zeros(0, 3);
+        assert_eq!(t.mean(), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # nmcdr-core
+//!
+//! NMCDR — *Neural Node Matching for Multi-Target Cross Domain
+//! Recommendation* (ICDE 2023) — the paper's primary contribution,
+//! implemented end-to-end on the workspace substrate.
+//!
+//! ## Pipeline (paper §II, Fig. 2)
+//!
+//! ```text
+//!  E^Z, E^Z̄           embeddings (Eq. 1)
+//!    │ heterogeneous graph encoder (Eq. 2–4)          → u_g1
+//!    │ intra node matching: head/tail bridges + gate  → u_g2   (Eq. 5–11)
+//!    │ inter node matching: self/other bridges + gate → u_g3   (Eq. 12–17)
+//!    │ intra node complementing: virtual links        → u_g4   (Eq. 18–19)
+//!    └ prediction MLP on [u_g4 ‖ v]                   → ŷ      (Eq. 20)
+//! ```
+//!
+//! Companion BCE objectives are attached to `(u, u_g1, u_g2, u_g3)`
+//! through the *shared* prediction layer (Eq. 21–24).
+//!
+//! The [`NmcdrConfig::ablation`] switches reproduce Table IX
+//! (`w/o-Igm`, `w/o-Cgm`, `w/o-Inc`, `w/o-Sup`) plus two extra design
+//! ablations DESIGN.md calls out (gate-off, observed-only
+//! complementing).
+
+mod config;
+mod model;
+pub mod stability;
+
+pub use config::{Ablation, ComplementCandidates, NmcdrConfig};
+pub use model::{NmcdrModel, StageEmbeddings};

@@ -1,0 +1,66 @@
+//! Amazon-style "Cloth-Sport" scenario (paper Table III): compares
+//! NMCDR against a single-domain baseline (NeuMF) and a
+//! partially-overlapping CDR baseline (PTUPCDR) at two overlap ratios,
+//! showing where cross-domain matching pays off.
+//!
+//! Run with: `cargo run --release --example amazon_cloth_sport`
+
+use nmcdr::core::{NmcdrConfig, NmcdrModel};
+use nmcdr::data::{generate::generate, Scenario};
+use nmcdr::models::{
+    train_joint, CdrModel, CdrTask, NeuMfModel, PtupcdrModel, TaskConfig, TrainConfig,
+};
+
+fn main() {
+    let mut gen_cfg = Scenario::ClothSport.config(0.004);
+    gen_cfg.seed = 7;
+    let base = generate(&gen_cfg);
+    let train_cfg = TrainConfig {
+        epochs: 4,
+        lr: 5e-3,
+        ..Default::default()
+    };
+
+    println!(
+        "{:<10} {:>8} | {:>7} {:>7} | {:>7} {:>7}",
+        "Model", "K_u", "Cloth:HR", "NDCG", "Sport:HR", "NDCG"
+    );
+    for ratio in [0.01, 0.50] {
+        let data = base.with_overlap_ratio(ratio, 7);
+        let task = CdrTask::build(
+            data,
+            TaskConfig {
+                eval_negatives: 99,
+                ..Default::default()
+            },
+        );
+        let mut models: Vec<Box<dyn CdrModel>> = vec![
+            Box::new(NeuMfModel::new(task.clone(), 16, 7)),
+            Box::new(PtupcdrModel::new(task.clone(), 16, 7)),
+            Box::new(NmcdrModel::new(
+                task.clone(),
+                NmcdrConfig {
+                    dim: 16,
+                    match_neighbors: 64,
+                    ..Default::default()
+                },
+            )),
+        ];
+        for model in &mut models {
+            let stats = train_joint(&mut **model, &train_cfg);
+            println!(
+                "{:<10} {:>7.0}% | {:>7.2} {:>7.2} | {:>7.2} {:>7.2}",
+                model.name(),
+                ratio * 100.0,
+                stats.final_a.hr,
+                stats.final_a.ndcg,
+                stats.final_b.hr,
+                stats.final_b.ndcg
+            );
+        }
+        println!();
+    }
+    println!(
+        "Expected shape (paper Table III): NMCDR leads at both ratios, and its edge\nover the baselines is largest at the small overlap ratio."
+    );
+}

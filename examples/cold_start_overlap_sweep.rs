@@ -1,0 +1,61 @@
+//! Overlap-ratio sweep (the paper's central experimental axis): how
+//! does NMCDR degrade as the known user overlap K_u shrinks from 90%
+//! to 0.1%? The paper's headline claim is that NMCDR's advantage is
+//! *largest* in the near-cold-start regime because its inter node
+//! matching does not rely on overlapped users to bridge domains.
+//!
+//! Run with: `cargo run --release --example cold_start_overlap_sweep`
+
+use nmcdr::core::{NmcdrConfig, NmcdrModel};
+use nmcdr::data::{generate::generate, Scenario};
+use nmcdr::models::{train_joint, CdrModel, CdrTask, MmoeModel, TaskConfig, TrainConfig};
+
+fn main() {
+    let mut gen_cfg = Scenario::PhoneElec.config(0.004);
+    gen_cfg.seed = 5;
+    let base = generate(&gen_cfg);
+    let train_cfg = TrainConfig {
+        epochs: 4,
+        lr: 5e-3,
+        ..Default::default()
+    };
+
+    println!("Phone-Elec, K_u sweep (mean of both domains):\n");
+    println!(
+        "{:<8} | {:>12} {:>12} | {:>12} {:>12}",
+        "K_u", "MMoE HR@10", "NDCG@10", "NMCDR HR@10", "NDCG@10"
+    );
+    for ratio in [0.001, 0.01, 0.10, 0.50, 0.90] {
+        let data = base.with_overlap_ratio(ratio, 5);
+        let task = CdrTask::build(
+            data,
+            TaskConfig {
+                eval_negatives: 99,
+                ..Default::default()
+            },
+        );
+        let mut mmoe = MmoeModel::new(task.clone(), 16, 3, 5);
+        let s_mmoe = train_joint(&mut mmoe, &train_cfg);
+        let mut nm = NmcdrModel::new(
+            task,
+            NmcdrConfig {
+                dim: 16,
+                match_neighbors: 64,
+                ..Default::default()
+            },
+        );
+        let s_nm = train_joint(&mut nm, &train_cfg);
+        println!(
+            "{:<8} | {:>12.2} {:>12.2} | {:>12.2} {:>12.2}",
+            format!("{:.1}%", ratio * 100.0),
+            (s_mmoe.final_a.hr + s_mmoe.final_b.hr) / 2.0,
+            (s_mmoe.final_a.ndcg + s_mmoe.final_b.ndcg) / 2.0,
+            (s_nm.final_a.hr + s_nm.final_b.hr) / 2.0,
+            (s_nm.final_a.ndcg + s_nm.final_b.ndcg) / 2.0,
+        );
+        let _ = mmoe.name();
+    }
+    println!(
+        "\nExpected shape (paper Tables II–V): both models lose accuracy as K_u falls,\nbut the overlap-dependent baseline falls harder — NMCDR's relative improvement\ngrows as the overlap approaches zero."
+    );
+}

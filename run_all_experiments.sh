@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation section.
+# Output is teed under results/. Environment overrides (NMCDR_SCALE,
+# NMCDR_EPOCHS, ...) apply to every step — see README.md.
+set -uo pipefail
+cd "$(dirname "$0")"
+mkdir -p results
+
+run() {
+  local name="$1"; shift
+  echo "=============================================================="
+  echo ">> $name"
+  echo "=============================================================="
+  cargo run --release -p nm-bench --bin "$name" -- "$@" 2>&1 | tee "results/${name}.txt"
+}
+
+cargo build --release -p nm-bench
+
+run table1_stats
+run table_main
+run table6_density
+run table8_abtest
+run table9_ablation
+run fig3_neighbors
+run fig4_khead
+run fig5_embed
+run efficiency
+
+echo "All experiments complete; outputs in results/."

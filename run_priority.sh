@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Priority-ordered experiment pass at the recalibrated profile.
+set -u
+cd /root/repo
+mkdir -p results
+export NMCDR_RATIOS="0.001,0.1,0.9"
+run() { local name="$1"; shift; echo "== $name =="; cargo run --release -q -p nm-bench --bin "$name" -- "$@" 2>&1 | tee "results/${name}${2:-}.txt"; }
+cargo build --release -q -p nm-bench
+cargo run --release -q -p nm-bench --bin table_main -- --scenario cloth-sport 2>&1 | tee results/table_main_cloth.txt
+cargo run --release -q -p nm-bench --bin table_main -- --scenario phone-elec 2>&1 | tee results/table_main_phone.txt
+cargo run --release -q -p nm-bench --bin table9_ablation 2>&1 | tee results/table9_ablation.txt
+cargo run --release -q -p nm-bench --bin fig5_embed 2>&1 | tee results/fig5_embed.txt
+cargo run --release -q -p nm-bench --bin table8_abtest 2>&1 | tee results/table8_abtest.txt
+cargo run --release -q -p nm-bench --bin table1_stats 2>&1 | tee results/table1_stats.txt
+cargo run --release -q -p nm-bench --bin table_main -- --scenario music-movie 2>&1 | tee results/table_main_music.txt
+cargo run --release -q -p nm-bench --bin table_main -- --scenario loan-fund 2>&1 | tee results/table_main_loan.txt
+cargo run --release -q -p nm-bench --bin table6_density 2>&1 | tee results/table6_density.txt
+cargo run --release -q -p nm-bench --bin fig3_neighbors 2>&1 | tee results/fig3_neighbors.txt
+cargo run --release -q -p nm-bench --bin fig4_khead 2>&1 | tee results/fig4_khead.txt
+cargo run --release -q -p nm-bench --bin efficiency 2>&1 | tee results/efficiency.txt
+cargo run --release -q -p nm-bench --bin stability 2>&1 | tee results/stability.txt
+echo PRIORITY_EXPERIMENTS_DONE

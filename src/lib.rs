@@ -1,0 +1,53 @@
+//! # nmcdr — Neural Node Matching for Multi-Target Cross Domain Recommendation
+//!
+//! Umbrella crate re-exporting the full workspace: a from-scratch Rust
+//! reproduction of the ICDE 2023 paper, including the tensor/autograd
+//! substrate, graph engine, synthetic data generators, eleven baseline
+//! recommenders, the NMCDR model, and the evaluation harness.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use nmcdr::data::{generate::generate, Scenario};
+//! use nmcdr::models::{CdrTask, TaskConfig, train_joint, TrainConfig};
+//! use nmcdr::core::{NmcdrModel, NmcdrConfig};
+//!
+//! // A miniature Cloth-Sport-like scenario with 10% known overlap.
+//! let mut cfg = Scenario::ClothSport.config(0.002);
+//! cfg.n_users_a = 120; cfg.n_users_b = 120;
+//! cfg.n_items_a = 60;  cfg.n_items_b = 60;
+//! cfg.n_overlap = 40;
+//! let dataset = generate(&cfg).with_overlap_ratio(0.10, 1);
+//! let task = CdrTask::build(dataset, TaskConfig { eval_negatives: 50, ..Default::default() });
+//!
+//! let mut model = NmcdrModel::new(task, NmcdrConfig { dim: 8, match_neighbors: 16, ..Default::default() });
+//! let stats = train_joint(&mut model, &TrainConfig { epochs: 1, ..Default::default() });
+//! assert!(stats.final_a.hr >= 0.0);
+//! ```
+
+/// Dense tensor engine.
+pub use nm_tensor as tensor;
+
+/// Reverse-mode autodiff tape.
+pub use nm_autograd as autograd;
+
+/// Neural-network modules and parameters.
+pub use nm_nn as nn;
+
+/// Optimizers.
+pub use nm_optim as optim;
+
+/// Sparse-graph substrate.
+pub use nm_graph as graph;
+
+/// Synthetic CDR datasets, splits, sampling.
+pub use nm_data as data;
+
+/// Baseline recommenders + shared model/trainer abstractions.
+pub use nm_models as models;
+
+/// The NMCDR model itself.
+pub use nmcdr_core as core;
+
+/// Ranking metrics, projection, A/B simulation.
+pub use nm_eval as eval;

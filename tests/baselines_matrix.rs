@@ -1,0 +1,82 @@
+//! Every model in the registry must train one epoch on every scenario
+//! shape without NaNs and evaluate sanely — the cross-crate smoke
+//! matrix (12 models x 2 overlap regimes).
+
+use nm_bench::{ExpProfile, ModelKind};
+use nm_data::Scenario;
+use nm_models::train_joint;
+
+fn profile() -> ExpProfile {
+    ExpProfile {
+        scale: 0.0015,
+        dim: 8,
+        epochs: 1,
+        eval_negatives: 20,
+        match_neighbors: 12,
+        batch_size: 256,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn all_models_train_on_partial_overlap() {
+    let profile = profile();
+    let data = profile
+        .dataset(Scenario::ClothSport)
+        .with_overlap_ratio(0.5, 1);
+    for kind in ModelKind::ALL {
+        let task = profile.task(data.clone());
+        let mut model = kind.build(task, &profile);
+        let stats = train_joint(&mut *model, &profile.train_config());
+        assert!(
+            stats.logs.iter().all(|l| l.mean_loss.is_finite()),
+            "{}: non-finite loss",
+            kind.name()
+        );
+        assert!(stats.final_a.n_users > 0, "{}: no eval users", kind.name());
+        assert!(
+            stats.final_a.hr >= 0.0 && stats.final_a.hr <= 100.0,
+            "{}: HR out of range",
+            kind.name()
+        );
+        assert!(stats.param_count > 0);
+    }
+}
+
+#[test]
+fn all_models_survive_zero_overlap() {
+    let profile = profile();
+    let data = profile
+        .dataset(Scenario::PhoneElec)
+        .with_overlap_ratio(0.0, 2);
+    for kind in ModelKind::ALL {
+        let task = profile.task(data.clone());
+        let mut model = kind.build(task, &profile);
+        let stats = train_joint(&mut *model, &profile.train_config());
+        assert!(
+            stats.logs.iter().all(|l| l.mean_loss.is_finite()),
+            "{}: non-finite loss at zero overlap",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn financial_regime_trains_every_model() {
+    // Loan-Fund: items ≪ users; exercises small-catalogue edge cases
+    // (negative sampling, complement candidates).
+    let profile = profile();
+    let data = profile
+        .dataset(Scenario::LoanFund)
+        .with_overlap_ratio(0.5, 3);
+    for kind in [ModelKind::Bpr, ModelKind::MiNet, ModelKind::Nmcdr] {
+        let task = profile.task(data.clone());
+        let mut model = kind.build(task, &profile);
+        let stats = train_joint(&mut *model, &profile.train_config());
+        assert!(
+            stats.logs.iter().all(|l| l.mean_loss.is_finite()),
+            "{}: failed in financial regime",
+            kind.name()
+        );
+    }
+}
