@@ -14,7 +14,9 @@ use std::rc::Rc;
 /// One recorded operation.
 pub(crate) enum Op {
     /// Input node; `requires_grad` marks trainable parameters.
-    Leaf { requires_grad: bool },
+    Leaf {
+        requires_grad: bool,
+    },
     /// `a + b` with `b` broadcast per the stored classification.
     Add(Var, Var, Broadcast),
     /// `a - b` with `b` broadcast.
@@ -73,7 +75,11 @@ impl Op {
         use Op::*;
         match *self {
             Leaf { .. } => [None, None],
-            Add(a, b, _) | Sub(a, b, _) | Mul(a, b, _) | Matmul(a, b) | ConcatCols(a, b)
+            Add(a, b, _)
+            | Sub(a, b, _)
+            | Mul(a, b, _)
+            | Matmul(a, b)
+            | ConcatCols(a, b)
             | RowwiseDot(a, b) => [Some(a), Some(b)],
             Scale(a, _)
             | AddScalar(a)

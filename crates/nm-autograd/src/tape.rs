@@ -230,7 +230,11 @@ impl Tape {
         assert!(k > 0, "segment_sum_rows: k must be positive");
         let src = self.value(a);
         let (rk, c) = src.shape();
-        assert_eq!(rk % k, 0, "segment_sum_rows: {rk} rows not divisible by {k}");
+        assert_eq!(
+            rk % k,
+            0,
+            "segment_sum_rows: {rk} rows not divisible by {k}"
+        );
         let r = rk / k;
         let mut out = Tensor::zeros(r, c);
         for i in 0..r {
@@ -440,9 +444,7 @@ impl Tape {
                         let prow = p.row_slice(row);
                         let grow = grad.row_slice(row);
                         let dot: f32 = prow.iter().zip(grow).map(|(&pv, &gv)| pv * gv).sum();
-                        for ((o, &pv), &gv) in
-                            g.row_slice_mut(row).iter_mut().zip(prow).zip(grow)
-                        {
+                        for ((o, &pv), &gv) in g.row_slice_mut(row).iter_mut().zip(prow).zip(grow) {
                             *o = pv * (gv - dot);
                         }
                     }

@@ -211,7 +211,13 @@ fn grad_spmm() {
     let adj = Rc::new(Csr::from_edges(
         3,
         4,
-        &[(0, 0, 0.5), (0, 3, 0.5), (1, 1, 1.0), (2, 2, 0.3), (2, 0, 0.7)],
+        &[
+            (0, 0, 0.5),
+            (0, 3, 0.5),
+            (1, 1, 1.0),
+            (2, 2, 0.3),
+            (2, 0, 0.7),
+        ],
     ));
     let adj_t = Rc::new(adj.transpose());
     check_unary(rand_t(4, 2, 24), move |t, v| {
@@ -302,7 +308,11 @@ fn grad_one_minus_gate_composition() {
 #[test]
 fn grad_deep_composition_end_to_end() {
     // A miniature NMCDR-style block: spmm -> linear -> relu -> gate -> bce
-    let adj = Rc::new(Csr::from_edges(3, 3, &[(0, 1, 1.0), (1, 0, 0.5), (1, 2, 0.5), (2, 2, 1.0)]));
+    let adj = Rc::new(Csr::from_edges(
+        3,
+        3,
+        &[(0, 1, 1.0), (1, 0, 0.5), (1, 2, 0.5), (2, 2, 1.0)],
+    ));
     let adj_t = Rc::new(adj.transpose());
     let w = rand_t(2, 2, 37);
     let targets = Rc::new(Tensor::new(3, 1, vec![1., 0., 1.]));

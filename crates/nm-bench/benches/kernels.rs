@@ -1,21 +1,32 @@
-//! Criterion benchmarks for the substrate's hot kernels: dense matmul,
-//! CSR SpMM, row gather/scatter, softmax, and one full autograd
-//! forward+backward of an NMCDR-shaped block.
+//! Timing benchmarks for the substrate's hot kernels: dense matmul,
+//! CSR SpMM, row gather/scatter, softmax, blocked serving vecmat, and
+//! one full autograd forward+backward of an NMCDR-shaped block.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nm_bench::timing::{bench, black_box};
 use nm_graph::Csr;
 use nm_tensor::{Tensor, TensorRng};
 use std::rc::Rc;
 
-fn bench_matmul(c: &mut Criterion) {
+fn bench_matmul() {
     let mut rng = TensorRng::seed_from(1);
     let a = Tensor::randn(256, 64, 1.0, &mut rng);
     let b = Tensor::randn(64, 64, 1.0, &mut rng);
-    c.bench_function("matmul_256x64x64", |bench| {
-        bench.iter(|| black_box(a.matmul(&b)))
-    });
-    c.bench_function("matmul_tn_256x64x64", |bench| {
-        bench.iter(|| black_box(a.matmul_tn(&a)))
+    bench("matmul_256x64x64", || black_box(a.matmul(&b)));
+    bench("matmul_tn_256x64x64", || black_box(a.matmul_tn(&a)));
+}
+
+fn bench_vecmat() {
+    let mut rng = TensorRng::seed_from(8);
+    let table = Tensor::randn(4096, 64, 1.0, &mut rng);
+    let u = Tensor::randn(1, 64, 1.0, &mut rng);
+    bench("vecmat_blocked_1x64_4096x64t", || {
+        black_box(nm_tensor::vecmat_nt_blocked(
+            u.data(),
+            table.data(),
+            4096,
+            64,
+            None,
+        ))
     });
 }
 
@@ -30,44 +41,38 @@ fn random_csr(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> Csr {
     Csr::from_edges(rows, cols, &edges).row_normalized()
 }
 
-fn bench_spmm(c: &mut Criterion) {
+fn bench_spmm() {
     let adj = random_csr(2000, 1000, 10, 2);
     let mut rng = TensorRng::seed_from(3);
     let dense = Tensor::randn(1000, 32, 1.0, &mut rng);
-    c.bench_function("spmm_2000x1000_nnz10_w32", |bench| {
-        bench.iter(|| black_box(adj.spmm(dense.data(), 32)))
+    bench("spmm_2000x1000_nnz10_w32", || {
+        black_box(adj.spmm(dense.data(), 32))
     });
-    c.bench_function("csr_transpose_2000x1000", |bench| {
-        bench.iter(|| black_box(adj.transpose()))
-    });
+    bench("csr_transpose_2000x1000", || black_box(adj.transpose()));
 }
 
-fn bench_gather_scatter(c: &mut Criterion) {
+fn bench_gather_scatter() {
     let mut rng = TensorRng::seed_from(4);
     let table = Tensor::randn(5000, 32, 1.0, &mut rng);
     let idx: Vec<u32> = (0..2048).map(|i| (i * 7) % 5000).collect();
-    c.bench_function("gather_rows_2048_of_5000x32", |bench| {
-        bench.iter(|| black_box(table.gather_rows(&idx)))
+    bench("gather_rows_2048_of_5000x32", || {
+        black_box(table.gather_rows(&idx))
     });
     let src = table.gather_rows(&idx);
-    c.bench_function("scatter_add_rows_2048_into_5000x32", |bench| {
-        bench.iter(|| {
-            let mut acc = Tensor::zeros(5000, 32);
-            acc.scatter_add_rows(&idx, &src);
-            black_box(acc)
-        })
+    bench("scatter_add_rows_2048_into_5000x32", || {
+        let mut acc = Tensor::zeros(5000, 32);
+        acc.scatter_add_rows(&idx, &src);
+        black_box(acc)
     });
 }
 
-fn bench_softmax(c: &mut Criterion) {
+fn bench_softmax() {
     let mut rng = TensorRng::seed_from(5);
     let x = Tensor::randn(1000, 16, 2.0, &mut rng);
-    c.bench_function("softmax_rows_1000x16", |bench| {
-        bench.iter(|| black_box(x.softmax_rows()))
-    });
+    bench("softmax_rows_1000x16", || black_box(x.softmax_rows()));
 }
 
-fn bench_autograd_block(c: &mut Criterion) {
+fn bench_autograd_block() {
     // An NMCDR-shaped block: spmm -> linear -> relu -> gate -> bce,
     // forward + backward on the tape.
     let adj = Rc::new(random_csr(1000, 500, 8, 6));
@@ -76,27 +81,27 @@ fn bench_autograd_block(c: &mut Criterion) {
     let x0 = Tensor::randn(500, 32, 0.5, &mut rng);
     let w = Tensor::randn(32, 32, 0.2, &mut rng);
     let targets = Rc::new(Tensor::rand_uniform(1000, 1, 0.0, 1.0, &mut rng).map(|v| v.round()));
-    c.bench_function("autograd_gnn_block_fwd_bwd", |bench| {
-        bench.iter(|| {
-            let mut tape = nm_autograd::Tape::new();
-            let x = tape.leaf(x0.clone());
-            let wv = tape.leaf(w.clone());
-            let agg = tape.spmm(Rc::clone(&adj), Rc::clone(&adj_t), x);
-            let lin = tape.matmul(agg, wv);
-            let act = tape.relu(lin);
-            let gate = tape.sigmoid(act);
-            let gated = tape.mul(act, gate);
-            let score = tape.sum_axis_cols(gated);
-            let loss = tape.bce_with_logits_mean(score, Rc::clone(&targets));
-            tape.backward(loss);
-            black_box(tape.grad(x).is_some())
-        })
+    bench("autograd_gnn_block_fwd_bwd", || {
+        let mut tape = nm_autograd::Tape::new();
+        let x = tape.leaf(x0.clone());
+        let wv = tape.leaf(w.clone());
+        let agg = tape.spmm(Rc::clone(&adj), Rc::clone(&adj_t), x);
+        let lin = tape.matmul(agg, wv);
+        let act = tape.relu(lin);
+        let gate = tape.sigmoid(act);
+        let gated = tape.mul(act, gate);
+        let score = tape.sum_axis_cols(gated);
+        let loss = tape.bce_with_logits_mean(score, Rc::clone(&targets));
+        tape.backward(loss);
+        black_box(tape.grad(x).is_some())
     });
 }
 
-criterion_group!(
-    name = kernels;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul, bench_spmm, bench_gather_scatter, bench_softmax, bench_autograd_block
-);
-criterion_main!(kernels);
+fn main() {
+    bench_matmul();
+    bench_vecmat();
+    bench_spmm();
+    bench_gather_scatter();
+    bench_softmax();
+    bench_autograd_block();
+}

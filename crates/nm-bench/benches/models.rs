@@ -1,8 +1,8 @@
-//! Criterion benchmarks for whole-model training steps and inference —
+//! Timing benchmarks for whole-model training steps and inference —
 //! the measured counterpart of the paper's §III-B-6 efficiency
 //! comparison (PLE / MiNet / HeroGraph / NMCDR).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nm_bench::timing::{bench, black_box};
 use nm_bench::{ExpProfile, ModelKind};
 use nm_data::batch::Batch;
 use nm_data::Scenario;
@@ -19,12 +19,11 @@ fn profile() -> ExpProfile {
     }
 }
 
-fn bench_train_step(c: &mut Criterion) {
+fn bench_train_step() {
     let profile = profile();
     let data = profile
         .dataset(Scenario::ClothSport)
         .with_overlap_ratio(0.5, profile.seed);
-    let mut group = c.benchmark_group("train_step");
     for kind in [
         ModelKind::Ple,
         ModelKind::MiNet,
@@ -46,28 +45,24 @@ fn bench_train_step(c: &mut Criterion) {
             items: (0..256u32).map(|i| i % ni_b).collect(),
             labels: (0..256).map(|i| (i % 2) as f32).collect(),
         };
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                let mut tape = nm_autograd::Tape::new();
-                let loss = model.loss(&mut tape, &batch, &batch_b, 0);
-                tape.backward(loss);
-                nm_nn::absorb_all(&*model, &tape);
-                for p in model.params() {
-                    p.zero_grad();
-                }
-                black_box(())
-            })
+        bench(&format!("train_step/{}", kind.name()), || {
+            let mut tape = nm_autograd::Tape::new();
+            let loss = model.loss(&mut tape, &batch, &batch_b, 0);
+            tape.backward(loss);
+            nm_nn::absorb_all(&*model, &tape);
+            for p in model.params() {
+                p.zero_grad();
+            }
+            black_box(())
         });
     }
-    group.finish();
 }
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference() {
     let profile = profile();
     let data = profile
         .dataset(Scenario::ClothSport)
         .with_overlap_ratio(0.5, profile.seed);
-    let mut group = c.benchmark_group("inference_512");
     for kind in [
         ModelKind::Ple,
         ModelKind::MiNet,
@@ -77,18 +72,19 @@ fn bench_inference(c: &mut Criterion) {
         let task = profile.task(data.clone());
         let mut model = kind.build(task.clone(), &profile);
         model.prepare_eval();
-        let users: Vec<u32> = (0..512u32).map(|i| i % task.split_a.n_users as u32).collect();
-        let items: Vec<u32> = (0..512u32).map(|i| i % task.split_a.n_items as u32).collect();
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| black_box(model.eval_scores(Domain::A, &users, &items)))
+        let users: Vec<u32> = (0..512u32)
+            .map(|i| i % task.split_a.n_users as u32)
+            .collect();
+        let items: Vec<u32> = (0..512u32)
+            .map(|i| i % task.split_a.n_items as u32)
+            .collect();
+        bench(&format!("inference_512/{}", kind.name()), || {
+            black_box(model.eval_scores(Domain::A, &users, &items))
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    name = models;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_train_step, bench_inference
-);
-criterion_main!(models);
+fn main() {
+    bench_train_step();
+    bench_inference();
+}

@@ -25,12 +25,24 @@ fn main() {
         .with_overlap_ratio(0.5, profile.seed);
     for kind in kinds {
         let task = profile.task(data.clone());
-        let (row, _stats) = run_model("efficiency", Scenario::ClothSport, kind, task.clone(), &profile, 0.5, 1.0);
+        let (row, _stats) = run_model(
+            "efficiency",
+            Scenario::ClothSport,
+            kind,
+            task.clone(),
+            &profile,
+            0.5,
+            1.0,
+        );
         // measure inference: score one batch of 512 pairs with a trained-shape model
         let mut model = kind.build(task.clone(), &profile);
         model.prepare_eval();
-        let users: Vec<u32> = (0..512u32).map(|i| i % task.split_a.n_users as u32).collect();
-        let items: Vec<u32> = (0..512u32).map(|i| i % task.split_a.n_items as u32).collect();
+        let users: Vec<u32> = (0..512u32)
+            .map(|i| i % task.split_a.n_users as u32)
+            .collect();
+        let items: Vec<u32> = (0..512u32)
+            .map(|i| i % task.split_a.n_items as u32)
+            .collect();
         let t0 = Instant::now();
         let reps = 20;
         for _ in 0..reps {

@@ -12,7 +12,9 @@ use nmcdr_core::{Ablation, NmcdrModel};
 
 fn sweep_from_env() -> Vec<usize> {
     match std::env::var("NMCDR_SWEEP") {
-        Ok(s) if !s.trim().is_empty() => s.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
+        Ok(s) if !s.trim().is_empty() => {
+            s.split(',').filter_map(|x| x.trim().parse().ok()).collect()
+        }
         _ => vec![8, 16, 32, 64, 128],
     }
 }
@@ -40,7 +42,13 @@ fn main() {
             let stats = train_joint(&mut model, &profile.train_config());
             let ndcg = (stats.final_a.ndcg + stats.final_b.ndcg) / 2.0;
             let hr = (stats.final_a.hr + stats.final_b.hr) / 2.0;
-            println!("{:<12} {:>10} {:>12.2} {:>12.2}", scenario.name(), m, ndcg, hr);
+            println!(
+                "{:<12} {:>10} {:>12.2} {:>12.2}",
+                scenario.name(),
+                m,
+                ndcg,
+                hr
+            );
             rows.push(ResultRow {
                 experiment: "fig3".into(),
                 scenario: scenario.name().into(),

@@ -10,7 +10,9 @@ use nmcdr_core::{Ablation, NmcdrModel};
 
 fn sweep_from_env() -> Vec<usize> {
     match std::env::var("NMCDR_SWEEP") {
-        Ok(s) if !s.trim().is_empty() => s.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
+        Ok(s) if !s.trim().is_empty() => {
+            s.split(',').filter_map(|x| x.trim().parse().ok()).collect()
+        }
         _ => vec![3, 5, 7, 9, 11],
     }
 }

@@ -45,10 +45,7 @@ fn main() {
         ("after inter matching (g3)", &stages.g3),
         ("after complementing (g4)", &stages.g4),
     ];
-    println!(
-        "{:<28} {:>14} {:>14}",
-        "Stage", "Cloth sep", "Sport sep"
-    );
+    println!("{:<28} {:>14} {:>14}", "Stage", "Cloth sep", "Sport sep");
     let mut csv = String::from("stage,domain,user,x,y,is_head\n");
     for (name, tables) in named {
         let sa = separation(&tables[0], &is_head_a);

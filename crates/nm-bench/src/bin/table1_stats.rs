@@ -7,7 +7,10 @@ use nm_data::Scenario;
 
 fn main() {
     let profile = ExpProfile::from_env();
-    println!("Table I: statistics of the generated datasets (scale = {})", profile.scale);
+    println!(
+        "Table I: statistics of the generated datasets (scale = {})",
+        profile.scale
+    );
     println!(
         "{:<12} {:<8} {:>8} {:>8} {:>9} {:>10} {:>9}  | paper (full scale)",
         "Scenario", "Domain", "Users", "Items", "Ratings", "#Overlap", "Density"

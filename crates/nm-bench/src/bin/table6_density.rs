@@ -12,7 +12,10 @@ fn main() {
     let mut all_rows: Vec<ResultRow> = Vec::new();
 
     for scenario in [Scenario::ClothSport, Scenario::LoanFund] {
-        println!("\n######## Table VI: {} under density settings ########", scenario.name());
+        println!(
+            "\n######## Table VI: {} under density settings ########",
+            scenario.name()
+        );
         let base = profile.dataset(scenario);
         let (da, db) = scenario.domains();
         print!("{:<10}", "Method");

@@ -19,7 +19,10 @@ use std::rc::Rc;
 /// Trains one arm's model on the task and freezes its eval state.
 fn trained(kind: ModelKind, task: Rc<CdrTask>, profile: &ExpProfile) -> Box<dyn CdrModel> {
     let mut model: Box<dyn CdrModel> = match kind {
-        ModelKind::Nmcdr => Box::new(NmcdrModel::new(task, nmcdr_config(profile, Ablation::none()))),
+        ModelKind::Nmcdr => Box::new(NmcdrModel::new(
+            task,
+            nmcdr_config(profile, Ablation::none()),
+        )),
         other => other.build(task, profile),
     };
     let stats = train_joint(&mut *model, &profile.train_config());
@@ -87,7 +90,12 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(4000);
-    let arm_kinds = [ModelKind::Mmoe, ModelKind::Ple, ModelKind::Dml, ModelKind::Nmcdr];
+    let arm_kinds = [
+        ModelKind::Mmoe,
+        ModelKind::Ple,
+        ModelKind::Dml,
+        ModelKind::Nmcdr,
+    ];
 
     // Loan-Fund pair (Table I scenario) and a Loan-Account pair
     // (synthesized in the same financial regime, more items / lower CVR).
@@ -135,8 +143,24 @@ fn main() {
         .map(|&k| trained(k, la_task.clone(), &profile))
         .collect();
 
-    let loan = simulate("Loan", Domain::A, &lf_truth, &lf_task, &lf_models, &profile, requests);
-    let fund = simulate("Fund", Domain::B, &lf_truth, &lf_task, &lf_models, &profile, requests);
+    let loan = simulate(
+        "Loan",
+        Domain::A,
+        &lf_truth,
+        &lf_task,
+        &lf_models,
+        &profile,
+        requests,
+    );
+    let fund = simulate(
+        "Fund",
+        Domain::B,
+        &lf_truth,
+        &lf_task,
+        &lf_models,
+        &profile,
+        requests,
+    );
     let account = simulate(
         "Account",
         Domain::B,
@@ -148,7 +172,10 @@ fn main() {
     );
 
     println!("\nTable VIII: simulated A/B CVR ({requests} paired requests per arm)");
-    println!("{:<14} {:>10} {:>10} {:>10}", "Arm", "Loan", "Fund", "Account");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "Arm", "Loan", "Fund", "Account"
+    );
     for i in 0..loan.len() {
         println!(
             "{:<14} {:>9.2}% {:>9.2}% {:>9.2}%",

@@ -47,7 +47,14 @@ fn variants() -> Vec<(&'static str, Ablation, Option<ComplementCandidates>)> {
             },
             None,
         ),
-        ("gate-off", Ablation { gate_off: true, ..base }, None),
+        (
+            "gate-off",
+            Ablation {
+                gate_off: true,
+                ..base
+            },
+            None,
+        ),
         (
             "obs-only",
             base,

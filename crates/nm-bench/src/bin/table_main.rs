@@ -40,7 +40,10 @@ fn main() {
             Scenario::PhoneElec => "IV",
             Scenario::LoanFund => "V",
         };
-        println!("\n################ Table {table_no}: {} ################", scenario.name());
+        println!(
+            "\n################ Table {table_no}: {} ################",
+            scenario.name()
+        );
         let base = profile.dataset(scenario);
         let (da, db) = scenario.domains();
         // header
@@ -85,9 +88,15 @@ fn main() {
         if rows.is_empty() {
             continue;
         }
-        println!("\n--- {} improvement of NMCDR over the best baseline ---", scenario.name());
+        println!(
+            "\n--- {} improvement of NMCDR over the best baseline ---",
+            scenario.name()
+        );
         for &r in ratios_from_env().iter() {
-            let at: Vec<&&ResultRow> = rows.iter().filter(|x| (x.overlap - r).abs() < 1e-9).collect();
+            let at: Vec<&&ResultRow> = rows
+                .iter()
+                .filter(|x| (x.overlap - r).abs() < 1e-9)
+                .collect();
             let nm = at.iter().find(|x| x.model == "NMCDR");
             let best_other = at
                 .iter()

@@ -18,8 +18,9 @@ use nm_models::{
     TrainStats,
 };
 use nmcdr_core::{Ablation, NmcdrConfig, NmcdrModel};
-use serde::Serialize;
 use std::rc::Rc;
+
+pub mod timing;
 
 /// Scaled experiment profile. Values follow the paper's protocol
 /// relatively (Adam, 1 train negative, 199 eval negatives, K_head = 7)
@@ -195,7 +196,10 @@ impl ModelKind {
             ModelKind::Dml => Box::new(DmlModel::new(task, d, s)),
             ModelKind::HeroGraph => Box::new(HeroGraphModel::new(task, d, s)),
             ModelKind::Ptupcdr => Box::new(PtupcdrModel::new(task, d, s)),
-            ModelKind::Nmcdr => Box::new(NmcdrModel::new(task, nmcdr_config(profile, Ablation::none()))),
+            ModelKind::Nmcdr => Box::new(NmcdrModel::new(
+                task,
+                nmcdr_config(profile, Ablation::none()),
+            )),
         }
     }
 }
@@ -231,7 +235,7 @@ pub fn selected_models() -> Vec<ModelKind> {
 }
 
 /// One experiment result row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ResultRow {
     pub experiment: String,
     pub scenario: String,
@@ -246,6 +250,41 @@ pub struct ResultRow {
     pub hr_b: f64,
     pub secs_per_step: f64,
     pub params: usize,
+}
+
+impl ResultRow {
+    /// Encodes the row as one JSON object (flat schema, hand-rolled so
+    /// the workspace stays dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"experiment\":{},\"scenario\":{},\"model\":{},",
+                "\"overlap\":{},\"density\":{},",
+                "\"ndcg_a\":{},\"hr_a\":{},\"ndcg_b\":{},\"hr_b\":{},",
+                "\"secs_per_step\":{},\"params\":{}}}"
+            ),
+            nm_serve::json::escape(&self.experiment),
+            nm_serve::json::escape(&self.scenario),
+            nm_serve::json::escape(&self.model),
+            json_num(self.overlap),
+            json_num(self.density),
+            json_num(self.ndcg_a),
+            json_num(self.hr_a),
+            json_num(self.ndcg_b),
+            json_num(self.hr_b),
+            json_num(self.secs_per_step),
+            self.params,
+        )
+    }
+}
+
+/// JSON-safe float formatting (JSON has no NaN/Inf literals).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
 }
 
 /// Trains `kind` on `task` and returns its row.
@@ -287,7 +326,7 @@ pub fn save_rows(experiment: &str, rows: &[ResultRow]) {
     let path = dir.join(format!("{experiment}.jsonl"));
     let mut out = String::new();
     for r in rows {
-        out.push_str(&serde_json::to_string(r).expect("serialize row"));
+        out.push_str(&r.to_json());
         out.push('\n');
     }
     if let Err(e) = std::fs::write(&path, out) {

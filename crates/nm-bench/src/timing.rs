@@ -1,0 +1,75 @@
+//! Minimal std-only timing harness for the `benches/` targets.
+//!
+//! The workspace builds fully offline, so the bench binaries use this
+//! instead of criterion: warm-up + calibration pass, then a fixed
+//! wall-clock budget, reporting mean and min per-iteration times.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting the work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Formats a per-iteration duration in adaptive units.
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Times `f`: ~200 ms warm-up/calibration, then ~800 ms of measured
+/// iterations. Prints one aligned line per bench.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let cal = Instant::now();
+    let mut cal_iters = 0u64;
+    while cal.elapsed() < Duration::from_millis(200) {
+        black_box(f());
+        cal_iters += 1;
+    }
+    let per = cal.elapsed().as_secs_f64() / cal_iters as f64;
+    let iters = ((0.8 / per) as u64).clamp(1, 1_000_000);
+    let mut best = f64::INFINITY;
+    let mut total = 0.0f64;
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        total += dt;
+    }
+    println!(
+        "{name:<44} mean {:>12}  min {:>12}  ({iters} iters)",
+        fmt_secs(total / iters as f64),
+        fmt_secs(best)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_units() {
+        assert!(fmt_secs(2.0).ends_with(" s"));
+        assert!(fmt_secs(2e-3).ends_with(" ms"));
+        assert!(fmt_secs(2e-6).ends_with(" us"));
+        assert!(fmt_secs(2e-9).ends_with(" ns"));
+    }
+
+    #[test]
+    fn bench_runs_closure() {
+        let mut n = 0u64;
+        bench("noop", || {
+            n += 1;
+            n
+        });
+        assert!(n > 0);
+    }
+}

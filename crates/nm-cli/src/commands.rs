@@ -29,6 +29,17 @@ COMMANDS:
              (same data options as train) --model <name> --checkpoint <file>
   stats      print Table-I style statistics for a scenario
              --scenario <name> [--scale 0.004]
+  snapshot   export a frozen serving snapshot (.nmss) from a model
+             (same data options as train) [--model NMCDR]
+             [--checkpoint <file>] --out <file.nmss>
+             (supported models: NMCDR, BPR, HeroGraph)
+  serve      serve top-K recommendations over TCP (newline-delimited JSON)
+             --snapshot <file.nmss> [--bind 127.0.0.1:7878]
+             [--workers N] [--shard-items 256] [--batch-max 8]
+             [--cache 4096]
+  query      one-shot client against a running server
+             [--addr 127.0.0.1:7878] [--op topk|stats|shutdown]
+             [--user 0] [--domain a] [--k 10]
   help       this text
 
 SCENARIOS: music-movie, cloth-sport, phone-elec, loan-fund
@@ -57,14 +68,8 @@ fn scenario_from(args: &Args) -> Result<Scenario, String> {
 fn dataset_from(args: &Args, profile: &ExpProfile) -> Result<CdrDataset, String> {
     let data = if let (Some(pa), Some(pb)) = (args.get("domain-a"), args.get("domain-b")) {
         let alignment = args.get("alignment").map(PathBuf::from);
-        nm_data::io::load_cdr_dataset(
-            "A",
-            Path::new(pa),
-            "B",
-            Path::new(pb),
-            alignment.as_deref(),
-        )
-        .map_err(|e| e.to_string())?
+        nm_data::io::load_cdr_dataset("A", Path::new(pa), "B", Path::new(pb), alignment.as_deref())
+            .map_err(|e| e.to_string())?
     } else {
         let scenario = scenario_from(args)?;
         let mut cfg = scenario.config(profile.scale);
@@ -225,4 +230,114 @@ pub fn stats(args: &Args) -> Result<(), String> {
 
 fn task_config(profile: &ExpProfile) -> TaskConfig {
     profile.task_config()
+}
+
+/// Builds a serving snapshot: rebuild the model on the same data/seed,
+/// optionally load a trained checkpoint, then freeze the eval tables.
+pub fn snapshot(args: &Args) -> Result<(), String> {
+    use nm_nn::Module;
+    use nm_serve::FrozenModel;
+    let profile = profile_from(args)?;
+    let data = dataset_from(args, &profile)?;
+    let task = CdrTask::build(data, task_config(&profile));
+    let out = PathBuf::from(args.required("out")?);
+    let name = args.get("model").unwrap_or("NMCDR");
+    let kind = ModelKind::parse(name).ok_or_else(|| format!("unknown model '{name}'"))?;
+    let load = |params: &[&nm_nn::Param]| -> Result<(), String> {
+        if let Some(path) = args.get("checkpoint") {
+            nm_nn::checkpoint::load_from_file(params, Path::new(path))
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    };
+    let snap = match kind {
+        ModelKind::Nmcdr => {
+            let mut m = NmcdrModel::new(task, nmcdr_config(&profile, Ablation::none()));
+            load(&m.params())?;
+            m.export_frozen()
+        }
+        ModelKind::Bpr => {
+            let mut m = nm_models::BprModel::new(task, profile.dim, profile.seed);
+            load(&m.params())?;
+            m.export_frozen()
+        }
+        ModelKind::HeroGraph => {
+            let mut m = nm_models::HeroGraphModel::new(task, profile.dim, profile.seed);
+            load(&m.params())?;
+            m.export_frozen()
+        }
+        other => {
+            return Err(format!(
+                "model '{}' does not support snapshot export (supported: NMCDR, BPR, HeroGraph)",
+                other.name()
+            ))
+        }
+    };
+    snap.save_to_file(&out).map_err(|e| e.to_string())?;
+    println!(
+        "snapshot of {} saved to {} ({}+{} users, {}+{} items)",
+        snap.model,
+        out.display(),
+        snap.n_users(0),
+        snap.n_users(1),
+        snap.n_items(0),
+        snap.n_items(1)
+    );
+    Ok(())
+}
+
+/// Serves a snapshot over TCP until a `shutdown` request arrives.
+pub fn serve(args: &Args) -> Result<(), String> {
+    use std::sync::Arc;
+    let path = args.required("snapshot")?;
+    let snap = nm_serve::Snapshot::load_from_file(Path::new(path)).map_err(|e| e.to_string())?;
+    let model = snap.model.clone();
+    let cfg = nm_serve::EngineConfig {
+        n_workers: args.parse_or("workers", nm_serve::EngineConfig::default().n_workers)?,
+        shard_items: args.parse_or("shard-items", 256)?,
+        batch_max: args.parse_or("batch-max", 8)?,
+        cache_capacity: args.parse_or("cache", 4096)?,
+        ..Default::default()
+    };
+    let n_workers = cfg.n_workers;
+    let engine = Arc::new(nm_serve::Engine::new(snap, cfg));
+    let bind = args.get("bind").unwrap_or("127.0.0.1:7878");
+    let mut server = nm_serve::Server::start(engine, bind, nm_serve::ServerConfig::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "serving {model} on {} ({n_workers} workers); send {{\"op\":\"shutdown\"}} to stop",
+        server.local_addr()
+    );
+    server.wait();
+    println!("server stopped");
+    Ok(())
+}
+
+/// One-shot client: send a single request line and print the response.
+pub fn query(args: &Args) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let line = match args.get("op").unwrap_or("topk") {
+        "topk" => {
+            let user: u32 = args.parse_or("user", 0)?;
+            let k: usize = args.parse_or("k", 10)?;
+            let domain = args.get("domain").unwrap_or("a");
+            format!(r#"{{"op":"topk","user":{user},"domain":"{domain}","k":{k}}}"#)
+        }
+        "stats" => r#"{"op":"stats"}"#.to_string(),
+        "shutdown" => r#"{"op":"shutdown"}"#.to_string(),
+        other => return Err(format!("unknown op '{other}' (topk, stats, shutdown)")),
+    };
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .and_then(|_| writer.flush())
+        .map_err(|e| e.to_string())?;
+    let mut resp = String::new();
+    BufReader::new(stream)
+        .read_line(&mut resp)
+        .map_err(|e| e.to_string())?;
+    println!("{}", resp.trim_end());
+    Ok(())
 }

@@ -8,6 +8,10 @@
 //!                --model NMCDR
 //! nmcdr evaluate --scenario cloth-sport --model NMCDR --checkpoint model.nmck
 //! nmcdr stats    --scenario loan-fund
+//! nmcdr snapshot --scenario cloth-sport --model NMCDR \
+//!                --checkpoint model.nmck --out model.nmss
+//! nmcdr serve    --snapshot model.nmss --bind 127.0.0.1:7878
+//! nmcdr query    --addr 127.0.0.1:7878 --op topk --user 3 --domain a --k 10
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (`--key value`
@@ -36,6 +40,9 @@ fn main() -> ExitCode {
         "train" => commands::train(&parsed),
         "evaluate" => commands::evaluate(&parsed),
         "stats" => commands::stats(&parsed),
+        "snapshot" => commands::snapshot(&parsed),
+        "serve" => commands::serve(&parsed),
+        "query" => commands::query(&parsed),
         "help" | "--help" | "-h" => {
             commands::print_help();
             Ok(())

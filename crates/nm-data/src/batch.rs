@@ -1,9 +1,8 @@
 //! Mini-batch iteration over training examples.
 
 use crate::negative::TrainExamples;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use nm_tensor::rng::seq::SliceRandom;
+use nm_tensor::rng::{SeedableRng, StdRng};
 
 /// One training mini-batch.
 #[derive(Debug, Clone)]

@@ -1,9 +1,7 @@
 //! Scenario configurations calibrated to the paper's Table I.
 
-use serde::{Deserialize, Serialize};
-
 /// The four CDR scenarios of the paper (Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scenario {
     /// Amazon "Music-Movie": many items, moderate density.
     MusicMovie,
@@ -102,7 +100,7 @@ impl Scenario {
 
 /// Full generator configuration. Start from [`Scenario::config`] and
 /// override fields as needed.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioConfig {
     pub scenario: Scenario,
     pub n_users_a: usize,
@@ -163,7 +161,8 @@ mod tests {
         for s in Scenario::ALL {
             for scale in [0.005, 0.02, 0.1] {
                 let c = s.config(scale);
-                c.validate().unwrap_or_else(|e| panic!("{s:?}@{scale}: {e}"));
+                c.validate()
+                    .unwrap_or_else(|e| panic!("{s:?}@{scale}: {e}"));
             }
         }
     }

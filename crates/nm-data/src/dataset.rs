@@ -1,9 +1,8 @@
 //! Dataset containers and the K_u / D_s experiment knobs.
 
 use nm_graph::BipartiteGraph;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use nm_tensor::rng::seq::SliceRandom;
+use nm_tensor::rng::{SeedableRng, StdRng};
 
 /// One domain's interaction data.
 #[derive(Debug, Clone)]
@@ -125,7 +124,8 @@ impl CdrDataset {
                 // always retaining the final (test) interaction.
                 let mut idx: Vec<usize> = (0..items.len() - 1).collect();
                 idx.shuffle(&mut rng);
-                let mut chosen: Vec<usize> = idx.into_iter().take(target.saturating_sub(1)).collect();
+                let mut chosen: Vec<usize> =
+                    idx.into_iter().take(target.saturating_sub(1)).collect();
                 chosen.push(items.len() - 1);
                 chosen.sort_unstable();
                 for i in chosen {
@@ -268,7 +268,10 @@ mod tests {
             if orig[u].is_empty() {
                 continue;
             }
-            assert!(items.len() >= 2.min(orig[u].len()), "user {u} kept {items:?}");
+            assert!(
+                items.len() >= 2.min(orig[u].len()),
+                "user {u} kept {items:?}"
+            );
             // last interaction preserved
             assert_eq!(items.last(), orig[u].last());
         }

@@ -6,9 +6,8 @@
 //! crate docs and DESIGN.md for the substitution argument.
 
 use crate::{CdrDataset, DomainData, ScenarioConfig};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use nm_tensor::rng::seq::SliceRandom;
+use nm_tensor::rng::{Rng, SeedableRng, StdRng};
 
 /// The hidden world model behind a generated dataset. Kept around for
 /// the A/B-test simulator (which needs ground-truth conversion
@@ -281,7 +280,11 @@ mod tests {
         let cfg = small_cfg();
         let d = generate(&cfg);
         for (u, items) in d.domain_a.by_user().iter().enumerate() {
-            assert!(items.len() >= cfg.min_degree, "user {u} has {}", items.len());
+            assert!(
+                items.len() >= cfg.min_degree,
+                "user {u} has {}",
+                items.len()
+            );
         }
         for items in d.domain_b.by_user() {
             assert!(items.len() >= cfg.min_degree);

@@ -263,7 +263,8 @@ bob prodY
     fn alignment_file_parse_and_validation() {
         let a = parse_domain("A", Cursor::new(LOG_A)).unwrap();
         let b = parse_domain("B", Cursor::new(LOG_B)).unwrap();
-        let pairs = parse_alignment(Cursor::new("alice dave\n# comment\nbob bob\n"), &a, &b).unwrap();
+        let pairs =
+            parse_alignment(Cursor::new("alice dave\n# comment\nbob bob\n"), &a, &b).unwrap();
         assert_eq!(pairs.len(), 2);
         let err = parse_alignment(Cursor::new("nosuchuser dave\n"), &a, &b).unwrap_err();
         assert!(matches!(err, IoError::UnknownUser(_)));

@@ -5,8 +5,7 @@
 //! (§III-A-2/4).
 
 use crate::SplitDomain;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nm_tensor::rng::{Rng, SeedableRng, StdRng};
 use std::collections::HashSet;
 
 /// Training examples: positives interleaved with sampled negatives.
@@ -24,10 +23,7 @@ pub struct TrainExamples {
 /// test — the standard protocol avoids sampling the held-out positive).
 pub fn train_examples(split: &SplitDomain, neg_per_pos: usize, seed: u64) -> TrainExamples {
     let known = split.all_by_user();
-    let known_sets: Vec<HashSet<u32>> = known
-        .iter()
-        .map(|v| v.iter().copied().collect())
-        .collect();
+    let known_sets: Vec<HashSet<u32>> = known.iter().map(|v| v.iter().copied().collect()).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let cap = split.train.len() * (1 + neg_per_pos);
     let mut pairs = Vec::with_capacity(cap);
@@ -86,10 +82,7 @@ fn candidates_for(
     seed: u64,
 ) -> Vec<EvalCandidates> {
     let known = split.all_by_user();
-    let known_sets: Vec<HashSet<u32>> = known
-        .iter()
-        .map(|v| v.iter().copied().collect())
-        .collect();
+    let known_sets: Vec<HashSet<u32>> = known.iter().map(|v| v.iter().copied().collect()).collect();
     const EVAL_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
     let mut rng = StdRng::seed_from_u64(seed ^ EVAL_SALT);
     positives
@@ -146,7 +139,10 @@ mod tests {
         let known = s.all_by_user();
         for (&(u, i), &l) in ex.pairs.iter().zip(&ex.labels) {
             if l == 0.0 {
-                assert!(!known[u as usize].contains(&i), "user {u} negative {i} is known");
+                assert!(
+                    !known[u as usize].contains(&i),
+                    "user {u} negative {i} is known"
+                );
             }
         }
     }

@@ -1,8 +1,10 @@
-//! Property-based tests for the dataset layer's protocol invariants.
+//! Property-style tests for the dataset layer's protocol invariants.
+//!
+//! Formerly driven by `proptest`; now a deterministic seed sweep so the
+//! workspace tests run fully offline.
 
 use nm_data::negative::{eval_candidates, train_examples};
 use nm_data::{generate::generate, leave_one_out, Scenario};
-use proptest::prelude::*;
 
 fn small_dataset(seed: u64, overlap_ratio: f64) -> nm_data::CdrDataset {
     let mut cfg = Scenario::MusicMovie.config(0.0015);
@@ -15,95 +17,103 @@ fn small_dataset(seed: u64, overlap_ratio: f64) -> nm_data::CdrDataset {
     generate(&cfg).with_overlap_ratio(overlap_ratio, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn leave_one_out_partitions_and_never_leaks(seed in 0u64..50) {
+#[test]
+fn leave_one_out_partitions_and_never_leaks() {
+    for seed in 0u64..12 {
         let d = small_dataset(seed, 1.0);
         let s = leave_one_out(&d.domain_a, 2);
-        prop_assert_eq!(s.train.len() + s.test.len(), d.domain_a.interactions.len());
+        assert_eq!(s.train.len() + s.test.len(), d.domain_a.interactions.len());
         // every test user has >= 2 train interactions
         let by_user = s.train_by_user();
         for &(u, _) in &s.test {
-            prop_assert!(by_user[u as usize].len() >= 2);
+            assert!(by_user[u as usize].len() >= 2);
         }
         // the test item is the chronologically last of that user
         let orig = d.domain_a.by_user();
         for &(u, i) in &s.test {
-            prop_assert_eq!(*orig[u as usize].last().unwrap(), i);
+            assert_eq!(*orig[u as usize].last().unwrap(), i);
         }
     }
+}
 
-    #[test]
-    fn train_negatives_are_truly_negative(seed in 0u64..30) {
+#[test]
+fn train_negatives_are_truly_negative() {
+    for seed in 0u64..12 {
         let d = small_dataset(seed, 0.5);
         let s = leave_one_out(&d.domain_a, 2);
         let ex = train_examples(&s, 2, seed);
         let known = s.all_by_user();
         for (&(u, i), &l) in ex.pairs.iter().zip(&ex.labels) {
             if l == 0.0 {
-                prop_assert!(!known[u as usize].contains(&i));
+                assert!(!known[u as usize].contains(&i));
             } else {
-                prop_assert!(known[u as usize].contains(&i));
+                assert!(known[u as usize].contains(&i));
             }
         }
     }
+}
 
-    #[test]
-    fn eval_candidates_positive_first_and_unique(seed in 0u64..30) {
+#[test]
+fn eval_candidates_positive_first_and_unique() {
+    for seed in 0u64..12 {
         let d = small_dataset(seed, 0.5);
         let s = leave_one_out(&d.domain_b, 2);
         let cands = eval_candidates(&s, 25, seed);
-        prop_assert_eq!(cands.len(), s.test.len());
+        assert_eq!(cands.len(), s.test.len());
         for (c, &(u, pos)) in cands.iter().zip(&s.test) {
-            prop_assert_eq!(c.user, u);
-            prop_assert_eq!(c.items[0], pos);
+            assert_eq!(c.user, u);
+            assert_eq!(c.items[0], pos);
             let set: std::collections::HashSet<u32> = c.items.iter().copied().collect();
-            prop_assert_eq!(set.len(), c.items.len());
+            assert_eq!(set.len(), c.items.len());
         }
     }
+}
 
-    #[test]
-    fn overlap_ratio_monotone(seed in 0u64..30) {
+#[test]
+fn overlap_ratio_monotone() {
+    for seed in 0u64..12 {
         let base = small_dataset(seed, 1.0);
         let mut prev = 0usize;
         for ratio in [0.0, 0.2, 0.5, 0.8, 1.0] {
             let d = base.with_overlap_ratio(ratio, seed);
-            prop_assert!(d.overlap.len() >= prev);
+            assert!(d.overlap.len() >= prev);
             // known overlap is always a subset of the true overlap
             for pair in &d.overlap {
-                prop_assert!(d.true_overlap.contains(pair));
+                assert!(d.true_overlap.contains(pair));
             }
             prev = d.overlap.len();
         }
     }
+}
 
-    #[test]
-    fn density_thinning_monotone_and_loo_safe(seed in 0u64..20) {
+#[test]
+fn density_thinning_monotone_and_loo_safe() {
+    for seed in 0u64..8 {
         let base = small_dataset(seed, 0.5);
         let mut prev = usize::MAX;
         for ds in [1.0, 0.7, 0.4, 0.15] {
             let d = base.with_density(ds, 2, seed);
             let n = d.domain_a.interactions.len();
-            prop_assert!(n <= prev, "density {ds} grew interactions");
+            assert!(n <= prev, "density {ds} grew interactions");
             prev = n;
             // leave-one-out still well-formed after thinning
             let s = leave_one_out(&d.domain_a, 1);
-            prop_assert!(!s.test.is_empty());
+            assert!(!s.test.is_empty());
         }
     }
+}
 
-    #[test]
-    fn generation_respects_id_bounds(seed in 0u64..30) {
+#[test]
+fn generation_respects_id_bounds() {
+    for seed in 0u64..12 {
         let d = small_dataset(seed, 1.0);
         for &(u, i) in &d.domain_a.interactions {
-            prop_assert!((u as usize) < d.domain_a.n_users);
-            prop_assert!((i as usize) < d.domain_a.n_items);
+            assert!((u as usize) < d.domain_a.n_users);
+            assert!((i as usize) < d.domain_a.n_items);
         }
         for &(a, b) in &d.true_overlap {
-            prop_assert!((a as usize) < d.domain_a.n_users);
-            prop_assert!((b as usize) < d.domain_b.n_users);
+            assert!((a as usize) < d.domain_a.n_users);
+            assert!((b as usize) < d.domain_b.n_users);
         }
     }
 }

@@ -8,8 +8,7 @@
 //! paper reports (Control < MTL baselines < CDR baselines < NMCDR).
 
 use crate::harness::Scorer;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nm_tensor::rng::{Rng, SeedableRng, StdRng};
 
 /// One simulated serving domain with a hidden conversion model.
 pub struct AbDomain<'a> {
@@ -141,7 +140,13 @@ mod tests {
                 .map(|(&u, &i)| ((u.wrapping_mul(97).wrapping_add(i * 31)) % 101) as f32)
                 .collect()
         };
-        let results = run_ab_test(&d, &[("oracle", &oracle), ("random", &random)], 3000, 10, 42);
+        let results = run_ab_test(
+            &d,
+            &[("oracle", &oracle), ("random", &random)],
+            3000,
+            10,
+            42,
+        );
         assert!(
             results[0].cvr() > results[1].cvr() + 0.05,
             "oracle {} vs random {}",

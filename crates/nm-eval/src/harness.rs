@@ -19,6 +19,26 @@ where
     }
 }
 
+/// Total order for ranked `(item, score)` pairs: score descending, then
+/// item id ascending. Breaking score ties by id makes every ranking in
+/// the workspace — offline audits here and the serving engine's top-K
+/// heap — deterministic and mutually comparable.
+pub fn rank_order(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.0.cmp(&b.0))
+}
+
+/// The top `k` of `(item, score)` pairs under [`rank_order`], sorted
+/// best-first. NaN scores sort like ties (broken by id) rather than
+/// poisoning the order.
+pub fn top_k(pairs: &[(u32, f32)], k: usize) -> Vec<(u32, f32)> {
+    let mut v = pairs.to_vec();
+    v.sort_by(rank_order);
+    v.truncate(k);
+    v
+}
+
 /// Aggregated leave-one-out ranking results.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RankingSummary {
@@ -161,5 +181,33 @@ mod tests {
         let scorer = |_: &[u32], items: &[u32]| vec![0.0; items.len()];
         let s = evaluate_ranking(&scorer, &[], 10);
         assert_eq!(s.n_users, 0);
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_item_id() {
+        let pairs = vec![(9, 1.0), (2, 2.0), (7, 1.0), (1, 1.0), (5, 0.5)];
+        let top = top_k(&pairs, 4);
+        assert_eq!(top, vec![(2, 2.0), (1, 1.0), (7, 1.0), (9, 1.0)]);
+    }
+
+    #[test]
+    fn top_k_handles_nan_and_short_input() {
+        let pairs = vec![(3, f32::NAN), (1, 1.0), (2, f32::NAN)];
+        let top = top_k(&pairs, 10);
+        assert_eq!(top.len(), 3);
+        // the finite score and both NaNs are all present; ids are unique
+        assert!(top.iter().any(|&(i, _)| i == 1));
+    }
+
+    #[test]
+    fn rank_order_is_total_and_deterministic() {
+        let mut a = vec![(4, 0.3), (2, 0.3), (9, 0.9), (1, 0.3)];
+        let mut b = a.clone();
+        b.reverse(); // different starting permutation, same final order
+        a.sort_by(rank_order);
+        b.sort_by(rank_order);
+        assert_eq!(a, b);
+        assert_eq!(a[0].0, 9);
+        assert_eq!(&a[1..], &[(1, 0.3), (2, 0.3), (4, 0.3)]);
     }
 }

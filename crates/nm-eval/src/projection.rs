@@ -135,7 +135,11 @@ pub fn separation(embeddings: &Tensor, is_head: &[bool]) -> SeparationStats {
     for i in 0..n {
         let row = embeddings.row_slice(i);
         let c = if is_head[i] { &c_head } else { &c_tail };
-        ssq += row.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum::<f32>();
+        ssq += row
+            .iter()
+            .zip(c)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>();
     }
     let rms = (ssq / n as f32).sqrt().max(1e-12);
     SeparationStats {

@@ -15,9 +15,8 @@
 //!   than the requested count the whole pool is used.
 
 use crate::{Csr, HeadTailPartition};
-use rand::rngs::StdRng;
-use rand::seq::index::sample as index_sample;
-use rand::SeedableRng;
+use nm_tensor::rng::seq::index::sample as index_sample;
+use nm_tensor::rng::{SeedableRng, StdRng};
 
 /// Sampled within-domain matching graphs: one bridge from head users,
 /// one from tail users (Eq. 6–9 use distinct transforms per bridge).

@@ -1,46 +1,75 @@
-//! Property-based tests for the sparse-graph substrate.
+//! Property-style tests for the sparse-graph substrate.
+//!
+//! Formerly driven by `proptest`; now a deterministic seed sweep so the
+//! workspace tests run fully offline.
 
 use nm_graph::{sampling, Csr, HeadTailPartition};
-use proptest::prelude::*;
+use nm_tensor::rng::{Rng, SeedableRng, StdRng};
 
-fn edges_strategy(
+const CASES: u64 = 64;
+
+/// Draws `(rows, cols, edges)` — the old `edges_strategy`.
+fn random_edges(
+    rng: &mut StdRng,
     max_rows: usize,
     max_cols: usize,
-) -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, f32)>)> {
-    (2..max_rows, 2..max_cols).prop_flat_map(|(r, c)| {
-        let edge = (0..r as u32, 0..c as u32, -2.0f32..2.0).prop_map(|(a, b, v)| (a, b, v));
-        prop::collection::vec(edge, 0..60).prop_map(move |e| (r, c, e))
-    })
+) -> (usize, usize, Vec<(u32, u32, f32)>) {
+    let r = rng.gen_range(2usize..max_rows);
+    let c = rng.gen_range(2usize..max_cols);
+    let n_edges = rng.gen_range(0usize..60);
+    let edges = (0..n_edges)
+        .map(|_| {
+            (
+                rng.gen_range(0u32..r as u32),
+                rng.gen_range(0u32..c as u32),
+                rng.gen_range(-2.0f32..2.0),
+            )
+        })
+        .collect();
+    (r, c, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn csr_round_trips_through_edges((r, c, edges) in edges_strategy(12, 12)) {
+#[test]
+fn csr_round_trips_through_edges() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC5A0 + case);
+        let (r, c, edges) = random_edges(&mut rng, 12, 12);
         let m = Csr::from_edges(r, c, &edges);
-        prop_assert!(m.validate().is_ok());
+        assert!(m.validate().is_ok());
         let edges2: Vec<_> = m.iter_edges().collect();
         let m2 = Csr::from_edges(r, c, &edges2);
-        prop_assert_eq!(m, m2);
+        assert_eq!(m, m2);
     }
+}
 
-    #[test]
-    fn transpose_is_involution((r, c, edges) in edges_strategy(10, 10)) {
+#[test]
+fn transpose_is_involution() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC5A1 + case);
+        let (r, c, edges) = random_edges(&mut rng, 10, 10);
         let m = Csr::from_edges(r, c, &edges);
-        prop_assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().transpose(), m);
     }
+}
 
-    #[test]
-    fn transpose_preserves_nnz_and_swaps_dims((r, c, edges) in edges_strategy(10, 10)) {
+#[test]
+fn transpose_preserves_nnz_and_swaps_dims() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC5A2 + case);
+        let (r, c, edges) = random_edges(&mut rng, 10, 10);
         let m = Csr::from_edges(r, c, &edges);
         let t = m.transpose();
-        prop_assert_eq!(t.nnz(), m.nnz());
-        prop_assert_eq!((t.n_rows(), t.n_cols()), (m.n_cols(), m.n_rows()));
+        assert_eq!(t.nnz(), m.nnz());
+        assert_eq!((t.n_rows(), t.n_cols()), (m.n_cols(), m.n_rows()));
     }
+}
 
-    #[test]
-    fn spmm_matches_dense_reference((r, c, edges) in edges_strategy(8, 8), w in 1usize..5) {
+#[test]
+fn spmm_matches_dense_reference() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC5A3 + case);
+        let (r, c, edges) = random_edges(&mut rng, 8, 8);
+        let w = rng.gen_range(1usize..5);
         let m = Csr::from_edges(r, c, &edges);
         let dense: Vec<f32> = (0..c * w).map(|i| (i as f32 * 0.37).sin()).collect();
         let sparse_out = m.spmm(&dense, w);
@@ -58,13 +87,18 @@ proptest! {
             }
         }
         for (got, want) in sparse_out.iter().zip(&expect) {
-            prop_assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
         }
     }
+}
 
-    #[test]
-    fn spmm_transpose_adjoint_identity((r, c, edges) in edges_strategy(8, 8), w in 1usize..4) {
-        // <A x, y> == <x, A^T y>
+#[test]
+fn spmm_transpose_adjoint_identity() {
+    // <A x, y> == <x, A^T y>
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC5A4 + case);
+        let (r, c, edges) = random_edges(&mut rng, 8, 8);
+        let w = rng.gen_range(1usize..4);
         let a = Csr::from_edges(r, c, &edges);
         let at = a.transpose();
         let x: Vec<f32> = (0..c * w).map(|i| ((i * 13 % 7) as f32) - 3.0).collect();
@@ -73,11 +107,18 @@ proptest! {
         let aty = at.spmm(&y, w);
         let lhs: f32 = ax.iter().zip(&y).map(|(p, q)| p * q).sum();
         let rhs: f32 = x.iter().zip(&aty).map(|(p, q)| p * q).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
     }
+}
 
-    #[test]
-    fn row_normalized_rows_sum_to_one_or_zero((r, c, edges) in edges_strategy(10, 10)) {
+#[test]
+fn row_normalized_rows_sum_to_one_or_zero() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC5A5 + case);
+        let (r, c, edges) = random_edges(&mut rng, 10, 10);
         // unit weights on DISTINCT (row, col) pairs — the interaction-graph
         // shape; duplicates would merge to weight 2 and sum above 1.
         let mut pos: Vec<(u32, u32, f32)> = edges.iter().map(|&(a, b, _)| (a, b, 1.0)).collect();
@@ -87,50 +128,58 @@ proptest! {
         for row in 0..r {
             let s: f32 = m.row_values(row).iter().sum();
             if m.degree(row) > 0 {
-                prop_assert!((s - 1.0).abs() < 1e-5);
+                assert!((s - 1.0).abs() < 1e-5);
             } else {
-                prop_assert_eq!(s, 0.0);
+                assert_eq!(s, 0.0);
             }
         }
     }
+}
 
-    #[test]
-    fn head_tail_partition_is_exact(degrees in prop::collection::vec(0usize..30, 1..50), k in 0usize..20) {
+#[test]
+fn head_tail_partition_is_exact() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC5A6 + case);
+        let n = rng.gen_range(1usize..50);
+        let degrees: Vec<usize> = (0..n).map(|_| rng.gen_range(0usize..30)).collect();
+        let k = rng.gen_range(0usize..20);
         let p = HeadTailPartition::new(&degrees, k);
         for (u, &d) in degrees.iter().enumerate() {
             let is_head = d > k;
-            prop_assert_eq!(p.class_of(u) == nm_graph::UserClass::Head, is_head);
+            assert_eq!(p.class_of(u) == nm_graph::UserClass::Head, is_head);
         }
-        prop_assert_eq!(p.head_users().len() + p.tail_users().len(), degrees.len());
+        assert_eq!(p.head_users().len() + p.tail_users().len(), degrees.len());
         // returned id lists are sorted and unique
-        prop_assert!(p.head_users().windows(2).all(|w| w[0] < w[1]));
-        prop_assert!(p.tail_users().windows(2).all(|w| w[0] < w[1]));
+        assert!(p.head_users().windows(2).all(|w| w[0] < w[1]));
+        assert!(p.tail_users().windows(2).all(|w| w[0] < w[1]));
     }
+}
 
-    #[test]
-    fn intra_sampling_respects_budget_and_classes(
-        n in 4usize..40,
-        k_head in 1usize..8,
-        budget in 1usize..10,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn intra_sampling_respects_budget_and_classes() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC5A7 + case);
+        let n = rng.gen_range(4usize..40);
+        let k_head = rng.gen_range(1usize..8);
+        let budget = rng.gen_range(1usize..10);
+        let seed = rng.gen_range(0u64..500);
         let degrees: Vec<usize> = (0..n).map(|u| (u * 7 + seed as usize) % 15).collect();
         let p = HeadTailPartition::new(&degrees, k_head);
         if p.head_users().is_empty() || p.tail_users().is_empty() {
-            return Ok(());
+            continue;
         }
         let g = sampling::build_intra(&p, budget, seed);
         let heads: std::collections::HashSet<u32> = p.head_users().iter().copied().collect();
         for u in 0..n {
-            prop_assert!(g.head_bridge.degree(u) <= budget);
-            prop_assert!(g.tail_bridge.degree(u) <= budget);
+            assert!(g.head_bridge.degree(u) <= budget);
+            assert!(g.tail_bridge.degree(u) <= budget);
             for &v in g.head_bridge.row_indices(u) {
-                prop_assert!(heads.contains(&v));
-                prop_assert!(v as usize != u);
+                assert!(heads.contains(&v));
+                assert!(v as usize != u);
             }
             for &v in g.tail_bridge.row_indices(u) {
-                prop_assert!(!heads.contains(&v));
-                prop_assert!(v as usize != u);
+                assert!(!heads.contains(&v));
+                assert!(v as usize != u);
             }
         }
     }

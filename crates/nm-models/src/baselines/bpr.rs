@@ -8,9 +8,8 @@ use crate::{CdrModel, CdrTask, Domain};
 use nm_autograd::{Tape, Var};
 use nm_data::batch::Batch;
 use nm_nn::{Embedding, Module, Param};
+use nm_tensor::rng::{Rng, SeedableRng, StdRng};
 use nm_tensor::TensorRng;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::rc::Rc;
 
 /// Per-domain MF + BPR pairwise loss.
@@ -97,13 +96,7 @@ impl CdrModel for BprModel {
         tape.add(la, lb)
     }
 
-    fn forward_logits(
-        &self,
-        tape: &mut Tape,
-        domain: Domain,
-        users: &[u32],
-        items: &[u32],
-    ) -> Var {
+    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var {
         let (ue, ie) = self.tables(domain);
         let u = ue.lookup(tape, Rc::new(users.to_vec()));
         let v = ie.lookup(tape, Rc::new(items.to_vec()));
@@ -113,6 +106,25 @@ impl CdrModel for BprModel {
     fn eval_scores(&self, domain: Domain, users: &[u32], items: &[u32]) -> Vec<f32> {
         let (ue, ie) = self.tables(domain);
         dot_scores(&ue.table_value(), &ie.table_value(), users, items)
+    }
+}
+
+impl nm_serve::FrozenModel for BprModel {
+    /// Dot-head snapshot over the raw embedding tables — the exact
+    /// tables `eval_scores` reads, so serving is bit-for-bit identical.
+    fn export_frozen(&mut self) -> nm_serve::Snapshot {
+        let mk = |d: Domain| {
+            let (ue, ie) = self.tables(d);
+            nm_serve::DomainSnapshot {
+                users: ue.table_value(),
+                items: ie.table_value(),
+                head: nm_serve::HeadKind::Dot,
+            }
+        };
+        nm_serve::Snapshot {
+            model: "BPR".into(),
+            domains: [mk(Domain::A), mk(Domain::B)],
+        }
     }
 }
 

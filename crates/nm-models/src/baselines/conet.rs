@@ -64,8 +64,22 @@ impl CoNetModel {
         let g = self.index.map(domain, users);
         let u = self.users.lookup(tape, Rc::new(g));
         let (ie, l1, l2, l1o, l2o, out) = match domain {
-            Domain::A => (&self.item_a, &self.l1_a, &self.l2_a, &self.l1_b, &self.l2_b, &self.out_a),
-            Domain::B => (&self.item_b, &self.l1_b, &self.l2_b, &self.l1_a, &self.l2_a, &self.out_b),
+            Domain::A => (
+                &self.item_a,
+                &self.l1_a,
+                &self.l2_a,
+                &self.l1_b,
+                &self.l2_b,
+                &self.out_a,
+            ),
+            Domain::B => (
+                &self.item_b,
+                &self.l1_b,
+                &self.l2_b,
+                &self.l1_a,
+                &self.l2_a,
+                &self.out_b,
+            ),
         };
         let v = ie.lookup(tape, Rc::new(items.to_vec()));
         let x = tape.concat_cols(u, v);
@@ -115,13 +129,7 @@ impl CdrModel for CoNetModel {
         &self.task
     }
 
-    fn forward_logits(
-        &self,
-        tape: &mut Tape,
-        domain: Domain,
-        users: &[u32],
-        items: &[u32],
-    ) -> Var {
+    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var {
         self.forward(tape, domain, users, items)
     }
 

@@ -78,7 +78,7 @@ impl DmlModel {
         let ub_ov = tape.gather_rows(ub, Rc::clone(&self.ov_b));
         let a_from_b = tape.matmul(ub_ov, m);
         let b_from_a = tape.matmul(ua_ov, m); // u_A M
-        // scatter averaged rows back: enhanced = 0.5 own + 0.5 mapped
+                                              // scatter averaged rows back: enhanced = 0.5 own + 0.5 mapped
         let half_own_a = tape.gather_rows(ua, Rc::clone(&self.ov_a));
         let avg_a = tape.add(half_own_a, a_from_b);
         let avg_a = tape.scale(avg_a, 0.5);
@@ -180,13 +180,7 @@ impl CdrModel for DmlModel {
         tape.add(total, pen)
     }
 
-    fn forward_logits(
-        &self,
-        tape: &mut Tape,
-        domain: Domain,
-        users: &[u32],
-        items: &[u32],
-    ) -> Var {
+    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var {
         let (ea, eb) = self.enhanced_tables(tape);
         let (uf, ie) = match domain {
             Domain::A => (ea, &self.item_a),

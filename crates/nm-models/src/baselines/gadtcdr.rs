@@ -125,7 +125,12 @@ impl GaDtcdrModel {
     fn propagate(&self, tape: &mut Tape) -> (Var, Var, Var, Var) {
         let (ua, va) = self.encode(tape, Domain::A);
         let (ub, vb) = self.encode(tape, Domain::B);
-        let fuse = |tape: &mut Tape, own: Var, other: Var, att: &Param, map: &Rc<Vec<u32>>, mask: &Tensor| {
+        let fuse = |tape: &mut Tape,
+                    own: Var,
+                    other: Var,
+                    att: &Param,
+                    map: &Rc<Vec<u32>>,
+                    mask: &Tensor| {
             let other_aligned = tape.gather_rows(other, Rc::clone(map));
             let a_logit = att.bind(tape);
             let a = tape.sigmoid(a_logit); // 1 x dim, broadcast
@@ -188,13 +193,7 @@ impl CdrModel for GaDtcdrModel {
         &self.task
     }
 
-    fn forward_logits(
-        &self,
-        tape: &mut Tape,
-        domain: Domain,
-        users: &[u32],
-        items: &[u32],
-    ) -> Var {
+    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var {
         self.forward(tape, domain, users, items)
     }
 

@@ -77,8 +77,7 @@ impl HeroGraphModel {
         let adj_t = Rc::new(adj.transpose());
         let gmap_user_a = Rc::new(index.a_to_global.clone());
         let gmap_user_b = Rc::new(index.b_to_global.clone());
-        let gmap_item_a: Rc<Vec<u32>> =
-            Rc::new((0..n_ia).map(|i| (n_users + i) as u32).collect());
+        let gmap_item_a: Rc<Vec<u32>> = Rc::new((0..n_ia).map(|i| (n_users + i) as u32).collect());
         let gmap_item_b: Rc<Vec<u32>> =
             Rc::new((0..n_ib).map(|i| (n_users + n_ia + i) as u32).collect());
         Self {
@@ -89,8 +88,18 @@ impl HeroGraphModel {
             item_b: Embedding::new("hero.ib", n_ib, dim, 0.1, &mut rng),
             enc1: Linear::new("hero.enc1", dim, dim, &mut rng),
             enc2: Linear::new("hero.enc2", dim, dim, &mut rng),
-            head_a: Mlp::new("hero.head_a", &[2 * dim, dim, 1], Activation::Relu, &mut rng),
-            head_b: Mlp::new("hero.head_b", &[2 * dim, dim, 1], Activation::Relu, &mut rng),
+            head_a: Mlp::new(
+                "hero.head_a",
+                &[2 * dim, dim, 1],
+                Activation::Relu,
+                &mut rng,
+            ),
+            head_b: Mlp::new(
+                "hero.head_b",
+                &[2 * dim, dim, 1],
+                Activation::Relu,
+                &mut rng,
+            ),
             adj,
             adj_t,
             gmap_user_a,
@@ -124,8 +133,18 @@ impl HeroGraphModel {
     /// Final `(user_table, item_table)` for a domain: local + global.
     fn tables_for(&self, tape: &mut Tape, global_nodes: Var, domain: Domain) -> (Var, Var) {
         let (ue, ie, gu, gi) = match domain {
-            Domain::A => (&self.user_a, &self.item_a, &self.gmap_user_a, &self.gmap_item_a),
-            Domain::B => (&self.user_b, &self.item_b, &self.gmap_user_b, &self.gmap_item_b),
+            Domain::A => (
+                &self.user_a,
+                &self.item_a,
+                &self.gmap_user_a,
+                &self.gmap_item_a,
+            ),
+            Domain::B => (
+                &self.user_b,
+                &self.item_b,
+                &self.gmap_user_b,
+                &self.gmap_item_b,
+            ),
         };
         let local_u = ue.full(tape);
         let local_i = ie.full(tape);
@@ -177,13 +196,7 @@ impl CdrModel for HeroGraphModel {
         &self.task
     }
 
-    fn forward_logits(
-        &self,
-        tape: &mut Tape,
-        domain: Domain,
-        users: &[u32],
-        items: &[u32],
-    ) -> Var {
+    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var {
         self.forward(tape, domain, users, items)
     }
 
@@ -211,6 +224,29 @@ impl CdrModel for HeroGraphModel {
             let x = tape.concat_cols(u, v);
             head.forward(tape, x)
         })
+    }
+}
+
+impl nm_serve::FrozenModel for HeroGraphModel {
+    /// Exports the *propagated* tables (local + gathered global rows)
+    /// plus the per-domain prediction MLPs — the same cache + head that
+    /// `eval_scores` uses, so serving matches offline eval bit-for-bit.
+    fn export_frozen(&mut self) -> nm_serve::Snapshot {
+        self.prepare_eval();
+        let cache = self.cache.borrow();
+        let c = cache.as_ref().expect("prepare_eval just ran");
+        let mk = |u: &Tensor, v: &Tensor, head: &Mlp| nm_serve::DomainSnapshot {
+            users: u.clone(),
+            items: v.clone(),
+            head: nm_serve::HeadKind::Mlp(nm_serve::MlpHead::from_mlp(head)),
+        };
+        nm_serve::Snapshot {
+            model: "HeroGraph".into(),
+            domains: [
+                mk(&c.user_a, &c.item_a, &self.head_a),
+                mk(&c.user_b, &c.item_b, &self.head_b),
+            ],
+        }
     }
 }
 
@@ -245,7 +281,9 @@ mod tests {
         let n_users = m.index.n_global;
         let n_ia = t.split_a.n_items;
         let neighbors = m.adj.row_indices(gu);
-        let has_a = neighbors.iter().any(|&x| (x as usize) >= n_users && (x as usize) < n_users + n_ia);
+        let has_a = neighbors
+            .iter()
+            .any(|&x| (x as usize) >= n_users && (x as usize) < n_users + n_ia);
         let has_b = neighbors.iter().any(|&x| (x as usize) >= n_users + n_ia);
         assert!(has_a && has_b, "overlapped user should bridge both domains");
     }

@@ -69,13 +69,7 @@ impl CdrModel for LrModel {
         &self.task
     }
 
-    fn forward_logits(
-        &self,
-        tape: &mut Tape,
-        domain: Domain,
-        users: &[u32],
-        items: &[u32],
-    ) -> Var {
+    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var {
         let t = self.tower(domain);
         let u = t.users.lookup(tape, Rc::new(users.to_vec()));
         let v = t.items.lookup(tape, Rc::new(items.to_vec()));

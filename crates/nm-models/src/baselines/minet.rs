@@ -51,8 +51,18 @@ impl MiNetModel {
         let item_a = Embedding::new("minet.ia", task.split_a.n_items, dim, 0.1, &mut rng);
         let item_b = Embedding::new("minet.ib", task.split_b.n_items, dim, 0.1, &mut rng);
         let att = Linear::new("minet.att", 3 * dim, 3, &mut rng);
-        let head_a = Mlp::new("minet.head_a", &[4 * dim, dim, 1], Activation::Relu, &mut rng);
-        let head_b = Mlp::new("minet.head_b", &[4 * dim, dim, 1], Activation::Relu, &mut rng);
+        let head_a = Mlp::new(
+            "minet.head_a",
+            &[4 * dim, dim, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        let head_b = Mlp::new(
+            "minet.head_b",
+            &[4 * dim, dim, 1],
+            Activation::Relu,
+            &mut rng,
+        );
         // Precompute alignment gather maps + masks. Unaligned users
         // gather row NO_ALIGN and are masked to zero.
         let mut cross_a = Vec::with_capacity(task.split_a.n_users);
@@ -172,13 +182,7 @@ impl CdrModel for MiNetModel {
         &self.task
     }
 
-    fn forward_logits(
-        &self,
-        tape: &mut Tape,
-        domain: Domain,
-        users: &[u32],
-        items: &[u32],
-    ) -> Var {
+    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var {
         self.forward(tape, domain, users, items)
     }
 

@@ -89,8 +89,18 @@ impl MmoeModel {
         let bank = ExpertBank::new("mmoe", n_experts, 2 * dim, dim, &mut rng);
         let gate_a = Linear::new("mmoe.gate_a", 2 * dim, n_experts, &mut rng);
         let gate_b = Linear::new("mmoe.gate_b", 2 * dim, n_experts, &mut rng);
-        let tower_a = Mlp::new("mmoe.tower_a", &[dim, dim / 2, 1], Activation::Relu, &mut rng);
-        let tower_b = Mlp::new("mmoe.tower_b", &[dim, dim / 2, 1], Activation::Relu, &mut rng);
+        let tower_a = Mlp::new(
+            "mmoe.tower_a",
+            &[dim, dim / 2, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        let tower_b = Mlp::new(
+            "mmoe.tower_b",
+            &[dim, dim / 2, 1],
+            Activation::Relu,
+            &mut rng,
+        );
         Self {
             task,
             index,
@@ -144,13 +154,7 @@ impl CdrModel for MmoeModel {
         &self.task
     }
 
-    fn forward_logits(
-        &self,
-        tape: &mut Tape,
-        domain: Domain,
-        users: &[u32],
-        items: &[u32],
-    ) -> Var {
+    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var {
         self.forward(tape, domain, users, items)
     }
 

@@ -94,13 +94,7 @@ impl CdrModel for NeuMfModel {
         &self.task
     }
 
-    fn forward_logits(
-        &self,
-        tape: &mut Tape,
-        domain: Domain,
-        users: &[u32],
-        items: &[u32],
-    ) -> Var {
+    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var {
         self.tower(domain)
             .forward(tape, Rc::new(users.to_vec()), Rc::new(items.to_vec()))
     }

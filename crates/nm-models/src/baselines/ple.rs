@@ -43,8 +43,18 @@ impl PleModel {
         let n_mix = 2 * experts_per_group;
         let gate_a = Linear::new("ple.gate_a", 2 * dim, n_mix, &mut rng);
         let gate_b = Linear::new("ple.gate_b", 2 * dim, n_mix, &mut rng);
-        let tower_a = Mlp::new("ple.tower_a", &[dim, dim / 2, 1], Activation::Relu, &mut rng);
-        let tower_b = Mlp::new("ple.tower_b", &[dim, dim / 2, 1], Activation::Relu, &mut rng);
+        let tower_a = Mlp::new(
+            "ple.tower_a",
+            &[dim, dim / 2, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        let tower_b = Mlp::new(
+            "ple.tower_b",
+            &[dim, dim / 2, 1],
+            Activation::Relu,
+            &mut rng,
+        );
         Self {
             task,
             index,
@@ -103,13 +113,7 @@ impl CdrModel for PleModel {
         &self.task
     }
 
-    fn forward_logits(
-        &self,
-        tape: &mut Tape,
-        domain: Domain,
-        users: &[u32],
-        items: &[u32],
-    ) -> Var {
+    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var {
         self.forward(tape, domain, users, items)
     }
 

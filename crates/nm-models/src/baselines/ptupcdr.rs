@@ -48,8 +48,18 @@ impl PtupcdrModel {
             item_a: Embedding::new("ptup.ia", task.split_a.n_items, dim, 0.1, &mut rng),
             user_b: Embedding::new("ptup.ub", task.split_b.n_users, dim, 0.1, &mut rng),
             item_b: Embedding::new("ptup.ib", task.split_b.n_items, dim, 0.1, &mut rng),
-            meta_ab: Mlp::new("ptup.meta_ab", &[dim, dim, 2 * dim], Activation::Relu, &mut rng),
-            meta_ba: Mlp::new("ptup.meta_ba", &[dim, dim, 2 * dim], Activation::Relu, &mut rng),
+            meta_ab: Mlp::new(
+                "ptup.meta_ab",
+                &[dim, dim, 2 * dim],
+                Activation::Relu,
+                &mut rng,
+            ),
+            meta_ba: Mlp::new(
+                "ptup.meta_ba",
+                &[dim, dim, 2 * dim],
+                Activation::Relu,
+                &mut rng,
+            ),
             transfer_weight: 1.0,
             ov_a: Rc::new(ov_a),
             ov_b: Rc::new(ov_b),
@@ -218,13 +228,7 @@ impl CdrModel for PtupcdrModel {
         total
     }
 
-    fn forward_logits(
-        &self,
-        tape: &mut Tape,
-        domain: Domain,
-        users: &[u32],
-        items: &[u32],
-    ) -> Var {
+    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var {
         let (ue, ie) = self.tables(domain);
         let u = ue.lookup(tape, Rc::new(users.to_vec()));
         let v = ie.lookup(tape, Rc::new(items.to_vec()));

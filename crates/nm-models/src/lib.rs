@@ -42,4 +42,6 @@ pub use baselines::ptupcdr::PtupcdrModel;
 pub use common::SharedUserIndex;
 pub use model::{CdrModel, Domain};
 pub use task::{CdrTask, TaskConfig};
-pub use train::{evaluate_model, evaluate_model_valid, train_joint, EpochLog, TrainConfig, TrainStats};
+pub use train::{
+    evaluate_model, evaluate_model_valid, train_joint, EpochLog, TrainConfig, TrainStats,
+};

@@ -61,8 +61,7 @@ pub trait CdrModel: Module {
     }
 
     /// Logits for `(user, item)` pairs of `domain` on the tape.
-    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32])
-        -> Var;
+    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var;
 
     /// Mean BCE of this model's logits on a batch (helper for `loss`
     /// implementations).

@@ -86,16 +86,10 @@ impl CdrTask {
                 leave_one_out(&dataset.domain_b, config.min_train),
             )
         };
-        let graph_a = BipartiteGraph::from_interactions(
-            split_a.n_users,
-            split_a.n_items,
-            &split_a.train,
-        );
-        let graph_b = BipartiteGraph::from_interactions(
-            split_b.n_users,
-            split_b.n_items,
-            &split_b.train,
-        );
+        let graph_a =
+            BipartiteGraph::from_interactions(split_a.n_users, split_a.n_items, &split_a.train);
+        let graph_b =
+            BipartiteGraph::from_interactions(split_b.n_users, split_b.n_items, &split_b.train);
         let partition_a = HeadTailPartition::new(&graph_a.user_degrees(), config.k_head);
         let partition_b = HeadTailPartition::new(&graph_b.user_degrees(), config.k_head);
         let eval_a = eval_candidates(&split_a, config.eval_negatives, config.seed);

@@ -68,10 +68,7 @@ pub struct TrainStats {
 }
 
 /// Evaluates `model` on both domains' held-out candidates.
-pub fn evaluate_model(
-    model: &mut dyn CdrModel,
-    top_k: usize,
-) -> (RankingSummary, RankingSummary) {
+pub fn evaluate_model(model: &mut dyn CdrModel, top_k: usize) -> (RankingSummary, RankingSummary) {
     model.prepare_eval();
     let task = model.task().clone();
     let score_a =

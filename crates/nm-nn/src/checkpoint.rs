@@ -65,14 +65,59 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+/// Writes a `u32` little-endian (shared by the snapshot format in
+/// `nm-serve`).
+pub fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, CheckpointError> {
+/// Fills `buf`, turning a short read into a [`CheckpointError::Format`]
+/// — a truncated file is a corrupt file, not an I/O failure.
+fn read_exact_or_format<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), CheckpointError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CheckpointError::Format("truncated file".into())
+        } else {
+            CheckpointError::Io(e)
+        }
+    })
+}
+
+/// Reads a little-endian `u32` (shared by the snapshot format in
+/// `nm-serve`). Truncation is a `Format` error.
+pub fn read_u32<R: Read>(r: &mut R) -> Result<u32, CheckpointError> {
     let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
+    read_exact_or_format(r, &mut b)?;
     Ok(u32::from_le_bytes(b))
+}
+
+/// Writes a tensor as `rows u32, cols u32, rows*cols f32 LE`.
+pub fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> Result<(), CheckpointError> {
+    write_u32(w, t.rows() as u32)?;
+    write_u32(w, t.cols() as u32)?;
+    for x in t.data() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a tensor written by [`write_tensor`]. Truncation is a
+/// `Format` error.
+pub fn read_tensor<R: Read>(r: &mut R) -> Result<Tensor, CheckpointError> {
+    let rows = read_u32(r)? as usize;
+    let cols = read_u32(r)? as usize;
+    if rows.saturating_mul(cols) > 1 << 28 {
+        return Err(CheckpointError::Format(format!(
+            "unreasonable tensor shape {rows}x{cols}"
+        )));
+    }
+    let mut data = vec![0f32; rows * cols];
+    let mut buf = [0u8; 4];
+    for x in &mut data {
+        read_exact_or_format(r, &mut buf)?;
+        *x = f32::from_le_bytes(buf);
+    }
+    Tensor::from_vec(rows, cols, data).map_err(|e| CheckpointError::Format(e.to_string()))
 }
 
 /// Serializes parameters to a writer.
@@ -103,7 +148,7 @@ pub fn save_to_file(params: &[&Param], path: &Path) -> Result<(), CheckpointErro
 /// Reads a checkpoint into `(name, tensor)` pairs.
 pub fn read_checkpoint<R: Read>(r: &mut R) -> Result<Vec<(String, Tensor)>, CheckpointError> {
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    read_exact_or_format(r, &mut magic)?;
     if &magic != MAGIC {
         return Err(CheckpointError::Format("bad magic".into()));
     }
@@ -121,22 +166,10 @@ pub fn read_checkpoint<R: Read>(r: &mut R) -> Result<Vec<(String, Tensor)>, Chec
             return Err(CheckpointError::Format("unreasonable name length".into()));
         }
         let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
+        read_exact_or_format(r, &mut name)?;
         let name = String::from_utf8(name)
             .map_err(|_| CheckpointError::Format("non-utf8 parameter name".into()))?;
-        let rows = read_u32(r)? as usize;
-        let cols = read_u32(r)? as usize;
-        let mut data = vec![0f32; rows * cols];
-        let mut buf = [0u8; 4];
-        for x in &mut data {
-            r.read_exact(&mut buf)?;
-            *x = f32::from_le_bytes(buf);
-        }
-        out.push((
-            name,
-            Tensor::from_vec(rows, cols, data)
-                .map_err(|e| CheckpointError::Format(e.to_string()))?,
-        ));
+        out.push((name, read_tensor(r)?));
     }
     Ok(out)
 }
@@ -253,6 +286,33 @@ mod tests {
         let drefs: Vec<&Param> = dst.iter().collect();
         let err = load_params(&drefs, &mut buf.as_slice()).unwrap_err();
         assert!(matches!(err, CheckpointError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_format_error_at_every_length() {
+        let src = params();
+        let refs: Vec<&Param> = src.iter().collect();
+        let mut buf = Vec::new();
+        save_params(&refs, &mut buf).unwrap();
+        // Every strict prefix must fail with Format, never Io or panic.
+        for cut in [0, 2, 4, 7, 8, 11, 12, 20, buf.len() / 2, buf.len() - 1] {
+            let err = read_checkpoint(&mut &buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::Format(_)),
+                "cut at {cut}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_helper_roundtrip_and_truncation() {
+        let mut rng = TensorRng::seed_from(13);
+        let t = Tensor::randn(5, 3, 1.0, &mut rng);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t).unwrap();
+        assert_eq!(read_tensor(&mut buf.as_slice()).unwrap(), t);
+        let err = read_tensor(&mut &buf[..buf.len() - 2]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl Linear {
     /// Xavier-initialized linear layer.
     pub fn new(name: &str, fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> Self {
         Self {
-            w: Param::new(format!("{name}.w"), Tensor::xavier_uniform(fan_in, fan_out, rng)),
+            w: Param::new(
+                format!("{name}.w"),
+                Tensor::xavier_uniform(fan_in, fan_out, rng),
+            ),
             b: Some(Param::new(format!("{name}.b"), Tensor::zeros(1, fan_out))),
         }
     }
@@ -44,7 +47,10 @@ impl Linear {
     /// Without bias (the paper's Eq. 15 mixing matrices are bias-free).
     pub fn new_no_bias(name: &str, fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> Self {
         Self {
-            w: Param::new(format!("{name}.w"), Tensor::xavier_uniform(fan_in, fan_out, rng)),
+            w: Param::new(
+                format!("{name}.w"),
+                Tensor::xavier_uniform(fan_in, fan_out, rng),
+            ),
             b: None,
         }
     }
@@ -72,6 +78,11 @@ impl Linear {
     /// The weight parameter (for tests / inspection).
     pub fn weight(&self) -> &Param {
         &self.w
+    }
+
+    /// The bias parameter, if this layer has one (snapshot export).
+    pub fn bias(&self) -> Option<&Param> {
+        self.b.as_ref()
     }
 }
 
@@ -170,6 +181,11 @@ impl Mlp {
 
     pub fn n_layers(&self) -> usize {
         self.layers.len()
+    }
+
+    /// The activation applied between hidden layers (snapshot export).
+    pub fn hidden_act(&self) -> Activation {
+        self.hidden_act
     }
 }
 

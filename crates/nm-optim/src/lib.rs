@@ -151,7 +151,8 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t);
         let bc2 = 1.0 - self.beta2.powi(self.t);
         for (p, (m, v)) in params.iter().zip(self.state.iter_mut()) {
-            let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+            let (lr, b1, b2, eps, wd) =
+                (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
             p.update(|val, grad| {
                 let md = m.data_mut();
                 let vd = v.data_mut();

@@ -1,0 +1,622 @@
+//! The top-K retrieval engine.
+//!
+//! Architecture (see DESIGN.md "Serving"):
+//!
+//! * a persistent `std::thread` **worker pool**; each scoring pass
+//!   fans out over item **shards** that workers claim with an atomic
+//!   counter — finished workers steal remaining shards, so an uneven
+//!   shard (e.g. a cache-cold tail) never idles the rest of the pool;
+//! * a bounded per-domain **batching queue**: the first thread to
+//!   arrive becomes the batch leader, drains up to `batch_max`
+//!   concurrent same-domain requests, and serves them with one shared
+//!   pass over the item table; followers block until the leader posts
+//!   their result;
+//! * **deterministic top-K**: shard-local bounded selections merged
+//!   under the total order of [`nm_eval::rank_order`] (score
+//!   descending, then item id ascending), so results are independent
+//!   of shard boundaries, worker count, and batching;
+//! * a sharded **LRU cache** keyed by `(user, domain, k, epoch)`,
+//!   invalidated by bumping the epoch on snapshot reload.
+
+use crate::cache::{CacheKey, CachedList, ShardedLru};
+use crate::snapshot::Snapshot;
+use crate::stats::Stats;
+use nm_eval::harness::{rank_order, Scorer};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Scoring worker threads.
+    pub n_workers: usize,
+    /// Items per shard (work-stealing granule).
+    pub shard_items: usize,
+    /// Max same-domain requests coalesced into one scoring pass.
+    pub batch_max: usize,
+    /// Total cached recommendation lists (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Cache shard count.
+    pub cache_shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            n_workers: thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(1),
+            shard_items: 256,
+            batch_max: 8,
+            cache_capacity: 4096,
+            cache_shards: 8,
+        }
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Heap entry ordered by [`rank_order`]: `Greater` means *worse*
+/// ranked, so a max-heap's root is the worst retained candidate.
+struct HeapPair((u32, f32));
+
+impl PartialEq for HeapPair {
+    fn eq(&self, other: &Self) -> bool {
+        rank_order(&self.0, &other.0) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapPair {}
+
+impl PartialOrd for HeapPair {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapPair {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        rank_order(&self.0, &other.0)
+    }
+}
+
+/// A bounded top-K selector: a size-`k` max-heap (on *badness*) whose
+/// root is evicted whenever a better candidate arrives. `rank_order`'s
+/// item-id tie-break makes the retained set — not just its order —
+/// deterministic under score ties.
+struct BoundedTopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<HeapPair>,
+}
+
+impl BoundedTopK {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, pair: (u32, f32)) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapPair(pair));
+        } else if rank_order(&pair, &self.heap.peek().unwrap().0) == std::cmp::Ordering::Less {
+            self.heap.pop();
+            self.heap.push(HeapPair(pair));
+        }
+    }
+
+    /// The retained candidates, in no particular order.
+    fn into_unordered(self) -> impl Iterator<Item = (u32, f32)> {
+        self.heap.into_iter().map(|h| h.0)
+    }
+}
+
+struct PoolShared {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Fixed-size thread pool executing boxed jobs.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(n: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..n.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("nm-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let mut q = shared.jobs.lock().unwrap();
+                            loop {
+                                if let Some(job) = q.pop_front() {
+                                    break job;
+                                }
+                                if shared.shutdown.load(Ordering::Acquire) {
+                                    return;
+                                }
+                                q = shared.available.wait(q).unwrap();
+                            }
+                        };
+                        job();
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    fn submit(&self, job: Job) {
+        self.shared.jobs.lock().unwrap().push_back(job);
+        self.shared.available.notify_one();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A follower's rendezvous slot: the batch leader fills it.
+struct ReqSlot {
+    result: Mutex<Option<CachedList>>,
+    ready: Condvar,
+}
+
+impl ReqSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, value: CachedList) {
+        *self.result.lock().unwrap() = Some(value);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> CachedList {
+        let mut guard = self.result.lock().unwrap();
+        while guard.is_none() {
+            guard = self.ready.wait(guard).unwrap();
+        }
+        Arc::clone(guard.as_ref().unwrap())
+    }
+}
+
+struct Pending {
+    user: u32,
+    k: usize,
+    slot: Arc<ReqSlot>,
+}
+
+#[derive(Default)]
+struct DomainQueue {
+    pending: VecDeque<Pending>,
+    leader_active: bool,
+}
+
+/// Counts outstanding shard jobs of one scoring pass.
+struct Latch {
+    left: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(Self {
+            left: Mutex::new(n),
+            done: Condvar::new(),
+        })
+    }
+
+    fn count_down(&self) {
+        let mut left = self.left.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.left.lock().unwrap();
+        while *left > 0 {
+            left = self.done.wait(left).unwrap();
+        }
+    }
+}
+
+/// The online retrieval engine. Cheap to share: wrap in `Arc` and call
+/// [`Engine::topk`] from any number of threads.
+pub struct Engine {
+    snapshot: RwLock<Arc<Snapshot>>,
+    epoch: AtomicU64,
+    pool: WorkerPool,
+    queues: [Mutex<DomainQueue>; 2],
+    cache: Option<ShardedLru>,
+    stats: Arc<Stats>,
+    cfg: EngineConfig,
+}
+
+impl Engine {
+    pub fn new(snapshot: Snapshot, cfg: EngineConfig) -> Self {
+        snapshot.validate().expect("invalid snapshot");
+        let cache =
+            (cfg.cache_capacity > 0).then(|| ShardedLru::new(cfg.cache_capacity, cfg.cache_shards));
+        Self {
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            epoch: AtomicU64::new(0),
+            pool: WorkerPool::new(cfg.n_workers),
+            queues: [
+                Mutex::new(DomainQueue::default()),
+                Mutex::new(DomainQueue::default()),
+            ],
+            cache,
+            stats: Arc::new(Stats::new()),
+            cfg,
+        }
+    }
+
+    /// Shared observability counters.
+    pub fn stats(&self) -> &Arc<Stats> {
+        &self.stats
+    }
+
+    /// Current snapshot epoch (bumped on every [`Engine::reload`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The live snapshot.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().unwrap())
+    }
+
+    /// Swaps in a new snapshot, bumps the epoch, and clears the cache.
+    pub fn reload(&self, snapshot: Snapshot) {
+        snapshot.validate().expect("invalid snapshot");
+        *self.snapshot.write().unwrap() = Arc::new(snapshot);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        if let Some(c) = &self.cache {
+            c.clear();
+        }
+    }
+
+    /// Scores `(user, item)` pairs against the live snapshot — the
+    /// parity path audited by [`nm_eval::evaluate_ranking`].
+    pub fn score(&self, domain: usize, users: &[u32], items: &[u32]) -> Vec<f32> {
+        self.snapshot().score_pairs(domain, users, items)
+    }
+
+    /// A [`Scorer`] view of one domain, for offline metric audits.
+    pub fn scorer(&self, domain: usize) -> EngineScorer<'_> {
+        EngineScorer {
+            engine: self,
+            domain,
+        }
+    }
+
+    /// Top-`k` items of `domain` for `user` (score descending, ties by
+    /// item id). `(hit, list)` — `hit` reports whether the answer came
+    /// from the cache.
+    pub fn topk(&self, domain: usize, user: u32, k: usize) -> (bool, CachedList) {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.epoch();
+        let key = CacheKey {
+            user,
+            domain: domain as u8,
+            k: k as u32,
+            epoch,
+        };
+        if let Some(c) = &self.cache {
+            if let Some(hit) = c.get(&key) {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return (true, hit);
+            }
+            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = ReqSlot::new();
+        let become_leader = {
+            let mut q = self.queues[domain].lock().unwrap();
+            q.pending.push_back(Pending {
+                user,
+                k,
+                slot: Arc::clone(&slot),
+            });
+            if q.leader_active {
+                false
+            } else {
+                q.leader_active = true;
+                true
+            }
+        };
+        if become_leader {
+            self.lead_batches(domain, epoch);
+        }
+        (false, slot.wait())
+    }
+
+    /// Batch leader loop: drain the domain queue in `batch_max` chunks
+    /// until it is empty, then hand leadership back.
+    fn lead_batches(&self, domain: usize, epoch: u64) {
+        loop {
+            let batch: Vec<Pending> = {
+                let mut q = self.queues[domain].lock().unwrap();
+                let n = q.pending.len().min(self.cfg.batch_max);
+                if n == 0 {
+                    q.leader_active = false;
+                    return;
+                }
+                q.pending.drain(..n).collect()
+            };
+            self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            if batch.len() > 1 {
+                self.stats
+                    .coalesced
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            }
+            let results = self.run_batch(domain, &batch);
+            for (req, list) in batch.iter().zip(results) {
+                if let Some(c) = &self.cache {
+                    c.insert(
+                        CacheKey {
+                            user: req.user,
+                            domain: domain as u8,
+                            k: req.k as u32,
+                            epoch,
+                        },
+                        Arc::clone(&list),
+                    );
+                }
+                req.slot.fill(list);
+            }
+        }
+    }
+
+    /// One shared scoring pass: every worker claims item shards off an
+    /// atomic counter and, per shard, scores *all* batched users over
+    /// that item block (one streaming read of the block serves the
+    /// whole batch).
+    fn run_batch(&self, domain: usize, batch: &[Pending]) -> Vec<CachedList> {
+        let snap = self.snapshot();
+        let n_items = snap.n_items(domain);
+        if n_items == 0 {
+            return batch.iter().map(|_| Arc::new(Vec::new())).collect();
+        }
+        let shard_items = self.cfg.shard_items.max(1);
+        let n_shards = n_items.div_ceil(shard_items);
+        let k_max = batch.iter().map(|r| r.k).max().unwrap_or(0).min(n_items);
+        let users: Vec<u32> = batch.iter().map(|r| r.user).collect();
+
+        // Per-request candidate pools; each shard contributes at most
+        // k_max pairs per request, appended under a short lock.
+        let candidates: Arc<Vec<Mutex<Vec<(u32, f32)>>>> =
+            Arc::new(users.iter().map(|_| Mutex::new(Vec::new())).collect());
+        let next_shard = Arc::new(AtomicUsize::new(0));
+        let n_jobs = self.cfg.n_workers.min(n_shards).max(1);
+        let latch = Latch::new(n_jobs);
+
+        for _ in 0..n_jobs {
+            let snap = Arc::clone(&snap);
+            let users = users.clone();
+            let candidates = Arc::clone(&candidates);
+            let next_shard = Arc::clone(&next_shard);
+            let latch = Arc::clone(&latch);
+            self.pool.submit(Box::new(move || {
+                let mut scores = vec![0.0f32; shard_items];
+                loop {
+                    let s = next_shard.fetch_add(1, Ordering::Relaxed);
+                    if s >= n_shards {
+                        break;
+                    }
+                    let lo = s * shard_items;
+                    let hi = (lo + shard_items).min(n_items);
+                    for (r, &user) in users.iter().enumerate() {
+                        let out = &mut scores[..hi - lo];
+                        snap.score_user_range(domain, user, lo, hi, out);
+                        let mut local = BoundedTopK::new(k_max);
+                        for (j, &sc) in out.iter().enumerate() {
+                            local.push(((lo + j) as u32, sc));
+                        }
+                        candidates[r].lock().unwrap().extend(local.into_unordered());
+                    }
+                }
+                latch.count_down();
+            }));
+        }
+        latch.wait();
+
+        batch
+            .iter()
+            .enumerate()
+            .map(|(r, req)| {
+                let mut pool = candidates[r].lock().unwrap();
+                // Shard append order varies with scheduling; the total
+                // order of rank_order makes the final sort canonical.
+                pool.sort_by(rank_order);
+                pool.truncate(req.k);
+                Arc::new(std::mem::take(&mut *pool))
+            })
+            .collect()
+    }
+}
+
+/// Borrowed [`Scorer`] over one domain of an [`Engine`].
+pub struct EngineScorer<'a> {
+    engine: &'a Engine,
+    domain: usize,
+}
+
+impl Scorer for EngineScorer<'_> {
+    fn score(&self, users: &[u32], items: &[u32]) -> Vec<f32> {
+        self.engine.score(self.domain, users, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{DomainSnapshot, HeadKind};
+    use nm_eval::harness::top_k;
+    use nm_tensor::{Tensor, TensorRng};
+
+    #[test]
+    fn bounded_heap_matches_sorting_top_k() {
+        let mut rng = TensorRng::seed_from(3);
+        for k in [0usize, 1, 5, 50, 500] {
+            // include duplicated scores to exercise the id tie-break
+            let pairs: Vec<(u32, f32)> = (0..200u32)
+                .map(|i| (i, (rng.uniform(0.0, 8.0)).floor()))
+                .collect();
+            let want = top_k(&pairs, k);
+            let mut heap = BoundedTopK::new(k);
+            for &p in &pairs {
+                heap.push(p);
+            }
+            let mut got: Vec<(u32, f32)> = heap.into_unordered().collect();
+            got.sort_by(rank_order);
+            assert_eq!(got, want, "k={k}");
+        }
+    }
+
+    fn snapshot(n_items: usize, seed: u64) -> Snapshot {
+        let mut rng = TensorRng::seed_from(seed);
+        let mk = |rng: &mut TensorRng| DomainSnapshot {
+            users: Tensor::randn(10, 6, 1.0, rng),
+            items: Tensor::randn(n_items, 6, 1.0, rng),
+            head: HeadKind::Dot,
+        };
+        Snapshot {
+            model: "test".into(),
+            domains: [mk(&mut rng), mk(&mut rng)],
+        }
+    }
+
+    fn engine(n_items: usize, workers: usize) -> Engine {
+        Engine::new(
+            snapshot(n_items, 7),
+            EngineConfig {
+                n_workers: workers,
+                shard_items: 16,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Reference: brute-force top-k from score_pairs.
+    fn reference_topk(e: &Engine, domain: usize, user: u32, k: usize) -> Vec<(u32, f32)> {
+        let snap = e.snapshot();
+        let n = snap.n_items(domain);
+        let items: Vec<u32> = (0..n as u32).collect();
+        let scores = snap.score_pairs(domain, &vec![user; n], &items);
+        let pairs: Vec<(u32, f32)> = items.into_iter().zip(scores).collect();
+        top_k(&pairs, k)
+    }
+
+    #[test]
+    fn topk_matches_bruteforce_across_shard_boundaries() {
+        for workers in [1, 4] {
+            let e = engine(100, workers);
+            for domain in 0..2 {
+                for user in [0u32, 3, 9] {
+                    for k in [1, 7, 16, 100, 500] {
+                        let (_, got) = e.topk(domain, user, k);
+                        let want = reference_topk(&e, domain, user, k);
+                        assert_eq!(*got, want, "w={workers} d={domain} u={user} k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_misses_after_reload() {
+        let e = engine(64, 2);
+        let (hit1, first) = e.topk(0, 1, 5);
+        assert!(!hit1);
+        let (hit2, second) = e.topk(0, 1, 5);
+        assert!(hit2, "second identical query must be a cache hit");
+        assert_eq!(first, second);
+        assert_eq!(e.stats().cache_hits.load(Ordering::Relaxed), 1);
+
+        e.reload(snapshot(64, 99));
+        assert_eq!(e.epoch(), 1);
+        let (hit3, third) = e.topk(0, 1, 5);
+        assert!(!hit3, "reload must invalidate the cache");
+        // different snapshot ⇒ (almost surely) different list
+        assert_ne!(first, third);
+    }
+
+    #[test]
+    fn concurrent_requests_are_coalesced_and_correct() {
+        let e = Arc::new(Engine::new(
+            snapshot(200, 5),
+            EngineConfig {
+                n_workers: 2,
+                shard_items: 32,
+                cache_capacity: 0, // force every request through scoring
+                ..Default::default()
+            },
+        ));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let e = Arc::clone(&e);
+            handles.push(thread::spawn(move || {
+                let user = t % 10;
+                let (_, got) = e.topk(0, user, 10);
+                (user, got)
+            }));
+        }
+        for h in handles {
+            let (user, got) = h.join().unwrap();
+            let want = reference_topk(&e, 0, user, 10);
+            assert_eq!(*got, want, "user {user}");
+        }
+        // all requests accounted for
+        assert_eq!(e.stats().requests.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn scorer_view_matches_snapshot_pairs() {
+        let e = engine(30, 1);
+        let users = vec![2u32; 30];
+        let items: Vec<u32> = (0..30).collect();
+        let via_scorer = e.scorer(1).score(&users, &items);
+        let via_snapshot = e.snapshot().score_pairs(1, &users, &items);
+        assert_eq!(via_scorer, via_snapshot);
+    }
+
+    #[test]
+    fn k_larger_than_catalog_returns_all_items() {
+        let e = engine(12, 2);
+        let (_, list) = e.topk(0, 0, 100);
+        assert_eq!(list.len(), 12);
+        // sorted by rank_order
+        for w in list.windows(2) {
+            assert!(rank_order(&w[0], &w[1]) != std::cmp::Ordering::Greater);
+        }
+    }
+}

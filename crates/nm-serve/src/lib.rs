@@ -1,0 +1,32 @@
+//! # nm-serve — online inference & top-K retrieval
+//!
+//! Serving layer for trained NMCDR models and baselines:
+//!
+//! * [`snapshot`] — a frozen, versioned binary export (`NMSS`) of the
+//!   user/item embedding tables and prediction heads, produced from a
+//!   trained model via the [`FrozenModel`] trait;
+//! * [`engine`] — a batched, multi-threaded top-K scoring engine with
+//!   work-stealing over item shards, request coalescing, and a sharded
+//!   LRU result cache;
+//! * [`server`] + [`protocol`] — a `std::net` TCP server speaking
+//!   newline-delimited JSON;
+//! * [`stats`] — QPS counters and latency histograms;
+//! * [`json`] — the dependency-free JSON used on the wire.
+//!
+//! Everything is `std`-only; the crate adds no external dependencies.
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+pub mod stats;
+
+pub use cache::{CacheKey, CachedList, ShardedLru};
+pub use engine::{Engine, EngineConfig, EngineScorer};
+pub use json::Json;
+pub use protocol::Request;
+pub use server::{Server, ServerConfig};
+pub use snapshot::{DomainSnapshot, FrozenModel, HeadKind, MlpHead, Snapshot};
+pub use stats::{LatencyHistogram, Stats};

@@ -1,0 +1,366 @@
+//! TCP front end: newline-delimited JSON over `std::net`.
+//!
+//! An accept loop hands each connection to a handler thread; a
+//! connection-slot semaphore bounds concurrency, and each request gets
+//! a soft deadline — answers computed past it are replaced by an error
+//! so a slow pass cannot wedge clients that already gave up.
+
+use crate::engine::Engine;
+use crate::protocol::{self, Request};
+use crate::snapshot::Snapshot;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Max concurrently served connections; excess block in accept.
+    pub max_conns: usize,
+    /// Soft per-request deadline.
+    pub deadline: Duration,
+    /// Read timeout on idle client connections.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_conns: 64,
+            deadline: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Counting semaphore for connection slots (also used to drain on stop).
+struct ConnSlots {
+    active: Mutex<usize>,
+    changed: Condvar,
+    max: usize,
+}
+
+impl ConnSlots {
+    fn acquire(&self) {
+        let mut n = self.active.lock().unwrap();
+        while *n >= self.max {
+            n = self.changed.wait(n).unwrap();
+        }
+        *n += 1;
+    }
+
+    fn release(&self) {
+        *self.active.lock().unwrap() -= 1;
+        self.changed.notify_all();
+    }
+
+    fn wait_idle(&self) {
+        let mut n = self.active.lock().unwrap();
+        while *n > 0 {
+            n = self.changed.wait(n).unwrap();
+        }
+    }
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    cfg: ServerConfig,
+    stopping: AtomicBool,
+    slots: ConnSlots,
+    addr: Mutex<Option<SocketAddr>>,
+}
+
+/// A running server. Dropping it (or calling [`Server::stop`]) shuts
+/// the listener down and drains in-flight connections.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `bind` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop.
+    pub fn start(engine: Arc<Engine>, bind: &str, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            slots: ConnSlots {
+                active: Mutex::new(0),
+                changed: Condvar::new(),
+                max: cfg.max_conns.max(1),
+            },
+            cfg,
+            stopping: AtomicBool::new(false),
+            addr: Mutex::new(Some(addr)),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("nm-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Server {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a `shutdown` request has been received.
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the accept loop exits (after a `shutdown` request
+    /// or [`Server::stop`]).
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.shared.slots.wait_idle();
+    }
+
+    /// Initiates shutdown and drains: stops accepting, wakes the accept
+    /// loop with a loopback connection, and waits for in-flight
+    /// connections to finish.
+    pub fn stop(&mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        // The accept loop blocks in accept(); poke it so it re-checks
+        // the flag. Error is fine — it may have already exited.
+        let _ = TcpStream::connect(self.addr);
+        self.wait();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.slots.acquire();
+        if shared.stopping.load(Ordering::Acquire) {
+            shared.slots.release();
+            break;
+        }
+        let conn_shared = Arc::clone(&shared);
+        let spawned = thread::Builder::new()
+            .name("nm-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &conn_shared);
+                conn_shared.slots.release();
+            });
+        if spawned.is_err() {
+            shared.slots.release();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(shared.cfg.idle_timeout))?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let (response, shutdown) = dispatch(&line, shared, started);
+        shared.engine.stats().latency.record(started.elapsed());
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown || shared.stopping.load(Ordering::Acquire) {
+            // Wake the accept loop (it blocks in accept()) so it
+            // observes the stop flag and exits.
+            if let Some(addr) = *shared.addr.lock().unwrap() {
+                let _ = TcpStream::connect(addr);
+            }
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Handles one request line; returns `(response, shutdown_requested)`.
+fn dispatch(line: &str, shared: &Shared, started: Instant) -> (String, bool) {
+    let stats = shared.engine.stats();
+    let req = match protocol::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            return (protocol::encode_error(&e), false);
+        }
+    };
+    let response = match req {
+        Request::TopK { user, domain, k } => {
+            // engine.topk counts the request itself on the happy path
+            if user >= shared.engine.snapshot().n_users(domain) as u32 {
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                protocol::encode_error(&format!("unknown user {user}"))
+            } else {
+                let (cached, list) = shared.engine.topk(domain, user, k);
+                if started.elapsed() > shared.cfg.deadline {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    protocol::encode_error("deadline exceeded")
+                } else {
+                    protocol::encode_topk_response(user, domain, cached, &list)
+                }
+            }
+        }
+        Request::Score {
+            user,
+            domain,
+            items,
+        } => {
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            let snap = shared.engine.snapshot();
+            let n_items = snap.n_items(domain) as u32;
+            if user >= snap.n_users(domain) as u32 {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                protocol::encode_error(&format!("unknown user {user}"))
+            } else if let Some(bad) = items.iter().find(|&&i| i >= n_items) {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                protocol::encode_error(&format!("unknown item {bad}"))
+            } else {
+                let users = vec![user; items.len()];
+                let scores = snap.score_pairs(domain, &users, &items);
+                protocol::encode_scores_response(user, domain, &scores)
+            }
+        }
+        Request::Stats => {
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            protocol::encode_ok(vec![("stats".into(), stats.to_json())])
+        }
+        Request::Reload { path } => {
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            match Snapshot::load_from_file(std::path::Path::new(&path)) {
+                Ok(snap) => {
+                    shared.engine.reload(snap);
+                    protocol::encode_ok(vec![(
+                        "epoch".into(),
+                        crate::json::Json::Num(shared.engine.epoch() as f64),
+                    )])
+                }
+                Err(e) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    protocol::encode_error(&format!("reload failed: {e}"))
+                }
+            }
+        }
+        Request::Shutdown => {
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            shared.stopping.store(true, Ordering::Release);
+            return (protocol::encode_ok(vec![]), true);
+        }
+    };
+    (response, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::json::Json;
+    use crate::snapshot::{DomainSnapshot, HeadKind};
+    use nm_tensor::{Tensor, TensorRng};
+
+    fn test_server() -> Server {
+        let mut rng = TensorRng::seed_from(11);
+        let mk = |rng: &mut TensorRng| DomainSnapshot {
+            users: Tensor::randn(8, 4, 1.0, rng),
+            items: Tensor::randn(40, 4, 1.0, rng),
+            head: HeadKind::Dot,
+        };
+        let snap = Snapshot {
+            model: "test".into(),
+            domains: [mk(&mut rng), mk(&mut rng)],
+        };
+        let engine = Arc::new(Engine::new(
+            snap,
+            EngineConfig {
+                n_workers: 2,
+                ..Default::default()
+            },
+        ));
+        Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap()
+    }
+
+    fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<Json> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut out = Vec::new();
+        for l in lines {
+            writer.write_all(l.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            out.push(Json::parse(resp.trim()).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn serves_topk_stats_and_errors_over_tcp() {
+        let mut server = test_server();
+        let addr = server.local_addr();
+        let resps = roundtrip(
+            addr,
+            &[
+                r#"{"op":"topk","user":3,"domain":"a","k":5}"#,
+                r#"{"op":"topk","user":3,"domain":"a","k":5}"#,
+                r#"{"op":"score","user":3,"domain":"a","items":[0,1,2]}"#,
+                r#"{"op":"topk","user":999,"domain":"a","k":5}"#,
+                "this is not json",
+                r#"{"op":"stats"}"#,
+            ],
+        );
+        assert_eq!(resps[0].get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(resps[0].get("items").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(resps[0].get("cached").unwrap().as_bool(), Some(false));
+        // identical query: served from cache, same items
+        assert_eq!(resps[1].get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            resps[0].get("items").unwrap(),
+            resps[1].get("items").unwrap()
+        );
+        assert_eq!(resps[2].get("scores").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(resps[3].get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(resps[4].get("ok").unwrap().as_bool(), Some(false));
+        let stats = resps[5].get("stats").unwrap();
+        assert!(stats.get("requests").unwrap().as_f64().unwrap() >= 5.0);
+        server.stop();
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_server() {
+        let mut server = test_server();
+        let addr = server.local_addr();
+        let resps = roundtrip(addr, &[r#"{"op":"shutdown"}"#]);
+        assert_eq!(resps[0].get("ok").unwrap().as_bool(), Some(true));
+        server.wait();
+        assert!(server.is_stopping());
+    }
+}

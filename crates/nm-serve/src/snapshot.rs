@@ -1,0 +1,506 @@
+//! Frozen-model snapshots: the serving-side artifact format.
+//!
+//! A snapshot holds everything needed to answer scoring requests with
+//! no autograd tape and no graph propagation: per-domain user and item
+//! embedding tables frozen *after* propagation (so GNN models export
+//! their propagated tables) plus the prediction head — either a plain
+//! dot product or the model's prediction MLP.
+//!
+//! Binary layout (`NMSS`, little-endian, versioned alongside `NMCK`):
+//!
+//! ```text
+//! magic   "NMSS"            4 bytes
+//! version u32               (currently 1)
+//! model   u32 len + bytes   (UTF-8 model name)
+//! 2 x domain:
+//!   users  tensor           (rows u32, cols u32, f32 data)
+//!   items  tensor
+//!   head   u32              0 = dot, 1 = mlp
+//!   if mlp:
+//!     act      u32          0 relu, 1 tanh, 2 sigmoid, 3 none
+//!     n_layers u32
+//!     per layer: W tensor, has_bias u32, [bias tensor]
+//! ```
+//!
+//! Scoring here is **bit-for-bit identical** to the offline eval path:
+//! the dot head replicates `dot_scores`' sequential dot, and the MLP
+//! head replicates `Tensor::matmul`'s k-ascending zero-skipping
+//! accumulation (via [`nm_tensor::vecmat_blocked`]) with the bias added
+//! after the full accumulation, exactly like the tape's broadcast add.
+
+use nm_nn::checkpoint::{read_tensor, read_u32, write_tensor, write_u32, CheckpointError};
+use nm_nn::Activation;
+use nm_tensor::{sigmoid_scalar, vecmat_blocked, vecmat_nt_blocked, Tensor};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"NMSS";
+const VERSION: u32 = 1;
+
+/// A prediction MLP frozen as plain weight/bias tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpHead {
+    /// `(W, bias)` per layer; `W` is `in x out`, bias `1 x out`.
+    pub layers: Vec<(Tensor, Option<Tensor>)>,
+    /// Activation between hidden layers (never after the last).
+    pub hidden_act: Activation,
+}
+
+/// How a domain's `(user, item)` affinity is computed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeadKind {
+    /// `score = u · v` (matrix-factorization models).
+    Dot,
+    /// `score = MLP(u ‖ v)` (NMCDR and the GNN baselines).
+    Mlp(MlpHead),
+}
+
+/// Frozen tables + head for one domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainSnapshot {
+    pub users: Tensor,
+    pub items: Tensor,
+    pub head: HeadKind,
+}
+
+/// A complete serving artifact for a two-domain CDR model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Model name (e.g. "NMCDR", "BPR") for observability.
+    pub model: String,
+    pub domains: [DomainSnapshot; 2],
+}
+
+/// Trained models that can export a [`Snapshot`].
+///
+/// Takes `&mut self` because exporting runs the model's own
+/// `prepare_eval`-style propagation to freeze post-propagation tables.
+pub trait FrozenModel {
+    fn export_frozen(&mut self) -> Snapshot;
+}
+
+fn act_tag(a: Activation) -> u32 {
+    match a {
+        Activation::Relu => 0,
+        Activation::Tanh => 1,
+        Activation::Sigmoid => 2,
+        Activation::None => 3,
+    }
+}
+
+fn act_from_tag(t: u32) -> Result<Activation, CheckpointError> {
+    Ok(match t {
+        0 => Activation::Relu,
+        1 => Activation::Tanh,
+        2 => Activation::Sigmoid,
+        3 => Activation::None,
+        _ => return Err(CheckpointError::Format(format!("unknown activation {t}"))),
+    })
+}
+
+fn apply_act(act: Activation, xs: &mut [f32]) {
+    match act {
+        Activation::Relu => xs.iter_mut().for_each(|x| *x = x.max(0.0)),
+        Activation::Tanh => xs.iter_mut().for_each(|x| *x = x.tanh()),
+        Activation::Sigmoid => xs.iter_mut().for_each(|x| *x = sigmoid_scalar(*x)),
+        Activation::None => {}
+    }
+}
+
+impl MlpHead {
+    /// Freezes a trained [`nm_nn::Mlp`] into plain tensors.
+    pub fn from_mlp(mlp: &nm_nn::Mlp) -> MlpHead {
+        MlpHead {
+            layers: (0..mlp.n_layers())
+                .map(|i| {
+                    let l = mlp.layer(i);
+                    (l.weight().value(), l.bias().map(|b| b.value()))
+                })
+                .collect(),
+            hidden_act: mlp.hidden_act(),
+        }
+    }
+
+    /// Forward pass on one concatenated `(u ‖ v)` input row. Returns
+    /// the single logit.
+    fn forward(&self, x: Vec<f32>) -> f32 {
+        let last = self.layers.len() - 1;
+        let mut cur = x;
+        for (i, (w, b)) in self.layers.iter().enumerate() {
+            let mut y = vecmat_blocked(
+                &cur,
+                w.data(),
+                w.rows(),
+                w.cols(),
+                b.as_ref().map(|t| t.data()),
+            );
+            if i < last {
+                apply_act(self.hidden_act, &mut y);
+            }
+            cur = y;
+        }
+        debug_assert_eq!(cur.len(), 1, "prediction head must emit one logit");
+        cur[0]
+    }
+
+    fn validate(&self, in_dim: usize) -> Result<(), CheckpointError> {
+        let mut d = in_dim;
+        for (i, (w, b)) in self.layers.iter().enumerate() {
+            if w.rows() != d {
+                return Err(CheckpointError::Format(format!(
+                    "head layer {i}: expected {d} inputs, weight is {}x{}",
+                    w.rows(),
+                    w.cols()
+                )));
+            }
+            if let Some(b) = b {
+                if b.shape() != (1, w.cols()) {
+                    return Err(CheckpointError::Format(format!(
+                        "head layer {i}: bias shape {}x{} != 1x{}",
+                        b.rows(),
+                        b.cols(),
+                        w.cols()
+                    )));
+                }
+            }
+            d = w.cols();
+        }
+        if d != 1 {
+            return Err(CheckpointError::Format(format!(
+                "head must end in one logit, got {d}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot {
+    /// Structural validation: table dims agree with the head shape.
+    pub fn validate(&self) -> Result<(), CheckpointError> {
+        for (z, d) in self.domains.iter().enumerate() {
+            let (du, di) = (d.users.cols(), d.items.cols());
+            match &d.head {
+                HeadKind::Dot => {
+                    if du != di {
+                        return Err(CheckpointError::Format(format!(
+                            "domain {z}: dot head needs equal dims, users {du} items {di}"
+                        )));
+                    }
+                }
+                HeadKind::Mlp(h) => h.validate(du + di)?,
+            }
+        }
+        Ok(())
+    }
+
+    pub fn n_users(&self, domain: usize) -> usize {
+        self.domains[domain].users.rows()
+    }
+
+    pub fn n_items(&self, domain: usize) -> usize {
+        self.domains[domain].items.rows()
+    }
+
+    /// Scores parallel `(user, item)` pairs — the serving twin of the
+    /// models' `eval_scores`, bit-for-bit.
+    pub fn score_pairs(&self, domain: usize, users: &[u32], items: &[u32]) -> Vec<f32> {
+        assert_eq!(users.len(), items.len(), "parallel pair arrays");
+        let d = &self.domains[domain];
+        match &d.head {
+            HeadKind::Dot => users
+                .iter()
+                .zip(items)
+                .map(|(&u, &i)| {
+                    let ur = d.users.row_slice(u as usize);
+                    let ir = d.items.row_slice(i as usize);
+                    ur.iter().zip(ir).map(|(a, b)| a * b).sum()
+                })
+                .collect(),
+            HeadKind::Mlp(h) => users
+                .iter()
+                .zip(items)
+                .map(|(&u, &i)| {
+                    let ur = d.users.row_slice(u as usize);
+                    let ir = d.items.row_slice(i as usize);
+                    let mut x = Vec::with_capacity(ur.len() + ir.len());
+                    x.extend_from_slice(ur);
+                    x.extend_from_slice(ir);
+                    h.forward(x)
+                })
+                .collect(),
+        }
+    }
+
+    /// Scores one user against the item id range `lo..hi` of a domain,
+    /// writing into `out` (`out.len() == hi - lo`). This is the shard
+    /// kernel the retrieval engine fans out over worker threads.
+    pub fn score_user_range(
+        &self,
+        domain: usize,
+        user: u32,
+        lo: usize,
+        hi: usize,
+        out: &mut [f32],
+    ) {
+        assert_eq!(out.len(), hi - lo, "output buffer size");
+        let d = &self.domains[domain];
+        let ur = d.users.row_slice(user as usize);
+        match &d.head {
+            HeadKind::Dot => {
+                let k = d.items.cols();
+                let rows = &d.items.data()[lo * k..hi * k];
+                let scores = vecmat_nt_blocked(ur, rows, hi - lo, k, None);
+                out.copy_from_slice(&scores);
+            }
+            HeadKind::Mlp(h) => {
+                let k = d.items.cols();
+                for (j, o) in (lo..hi).zip(out.iter_mut()) {
+                    let mut x = Vec::with_capacity(ur.len() + k);
+                    x.extend_from_slice(ur);
+                    x.extend_from_slice(d.items.row_slice(j));
+                    *o = h.forward(x);
+                }
+            }
+        }
+    }
+
+    /// Serializes the snapshot.
+    pub fn save<W: Write>(&self, w: &mut W) -> Result<(), CheckpointError> {
+        w.write_all(MAGIC)?;
+        write_u32(w, VERSION)?;
+        let name = self.model.as_bytes();
+        write_u32(w, name.len() as u32)?;
+        w.write_all(name)?;
+        for d in &self.domains {
+            write_tensor(w, &d.users)?;
+            write_tensor(w, &d.items)?;
+            match &d.head {
+                HeadKind::Dot => write_u32(w, 0)?,
+                HeadKind::Mlp(h) => {
+                    write_u32(w, 1)?;
+                    write_u32(w, act_tag(h.hidden_act))?;
+                    write_u32(w, h.layers.len() as u32)?;
+                    for (wt, b) in &h.layers {
+                        write_tensor(w, wt)?;
+                        match b {
+                            Some(b) => {
+                                write_u32(w, 1)?;
+                                write_tensor(w, b)?;
+                            }
+                            None => write_u32(w, 0)?,
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn save_to_file(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.save(&mut f)
+    }
+
+    /// Deserializes and validates a snapshot. Truncation and garbage
+    /// are `Format` errors, matching the `NMCK` loader's contract.
+    pub fn load<R: Read>(r: &mut R) -> Result<Snapshot, CheckpointError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                CheckpointError::Format("truncated file".into())
+            } else {
+                CheckpointError::Io(e)
+            }
+        })?;
+        if &magic != MAGIC {
+            return Err(CheckpointError::Format("bad snapshot magic".into()));
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(CheckpointError::Format(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let name_len = read_u32(r)? as usize;
+        if name_len > 1 << 16 {
+            return Err(CheckpointError::Format("unreasonable name length".into()));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                CheckpointError::Format("truncated file".into())
+            } else {
+                CheckpointError::Io(e)
+            }
+        })?;
+        let model = String::from_utf8(name)
+            .map_err(|_| CheckpointError::Format("non-utf8 model name".into()))?;
+        let mut domains = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let users = read_tensor(r)?;
+            let items = read_tensor(r)?;
+            let head = match read_u32(r)? {
+                0 => HeadKind::Dot,
+                1 => {
+                    let hidden_act = act_from_tag(read_u32(r)?)?;
+                    let n_layers = read_u32(r)? as usize;
+                    if n_layers == 0 || n_layers > 64 {
+                        return Err(CheckpointError::Format(format!(
+                            "unreasonable head depth {n_layers}"
+                        )));
+                    }
+                    let mut layers = Vec::with_capacity(n_layers);
+                    for _ in 0..n_layers {
+                        let w = read_tensor(r)?;
+                        let b = match read_u32(r)? {
+                            0 => None,
+                            1 => Some(read_tensor(r)?),
+                            x => return Err(CheckpointError::Format(format!("bad bias flag {x}"))),
+                        };
+                        layers.push((w, b));
+                    }
+                    HeadKind::Mlp(MlpHead { layers, hidden_act })
+                }
+                x => return Err(CheckpointError::Format(format!("unknown head kind {x}"))),
+            };
+            domains.push(DomainSnapshot { users, items, head });
+        }
+        let b = domains.pop().unwrap();
+        let a = domains.pop().unwrap();
+        let snap = Snapshot {
+            model,
+            domains: [a, b],
+        };
+        snap.validate()?;
+        Ok(snap)
+    }
+
+    pub fn load_from_file(path: &Path) -> Result<Snapshot, CheckpointError> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        Self::load(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_tensor::TensorRng;
+
+    fn dot_snapshot() -> Snapshot {
+        let mut rng = TensorRng::seed_from(1);
+        let mk = |rng: &mut TensorRng| DomainSnapshot {
+            users: Tensor::randn(8, 4, 1.0, rng),
+            items: Tensor::randn(12, 4, 1.0, rng),
+            head: HeadKind::Dot,
+        };
+        Snapshot {
+            model: "BPR".into(),
+            domains: [mk(&mut rng), mk(&mut rng)],
+        }
+    }
+
+    fn mlp_snapshot() -> Snapshot {
+        let mut rng = TensorRng::seed_from(2);
+        let mk = |rng: &mut TensorRng| {
+            let d = 4;
+            DomainSnapshot {
+                users: Tensor::randn(8, d, 1.0, rng),
+                items: Tensor::randn(12, d, 1.0, rng),
+                head: HeadKind::Mlp(MlpHead {
+                    layers: vec![
+                        (
+                            Tensor::randn(2 * d, d, 0.5, rng),
+                            Some(Tensor::randn(1, d, 0.5, rng)),
+                        ),
+                        (
+                            Tensor::randn(d, 1, 0.5, rng),
+                            Some(Tensor::randn(1, 1, 0.5, rng)),
+                        ),
+                    ],
+                    hidden_act: Activation::Relu,
+                }),
+            }
+        };
+        Snapshot {
+            model: "NMCDR".into(),
+            domains: [mk(&mut rng), mk(&mut rng)],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        for snap in [dot_snapshot(), mlp_snapshot()] {
+            let mut buf = Vec::new();
+            snap.save(&mut buf).unwrap();
+            let back = Snapshot::load(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, snap);
+        }
+    }
+
+    #[test]
+    fn truncated_snapshot_is_format_error() {
+        let snap = mlp_snapshot();
+        let mut buf = Vec::new();
+        snap.save(&mut buf).unwrap();
+        for cut in [0, 3, 4, 8, 10, buf.len() / 3, buf.len() - 1] {
+            let err = Snapshot::load(&mut &buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::Format(_)),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = Snapshot::load(&mut &b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
+    }
+
+    #[test]
+    fn validate_catches_dim_mismatch() {
+        let mut snap = dot_snapshot();
+        let mut rng = TensorRng::seed_from(3);
+        snap.domains[1].items = Tensor::randn(12, 5, 1.0, &mut rng);
+        assert!(snap.validate().is_err());
+    }
+
+    #[test]
+    fn score_user_range_matches_score_pairs() {
+        for snap in [dot_snapshot(), mlp_snapshot()] {
+            let n = snap.n_items(0);
+            let items: Vec<u32> = (0..n as u32).collect();
+            let users = vec![3u32; n];
+            let pairwise = snap.score_pairs(0, &users, &items);
+            let mut ranged = vec![0.0f32; n];
+            // split the range unevenly to cross shard boundaries
+            snap.score_user_range(0, 3, 0, 5, &mut ranged[0..5]);
+            snap.score_user_range(0, 3, 5, n, &mut ranged[5..]);
+            assert_eq!(ranged, pairwise, "shard kernel must match pair kernel");
+        }
+    }
+
+    #[test]
+    fn mlp_forward_matches_reference() {
+        // Tiny hand-checked case: identity-ish single layer.
+        let head = MlpHead {
+            layers: vec![(
+                Tensor::new(2, 1, vec![1.0, 2.0]),
+                Some(Tensor::new(1, 1, vec![0.5])),
+            )],
+            hidden_act: Activation::Relu,
+        };
+        assert_eq!(head.forward(vec![3.0, 4.0]), 3.0 + 8.0 + 0.5);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("nm_serve_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.nmss");
+        let snap = mlp_snapshot();
+        snap.save_to_file(&path).unwrap();
+        assert_eq!(Snapshot::load_from_file(&path).unwrap(), snap);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

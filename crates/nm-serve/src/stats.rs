@@ -1,0 +1,213 @@
+//! Serving observability: QPS counters and fixed-bucket latency
+//! histograms, all lock-free atomics so the hot path never blocks.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Histogram bucket upper bounds in microseconds; the last bucket is
+/// the +inf overflow. Roughly logarithmic from 10 µs to 1 s.
+const BOUNDS_US: [u64; 15] = [
+    10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 500_000,
+    1_000_000,
+];
+
+/// Fixed-bucket latency histogram.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..BOUNDS_US.len() + 1)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = BOUNDS_US.partition_point(|&b| b < us);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) / n
+        }
+    }
+
+    /// Approximate `q`-quantile in microseconds: the upper bound of the
+    /// bucket containing that quantile (overflow reports the largest
+    /// bound). 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(BOUNDS_US[BOUNDS_US.len() - 1]);
+            }
+        }
+        BOUNDS_US[BOUNDS_US.len() - 1]
+    }
+}
+
+/// Counters shared by the retrieval engine and the TCP server.
+#[derive(Debug)]
+pub struct Stats {
+    started: Instant,
+    pub requests: AtomicU64,
+    pub errors: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    /// Scoring passes executed (each may serve several requests).
+    pub batches: AtomicU64,
+    /// Requests that shared a scoring pass with at least one other.
+    pub coalesced: AtomicU64,
+    pub latency: LatencyHistogram,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stats {
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Completed-request throughput since start.
+    pub fn qps(&self) -> f64 {
+        let secs = self.uptime().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.latency.count() as f64 / secs
+        }
+    }
+
+    /// Snapshot as a JSON object for the `stats` wire request.
+    pub fn to_json(&self) -> Json {
+        let g = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
+        Json::Obj(vec![
+            ("uptime_secs".into(), Json::Num(self.uptime().as_secs_f64())),
+            ("requests".into(), g(&self.requests)),
+            ("errors".into(), g(&self.errors)),
+            ("cache_hits".into(), g(&self.cache_hits)),
+            ("cache_misses".into(), g(&self.cache_misses)),
+            ("batches".into(), g(&self.batches)),
+            ("coalesced".into(), g(&self.coalesced)),
+            ("qps".into(), Json::Num(self.qps())),
+            (
+                "latency_us".into(),
+                Json::Obj(vec![
+                    ("count".into(), Json::Num(self.latency.count() as f64)),
+                    ("mean".into(), Json::Num(self.latency.mean_us() as f64)),
+                    (
+                        "p50".into(),
+                        Json::Num(self.latency.quantile_us(0.50) as f64),
+                    ),
+                    (
+                        "p95".into(),
+                        Json::Num(self.latency.quantile_us(0.95) as f64),
+                    ),
+                    (
+                        "p99".into(),
+                        Json::Num(self.latency.quantile_us(0.99) as f64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_land_in_expected_buckets() {
+        let h = LatencyHistogram::new();
+        // 90 fast (≤10us bucket), 10 slow (≤5ms bucket)
+        for _ in 0..90 {
+            h.record(Duration::from_micros(5));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(3_000));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 10);
+        assert_eq!(h.quantile_us(0.95), 5_000);
+        assert_eq!(h.quantile_us(0.99), 5_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.99), 0);
+        assert_eq!(h.mean_us(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_largest_bound() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(10));
+        assert_eq!(h.quantile_us(0.5), 1_000_000);
+    }
+
+    #[test]
+    fn stats_json_has_percentiles() {
+        let s = Stats::new();
+        s.requests.fetch_add(3, Ordering::Relaxed);
+        s.latency.record(Duration::from_micros(100));
+        let j = s.to_json();
+        assert_eq!(j.get("requests").unwrap().as_f64(), Some(3.0));
+        let lat = j.get("latency_us").unwrap();
+        assert!(lat.get("p99").unwrap().as_f64().unwrap() >= 100.0);
+    }
+}

@@ -4,9 +4,8 @@
 //! handles so every experiment is bit-for-bit reproducible (DESIGN.md,
 //! "Determinism").
 
+use crate::rng::{Rng, SeedableRng, StdRng};
 use crate::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A seeded RNG for tensor initialization.
 ///
@@ -59,7 +58,7 @@ impl TensorRng {
         self.rng.gen::<f64>()
     }
 
-    /// Access the underlying rand RNG for crates that need distributions.
+    /// Access the underlying RNG for crates that need distributions.
     pub fn raw(&mut self) -> &mut StdRng {
         &mut self.rng
     }

@@ -21,11 +21,13 @@ mod init;
 mod matmul;
 mod ops;
 mod reduce;
+pub mod rng;
 mod tensor;
 
 pub use activations::{sigmoid_scalar, softplus_scalar};
 pub use error::TensorError;
 pub use init::TensorRng;
+pub use matmul::{vecmat_blocked, vecmat_nt_blocked};
 pub use ops::{classify_broadcast, Broadcast};
 pub use reduce::Axis;
 pub use tensor::Tensor;

@@ -67,7 +67,10 @@ impl Tensor {
 
     /// Largest element; `-inf` for an empty tensor.
     pub fn max(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Smallest element; `+inf` for an empty tensor.

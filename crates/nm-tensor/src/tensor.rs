@@ -167,14 +167,24 @@ impl Tensor {
     /// Borrow of row `r` as a slice.
     #[inline]
     pub fn row_slice(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutable borrow of row `r` as a slice.
     #[inline]
     pub fn row_slice_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         let c = self.cols;
         &mut self.data[r * c..(r + 1) * c]
     }

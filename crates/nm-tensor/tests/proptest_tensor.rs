@@ -1,114 +1,162 @@
-//! Property-based tests for the tensor engine's algebraic invariants.
+//! Property-style tests for the tensor engine's algebraic invariants.
+//!
+//! Formerly driven by `proptest`; now a deterministic seed sweep so the
+//! workspace tests run fully offline. Each case draws shapes and data
+//! from a seeded [`nm_tensor::rng::StdRng`], covering the same space.
 
-use nm_tensor::{Axis, Tensor};
-use proptest::prelude::*;
+use nm_tensor::rng::{Rng, SeedableRng, StdRng};
+use nm_tensor::{Axis, Tensor, TensorRng};
 
-fn small_dim() -> impl Strategy<Value = usize> {
-    1usize..8
+const CASES: u64 = 64;
+
+/// Draws a dimension in `1..8` (the old `small_dim()` strategy).
+fn small_dim(rng: &mut StdRng) -> usize {
+    rng.gen_range(1usize..8)
 }
 
-proptest! {
-    #[test]
-    fn add_commutes(r in small_dim(), c in small_dim(), seed in 0u64..1000) {
-        let mut rng = nm_tensor::TensorRng::seed_from(seed);
+#[test]
+fn add_commutes() {
+    for case in 0..CASES {
+        let mut shape_rng = StdRng::seed_from_u64(0xADD0 + case);
+        let (r, c) = (small_dim(&mut shape_rng), small_dim(&mut shape_rng));
+        let mut rng = TensorRng::seed_from(case);
         let a = Tensor::randn(r, c, 2.0, &mut rng);
         let b = Tensor::randn(r, c, 2.0, &mut rng);
-        prop_assert!(a.add(&b).max_abs_diff(&b.add(&a)) < 1e-5);
+        assert!(a.add(&b).max_abs_diff(&b.add(&a)) < 1e-5);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn transpose_involution(r in small_dim(), c in small_dim(), seed in 0u64..1000) {
-        let mut rng = nm_tensor::TensorRng::seed_from(seed);
+#[test]
+fn transpose_involution() {
+    for case in 0..CASES {
+        let mut shape_rng = StdRng::seed_from_u64(0x7001 + case);
+        let (r, c) = (small_dim(&mut shape_rng), small_dim(&mut shape_rng));
+        let mut rng = TensorRng::seed_from(case);
         let t = Tensor::randn(r, c, 1.0, &mut rng);
-        prop_assert_eq!(t.transpose().transpose(), t);
+        assert_eq!(t.transpose().transpose(), t);
     }
+}
 
-    #[test]
-    fn matmul_identity_left_right(r in small_dim(), c in small_dim(), seed in 0u64..1000) {
-        let mut rng = nm_tensor::TensorRng::seed_from(seed);
+#[test]
+fn matmul_identity_left_right() {
+    for case in 0..CASES {
+        let mut shape_rng = StdRng::seed_from_u64(0x7002 + case);
+        let (r, c) = (small_dim(&mut shape_rng), small_dim(&mut shape_rng));
+        let mut rng = TensorRng::seed_from(case);
         let t = Tensor::randn(r, c, 1.0, &mut rng);
-        prop_assert!(Tensor::eye(r).matmul(&t).max_abs_diff(&t) < 1e-5);
-        prop_assert!(t.matmul(&Tensor::eye(c)).max_abs_diff(&t) < 1e-5);
+        assert!(Tensor::eye(r).matmul(&t).max_abs_diff(&t) < 1e-5);
+        assert!(t.matmul(&Tensor::eye(c)).max_abs_diff(&t) < 1e-5);
     }
+}
 
-    #[test]
-    fn matmul_transpose_identity(m in small_dim(), k in small_dim(), n in small_dim(), seed in 0u64..1000) {
-        // (A B)^T == B^T A^T
-        let mut rng = nm_tensor::TensorRng::seed_from(seed);
+#[test]
+fn matmul_transpose_identity() {
+    // (A B)^T == B^T A^T
+    for case in 0..CASES {
+        let mut shape_rng = StdRng::seed_from_u64(0x7003 + case);
+        let m = small_dim(&mut shape_rng);
+        let k = small_dim(&mut shape_rng);
+        let n = small_dim(&mut shape_rng);
+        let mut rng = TensorRng::seed_from(case);
         let a = Tensor::randn(m, k, 1.0, &mut rng);
         let b = Tensor::randn(k, n, 1.0, &mut rng);
         let left = a.matmul(&b).transpose();
         let right = b.transpose().matmul(&a.transpose());
-        prop_assert!(left.max_abs_diff(&right) < 1e-4);
+        assert!(left.max_abs_diff(&right) < 1e-4);
     }
+}
 
-    #[test]
-    fn matmul_fused_variants_agree(m in small_dim(), k in small_dim(), n in small_dim(), seed in 0u64..1000) {
-        let mut rng = nm_tensor::TensorRng::seed_from(seed);
+#[test]
+fn matmul_fused_variants_agree() {
+    for case in 0..CASES {
+        let mut shape_rng = StdRng::seed_from_u64(0x7004 + case);
+        let m = small_dim(&mut shape_rng);
+        let k = small_dim(&mut shape_rng);
+        let n = small_dim(&mut shape_rng);
+        let mut rng = TensorRng::seed_from(case);
         let a = Tensor::randn(k, m, 1.0, &mut rng);
         let b = Tensor::randn(k, n, 1.0, &mut rng);
-        prop_assert!(a.matmul_tn(&b).max_abs_diff(&a.transpose().matmul(&b)) < 1e-4);
+        assert!(a.matmul_tn(&b).max_abs_diff(&a.transpose().matmul(&b)) < 1e-4);
         let c = Tensor::randn(m, k, 1.0, &mut rng);
         let d = Tensor::randn(n, k, 1.0, &mut rng);
-        prop_assert!(c.matmul_nt(&d).max_abs_diff(&c.matmul(&d.transpose())) < 1e-4);
+        assert!(c.matmul_nt(&d).max_abs_diff(&c.matmul(&d.transpose())) < 1e-4);
     }
+}
 
-    #[test]
-    fn softmax_rows_is_distribution(r in small_dim(), c in small_dim(), seed in 0u64..1000) {
-        let mut rng = nm_tensor::TensorRng::seed_from(seed);
+#[test]
+fn softmax_rows_is_distribution() {
+    for case in 0..CASES {
+        let mut shape_rng = StdRng::seed_from_u64(0x7005 + case);
+        let (r, c) = (small_dim(&mut shape_rng), small_dim(&mut shape_rng));
+        let mut rng = TensorRng::seed_from(case);
         let t = Tensor::randn(r, c, 5.0, &mut rng);
         let s = t.softmax_rows();
-        prop_assert!(s.all_finite());
+        assert!(s.all_finite());
         for i in 0..r {
             let sum: f32 = s.row_slice(i).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(s.row_slice(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!((sum - 1.0).abs() < 1e-4);
+            assert!(s.row_slice(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
     }
+}
 
-    #[test]
-    fn sum_axis_total_matches_sum(r in small_dim(), c in small_dim(), seed in 0u64..1000) {
-        let mut rng = nm_tensor::TensorRng::seed_from(seed);
+#[test]
+fn sum_axis_total_matches_sum() {
+    for case in 0..CASES {
+        let mut shape_rng = StdRng::seed_from_u64(0x7006 + case);
+        let (r, c) = (small_dim(&mut shape_rng), small_dim(&mut shape_rng));
+        let mut rng = TensorRng::seed_from(case);
         let t = Tensor::randn(r, c, 1.0, &mut rng);
         let via_rows = t.sum_axis(Axis::Rows).sum();
         let via_cols = t.sum_axis(Axis::Cols).sum();
-        prop_assert!((via_rows - t.sum()).abs() < 1e-3);
-        prop_assert!((via_cols - t.sum()).abs() < 1e-3);
+        assert!((via_rows - t.sum()).abs() < 1e-3);
+        assert!((via_cols - t.sum()).abs() < 1e-3);
     }
+}
 
-    #[test]
-    fn gather_scatter_adjoint_dot_identity(rows in 2usize..8, c in small_dim(), seed in 0u64..1000) {
-        // <gather(A, ix), B> == <A, scatter(ix, B)> — the adjoint identity
-        // autograd relies on.
-        let mut rng = nm_tensor::TensorRng::seed_from(seed);
+#[test]
+fn gather_scatter_adjoint_dot_identity() {
+    // <gather(A, ix), B> == <A, scatter(ix, B)> — the adjoint identity
+    // autograd relies on.
+    for case in 0..CASES {
+        let mut shape_rng = StdRng::seed_from_u64(0x7007 + case);
+        let rows = shape_rng.gen_range(2usize..8);
+        let c = small_dim(&mut shape_rng);
+        let mut rng = TensorRng::seed_from(case);
         let a = Tensor::randn(rows, c, 1.0, &mut rng);
-        let ix: Vec<u32> = (0..5).map(|i| ((seed as usize + i) % rows) as u32).collect();
+        let ix: Vec<u32> = (0..5)
+            .map(|i| ((case as usize + i) % rows) as u32)
+            .collect();
         let b = Tensor::randn(ix.len(), c, 1.0, &mut rng);
         let g = a.gather_rows(&ix);
         let lhs: f32 = g.data().iter().zip(b.data()).map(|(x, y)| x * y).sum();
         let mut scat = Tensor::zeros(rows, c);
         scat.scatter_add_rows(&ix, &b);
         let rhs: f32 = a.data().iter().zip(scat.data()).map(|(x, y)| x * y).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-3);
+        assert!((lhs - rhs).abs() < 1e-3);
     }
+}
 
-    #[test]
-    fn relu_idempotent(r in small_dim(), c in small_dim(), seed in 0u64..1000) {
-        let mut rng = nm_tensor::TensorRng::seed_from(seed);
+#[test]
+fn relu_idempotent() {
+    for case in 0..CASES {
+        let mut shape_rng = StdRng::seed_from_u64(0x7008 + case);
+        let (r, c) = (small_dim(&mut shape_rng), small_dim(&mut shape_rng));
+        let mut rng = TensorRng::seed_from(case);
         let t = Tensor::randn(r, c, 3.0, &mut rng);
         let once = t.relu();
-        prop_assert_eq!(once.relu(), once);
+        assert_eq!(once.relu(), once);
     }
+}
 
-    #[test]
-    fn sigmoid_bounded(r in small_dim(), c in small_dim(), seed in 0u64..1000) {
-        let mut rng = nm_tensor::TensorRng::seed_from(seed);
+#[test]
+fn sigmoid_bounded() {
+    for case in 0..CASES {
+        let mut shape_rng = StdRng::seed_from_u64(0x7009 + case);
+        let (r, c) = (small_dim(&mut shape_rng), small_dim(&mut shape_rng));
+        let mut rng = TensorRng::seed_from(case);
         let t = Tensor::randn(r, c, 20.0, &mut rng);
         let s = t.sigmoid();
-        prop_assert!(s.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(s.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
 }

@@ -33,10 +33,7 @@ impl Ablation {
 pub enum ComplementCandidates {
     /// Observed neighbours (up to a cap) plus uniformly sampled
     /// non-observed items, `total` candidates per user.
-    ObservedPlusSampled {
-        total: usize,
-        max_observed: usize,
-    },
+    ObservedPlusSampled { total: usize, max_observed: usize },
     /// Only observed neighbours, capped (the literal Eq. 18 reading).
     ObservedOnly { max_observed: usize },
 }
@@ -116,7 +113,10 @@ impl NmcdrConfig {
             return Err("matching_layers must be positive".into());
         }
         match self.complement {
-            ComplementCandidates::ObservedPlusSampled { total, max_observed } => {
+            ComplementCandidates::ObservedPlusSampled {
+                total,
+                max_observed,
+            } => {
                 if total == 0 || max_observed > total {
                     return Err(format!(
                         "complement: need 0 < max_observed ({max_observed}) <= total ({total})"

@@ -5,9 +5,8 @@ use nm_autograd::{Tape, Var};
 use nm_graph::{sampling, Csr};
 use nm_models::{CdrModel, CdrTask, Domain};
 use nm_nn::{Activation, Embedding, GateFusion, Linear, Mlp, Module, Param};
+use nm_tensor::rng::{Rng, SeedableRng, StdRng};
 use nm_tensor::{Tensor, TensorRng};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -116,8 +115,20 @@ impl NmcdrModel {
         let mut pred = Vec::new();
         for z in 0..2 {
             let n = dn[z];
-            user_emb.push(Embedding::new(&format!("nmcdr.{n}.users"), n_users[z], d, 0.1, &mut rng));
-            item_emb.push(Embedding::new(&format!("nmcdr.{n}.items"), n_items[z], d, 0.1, &mut rng));
+            user_emb.push(Embedding::new(
+                &format!("nmcdr.{n}.users"),
+                n_users[z],
+                d,
+                0.1,
+                &mut rng,
+            ));
+            item_emb.push(Embedding::new(
+                &format!("nmcdr.{n}.items"),
+                n_items[z],
+                d,
+                0.1,
+                &mut rng,
+            ));
             hge.push(
                 (0..cfg.hge_layers)
                     .map(|l| Linear::new(&format!("nmcdr.{n}.hge{l}"), d, d, &mut rng))
@@ -125,11 +136,24 @@ impl NmcdrModel {
             );
             w_head.push(Linear::new(&format!("nmcdr.{n}.w_head"), d, d, &mut rng));
             w_tail.push(Linear::new(&format!("nmcdr.{n}.w_tail"), d, d, &mut rng));
-            gate_intra.push(GateFusion::new(&format!("nmcdr.{n}.gate_intra"), d, &mut rng));
+            gate_intra.push(GateFusion::new(
+                &format!("nmcdr.{n}.gate_intra"),
+                d,
+                &mut rng,
+            ));
             w_self.push(Linear::new(&format!("nmcdr.{n}.w_self"), d, d, &mut rng));
             w_other.push(Linear::new(&format!("nmcdr.{n}.w_other"), d, d, &mut rng));
-            w_cross.push(Linear::new_no_bias(&format!("nmcdr.{n}.w_cross"), d, d, &mut rng));
-            gate_inter.push(GateFusion::new(&format!("nmcdr.{n}.gate_inter"), d, &mut rng));
+            w_cross.push(Linear::new_no_bias(
+                &format!("nmcdr.{n}.w_cross"),
+                d,
+                d,
+                &mut rng,
+            ));
+            gate_inter.push(GateFusion::new(
+                &format!("nmcdr.{n}.gate_inter"),
+                d,
+                &mut rng,
+            ));
             w_ref.push(Linear::new(&format!("nmcdr.{n}.w_ref"), d, d, &mut rng));
             pred.push(Mlp::new(
                 &format!("nmcdr.{n}.pred"),
@@ -243,7 +267,8 @@ impl NmcdrModel {
                 cfg.match_neighbors,
                 seed ^ (z + 11),
             );
-            let comp_idx = Self::build_complement_candidates(split, &cfg.complement, seed ^ (z + 21));
+            let comp_idx =
+                Self::build_complement_candidates(split, &cfg.complement, seed ^ (z + 21));
             let rc = |c: Csr| {
                 let t = c.transpose();
                 (Rc::new(c), Rc::new(t))
@@ -268,9 +293,10 @@ impl NmcdrModel {
         let n_items = split.n_items;
         let mut rng = StdRng::seed_from_u64(seed);
         let (total, max_obs) = match *cc {
-            ComplementCandidates::ObservedPlusSampled { total, max_observed } => {
-                (total, max_observed)
-            }
+            ComplementCandidates::ObservedPlusSampled {
+                total,
+                max_observed,
+            } => (total, max_observed),
             ComplementCandidates::ObservedOnly { max_observed } => (max_observed, max_observed),
         };
         let sample_missing = matches!(cc, ComplementCandidates::ObservedPlusSampled { .. });
@@ -593,13 +619,7 @@ impl CdrModel for NmcdrModel {
         total.expect("at least one loss term must have positive weight")
     }
 
-    fn forward_logits(
-        &self,
-        tape: &mut Tape,
-        domain: Domain,
-        users: &[u32],
-        items: &[u32],
-    ) -> Var {
+    fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var {
         let z = domain.index();
         let stages = self.propagate(tape);
         self.predict(
@@ -634,6 +654,27 @@ impl CdrModel for NmcdrModel {
         let x = tape.concat_cols(u, v);
         let logits = self.pred[z].forward(&mut tape, x);
         tape.value(logits).data().to_vec()
+    }
+}
+
+impl nm_serve::FrozenModel for NmcdrModel {
+    /// Runs the full NMCDR propagation once and freezes the g4 user
+    /// tables, item tables, and the shared prediction MLPs — exactly
+    /// the state `eval_scores` consumes, so the serving engine scores
+    /// bit-for-bit identically to offline evaluation.
+    fn export_frozen(&mut self) -> nm_serve::Snapshot {
+        self.prepare_eval();
+        let cache = self.cache.borrow();
+        let c = cache.as_ref().expect("prepare_eval just ran");
+        let mk = |z: usize| nm_serve::DomainSnapshot {
+            users: c.user[z].clone(),
+            items: c.item[z].clone(),
+            head: nm_serve::HeadKind::Mlp(nm_serve::MlpHead::from_mlp(&self.pred[z])),
+        };
+        nm_serve::Snapshot {
+            model: "NMCDR".into(),
+            domains: [mk(0), mk(1)],
+        }
     }
 }
 
@@ -694,8 +735,18 @@ mod tests {
         nm_nn::absorb_all(&m, &tape);
         // every named component must receive gradient signal
         for needle in [
-            "users", "items", "hge0", "w_head", "w_tail", "gate_intra", "w_self", "w_other",
-            "w_cross", "gate_inter", "w_ref", "pred",
+            "users",
+            "items",
+            "hge0",
+            "w_head",
+            "w_tail",
+            "gate_intra",
+            "w_self",
+            "w_other",
+            "w_cross",
+            "gate_inter",
+            "w_ref",
+            "pred",
         ] {
             let got: f32 = m
                 .params()
@@ -828,9 +879,8 @@ mod tests {
         };
         m.begin_epoch(1);
         let b = m.bridges.borrow();
-        let changed = *b[0].head.0 != before.0
-            || *b[0].tail.0 != before.1
-            || *b[0].comp_idx != before.2;
+        let changed =
+            *b[0].head.0 != before.0 || *b[0].tail.0 != before.1 || *b[0].comp_idx != before.2;
         assert!(changed, "no sampled structure changed across epochs");
     }
 }

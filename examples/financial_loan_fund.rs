@@ -57,7 +57,12 @@ fn main() {
 
     // Simulated serving: hidden CVR model from the generator's ground
     // truth; popularity Control vs the trained NMCDR, paired traffic.
-    let pop: Vec<f32> = task.graph_a.item_degrees().iter().map(|&d| d as f32).collect();
+    let pop: Vec<f32> = task
+        .graph_a
+        .item_degrees()
+        .iter()
+        .map(|&d| d as f32)
+        .collect();
     let control = move |_u: &[u32], items: &[u32]| -> Vec<f32> {
         items.iter().map(|&i| pop[i as usize]).collect()
     };

@@ -14,6 +14,12 @@ run() {
   cargo run --release -p nm-bench --bin "$name" -- "$@" 2>&1 | tee "results/${name}.txt"
 }
 
+# Preflight: don't burn hours of experiment time on a tree that doesn't
+# build or pass its own tests. NMCDR_SKIP_CI=1 bypasses for quick reruns.
+if [[ "${NMCDR_SKIP_CI:-0}" != "1" ]]; then
+  scripts/ci.sh --quick
+fi
+
 cargo build --release -p nm-bench
 
 run table1_stats

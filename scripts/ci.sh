@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, a clean release build of every crate, and the
+# full test suite. Run before experiments or before sending a PR.
+#
+#   scripts/ci.sh          # everything
+#   scripts/ci.sh --quick  # skip fmt (e.g. when rustfmt is unavailable)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+if [[ $QUICK -eq 0 ]]; then
+  if command -v rustfmt >/dev/null 2>&1; then
+    echo "== cargo fmt --check =="
+    cargo fmt --all -- --check
+  else
+    echo "== rustfmt not installed; skipping format check =="
+  fi
+fi
+
+echo "== cargo build --release --workspace =="
+cargo build --release --workspace
+
+echo "== cargo test --workspace --release =="
+cargo test --workspace --release -q
+
+echo "ci.sh: all green"
