@@ -6,7 +6,7 @@ use nm_bench::timing::{bench, black_box};
 use nm_bench::{ExpProfile, ModelKind};
 use nm_data::batch::Batch;
 use nm_data::Scenario;
-use nm_models::{CdrModel, Domain};
+use nm_models::Domain;
 
 fn profile() -> ExpProfile {
     ExpProfile {

@@ -40,7 +40,7 @@ fn main() {
             let mut cfg = nmcdr_config(&profile, Ablation::none());
             cfg.k_head = k;
             let mut model = NmcdrModel::new(task, cfg);
-            let stats = train_joint(&mut model, &profile.train_config());
+            let stats = train_joint(&mut model, &profile.train_config()).expect("training");
             let ndcg = (stats.final_a.ndcg + stats.final_b.ndcg) / 2.0;
             let hr = (stats.final_a.hr + stats.final_b.hr) / 2.0;
             println!(

@@ -32,7 +32,7 @@ fn main() {
         .collect();
 
     let mut model = NmcdrModel::new(task.clone(), nmcdr_config(&profile, Ablation::none()));
-    let stats = train_joint(&mut model, &profile.train_config());
+    let stats = train_joint(&mut model, &profile.train_config()).expect("training");
     println!(
         "trained NMCDR: HR@10 {:.2}/{:.2}\n",
         stats.final_a.hr, stats.final_b.hr

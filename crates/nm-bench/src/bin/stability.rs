@@ -25,7 +25,7 @@ fn main() {
             .with_overlap_ratio(0.5, profile.seed);
         let task = profile.task(data);
         let mut model = NmcdrModel::new(task, nmcdr_config(&profile, Ablation::none()));
-        let _ = train_joint(&mut model, &profile.train_config());
+        let _ = train_joint(&mut model, &profile.train_config()).expect("training");
         for (name, domain) in [("A", Domain::A), ("B", Domain::B)] {
             let s = summarize(&model, domain);
             println!(

@@ -25,7 +25,7 @@ fn trained(kind: ModelKind, task: Rc<CdrTask>, profile: &ExpProfile) -> Box<dyn 
         )),
         other => other.build(task, profile),
     };
-    let stats = train_joint(&mut *model, &profile.train_config());
+    let stats = train_joint(&mut *model, &profile.train_config()).expect("training");
     println!(
         "  trained {:<9} (HR@10 A/B: {:>5.2}/{:>5.2})",
         model.name(),

@@ -91,7 +91,7 @@ fn main() {
                 cfg.complement = c;
             }
             let mut model = NmcdrModel::new(task, cfg);
-            let stats = train_joint(&mut model, &profile.train_config());
+            let stats = train_joint(&mut model, &profile.train_config()).expect("training");
             println!(
                 "{:<10} {:>7.2} {:>7.2}   {:>7.2} {:>7.2}",
                 name, stats.final_a.ndcg, stats.final_a.hr, stats.final_b.ndcg, stats.final_b.hr

@@ -298,7 +298,7 @@ pub fn run_model(
     density: f64,
 ) -> (ResultRow, TrainStats) {
     let mut model = kind.build(task, profile);
-    let stats = train_joint(&mut *model, &profile.train_config());
+    let stats = train_joint(&mut *model, &profile.train_config()).expect("training");
     (
         ResultRow {
             experiment: experiment.to_string(),

@@ -4,7 +4,7 @@ use crate::args::Args;
 use nm_bench::{nmcdr_config, ExpProfile, ModelKind};
 use nm_data::generate::generate as generate_dataset;
 use nm_data::{CdrDataset, Scenario};
-use nm_models::{train_joint, CdrModel, CdrTask, TaskConfig};
+use nm_models::{train_joint_ft, CdrModel, CdrTask, FtConfig, TaskConfig};
 use nmcdr_core::{Ablation, NmcdrModel};
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
@@ -24,7 +24,11 @@ COMMANDS:
               [--alignment <file>])
              [--model NMCDR] [--overlap 1.0] [--density 1.0]
              [--dim 16] [--epochs 6] [--lr 0.01] [--seed N]
-             [--checkpoint <file>] [--early-stop]
+             [--checkpoint <file>] [--checkpoint-every 1] [--resume]
+             [--max-rollbacks 3] [--early-stop]
+             with --checkpoint, training state is saved atomically at
+             epoch boundaries; --resume continues a killed run from the
+             checkpoint and reproduces the uninterrupted result exactly
   evaluate   load a checkpoint and evaluate without training
              (same data options as train) --model <name> --checkpoint <file>
   stats      print Table-I style statistics for a scenario
@@ -69,7 +73,7 @@ fn dataset_from(args: &Args, profile: &ExpProfile) -> Result<CdrDataset, String>
     let data = if let (Some(pa), Some(pb)) = (args.get("domain-a"), args.get("domain-b")) {
         let alignment = args.get("alignment").map(PathBuf::from);
         nm_data::io::load_cdr_dataset("A", Path::new(pa), "B", Path::new(pb), alignment.as_deref())
-            .map_err(|e| e.to_string())?
+            .map_err(|e| format!("cannot load interaction logs '{pa}' / '{pb}': {e}"))?
     } else {
         let scenario = scenario_from(args)?;
         let mut cfg = scenario.config(profile.scale);
@@ -108,7 +112,8 @@ pub fn generate(args: &Args) -> Result<(), String> {
     let profile = profile_from(args)?;
     let scenario = scenario_from(args)?;
     let out = PathBuf::from(args.required("out")?);
-    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&out)
+        .map_err(|e| format!("cannot create output directory '{}': {e}", out.display()))?;
     let mut cfg = scenario.config(profile.scale);
     cfg.seed ^= profile.seed;
     let data = generate_dataset(&cfg);
@@ -119,7 +124,7 @@ pub fn generate(args: &Args) -> Result<(), String> {
         for (ord, &(u, i)) in d.interactions.iter().enumerate() {
             s.push_str(&format!("u{u} i{i} {ord}\n"));
         }
-        std::fs::write(&path, s).map_err(|e| e.to_string())?;
+        std::fs::write(&path, s).map_err(|e| format!("cannot write '{}': {e}", path.display()))?;
         Ok(path)
     };
     let pa = write_domain(&data.domain_a, na)?;
@@ -129,7 +134,8 @@ pub fn generate(args: &Args) -> Result<(), String> {
     for &(a, b) in &data.true_overlap {
         s.push_str(&format!("u{a} u{b}\n"));
     }
-    std::fs::write(&align_path, s).map_err(|e| e.to_string())?;
+    std::fs::write(&align_path, s)
+        .map_err(|e| format!("cannot write '{}': {e}", align_path.display()))?;
     println!(
         "wrote {} ({} interactions), {} ({}), {} ({} pairs)",
         pa.display(),
@@ -162,9 +168,31 @@ pub fn train(args: &Args) -> Result<(), String> {
     if early_stop {
         train_cfg.early_stop_patience = 2;
     }
-    let stats = train_joint(&mut *model, &train_cfg);
+    let ft = FtConfig {
+        checkpoint: args.get("checkpoint").map(PathBuf::from),
+        checkpoint_every: args.parse_or("checkpoint-every", 1)?,
+        resume: args.flag("resume"),
+        max_rollbacks: args.parse_or("max-rollbacks", 3)?,
+        ..Default::default()
+    };
+    if ft.resume && ft.checkpoint.is_none() {
+        return Err(
+            "--resume needs --checkpoint <file> pointing at the checkpoint to resume from".into(),
+        );
+    }
+    let stats = train_joint_ft(&mut *model, &train_cfg, &ft)
+        .map_err(|e| format!("training {} failed: {e}", model.name()))?;
+    if let Some(epoch) = stats.resumed_from {
+        println!("  resumed from checkpoint at epoch {epoch}");
+    }
     for log in &stats.logs {
         println!("  epoch {}: mean loss {:.4}", log.epoch, log.mean_loss);
+    }
+    if stats.rollbacks > 0 {
+        println!(
+            "  recovered from divergence {} time(s) via rollback",
+            stats.rollbacks
+        );
     }
     println!(
         "domain A: HR@10 {:>6.2}%  NDCG@10 {:>6.2}%  AUC {:.3}  ({} users)",
@@ -179,8 +207,6 @@ pub fn train(args: &Args) -> Result<(), String> {
         stats.param_count, stats.secs_per_step
     );
     if let Some(path) = args.get("checkpoint") {
-        nm_nn::checkpoint::save_to_file(&model.params(), Path::new(path))
-            .map_err(|e| e.to_string())?;
         println!("checkpoint saved to {path}");
     }
     Ok(())
@@ -192,8 +218,13 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
     let task = CdrTask::build(data, task_config(&profile));
     let mut model = build_model(args, task, &profile)?;
     let ckpt = args.required("checkpoint")?;
-    nm_nn::checkpoint::load_from_file(&model.params(), Path::new(ckpt))
-        .map_err(|e| e.to_string())?;
+    nm_nn::checkpoint::load_from_file(&model.params(), Path::new(ckpt)).map_err(|e| {
+        format!(
+            "cannot load checkpoint '{ckpt}' for {}: {e} \
+             (was it written by 'train --checkpoint' with the same --model/--dim?)",
+            model.name()
+        )
+    })?;
     let (a, b) = nm_models::train::evaluate_model(&mut *model, 10);
     println!(
         "domain A: HR@10 {:>6.2}%  NDCG@10 {:>6.2}%  AUC {:.3}  ({} users)",
@@ -245,8 +276,12 @@ pub fn snapshot(args: &Args) -> Result<(), String> {
     let kind = ModelKind::parse(name).ok_or_else(|| format!("unknown model '{name}'"))?;
     let load = |params: &[&nm_nn::Param]| -> Result<(), String> {
         if let Some(path) = args.get("checkpoint") {
-            nm_nn::checkpoint::load_from_file(params, Path::new(path))
-                .map_err(|e| e.to_string())?;
+            nm_nn::checkpoint::load_from_file(params, Path::new(path)).map_err(|e| {
+                format!(
+                    "cannot load checkpoint '{path}': {e} \
+                     (must match the --model/--dim used for training)"
+                )
+            })?;
         }
         Ok(())
     };
@@ -273,7 +308,8 @@ pub fn snapshot(args: &Args) -> Result<(), String> {
             ))
         }
     };
-    snap.save_to_file(&out).map_err(|e| e.to_string())?;
+    snap.save_to_file(&out)
+        .map_err(|e| format!("cannot write snapshot '{}': {e}", out.display()))?;
     println!(
         "snapshot of {} saved to {} ({}+{} users, {}+{} items)",
         snap.model,
@@ -290,7 +326,9 @@ pub fn snapshot(args: &Args) -> Result<(), String> {
 pub fn serve(args: &Args) -> Result<(), String> {
     use std::sync::Arc;
     let path = args.required("snapshot")?;
-    let snap = nm_serve::Snapshot::load_from_file(Path::new(path)).map_err(|e| e.to_string())?;
+    let snap = nm_serve::Snapshot::load_from_file(Path::new(path)).map_err(|e| {
+        format!("cannot load snapshot '{path}': {e} (export one with 'nmcdr snapshot --out ...')")
+    })?;
     let model = snap.model.clone();
     let cfg = nm_serve::EngineConfig {
         n_workers: args.parse_or("workers", nm_serve::EngineConfig::default().n_workers)?,
@@ -303,7 +341,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let engine = Arc::new(nm_serve::Engine::new(snap, cfg));
     let bind = args.get("bind").unwrap_or("127.0.0.1:7878");
     let mut server = nm_serve::Server::start(engine, bind, nm_serve::ServerConfig::default())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| format!("cannot bind '{bind}': {e} (is the port already in use?)"))?;
     println!(
         "serving {model} on {} ({n_workers} workers); send {{\"op\":\"shutdown\"}} to stop",
         server.local_addr()
@@ -328,7 +366,8 @@ pub fn query(args: &Args) -> Result<(), String> {
         "shutdown" => r#"{"op":"shutdown"}"#.to_string(),
         other => return Err(format!("unknown op '{other}' (topk, stats, shutdown)")),
     };
-    let stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to '{addr}': {e} (is 'nmcdr serve' running?)"))?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     writer
         .write_all(format!("{line}\n").as_bytes())

@@ -107,6 +107,7 @@ fn user_degrees(
 }
 
 /// Generates one domain's interactions given user latent factors.
+#[allow(clippy::too_many_arguments)]
 fn generate_domain(
     name: &str,
     user_factors: &[f32],

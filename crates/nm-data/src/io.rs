@@ -61,7 +61,7 @@ impl LoadedDomain {
 }
 
 fn split_fields(line: &str) -> Vec<&str> {
-    line.split(|c: char| c == ',' || c == '\t' || c == ' ')
+    line.split([',', '\t', ' '])
         .filter(|f| !f.is_empty())
         .collect()
 }

@@ -32,15 +32,15 @@ fn principal_component(x: &Tensor, deflate: Option<&[f32]>, iters: usize) -> (Ve
     for _ in 0..iters {
         // w = X^T (X v) / n  (covariance-vector product without forming DxD)
         let mut xv = vec![0.0f32; n];
-        for i in 0..n {
+        for (i, xvi) in xv.iter_mut().enumerate() {
             let row = x.row_slice(i);
-            xv[i] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+            *xvi = row.iter().zip(&v).map(|(a, b)| a * b).sum();
         }
         let mut w = vec![0.0f32; d];
-        for i in 0..n {
+        for (i, &xvi) in xv.iter().enumerate() {
             let row = x.row_slice(i);
             for (wj, &rj) in w.iter_mut().zip(row) {
-                *wj += rj * xv[i];
+                *wj += rj * xvi;
             }
         }
         for wj in &mut w {
@@ -111,9 +111,9 @@ pub fn separation(embeddings: &Tensor, is_head: &[bool]) -> SeparationStats {
     assert!(n_head > 0 && n_tail > 0, "need both head and tail users");
     let mut c_head = vec![0.0f32; d];
     let mut c_tail = vec![0.0f32; d];
-    for i in 0..n {
+    for (i, &head) in is_head.iter().enumerate() {
         let row = embeddings.row_slice(i);
-        let c = if is_head[i] { &mut c_head } else { &mut c_tail };
+        let c = if head { &mut c_head } else { &mut c_tail };
         for (cj, &rj) in c.iter_mut().zip(row) {
             *cj += rj;
         }
@@ -132,9 +132,9 @@ pub fn separation(embeddings: &Tensor, is_head: &[bool]) -> SeparationStats {
         .sqrt();
     // pooled within-group variance
     let mut ssq = 0.0f32;
-    for i in 0..n {
+    for (i, &head) in is_head.iter().enumerate() {
         let row = embeddings.row_slice(i);
-        let c = if is_head[i] { &c_head } else { &c_tail };
+        let c = if head { &c_head } else { &c_tail };
         ssq += row
             .iter()
             .zip(c)

@@ -185,7 +185,8 @@ mod tests {
                 batch_size: 256,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training");
         // BPR is the weakest baseline in the paper too; above-chance is
         // the meaningful bar at this scale.
         assert!(stats.final_a.auc > 0.52, "AUC {}", stats.final_a.auc);

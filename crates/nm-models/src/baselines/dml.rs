@@ -261,7 +261,8 @@ mod tests {
                 lr: 1e-2,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training");
         assert!(stats.logs.iter().all(|l| l.mean_loss.is_finite()));
     }
 
@@ -276,7 +277,8 @@ mod tests {
                 batch_size: 256,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training");
         assert!(stats.final_a.auc > 0.52, "AUC {}", stats.final_a.auc);
     }
 }

@@ -52,8 +52,8 @@ impl GaDtcdrModel {
         let build_map = |n: usize, overlap: &[Option<u32>]| {
             let mut map = Vec::with_capacity(n);
             let mut mask = Tensor::zeros(n, 1);
-            for u in 0..n {
-                match overlap[u] {
+            for (u, o) in overlap.iter().enumerate().take(n) {
+                match *o {
                     Some(x) => {
                         map.push(x);
                         mask.set(u, 0, 1.0);
@@ -278,7 +278,8 @@ mod tests {
                 batch_size: 256,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training");
         assert!(stats.logs.iter().all(|l| l.mean_loss.is_finite()));
         let (a, _b) = evaluate_model(&mut m, 10);
         assert!(a.n_users > 0);
@@ -295,7 +296,8 @@ mod tests {
                 batch_size: 512,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training");
         assert!(stats.final_a.auc > 0.52, "AUC {}", stats.final_a.auc);
     }
 }

@@ -322,7 +322,8 @@ mod tests {
                 batch_size: 512,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training");
         assert!(stats.final_a.auc > 0.52, "AUC {}", stats.final_a.auc);
     }
 }

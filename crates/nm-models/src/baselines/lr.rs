@@ -144,7 +144,8 @@ mod tests {
                 batch_size: 256,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training");
         // 51 candidates, random HR@10 ≈ 19.6%
         assert!(stats.final_a.auc > 0.52, "AUC {}", stats.final_a.auc);
     }

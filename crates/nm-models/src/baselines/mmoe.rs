@@ -230,7 +230,8 @@ mod tests {
                 batch_size: 256,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training");
         assert!(stats.final_a.auc > 0.52, "AUC {}", stats.final_a.auc);
     }
 }

@@ -176,7 +176,8 @@ mod tests {
                 batch_size: 256,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training");
         assert!(stats.final_b.auc > 0.52, "AUC {}", stats.final_b.auc);
     }
 }

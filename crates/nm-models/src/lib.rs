@@ -25,6 +25,7 @@
 pub mod baselines;
 pub mod common;
 pub mod model;
+pub mod resume;
 pub mod task;
 pub mod train;
 
@@ -41,7 +42,9 @@ pub use baselines::ple::PleModel;
 pub use baselines::ptupcdr::PtupcdrModel;
 pub use common::SharedUserIndex;
 pub use model::{CdrModel, Domain};
+pub use resume::{FaultPlan, FtConfig, TrainError};
 pub use task::{CdrTask, TaskConfig};
 pub use train::{
-    evaluate_model, evaluate_model_valid, train_joint, EpochLog, TrainConfig, TrainStats,
+    evaluate_model, evaluate_model_valid, train_joint, train_joint_ft, EpochLog, TrainConfig,
+    TrainStats,
 };

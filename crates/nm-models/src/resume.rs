@@ -1,0 +1,379 @@
+//! Crash-safe training: trainer-state serialization, exact resume,
+//! divergence rollback, and fault injection.
+//!
+//! The trainer checkpoint is an `NMCK` v2 file: the model parameters
+//! plus one opaque [`TRAINER_SECTION`] holding everything else the loop
+//! needs to continue **bit-identically** — Adam moments and step count,
+//! epoch/step counters, the (possibly rollback-halved) learning rate,
+//! per-epoch logs, and the early-stopping best snapshot. RNG streams
+//! need no explicit state: every stream the trainer consumes is derived
+//! from `(seed, epoch)` via [`nm_data::batch::epoch_seed`], so the
+//! counters alone pin them down (the "replay contract").
+//!
+//! Checkpoints are written atomically (tmp + fsync + rename) at epoch
+//! boundaries, so a `kill -9` at any byte leaves either the previous or
+//! the new checkpoint on disk — never a torn hybrid — and the v2
+//! checksum turns any corruption that does reach disk into a structured
+//! [`CheckpointError::Format`] instead of a garbage load.
+
+use crate::train::{EpochLog, TrainConfig};
+use crate::CdrModel;
+use nm_eval::RankingSummary;
+use nm_nn::checkpoint::{
+    self, read_bytes, read_f32, read_f64, read_u32, read_u64, read_u8, write_bytes, write_f32,
+    write_f64, write_u32, write_u64, write_u8, CheckpointError,
+};
+use nm_optim::Adam;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Name of the v2 checkpoint section holding trainer state.
+pub const TRAINER_SECTION: &str = "trainer";
+
+/// Layout version of the trainer-state section.
+const STATE_VERSION: u32 = 1;
+
+/// Structured training failure. Replaces the trainer's former
+/// `assert!`-panic on non-finite loss.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Loss became NaN/Inf and the rollback budget is exhausted.
+    Diverged {
+        model: &'static str,
+        epoch: usize,
+        step: usize,
+        loss: f32,
+        rollbacks: usize,
+    },
+    /// Reading or writing a trainer checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// A checkpoint decoded cleanly but belongs to a different run
+    /// (different seed/schedule/model) — resuming from it would
+    /// silently break the bit-identical replay contract.
+    ResumeMismatch(String),
+    /// A [`FaultPlan`] injection fired (simulated crash; tests only).
+    Injected { what: &'static str, epoch: usize },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Diverged {
+                model,
+                epoch,
+                step,
+                loss,
+                rollbacks,
+            } => write!(
+                f,
+                "{model}: non-finite loss {loss} at epoch {epoch} step {step} \
+                 after {rollbacks} rollback(s); lower the learning rate or raise max_rollbacks"
+            ),
+            TrainError::Checkpoint(e) => write!(f, "trainer checkpoint error: {e}"),
+            TrainError::ResumeMismatch(m) => write!(f, "cannot resume: {m}"),
+            TrainError::Injected { what, epoch } => {
+                write!(f, "injected fault '{what}' at epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+impl From<std::io::Error> for TrainError {
+    fn from(e: std::io::Error) -> Self {
+        TrainError::Checkpoint(CheckpointError::Io(e))
+    }
+}
+
+/// Deterministic fault injection, threaded through the trainer so the
+/// fault-tolerance tests can kill training at precise points. All
+/// fields default to "never fire".
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Simulate a crash immediately *after* the checkpoint for this
+    /// epoch has been written (kills at the checkpoint boundary).
+    pub kill_after_checkpoint: Option<usize>,
+    /// Simulate a crash before executing this global optimization step.
+    pub kill_at_step: Option<u64>,
+    /// Simulate a crash *midway through* writing the checkpoint for
+    /// this epoch: a partial temp file is left behind and the previous
+    /// checkpoint stays in place (what a real `kill -9` during
+    /// [`checkpoint::atomic_write_bytes`] produces).
+    pub torn_write_after_epoch: Option<usize>,
+    /// Flip one byte of the checkpoint written for this epoch, then
+    /// crash — exercises the v2 checksum on the resume path.
+    pub bitflip_after_epoch: Option<usize>,
+    /// Force the loss to NaN at this global step (fires once) —
+    /// exercises the divergence rollback policy.
+    pub nan_at_step: Option<u64>,
+}
+
+/// Fault-tolerance options for [`crate::train::train_joint_ft`].
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// Where to write trainer checkpoints (`None` = no persistence;
+    /// divergence rollback still works from in-memory state).
+    pub checkpoint: Option<PathBuf>,
+    /// Write a checkpoint every N epoch boundaries (the final boundary
+    /// always writes). 1 = every epoch.
+    pub checkpoint_every: usize,
+    /// If the checkpoint file exists, restore it and continue training
+    /// such that the run is bit-identical to an uninterrupted one.
+    pub resume: bool,
+    /// Divergence rollbacks to attempt before surfacing
+    /// [`TrainError::Diverged`].
+    pub max_rollbacks: usize,
+    /// Learning-rate multiplier applied on each rollback.
+    pub rollback_lr_factor: f32,
+    /// Fault injection (tests).
+    pub faults: FaultPlan,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint: None,
+            checkpoint_every: 1,
+            resume: false,
+            max_rollbacks: 3,
+            rollback_lr_factor: 0.5,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+/// Everything the training loop carries across epochs, checkpointed at
+/// every epoch boundary.
+#[derive(Debug, Clone)]
+pub struct TrainerState {
+    /// Next epoch to execute (0-based); equals `cfg.epochs` when done.
+    pub epoch_next: usize,
+    /// Global optimization steps completed (also feeds
+    /// [`CdrModel::loss`]'s step-seeded sampling, e.g. BPR negatives).
+    pub steps: u64,
+    /// Current learning rate (halved by divergence rollbacks).
+    pub lr: f32,
+    /// Divergence rollbacks performed so far.
+    pub rollbacks: usize,
+    /// Per-epoch logs accumulated so far.
+    pub logs: Vec<EpochLog>,
+    /// Early stopping: best validation score seen.
+    pub best_valid: f64,
+    /// Early stopping: epochs since `best_valid` improved.
+    pub epochs_since_best: usize,
+    /// Early stopping: serialized (v1) parameter snapshot at the best
+    /// validation epoch.
+    pub best_snapshot: Option<Vec<u8>>,
+}
+
+impl TrainerState {
+    pub fn fresh(cfg: &TrainConfig) -> Self {
+        Self {
+            epoch_next: 0,
+            steps: 0,
+            lr: cfg.lr,
+            rollbacks: 0,
+            logs: Vec::with_capacity(cfg.epochs),
+            best_valid: f64::NEG_INFINITY,
+            epochs_since_best: 0,
+            best_snapshot: None,
+        }
+    }
+}
+
+fn write_summary(w: &mut Vec<u8>, s: &RankingSummary) -> Result<(), CheckpointError> {
+    write_f64(w, s.hr)?;
+    write_f64(w, s.ndcg)?;
+    write_f64(w, s.mrr)?;
+    write_f64(w, s.auc)?;
+    write_u64(w, s.n_users as u64)?;
+    Ok(())
+}
+
+fn read_summary(r: &mut &[u8]) -> Result<RankingSummary, CheckpointError> {
+    Ok(RankingSummary {
+        hr: read_f64(r)?,
+        ndcg: read_f64(r)?,
+        mrr: read_f64(r)?,
+        auc: read_f64(r)?,
+        n_users: read_u64(r)? as usize,
+    })
+}
+
+/// Serializes the full trainer checkpoint (model params + trainer
+/// section) into the byte buffer that gets written atomically — and
+/// doubles as the in-memory "last good state" divergence rollback
+/// restores from.
+pub fn encode_state(
+    model: &dyn CdrModel,
+    opt: &Adam,
+    st: &TrainerState,
+    cfg: &TrainConfig,
+) -> Result<Vec<u8>, CheckpointError> {
+    let mut sec = Vec::new();
+    write_u32(&mut sec, STATE_VERSION)?;
+    // Config fingerprint: anything that changes the replayed stream.
+    write_u64(&mut sec, cfg.seed)?;
+    write_u32(&mut sec, cfg.batch_size as u32)?;
+    write_u32(&mut sec, cfg.neg_per_pos as u32)?;
+    write_u32(&mut sec, cfg.epochs as u32)?;
+    write_f32(&mut sec, cfg.lr)?;
+    write_f32(&mut sec, cfg.grad_clip)?;
+    write_u32(&mut sec, cfg.eval_every as u32)?;
+    write_u32(&mut sec, cfg.top_k as u32)?;
+    write_u32(&mut sec, cfg.early_stop_patience as u32)?;
+    let name = model.name().as_bytes();
+    write_bytes(&mut sec, name)?;
+    // Loop counters.
+    write_u32(&mut sec, st.epoch_next as u32)?;
+    write_u64(&mut sec, st.steps)?;
+    write_f32(&mut sec, st.lr)?;
+    write_u32(&mut sec, st.rollbacks as u32)?;
+    // Per-epoch logs.
+    write_u32(&mut sec, st.logs.len() as u32)?;
+    for log in &st.logs {
+        write_u32(&mut sec, log.epoch as u32)?;
+        write_f32(&mut sec, log.mean_loss)?;
+        match &log.eval {
+            None => write_u8(&mut sec, 0)?,
+            Some((a, b)) => {
+                write_u8(&mut sec, 1)?;
+                write_summary(&mut sec, a)?;
+                write_summary(&mut sec, b)?;
+            }
+        }
+    }
+    // Early stopping.
+    write_f64(&mut sec, st.best_valid)?;
+    write_u32(&mut sec, st.epochs_since_best as u32)?;
+    match &st.best_snapshot {
+        None => write_u8(&mut sec, 0)?,
+        Some(buf) => {
+            write_u8(&mut sec, 1)?;
+            write_bytes(&mut sec, buf)?;
+        }
+    }
+    // Optimizer moments.
+    opt.export_state(&mut sec)?;
+    checkpoint::encode_v2(&model.params(), &[(TRAINER_SECTION, &sec)])
+}
+
+/// Checks one fingerprint field, building an actionable mismatch error.
+fn check<T: PartialEq + fmt::Display>(what: &str, file: T, cfg: T) -> Result<(), TrainError> {
+    if file != cfg {
+        return Err(TrainError::ResumeMismatch(format!(
+            "checkpoint was trained with {what}={file}, current config has {what}={cfg}"
+        )));
+    }
+    Ok(())
+}
+
+/// Restores a trainer checkpoint produced by [`encode_state`] into the
+/// model, optimizer, and a fresh [`TrainerState`]. Verifies the config
+/// fingerprint so a checkpoint from a different run cannot be silently
+/// continued.
+pub fn restore_state(
+    model: &mut dyn CdrModel,
+    opt: &mut Adam,
+    cfg: &TrainConfig,
+    bytes: &[u8],
+) -> Result<TrainerState, TrainError> {
+    let data = checkpoint::decode_checkpoint(bytes)?;
+    let sec = data.section(TRAINER_SECTION).ok_or_else(|| {
+        TrainError::ResumeMismatch(
+            "checkpoint has no trainer-state section (params-only file?); \
+             re-train with checkpointing enabled"
+                .into(),
+        )
+    })?;
+    let mut r: &[u8] = sec;
+    let version = read_u32(&mut r)?;
+    if version != STATE_VERSION {
+        return Err(TrainError::Checkpoint(CheckpointError::Format(format!(
+            "unsupported trainer-state version {version}"
+        ))));
+    }
+    check("seed", read_u64(&mut r)?, cfg.seed)?;
+    check("batch_size", read_u32(&mut r)? as usize, cfg.batch_size)?;
+    check("neg_per_pos", read_u32(&mut r)? as usize, cfg.neg_per_pos)?;
+    check("epochs", read_u32(&mut r)? as usize, cfg.epochs)?;
+    check("lr", read_f32(&mut r)?, cfg.lr)?;
+    check("grad_clip", read_f32(&mut r)?, cfg.grad_clip)?;
+    check("eval_every", read_u32(&mut r)? as usize, cfg.eval_every)?;
+    check("top_k", read_u32(&mut r)? as usize, cfg.top_k)?;
+    check(
+        "early_stop_patience",
+        read_u32(&mut r)? as usize,
+        cfg.early_stop_patience,
+    )?;
+    let file_model = String::from_utf8(read_bytes(&mut r)?)
+        .map_err(|_| CheckpointError::Format("non-utf8 model name".into()))?;
+    check("model", file_model.as_str(), model.name())?;
+
+    let epoch_next = read_u32(&mut r)? as usize;
+    let steps = read_u64(&mut r)?;
+    let lr = read_f32(&mut r)?;
+    let rollbacks = read_u32(&mut r)? as usize;
+    let n_logs = read_u32(&mut r)? as usize;
+    if n_logs > 1 << 24 {
+        return Err(TrainError::Checkpoint(CheckpointError::Format(
+            "unreasonable log count".into(),
+        )));
+    }
+    let mut logs = Vec::with_capacity(n_logs);
+    for _ in 0..n_logs {
+        let epoch = read_u32(&mut r)? as usize;
+        let mean_loss = read_f32(&mut r)?;
+        let eval = match read_u8(&mut r)? {
+            0 => None,
+            1 => Some((read_summary(&mut r)?, read_summary(&mut r)?)),
+            x => {
+                return Err(TrainError::Checkpoint(CheckpointError::Format(format!(
+                    "bad eval tag {x}"
+                ))))
+            }
+        };
+        logs.push(EpochLog {
+            epoch,
+            mean_loss,
+            eval,
+        });
+    }
+    let best_valid = read_f64(&mut r)?;
+    let epochs_since_best = read_u32(&mut r)? as usize;
+    let best_snapshot = match read_u8(&mut r)? {
+        0 => None,
+        1 => Some(read_bytes(&mut r)?),
+        x => {
+            return Err(TrainError::Checkpoint(CheckpointError::Format(format!(
+                "bad best-snapshot tag {x}"
+            ))))
+        }
+    };
+    let params = model.params();
+    opt.import_state(&mut r, params.len())?;
+    if !r.is_empty() {
+        return Err(TrainError::Checkpoint(CheckpointError::Format(format!(
+            "{} trailing bytes in trainer-state section",
+            r.len()
+        ))));
+    }
+    checkpoint::assign_params(&params, &data.params)?;
+    Ok(TrainerState {
+        epoch_next,
+        steps,
+        lr,
+        rollbacks,
+        logs,
+        best_valid,
+        epochs_since_best,
+        best_snapshot,
+    })
+}

@@ -1,11 +1,23 @@
 //! The shared joint training loop (paper §III-A-4: Adam, fixed LR,
 //! 1 training negative per positive, batch training on both domains
 //! simultaneously).
+//!
+//! The loop is **crash-safe**: [`train_joint_ft`] checkpoints the full
+//! trainer state (params, Adam moments, counters, early-stopping best)
+//! atomically at every epoch boundary and can resume from a kill at any
+//! point such that the final parameters, logs, and ranking metrics are
+//! bit-identical to an uninterrupted run (wall-clock `secs_per_step` is
+//! the one field that necessarily differs). Non-finite loss no longer
+//! panics: the divergence guard rolls back to the last good state,
+//! halves the learning rate, and retries before surfacing a structured
+//! [`TrainError`].
 
+use crate::resume::{self, FtConfig, TrainError, TrainerState};
 use crate::{CdrModel, Domain};
-use nm_data::batch::{batches, Batch};
+use nm_data::batch::{batches, epoch_seed, Batch};
 use nm_data::negative::train_examples;
 use nm_eval::{evaluate_ranking, RankingSummary};
+use nm_nn::checkpoint;
 use nm_optim::{clip_global_norm, Adam, Optimizer};
 
 /// Training hyperparameters.
@@ -61,10 +73,16 @@ pub struct TrainStats {
     /// Final ranking metrics on domains (A, B).
     pub final_a: RankingSummary,
     pub final_b: RankingSummary,
-    /// Mean wall-clock per optimization step, seconds.
+    /// Mean wall-clock per optimization step, seconds (steps executed
+    /// in *this* process — the only field that differs between an
+    /// uninterrupted run and a kill-and-resume one).
     pub secs_per_step: f64,
     /// Trainable parameter count.
     pub param_count: usize,
+    /// Divergence rollbacks the guard performed (0 on a healthy run).
+    pub rollbacks: usize,
+    /// Epoch this run resumed from, if it restored a checkpoint.
+    pub resumed_from: Option<usize>,
 }
 
 /// Evaluates `model` on both domains' held-out candidates.
@@ -99,88 +117,233 @@ pub fn evaluate_model_valid(
 /// Trains `model` jointly on both domains and evaluates leave-one-out
 /// ranking. Negatives are resampled every epoch; the shorter domain's
 /// batch list cycles so both domains contribute to every step.
-pub fn train_joint(model: &mut dyn CdrModel, cfg: &TrainConfig) -> TrainStats {
+///
+/// Equivalent to [`train_joint_ft`] with no checkpointing and the
+/// default divergence-rollback policy.
+pub fn train_joint(model: &mut dyn CdrModel, cfg: &TrainConfig) -> Result<TrainStats, TrainError> {
+    train_joint_ft(model, cfg, &FtConfig::default())
+}
+
+/// Outcome of one attempted epoch: completed, or diverged mid-epoch.
+enum EpochRun {
+    Done { loss_sum: f64, steps: u64 },
+    Diverged { step: usize, loss: f32 },
+}
+
+/// Fault-tolerant joint training: [`train_joint`] plus crash-safe
+/// checkpointing, exact resume, and divergence rollback (see `ft`).
+///
+/// **Resume invariant:** a run killed at any point and resumed from its
+/// checkpoint produces bit-identical final parameters, `logs`, and
+/// ranking metrics to an uninterrupted run, because (a) every RNG
+/// stream is derived from `(seed, epoch)` / the global step counter,
+/// (b) the checkpoint carries the optimizer moments and early-stopping
+/// state, and (c) checkpoints are only written at epoch boundaries, so
+/// a replayed epoch re-executes the exact same step sequence.
+pub fn train_joint_ft(
+    model: &mut dyn CdrModel,
+    cfg: &TrainConfig,
+    ft: &FtConfig,
+) -> Result<TrainStats, TrainError> {
     let task = model.task().clone();
     let mut opt = Adam::new(cfg.lr);
-    let mut logs = Vec::with_capacity(cfg.epochs);
-    let mut steps = 0u64;
-    let t_start = std::time::Instant::now();
-    let early_stopping = cfg.early_stop_patience > 0 && !task.valid_eval_a.is_empty();
-    let mut best_valid = f64::NEG_INFINITY;
-    let mut best_snapshot: Option<Vec<u8>> = None;
-    let mut epochs_since_best = 0usize;
+    let mut st = TrainerState::fresh(cfg);
+    let mut resumed_from = None;
 
-    for epoch in 0..cfg.epochs {
-        model.begin_epoch(epoch);
-        let seed = cfg.seed ^ ((epoch as u64) << 32);
-        let ex_a = train_examples(&task.split_a, cfg.neg_per_pos, seed);
-        let ex_b = train_examples(&task.split_b, cfg.neg_per_pos, seed ^ 0xB);
-        let ba = batches(&ex_a, cfg.batch_size, seed ^ 0xAA);
-        let bb = batches(&ex_b, cfg.batch_size, seed ^ 0xBB);
-        let n_steps = ba.len().max(bb.len());
-        let mut loss_sum = 0.0f64;
-        for s in 0..n_steps {
-            let batch_a: &Batch = &ba[s % ba.len()];
-            let batch_b: &Batch = &bb[s % bb.len()];
-            let mut tape = nm_autograd::Tape::new();
-            let loss = model.loss(&mut tape, batch_a, batch_b, steps);
-            let lv = tape.value(loss).item();
-            assert!(
-                lv.is_finite(),
-                "{}: non-finite loss at epoch {epoch} step {s}",
-                model.name()
-            );
-            loss_sum += lv as f64;
-            tape.backward(loss);
-            nm_nn::absorb_all(&*model, &tape);
-            let params = model.params();
-            if cfg.grad_clip > 0.0 {
-                clip_global_norm(&params, cfg.grad_clip);
+    if ft.resume {
+        if let Some(path) = &ft.checkpoint {
+            if path.exists() {
+                let bytes = std::fs::read(path)?;
+                st = resume::restore_state(model, &mut opt, cfg, &bytes)?;
+                resumed_from = Some(st.epoch_next);
             }
-            opt.step(&params);
-            steps += 1;
         }
-        let eval = if cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0 {
-            Some(evaluate_model(model, cfg.top_k))
-        } else {
-            None
-        };
-        logs.push(EpochLog {
-            epoch,
-            mean_loss: (loss_sum / n_steps.max(1) as f64) as f32,
-            eval,
-        });
+    }
+
+    // Last epoch-boundary state, for divergence rollback. Encoded up
+    // front so even an epoch-0 divergence has somewhere to roll back to.
+    let mut last_good = resume::encode_state(model, &opt, &st, cfg)?;
+
+    let t_start = std::time::Instant::now();
+    let steps_before = st.steps;
+    let early_stopping = cfg.early_stop_patience > 0 && !task.valid_eval_a.is_empty();
+    let every = ft.checkpoint_every.max(1);
+    let mut stopped_early = false;
+    // Mutable copy so one-shot injections (NaN) can disarm after
+    // firing — a rollback retry replays the same global step.
+    let mut faults = ft.faults.clone();
+
+    while st.epoch_next < cfg.epochs && !stopped_early {
+        let epoch = st.epoch_next;
+        model.begin_epoch(epoch);
+        opt.set_lr(st.lr);
+        let run = run_epoch(model, &mut opt, cfg, &mut faults, epoch, st.steps)?;
+        match run {
+            EpochRun::Diverged { step, loss } => {
+                let total_rollbacks = st.rollbacks + 1;
+                if st.rollbacks >= ft.max_rollbacks {
+                    return Err(TrainError::Diverged {
+                        model: model.name(),
+                        epoch,
+                        step,
+                        loss,
+                        rollbacks: st.rollbacks,
+                    });
+                }
+                // Roll back to the last good boundary, halve the LR,
+                // and retry the epoch.
+                st = resume::restore_state(model, &mut opt, cfg, &last_good)?;
+                st.rollbacks = total_rollbacks;
+                st.lr *= ft.rollback_lr_factor;
+                continue;
+            }
+            EpochRun::Done { loss_sum, steps } => {
+                let n_steps = steps - st.steps;
+                st.steps = steps;
+                let eval = if cfg.eval_every > 0 && (epoch + 1).is_multiple_of(cfg.eval_every) {
+                    Some(evaluate_model(model, cfg.top_k))
+                } else {
+                    None
+                };
+                st.logs.push(EpochLog {
+                    epoch,
+                    mean_loss: (loss_sum / (n_steps.max(1) as f64)) as f32,
+                    eval,
+                });
+            }
+        }
         if early_stopping {
             let (va, vb) = evaluate_model_valid(model, cfg.top_k);
             let score = (va.hr + vb.hr) / 2.0;
-            if score > best_valid {
-                best_valid = score;
-                epochs_since_best = 0;
+            if score > st.best_valid {
+                st.best_valid = score;
+                st.epochs_since_best = 0;
                 let mut buf = Vec::new();
-                nm_nn::checkpoint::save_params(&model.params(), &mut buf)
-                    .expect("in-memory checkpoint");
-                best_snapshot = Some(buf);
+                checkpoint::save_params(&model.params(), &mut buf)?;
+                st.best_snapshot = Some(buf);
             } else {
-                epochs_since_best += 1;
-                if epochs_since_best >= cfg.early_stop_patience {
-                    break;
+                st.epochs_since_best += 1;
+                if st.epochs_since_best >= cfg.early_stop_patience {
+                    stopped_early = true;
                 }
             }
         }
+        st.epoch_next = epoch + 1;
+        last_good = resume::encode_state(model, &opt, &st, cfg)?;
+        let boundary = epoch + 1 == cfg.epochs || stopped_early;
+        if ft.checkpoint.is_some() && (epoch % every == every - 1 || boundary) {
+            persist_checkpoint(ft, &last_good, epoch)?;
+        }
     }
-    if let Some(buf) = best_snapshot {
-        nm_nn::checkpoint::load_params(&model.params(), &mut buf.as_slice())
-            .expect("restore best checkpoint");
+
+    // Models may carry epoch-dependent internal state (e.g. NMCDR
+    // resamples its matching bridges per epoch). A resume that lands at
+    // or past the final boundary skips the epoch loop, so realign that
+    // state with the last epoch the original run actually executed —
+    // otherwise evaluation would see construction-time state.
+    if let Some(last) = st.logs.last() {
+        model.begin_epoch(last.epoch);
+    }
+    if let Some(buf) = st.best_snapshot.take() {
+        checkpoint::load_params(&model.params(), &mut buf.as_slice())?;
     }
     let train_secs = t_start.elapsed().as_secs_f64();
     let (final_a, final_b) = evaluate_model(model, cfg.top_k);
-    TrainStats {
-        logs,
+    Ok(TrainStats {
+        logs: st.logs,
         final_a,
         final_b,
-        secs_per_step: train_secs / steps.max(1) as f64,
+        secs_per_step: train_secs / ((st.steps - steps_before).max(1) as f64),
         param_count: model.param_count(),
+        rollbacks: st.rollbacks,
+        resumed_from,
+    })
+}
+
+/// Executes one epoch of optimization steps. Returns the loss sum and
+/// the advanced global step counter, or the divergence point if the
+/// loss went non-finite (the model/optimizer are then mid-epoch dirty
+/// and the caller must roll back).
+fn run_epoch(
+    model: &mut dyn CdrModel,
+    opt: &mut Adam,
+    cfg: &TrainConfig,
+    faults: &mut crate::resume::FaultPlan,
+    epoch: usize,
+    mut steps: u64,
+) -> Result<EpochRun, TrainError> {
+    let task = model.task().clone();
+    let seed = epoch_seed(cfg.seed, epoch);
+    let ex_a = train_examples(&task.split_a, cfg.neg_per_pos, seed);
+    let ex_b = train_examples(&task.split_b, cfg.neg_per_pos, seed ^ 0xB);
+    let ba = batches(&ex_a, cfg.batch_size, seed ^ 0xAA);
+    let bb = batches(&ex_b, cfg.batch_size, seed ^ 0xBB);
+    let n_steps = ba.len().max(bb.len());
+    let mut loss_sum = 0.0f64;
+    for s in 0..n_steps {
+        if faults.kill_at_step == Some(steps) {
+            return Err(TrainError::Injected {
+                what: "kill at step",
+                epoch,
+            });
+        }
+        let batch_a: &Batch = &ba[s % ba.len()];
+        let batch_b: &Batch = &bb[s % bb.len()];
+        let mut tape = nm_autograd::Tape::new();
+        let loss = model.loss(&mut tape, batch_a, batch_b, steps);
+        let mut lv = tape.value(loss).item();
+        if faults.nan_at_step == Some(steps) {
+            faults.nan_at_step = None; // one-shot: the retry must pass
+            lv = f32::NAN;
+        }
+        if !lv.is_finite() {
+            return Ok(EpochRun::Diverged { step: s, loss: lv });
+        }
+        loss_sum += lv as f64;
+        tape.backward(loss);
+        nm_nn::absorb_all(&*model, &tape);
+        let params = model.params();
+        if cfg.grad_clip > 0.0 {
+            clip_global_norm(&params, cfg.grad_clip);
+        }
+        opt.step(&params);
+        steps += 1;
     }
+    Ok(EpochRun::Done { loss_sum, steps })
+}
+
+/// Writes the checkpoint for `epoch`, applying any injected write
+/// faults (torn write, bitflip, kill-after-write).
+fn persist_checkpoint(ft: &FtConfig, bytes: &[u8], epoch: usize) -> Result<(), TrainError> {
+    let path = ft.checkpoint.as_ref().expect("caller checked");
+    if ft.faults.torn_write_after_epoch == Some(epoch) {
+        // Simulate dying midway through the tmp-file write: a partial
+        // temp file appears, the real checkpoint is never replaced.
+        let tmp = path.with_extension("nmck.tmp.torn");
+        std::fs::write(tmp, &bytes[..bytes.len() / 2])?;
+        return Err(TrainError::Injected {
+            what: "torn checkpoint write",
+            epoch,
+        });
+    }
+    checkpoint::atomic_write_bytes(path, bytes)?;
+    if ft.faults.bitflip_after_epoch == Some(epoch) {
+        let mut on_disk = std::fs::read(path)?;
+        let mid = on_disk.len() / 2;
+        on_disk[mid] ^= 0x10;
+        std::fs::write(path, on_disk)?;
+        return Err(TrainError::Injected {
+            what: "checkpoint bitflip",
+            epoch,
+        });
+    }
+    if ft.faults.kill_after_checkpoint == Some(epoch) {
+        return Err(TrainError::Injected {
+            what: "kill after checkpoint",
+            epoch,
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -281,7 +444,7 @@ mod tests {
             lr: 5e-2,
             ..Default::default()
         };
-        let stats = train_joint(&mut model, &cfg);
+        let stats = train_joint(&mut model, &cfg).expect("training");
         let first = stats.logs.first().unwrap().mean_loss;
         let last = stats.logs.last().unwrap().mean_loss;
         assert!(last < first, "loss did not fall: {first} -> {last}");
@@ -305,9 +468,9 @@ mod tests {
             ..Default::default()
         };
         let mut m1 = TinyMf::new(task.clone(), 5);
-        let s1 = train_joint(&mut m1, &cfg);
+        let s1 = train_joint(&mut m1, &cfg).expect("training");
         let mut m2 = TinyMf::new(task, 5);
-        let s2 = train_joint(&mut m2, &cfg);
+        let s2 = train_joint(&mut m2, &cfg).expect("training");
         assert_eq!(s1.final_a.hr, s2.final_a.hr);
         assert_eq!(s1.logs[1].mean_loss, s2.logs[1].mean_loss);
     }
@@ -335,7 +498,8 @@ mod tests {
                 early_stop_patience: 2,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training");
         // with patience 2 over 30 epochs on a tiny set, overfitting kicks
         // in and the loop stops early
         assert!(stats.logs.len() < 30, "ran all {} epochs", stats.logs.len());
@@ -351,7 +515,7 @@ mod tests {
             eval_every: 1,
             ..Default::default()
         };
-        let stats = train_joint(&mut model, &cfg);
+        let stats = train_joint(&mut model, &cfg).expect("training");
         assert!(stats.logs.iter().all(|l| l.eval.is_some()));
     }
 }

@@ -58,6 +58,10 @@ impl Default for EngineConfig {
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// One `(item, score)` candidate pool per in-flight request, appended
+/// to by shard workers under a short lock.
+type CandidatePools = Vec<Mutex<Vec<(u32, f32)>>>;
+
 /// Heap entry ordered by [`rank_order`]: `Greater` means *worse*
 /// ranked, so a max-heap's root is the worst retained candidate.
 struct HeapPair((u32, f32));
@@ -413,7 +417,7 @@ impl Engine {
 
         // Per-request candidate pools; each shard contributes at most
         // k_max pairs per request, appended under a short lock.
-        let candidates: Arc<Vec<Mutex<Vec<(u32, f32)>>>> =
+        let candidates: Arc<CandidatePools> =
             Arc::new(users.iter().map(|_| Mutex::new(Vec::new())).collect());
         let next_shard = Arc::new(AtomicUsize::new(0));
         let n_jobs = self.cfg.n_workers.min(n_shards).max(1);

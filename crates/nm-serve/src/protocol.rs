@@ -72,7 +72,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             let domain = parse_domain(field(&v, "domain")?)?;
             let k = field(&v, "k")?
                 .as_u64()
-                .filter(|&k| k >= 1 && k <= 100_000)
+                .filter(|&k| (1..=100_000).contains(&k))
                 .ok_or("field 'k' must be an integer in 1..=100000")? as usize;
             Ok(Request::TopK { user, domain, k })
         }

@@ -44,12 +44,16 @@ struct ConnSlots {
 }
 
 impl ConnSlots {
-    fn acquire(&self) {
+    /// Claims a slot if one is free; returns false when saturated. The
+    /// accept loop sheds load on false instead of blocking, so a burst
+    /// of connections cannot wedge accepts for well-behaved clients.
+    fn try_acquire(&self) -> bool {
         let mut n = self.active.lock().unwrap();
-        while *n >= self.max {
-            n = self.changed.wait(n).unwrap();
+        if *n >= self.max {
+            return false;
         }
         *n += 1;
+        true
     }
 
     fn release(&self) {
@@ -155,7 +159,20 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             Ok(s) => s,
             Err(_) => continue,
         };
-        shared.slots.acquire();
+        if !shared.slots.try_acquire() {
+            // Saturated: shed this connection with a structured error
+            // rather than stalling the accept loop behind a slot.
+            let stats = shared.engine.stats();
+            stats.shed.fetch_add(1, Ordering::Relaxed);
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            let mut s = stream;
+            let msg = protocol::encode_error(&format!(
+                "overloaded: {} connections already active, retry later",
+                shared.cfg.max_conns
+            ));
+            let _ = s.write_all(msg.as_bytes()).and_then(|_| s.write_all(b"\n"));
+            continue;
+        }
         if shared.stopping.load(Ordering::Acquire) {
             shared.slots.release();
             break;
@@ -351,6 +368,73 @@ mod tests {
         assert_eq!(resps[4].get("ok").unwrap().as_bool(), Some(false));
         let stats = resps[5].get("stats").unwrap();
         assert!(stats.get("requests").unwrap().as_f64().unwrap() >= 5.0);
+        server.stop();
+    }
+
+    #[test]
+    fn saturated_server_sheds_with_overloaded_error() {
+        let mut rng = TensorRng::seed_from(5);
+        let mk = |rng: &mut TensorRng| DomainSnapshot {
+            users: Tensor::randn(8, 4, 1.0, rng),
+            items: Tensor::randn(40, 4, 1.0, rng),
+            head: HeadKind::Dot,
+        };
+        let snap = Snapshot {
+            model: "test".into(),
+            domains: [mk(&mut rng), mk(&mut rng)],
+        };
+        let engine = Arc::new(Engine::new(
+            snap,
+            EngineConfig {
+                n_workers: 1,
+                ..Default::default()
+            },
+        ));
+        let mut server = Server::start(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServerConfig {
+                max_conns: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // First connection holds the only slot (handler parks in read).
+        let holder = TcpStream::connect(addr).unwrap();
+        // Wait until the slot is actually claimed, then a second
+        // connection must be shed with a structured error, not block.
+        let mut shed_resp = None;
+        for _ in 0..200 {
+            let extra = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(extra);
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap_or(0) > 0 {
+                shed_resp = Some(Json::parse(line.trim()).unwrap());
+                break;
+            }
+            // raced ahead of the holder's accept; retry
+            thread::sleep(Duration::from_millis(5));
+        }
+        let resp = shed_resp.expect("no shed response observed");
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+        let err = resp.get("error").unwrap().as_str().unwrap().to_string();
+        assert!(err.contains("overloaded"), "unexpected error: {err}");
+        assert!(engine.stats().shed.load(Ordering::Relaxed) >= 1);
+
+        // Releasing the holder frees the slot and service resumes.
+        drop(holder);
+        let mut served = false;
+        for _ in 0..200 {
+            let resps = roundtrip(addr, &[r#"{"op":"topk","user":1,"domain":"a","k":3}"#]);
+            if resps[0].get("ok").unwrap().as_bool() == Some(true) {
+                served = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(served, "server never recovered after shedding");
         server.stop();
     }
 

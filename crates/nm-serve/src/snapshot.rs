@@ -296,9 +296,14 @@ impl Snapshot {
         Ok(())
     }
 
+    /// Writes the snapshot atomically (temp sibling + fsync + rename),
+    /// so a crash mid-export — or a `reload` racing the writer — never
+    /// observes a torn file.
     pub fn save_to_file(&self, path: &Path) -> Result<(), CheckpointError> {
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        self.save(&mut f)
+        let mut buf = Vec::new();
+        self.save(&mut buf)?;
+        nm_nn::checkpoint::atomic_write_bytes(path, &buf)?;
+        Ok(())
     }
 
     /// Deserializes and validates a snapshot. Truncation and garbage

@@ -51,12 +51,10 @@ impl LatencyHistogram {
 
     /// Mean latency in microseconds (0 when empty).
     pub fn mean_us(&self) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            0
-        } else {
-            self.sum_us.load(Ordering::Relaxed) / n
-        }
+        self.sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
     }
 
     /// Approximate `q`-quantile in microseconds: the upper bound of the
@@ -88,6 +86,8 @@ pub struct Stats {
     started: Instant,
     pub requests: AtomicU64,
     pub errors: AtomicU64,
+    /// Connections refused with an `overloaded` error (load shedding).
+    pub shed: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
     /// Scoring passes executed (each may serve several requests).
@@ -109,6 +109,7 @@ impl Stats {
             started: Instant::now(),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -138,6 +139,7 @@ impl Stats {
             ("uptime_secs".into(), Json::Num(self.uptime().as_secs_f64())),
             ("requests".into(), g(&self.requests)),
             ("errors".into(), g(&self.errors)),
+            ("shed".into(), g(&self.shed)),
             ("cache_hits".into(), g(&self.cache_hits)),
             ("cache_misses".into(), g(&self.cache_misses)),
             ("batches".into(), g(&self.batches)),

@@ -81,8 +81,8 @@ pub struct NmcdrModel {
 fn build_self_maps(n: usize, overlap: &[Option<u32>]) -> (Rc<Vec<u32>>, Tensor) {
     let mut map = Vec::with_capacity(n);
     let mut mask = Tensor::zeros(n, 1);
-    for u in 0..n {
-        match overlap[u] {
+    for (u, o) in overlap.iter().enumerate().take(n) {
+        match *o {
             Some(x) => {
                 map.push(x);
                 mask.set(u, 0, 1.0);
@@ -452,8 +452,8 @@ impl NmcdrModel {
         let mut cur = g1;
         for _ in 0..self.cfg.matching_layers {
             if !ab.no_intra_matching {
-                for z in 0..2 {
-                    cur[z] = self.intra_forward(tape, z, cur[z]);
+                for (z, c) in cur.iter_mut().enumerate() {
+                    *c = self.intra_forward(tape, z, *c);
                 }
             }
             g2 = cur;
@@ -804,7 +804,8 @@ mod tests {
                 batch_size: 256,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training");
         assert!(stats.logs.iter().all(|l| l.mean_loss.is_finite()));
         assert!(stats.final_a.n_users > 0);
     }
@@ -820,7 +821,8 @@ mod tests {
                 batch_size: 512,
                 ..Default::default()
             },
-        );
+        )
+        .expect("training");
         assert!(stats.final_a.auc > 0.52, "AUC {}", stats.final_a.auc);
         assert!(stats.final_b.auc > 0.52, "AUC {}", stats.final_b.auc);
     }

@@ -32,13 +32,12 @@ pub fn spectral_norm(a: &Tensor, iters: usize) -> f32 {
     for _ in 0..iters {
         // w = A v
         let mut w = vec![0.0f32; r];
-        for i in 0..r {
-            w[i] = a.row_slice(i).iter().zip(&v).map(|(x, y)| x * y).sum();
+        for (i, wi) in w.iter_mut().enumerate() {
+            *wi = a.row_slice(i).iter().zip(&v).map(|(x, y)| x * y).sum();
         }
         // u = Aᵀ w
         let mut u = vec![0.0f32; c];
-        for i in 0..r {
-            let wi = w[i];
+        for (i, &wi) in w.iter().enumerate() {
             if wi == 0.0 {
                 continue;
             }

@@ -47,7 +47,7 @@ fn main() {
             )),
         ];
         for model in &mut models {
-            let stats = train_joint(&mut **model, &train_cfg);
+            let stats = train_joint(&mut **model, &train_cfg).expect("training");
             println!(
                 "{:<10} {:>7.0}% | {:>7.2} {:>7.2} | {:>7.2} {:>7.2}",
                 model.name(),

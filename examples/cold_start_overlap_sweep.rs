@@ -35,7 +35,7 @@ fn main() {
             },
         );
         let mut mmoe = MmoeModel::new(task.clone(), 16, 3, 5);
-        let s_mmoe = train_joint(&mut mmoe, &train_cfg);
+        let s_mmoe = train_joint(&mut mmoe, &train_cfg).expect("training");
         let mut nm = NmcdrModel::new(
             task,
             NmcdrConfig {
@@ -44,7 +44,7 @@ fn main() {
                 ..Default::default()
             },
         );
-        let s_nm = train_joint(&mut nm, &train_cfg);
+        let s_nm = train_joint(&mut nm, &train_cfg).expect("training");
         println!(
             "{:<8} | {:>12.2} {:>12.2} | {:>12.2} {:>12.2}",
             format!("{:.1}%", ratio * 100.0),

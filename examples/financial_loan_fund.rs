@@ -48,7 +48,8 @@ fn main() {
             lr: 5e-3,
             ..Default::default()
         },
-    );
+    )
+    .expect("training");
     println!(
         "offline: Loan HR@10 {:.2}%, Fund HR@10 {:.2}%",
         stats.final_a.hr, stats.final_b.hr

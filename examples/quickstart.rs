@@ -62,7 +62,8 @@ fn main() {
             lr: 5e-3,
             ..Default::default()
         },
-    );
+    )
+    .expect("training");
 
     for log in &stats.logs {
         println!("epoch {}: mean loss {:.4}", log.epoch, log.mean_loss);

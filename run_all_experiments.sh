@@ -2,16 +2,30 @@
 # Regenerates every table and figure of the paper's evaluation section.
 # Output is teed under results/. Environment overrides (NMCDR_SCALE,
 # NMCDR_EPOCHS, ...) apply to every step — see README.md.
+#
+# The runner is resumable: each completed experiment drops a stamp under
+# results/.done/ and is skipped on the next invocation, so a killed
+# sweep picks up where it left off. NMCDR_FORCE=1 reruns everything.
 set -uo pipefail
 cd "$(dirname "$0")"
-mkdir -p results
+mkdir -p results results/.done
 
 run() {
   local name="$1"; shift
+  local stamp="results/.done/${name}"
+  if [[ -f "$stamp" && "${NMCDR_FORCE:-0}" != "1" ]]; then
+    echo ">> $name already done ($(cat "$stamp")); skipping (NMCDR_FORCE=1 to rerun)"
+    return 0
+  fi
   echo "=============================================================="
   echo ">> $name"
   echo "=============================================================="
-  cargo run --release -p nm-bench --bin "$name" -- "$@" 2>&1 | tee "results/${name}.txt"
+  if cargo run --release -p nm-bench --bin "$name" -- "$@" 2>&1 | tee "results/${name}.txt"; then
+    date -u +"%Y-%m-%dT%H:%M:%SZ" > "$stamp"
+  else
+    echo ">> $name FAILED; no stamp written (rerun to retry)"
+    return 1
+  fi
 }
 
 # Preflight: don't burn hours of experiment time on a tree that doesn't

@@ -19,10 +19,16 @@ if [[ $QUICK -eq 0 ]]; then
   fi
 fi
 
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
 echo "== cargo build --release --workspace =="
 cargo build --release --workspace
 
 echo "== cargo test --workspace --release =="
 cargo test --workspace --release -q
+
+echo "== fault-injection harness (kill/resume/rollback/torn-write) =="
+cargo test --release -q --test fault_tolerance
 
 echo "ci.sh: all green"

@@ -21,7 +21,7 @@
 //! let task = CdrTask::build(dataset, TaskConfig { eval_negatives: 50, ..Default::default() });
 //!
 //! let mut model = NmcdrModel::new(task, NmcdrConfig { dim: 8, match_neighbors: 16, ..Default::default() });
-//! let stats = train_joint(&mut model, &TrainConfig { epochs: 1, ..Default::default() });
+//! let stats = train_joint(&mut model, &TrainConfig { epochs: 1, ..Default::default() }).unwrap();
 //! assert!(stats.final_a.hr >= 0.0);
 //! ```
 

@@ -27,7 +27,7 @@ fn all_models_train_on_partial_overlap() {
     for kind in ModelKind::ALL {
         let task = profile.task(data.clone());
         let mut model = kind.build(task, &profile);
-        let stats = train_joint(&mut *model, &profile.train_config());
+        let stats = train_joint(&mut *model, &profile.train_config()).expect("training");
         assert!(
             stats.logs.iter().all(|l| l.mean_loss.is_finite()),
             "{}: non-finite loss",
@@ -52,7 +52,7 @@ fn all_models_survive_zero_overlap() {
     for kind in ModelKind::ALL {
         let task = profile.task(data.clone());
         let mut model = kind.build(task, &profile);
-        let stats = train_joint(&mut *model, &profile.train_config());
+        let stats = train_joint(&mut *model, &profile.train_config()).expect("training");
         assert!(
             stats.logs.iter().all(|l| l.mean_loss.is_finite()),
             "{}: non-finite loss at zero overlap",
@@ -72,7 +72,7 @@ fn financial_regime_trains_every_model() {
     for kind in [ModelKind::Bpr, ModelKind::MiNet, ModelKind::Nmcdr] {
         let task = profile.task(data.clone());
         let mut model = kind.build(task, &profile);
-        let stats = train_joint(&mut *model, &profile.train_config());
+        let stats = train_joint(&mut *model, &profile.train_config()).expect("training");
         assert!(
             stats.logs.iter().all(|l| l.mean_loss.is_finite()),
             "{}: failed in financial regime",

@@ -46,6 +46,7 @@ fn quick_train(model: &mut dyn CdrModel, epochs: usize) -> nmcdr::models::TrainS
             ..Default::default()
         },
     )
+    .expect("training")
 }
 
 #[test]

@@ -1,0 +1,433 @@
+//! Fault-injection harness for crash-safe training (tier-1).
+//!
+//! Kills training at every checkpoint boundary (and mid-epoch) and
+//! asserts the resumed run converges **bit-identically** to an
+//! uninterrupted one; exercises divergence rollback, torn checkpoint
+//! writes, checksum-detected corruption, and config-mismatch refusal.
+
+use nmcdr::core::{NmcdrConfig, NmcdrModel};
+use nmcdr::data::generate::generate;
+use nmcdr::data::Scenario;
+use nmcdr::models::{
+    train_joint_ft, BprModel, CdrTask, FaultPlan, FtConfig, TaskConfig, TrainConfig, TrainError,
+    TrainStats,
+};
+use std::path::PathBuf;
+use std::rc::Rc;
+
+fn tiny_task(validation: bool) -> Rc<CdrTask> {
+    let mut cfg = Scenario::MusicMovie.config(0.002);
+    cfg.n_users_a = 120;
+    cfg.n_users_b = 130;
+    cfg.n_items_a = 60;
+    cfg.n_items_b = 60;
+    cfg.n_overlap = 40;
+    let tc = TaskConfig {
+        eval_negatives: 50,
+        validation,
+        ..Default::default()
+    };
+    CdrTask::build(generate(&cfg), tc)
+}
+
+fn nmcdr_model(task: Rc<CdrTask>) -> NmcdrModel {
+    NmcdrModel::new(
+        task,
+        NmcdrConfig {
+            dim: 8,
+            match_neighbors: 16,
+            ..Default::default()
+        },
+    )
+}
+
+fn train_cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        lr: 5e-3,
+        batch_size: 256,
+        ..Default::default()
+    }
+}
+
+/// Unique scratch path; the OS temp dir survives `kill -9` semantics
+/// we simulate in-process.
+fn tmp_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nm_ft_{}_{tag}.nmck", std::process::id()));
+    p
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(path.with_extension("nmck.tmp.torn"));
+}
+
+/// Bit-level equality for everything except wall-clock timing.
+fn assert_identical(a: &TrainStats, b: &TrainStats) {
+    assert_eq!(a.logs.len(), b.logs.len(), "epoch count differs");
+    for (x, y) in a.logs.iter().zip(&b.logs) {
+        assert_eq!(x.epoch, y.epoch);
+        assert_eq!(
+            x.mean_loss.to_bits(),
+            y.mean_loss.to_bits(),
+            "epoch {} loss differs: {} vs {}",
+            x.epoch,
+            x.mean_loss,
+            y.mean_loss
+        );
+    }
+    for (x, y) in [(&a.final_a, &b.final_a), (&a.final_b, &b.final_b)] {
+        assert_eq!(x.hr.to_bits(), y.hr.to_bits(), "HR differs");
+        assert_eq!(x.ndcg.to_bits(), y.ndcg.to_bits(), "NDCG differs");
+        assert_eq!(x.mrr.to_bits(), y.mrr.to_bits(), "MRR differs");
+        assert_eq!(x.auc.to_bits(), y.auc.to_bits(), "AUC differs");
+        assert_eq!(x.n_users, y.n_users);
+    }
+    assert_eq!(a.param_count, b.param_count);
+}
+
+/// Kills training right after every checkpoint boundary and verifies
+/// the resumed run is bit-identical to an uninterrupted one (NMCDR,
+/// the paper's model).
+#[test]
+fn kill_at_every_boundary_resumes_bit_identically_nmcdr() {
+    let epochs = 3;
+    let cfg = train_cfg(epochs);
+    let task = tiny_task(false);
+    let mut baseline_model = nmcdr_model(task.clone());
+    let baseline =
+        train_joint_ft(&mut baseline_model, &cfg, &FtConfig::default()).expect("baseline");
+
+    for kill_epoch in 0..epochs {
+        let path = tmp_path(&format!("nmcdr_kill_{kill_epoch}"));
+        cleanup(&path);
+        let killed = FtConfig {
+            checkpoint: Some(path.clone()),
+            faults: FaultPlan {
+                kill_after_checkpoint: Some(kill_epoch),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut m = nmcdr_model(task.clone());
+        match train_joint_ft(&mut m, &cfg, &killed) {
+            Err(TrainError::Injected { epoch, .. }) => assert_eq!(epoch, kill_epoch),
+            other => panic!("expected injected kill, got {other:?}"),
+        }
+        let resume = FtConfig {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..Default::default()
+        };
+        let mut m2 = nmcdr_model(task.clone());
+        let stats = train_joint_ft(&mut m2, &cfg, &resume).expect("resumed run");
+        assert_eq!(stats.resumed_from, Some(kill_epoch + 1));
+        assert_identical(&baseline, &stats);
+        cleanup(&path);
+    }
+}
+
+/// Same contract for a baseline whose negative sampling is seeded by
+/// the *global step* (BPR) — proves the step counter round-trips.
+#[test]
+fn kill_and_resume_bit_identical_bpr() {
+    let cfg = train_cfg(4);
+    let task = tiny_task(false);
+    let mut baseline_model = BprModel::new(task.clone(), 8, 3);
+    let baseline =
+        train_joint_ft(&mut baseline_model, &cfg, &FtConfig::default()).expect("baseline");
+
+    let path = tmp_path("bpr_kill");
+    cleanup(&path);
+    let killed = FtConfig {
+        checkpoint: Some(path.clone()),
+        faults: FaultPlan {
+            kill_after_checkpoint: Some(1),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut m = BprModel::new(task.clone(), 8, 3);
+    assert!(train_joint_ft(&mut m, &cfg, &killed).is_err());
+    let resume = FtConfig {
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let mut m2 = BprModel::new(task, 8, 3);
+    let stats = train_joint_ft(&mut m2, &cfg, &resume).expect("resumed run");
+    assert_eq!(stats.resumed_from, Some(2));
+    assert_identical(&baseline, &stats);
+    cleanup(&path);
+}
+
+/// A crash *between* checkpoint boundaries resumes from the last
+/// boundary and still matches the uninterrupted run exactly.
+#[test]
+fn mid_epoch_kill_resumes_from_last_boundary() {
+    let cfg = train_cfg(3);
+    let task = tiny_task(false);
+    let mut baseline_model = BprModel::new(task.clone(), 8, 7);
+    let baseline =
+        train_joint_ft(&mut baseline_model, &cfg, &FtConfig::default()).expect("baseline");
+
+    // Steps per epoch is max over the two domains of
+    // ceil(positives * (1+neg) / batch); epoch 1's first global step
+    // equals one epoch's worth of steps.
+    let per = |n_pos: usize| (n_pos * (1 + cfg.neg_per_pos)).div_ceil(cfg.batch_size);
+    let steps_per_epoch = per(task.split_a.train.len()).max(per(task.split_b.train.len())) as u64;
+
+    let path = tmp_path("mid_epoch_kill");
+    cleanup(&path);
+    let killed = FtConfig {
+        checkpoint: Some(path.clone()),
+        faults: FaultPlan {
+            // epoch 0 completes (writing a checkpoint); epoch 1 dies on
+            // its first step
+            kill_at_step: Some(steps_per_epoch),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut m = BprModel::new(task.clone(), 8, 7);
+    match train_joint_ft(&mut m, &cfg, &killed) {
+        Err(TrainError::Injected { what, epoch }) => {
+            assert_eq!(what, "kill at step");
+            assert_eq!(epoch, 1);
+        }
+        other => panic!("expected mid-epoch kill, got {other:?}"),
+    }
+    let resume = FtConfig {
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let mut m2 = BprModel::new(task, 8, 7);
+    let stats = train_joint_ft(&mut m2, &cfg, &resume).expect("resumed run");
+    assert_eq!(stats.resumed_from, Some(1));
+    assert_identical(&baseline, &stats);
+    cleanup(&path);
+}
+
+/// An injected NaN loss no longer panics: the trainer rolls back to the
+/// last good state, halves the LR, and completes the run.
+#[test]
+fn nan_loss_rolls_back_and_recovers() {
+    let cfg = train_cfg(3);
+    let mut m = nmcdr_model(tiny_task(false));
+    let ft = FtConfig {
+        faults: FaultPlan {
+            nan_at_step: Some(1),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let stats = train_joint_ft(&mut m, &cfg, &ft).expect("rollback should recover");
+    assert_eq!(stats.rollbacks, 1, "exactly one rollback expected");
+    assert_eq!(stats.logs.len(), 3, "all epochs still complete");
+    assert!(stats.logs.iter().all(|l| l.mean_loss.is_finite()));
+}
+
+/// With the rollback budget exhausted the trainer surfaces a structured
+/// `Diverged` error instead of panicking.
+#[test]
+fn divergence_with_no_rollback_budget_is_structured_error() {
+    let cfg = train_cfg(2);
+    let mut m = nmcdr_model(tiny_task(false));
+    let ft = FtConfig {
+        max_rollbacks: 0,
+        faults: FaultPlan {
+            nan_at_step: Some(0),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    match train_joint_ft(&mut m, &cfg, &ft) {
+        Err(TrainError::Diverged {
+            epoch,
+            rollbacks,
+            loss,
+            ..
+        }) => {
+            assert_eq!(epoch, 0);
+            assert_eq!(rollbacks, 0);
+            assert!(loss.is_nan());
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+}
+
+/// A crash midway through a checkpoint write (torn write) leaves the
+/// *previous* checkpoint untouched and loadable; resuming from it still
+/// reproduces the uninterrupted run.
+#[test]
+fn torn_write_leaves_previous_checkpoint_loadable() {
+    let cfg = train_cfg(3);
+    let task = tiny_task(false);
+    let mut baseline_model = nmcdr_model(task.clone());
+    let baseline =
+        train_joint_ft(&mut baseline_model, &cfg, &FtConfig::default()).expect("baseline");
+
+    let path = tmp_path("torn");
+    cleanup(&path);
+    let ft = FtConfig {
+        checkpoint: Some(path.clone()),
+        faults: FaultPlan {
+            torn_write_after_epoch: Some(1),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut m = nmcdr_model(task.clone());
+    match train_joint_ft(&mut m, &cfg, &ft) {
+        Err(TrainError::Injected { what, .. }) => assert_eq!(what, "torn checkpoint write"),
+        other => panic!("expected torn write, got {other:?}"),
+    }
+    // The epoch-0 checkpoint is intact; the torn half-file sits beside
+    // it and is never mistaken for the real one.
+    assert!(path.exists(), "previous checkpoint was destroyed");
+    let resume = FtConfig {
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let mut m2 = nmcdr_model(task);
+    let stats = train_joint_ft(&mut m2, &cfg, &resume).expect("resume after torn write");
+    assert_eq!(stats.resumed_from, Some(1));
+    assert_identical(&baseline, &stats);
+    cleanup(&path);
+}
+
+/// A corrupted (bit-flipped) checkpoint is rejected by the v2 checksum
+/// with a structured Format error — never a panic or a garbage load.
+#[test]
+fn bitflipped_checkpoint_is_rejected_on_resume() {
+    let cfg = train_cfg(2);
+    let task = tiny_task(false);
+    let path = tmp_path("bitflip");
+    cleanup(&path);
+    let ft = FtConfig {
+        checkpoint: Some(path.clone()),
+        faults: FaultPlan {
+            bitflip_after_epoch: Some(0),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut m = nmcdr_model(task.clone());
+    assert!(train_joint_ft(&mut m, &cfg, &ft).is_err());
+    let resume = FtConfig {
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let mut m2 = nmcdr_model(task);
+    match train_joint_ft(&mut m2, &cfg, &resume) {
+        Err(TrainError::Checkpoint(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("checksum"), "unexpected error: {msg}");
+        }
+        other => panic!("expected checksum rejection, got {other:?}"),
+    }
+    cleanup(&path);
+}
+
+/// Resuming under a different config is refused with an actionable
+/// message instead of silently breaking the replay contract.
+#[test]
+fn resume_with_mismatched_config_is_refused() {
+    let cfg = train_cfg(2);
+    let task = tiny_task(false);
+    let path = tmp_path("mismatch");
+    cleanup(&path);
+    let ft = FtConfig {
+        checkpoint: Some(path.clone()),
+        ..Default::default()
+    };
+    let mut m = nmcdr_model(task.clone());
+    train_joint_ft(&mut m, &cfg, &ft).expect("first run");
+
+    let mut other_cfg = train_cfg(2);
+    other_cfg.lr = 9e-3;
+    let resume = FtConfig {
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let mut m2 = nmcdr_model(task);
+    match train_joint_ft(&mut m2, &other_cfg, &resume) {
+        Err(TrainError::ResumeMismatch(msg)) => {
+            assert!(msg.contains("lr"), "message lacks the field name: {msg}")
+        }
+        other => panic!("expected ResumeMismatch, got {other:?}"),
+    }
+    cleanup(&path);
+}
+
+/// Early stopping state (best snapshot, patience counter) survives the
+/// checkpoint round trip: kill-and-resume matches the uninterrupted
+/// early-stopped run exactly.
+#[test]
+fn early_stopping_state_survives_resume() {
+    let cfg = TrainConfig {
+        epochs: 12,
+        lr: 5e-2,
+        batch_size: 256,
+        early_stop_patience: 2,
+        ..Default::default()
+    };
+    let task = tiny_task(true);
+    assert!(!task.valid_eval_a.is_empty());
+    let mut baseline_model = BprModel::new(task.clone(), 8, 5);
+    let baseline =
+        train_joint_ft(&mut baseline_model, &cfg, &FtConfig::default()).expect("baseline");
+
+    let path = tmp_path("early_stop");
+    cleanup(&path);
+    let killed = FtConfig {
+        checkpoint: Some(path.clone()),
+        faults: FaultPlan {
+            kill_after_checkpoint: Some(2),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut m = BprModel::new(task.clone(), 8, 5);
+    assert!(train_joint_ft(&mut m, &cfg, &killed).is_err());
+    let resume = FtConfig {
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let mut m2 = BprModel::new(task, 8, 5);
+    let stats = train_joint_ft(&mut m2, &cfg, &resume).expect("resumed run");
+    assert_identical(&baseline, &stats);
+    cleanup(&path);
+}
+
+/// Resuming a run that already finished all its epochs just re-runs the
+/// (idempotent) finalization and reports the same result.
+#[test]
+fn resume_of_completed_run_is_idempotent() {
+    let cfg = train_cfg(2);
+    let task = tiny_task(false);
+    let path = tmp_path("completed");
+    cleanup(&path);
+    let ft = FtConfig {
+        checkpoint: Some(path.clone()),
+        ..Default::default()
+    };
+    let mut m = nmcdr_model(task.clone());
+    let first = train_joint_ft(&mut m, &cfg, &ft).expect("first run");
+    let resume = FtConfig {
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let mut m2 = nmcdr_model(task);
+    let again = train_joint_ft(&mut m2, &cfg, &resume).expect("re-resume");
+    assert_eq!(again.resumed_from, Some(2));
+    assert_identical(&first, &again);
+    cleanup(&path);
+}
