@@ -121,8 +121,8 @@ fn main() {
     let engine = Arc::new(engine_with(&snapshot, cores.min(4), 8));
     let qps_coalesced = measure_concurrent(&engine, 8, 32);
     let stats = engine.stats();
-    let batches = stats.batches.load(std::sync::atomic::Ordering::Relaxed);
-    let coalesced = stats.coalesced.load(std::sync::atomic::Ordering::Relaxed);
+    let batches = stats.batches.get();
+    let coalesced = stats.coalesced.get();
     println!(
         "  8 concurrent clients: {qps_coalesced:.1} QPS ({batches} passes for {} requests, {coalesced} coalesced)",
         8 * 32 + 8

@@ -25,7 +25,7 @@ COMMANDS:
              [--model NMCDR] [--overlap 1.0] [--density 1.0]
              [--dim 16] [--epochs 6] [--lr 0.01] [--seed N]
              [--checkpoint <file>] [--checkpoint-every 1] [--resume]
-             [--max-rollbacks 3] [--early-stop]
+             [--max-rollbacks 3] [--early-stop] [--trace-out <file.jsonl>]
              with --checkpoint, training state is saved atomically at
              epoch boundaries; --resume continues a killed run from the
              checkpoint and reproduces the uninterrupted result exactly
@@ -42,9 +42,18 @@ COMMANDS:
              [--workers N] [--shard-items 256] [--batch-max 8]
              [--cache 4096]
   query      one-shot client against a running server
-             [--addr 127.0.0.1:7878] [--op topk|stats|shutdown]
+             [--addr 127.0.0.1:7878] [--op topk|stats|obs|shutdown]
              [--user 0] [--domain a] [--k 10]
+  obs        offline trace tooling for --trace-out files
+             report   --trace <file>   self-time profile per span
+             validate --trace <file>   strict schema + monotonicity check
   help       this text
+
+TRACING:
+  train [--trace-out <file.jsonl>] records per-stage spans (forward/
+  backward/optimizer, encoder/intra/inter/complementing), per-epoch
+  telemetry events, and companion-loss components as line JSON;
+  inspect with `nmcdr obs report --trace <file>`
 
 SCENARIOS: music-movie, cloth-sport, phone-elec, loan-fund
 MODELS:    LR BPR NeuMF MMoE PLE CoNet MiNet GA-DTCDR DML HeroGraph PTUPCDR NMCDR"
@@ -180,8 +189,16 @@ pub fn train(args: &Args) -> Result<(), String> {
             "--resume needs --checkpoint <file> pointing at the checkpoint to resume from".into(),
         );
     }
-    let stats = train_joint_ft(&mut *model, &train_cfg, &ft)
-        .map_err(|e| format!("training {} failed: {e}", model.name()))?;
+    let trace_out = args.get("trace-out").map(PathBuf::from);
+    if let Some(path) = &trace_out {
+        nm_obs::trace::init_file(path)
+            .map_err(|e| format!("cannot open trace sink '{}': {e}", path.display()))?;
+    }
+    let trained = train_joint_ft(&mut *model, &train_cfg, &ft);
+    if trace_out.is_some() {
+        nm_obs::trace::shutdown();
+    }
+    let stats = trained.map_err(|e| format!("training {} failed: {e}", model.name()))?;
     if let Some(epoch) = stats.resumed_from {
         println!("  resumed from checkpoint at epoch {epoch}");
     }
@@ -208,6 +225,13 @@ pub fn train(args: &Args) -> Result<(), String> {
     );
     if let Some(path) = args.get("checkpoint") {
         println!("checkpoint saved to {path}");
+    }
+    if let Some(path) = &trace_out {
+        println!(
+            "trace written to {} (inspect with `nmcdr obs report --trace {}`)",
+            path.display(),
+            path.display()
+        );
     }
     Ok(())
 }
@@ -363,8 +387,9 @@ pub fn query(args: &Args) -> Result<(), String> {
             format!(r#"{{"op":"topk","user":{user},"domain":"{domain}","k":{k}}}"#)
         }
         "stats" => r#"{"op":"stats"}"#.to_string(),
+        "obs" => r#"{"op":"obs"}"#.to_string(),
         "shutdown" => r#"{"op":"shutdown"}"#.to_string(),
-        other => return Err(format!("unknown op '{other}' (topk, stats, shutdown)")),
+        other => return Err(format!("unknown op '{other}' (topk, stats, obs, shutdown)")),
     };
     let stream = std::net::TcpStream::connect(addr)
         .map_err(|e| format!("cannot connect to '{addr}': {e} (is 'nmcdr serve' running?)"))?;
@@ -379,4 +404,9 @@ pub fn query(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!("{}", resp.trim_end());
     Ok(())
+}
+
+/// `nmcdr obs <report|validate> --trace <file>` — see [`crate::obs`].
+pub fn obs(action: &str, args: &Args) -> Result<(), String> {
+    crate::obs::run(action, args)
 }

@@ -12,6 +12,9 @@
 //!                --checkpoint model.nmck --out model.nmss
 //! nmcdr serve    --snapshot model.nmss --bind 127.0.0.1:7878
 //! nmcdr query    --addr 127.0.0.1:7878 --op topk --user 3 --domain a --k 10
+//! nmcdr train    --scenario cloth-sport --trace-out results/trace/run.jsonl
+//! nmcdr obs report   --trace results/trace/run.jsonl
+//! nmcdr obs validate --trace results/trace/run.jsonl
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (`--key value`
@@ -19,6 +22,7 @@
 
 mod args;
 mod commands;
+mod obs;
 
 use std::process::ExitCode;
 
@@ -27,6 +31,19 @@ fn main() -> ExitCode {
     let Some((cmd, rest)) = argv.split_first() else {
         commands::print_help();
         return ExitCode::FAILURE;
+    };
+    // `obs` takes a positional action word (`obs report --trace f`),
+    // which the --key parser would reject; split it off first.
+    let (action, rest) = if cmd == "obs" {
+        match rest.split_first() {
+            Some((a, r)) if !a.starts_with("--") => (Some(a.clone()), r),
+            _ => {
+                eprintln!("error: usage: nmcdr obs <report|validate> --trace <file>");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        (None, rest)
     };
     let parsed = match args::Args::parse(rest) {
         Ok(p) => p,
@@ -43,6 +60,7 @@ fn main() -> ExitCode {
         "snapshot" => commands::snapshot(&parsed),
         "serve" => commands::serve(&parsed),
         "query" => commands::query(&parsed),
+        "obs" => commands::obs(action.as_deref().unwrap_or(""), &parsed),
         "help" | "--help" | "-h" => {
             commands::print_help();
             Ok(())

@@ -1,0 +1,197 @@
+//! `nmcdr obs` — offline trace tooling.
+//!
+//! Reads a line-JSON trace produced by `train --trace-out` (or any
+//! [`nm_obs::trace`] file sink), parses each line against the
+//! documented schema version 1 *strictly* — unknown fields and wrong
+//! types are errors, so the schema cannot drift silently — and then
+//! either validates the structure (`obs validate`, used by
+//! `scripts/ci.sh`) or renders a self-time profile (`obs report`).
+
+use crate::args::Args;
+use nm_obs::report::{profile, render_profile, validate, TraceRecord};
+use nm_serve::Json;
+
+/// Entry point for `nmcdr obs <action> --trace <file>`.
+pub fn run(action: &str, args: &Args) -> Result<(), String> {
+    let path = args.required("trace")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace '{path}': {e}"))?;
+    let records = parse_trace(&text)?;
+    let summary = validate(&records).map_err(|e| format!("invalid trace '{path}': {e}"))?;
+    let out = match action {
+        "validate" => format!(
+            "{path}: OK ({} records: {} spans, {} events)\n",
+            records.len(),
+            summary.spans,
+            summary.events
+        ),
+        "report" => format!(
+            "{}({} spans, {} events in {path})\n",
+            render_profile(&profile(&records)),
+            summary.spans,
+            summary.events
+        ),
+        other => {
+            return Err(format!(
+                "unknown obs action '{other}' (expected: report, validate)"
+            ))
+        }
+    };
+    // The report is made for piping into head/grep: a closed pipe ends
+    // the output, it is not a crash.
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(out.as_bytes());
+    Ok(())
+}
+
+/// Parses every non-empty line of a trace file, strictly.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let json = Json::parse(line).map_err(|e| format!("line {n}: not valid JSON: {e}"))?;
+        records.push(record_from(&json).map_err(|e| format!("line {n}: {e}"))?);
+    }
+    Ok(records)
+}
+
+/// Converts one parsed JSON line into a [`TraceRecord`], rejecting
+/// unknown fields, missing fields, and type mismatches.
+fn record_from(json: &Json) -> Result<TraceRecord, String> {
+    let Json::Obj(pairs) = json else {
+        return Err("trace line is not a JSON object".into());
+    };
+    let t = json
+        .get("t")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"t\"")?;
+    let allowed: &[&str] = match t {
+        "meta" => &["t", "version", "clock", "seq"],
+        "span" => &[
+            "t", "name", "start_us", "dur_us", "self_us", "depth", "tid", "seq",
+        ],
+        "event" => &["t", "name", "at_us", "tid", "seq", "f"],
+        other => return Err(format!("unknown record type {other:?}")),
+    };
+    for (k, _) in pairs {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("unknown field {k:?} on {t:?} record"));
+        }
+    }
+    let need_u64 = |key: &str| -> Result<u64, String> {
+        json.get(key)
+            .ok_or_else(|| format!("missing field {key:?} on {t:?} record"))?
+            .as_u64()
+            .ok_or_else(|| format!("field {key:?} on {t:?} record is not a non-negative integer"))
+    };
+    let need_str = |key: &str| -> Result<String, String> {
+        json.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field {key:?} on {t:?} record"))
+    };
+    match t {
+        "meta" => Ok(TraceRecord::Meta {
+            version: need_u64("version")?,
+        }),
+        "span" => Ok(TraceRecord::Span {
+            name: need_str("name")?,
+            start_us: need_u64("start_us")?,
+            dur_us: need_u64("dur_us")?,
+            self_us: need_u64("self_us")?,
+            depth: need_u64("depth")?,
+            tid: need_u64("tid")?,
+            seq: need_u64("seq")?,
+        }),
+        "event" => {
+            if let Some(f) = json.get("f") {
+                if !matches!(f, Json::Obj(_)) {
+                    return Err("field \"f\" on \"event\" record is not an object".into());
+                }
+            }
+            Ok(TraceRecord::Event {
+                name: need_str("name")?,
+                at_us: need_u64("at_us")?,
+                tid: need_u64("tid")?,
+                seq: need_u64("seq")?,
+            })
+        }
+        _ => unreachable!("type checked above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const META: &str = r#"{"t":"meta","version":1,"clock":"monotonic_us","seq":0}"#;
+
+    #[test]
+    fn parses_the_documented_schema() {
+        let text = format!(
+            "{META}\n\
+             {{\"t\":\"span\",\"name\":\"train.forward\",\"start_us\":5,\"dur_us\":10,\"self_us\":10,\"depth\":0,\"tid\":0,\"seq\":1}}\n\
+             {{\"t\":\"event\",\"name\":\"epoch\",\"at_us\":20,\"tid\":0,\"seq\":2,\"f\":{{\"epoch\":0,\"mean_loss\":0.5}}}}\n"
+        );
+        let recs = parse_trace(&text).unwrap();
+        assert_eq!(recs.len(), 3);
+        let s = validate(&recs).unwrap();
+        assert_eq!(s.spans, 1);
+        assert_eq!(s.events, 1);
+        assert_eq!(profile(&recs)[0].name, "train.forward");
+    }
+
+    #[test]
+    fn rejects_unknown_fields() {
+        let text = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"e\",\"at_us\":1,\"tid\":0,\"seq\":1,\"bogus\":1}}\n"
+        );
+        let err = parse_trace(&text).unwrap_err();
+        assert!(err.contains("unknown field \"bogus\""), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_and_mistyped_fields() {
+        let no_dur = format!(
+            "{META}\n{{\"t\":\"span\",\"name\":\"x\",\"start_us\":0,\"self_us\":0,\"depth\":0,\"tid\":0,\"seq\":1}}\n"
+        );
+        assert!(parse_trace(&no_dur).unwrap_err().contains("dur_us"));
+        let neg = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"e\",\"at_us\":-3,\"tid\":0,\"seq\":1}}\n"
+        );
+        assert!(parse_trace(&neg)
+            .unwrap_err()
+            .contains("non-negative integer"));
+        let bad_f = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"e\",\"at_us\":1,\"tid\":0,\"seq\":1,\"f\":3}}\n"
+        );
+        assert!(parse_trace(&bad_f).unwrap_err().contains("not an object"));
+    }
+
+    #[test]
+    fn rejects_unknown_record_type_and_non_object() {
+        let bad_t = format!("{META}\n{{\"t\":\"blob\"}}\n");
+        assert!(parse_trace(&bad_t)
+            .unwrap_err()
+            .contains("unknown record type"));
+        let arr = format!("{META}\n[1,2]\n");
+        assert!(parse_trace(&arr).unwrap_err().contains("not a JSON object"));
+        assert!(parse_trace("not json\n").unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn validator_flags_non_monotonic_timestamps_through_the_cli_path() {
+        // seq strictly increasing but the second span ends before the
+        // first on the same thread — structural validation catches it.
+        let text = format!(
+            "{META}\n\
+             {{\"t\":\"span\",\"name\":\"a\",\"start_us\":0,\"dur_us\":100,\"self_us\":100,\"depth\":0,\"tid\":0,\"seq\":1}}\n\
+             {{\"t\":\"span\",\"name\":\"b\",\"start_us\":10,\"dur_us\":5,\"self_us\":5,\"depth\":0,\"tid\":0,\"seq\":2}}\n"
+        );
+        let recs = parse_trace(&text).unwrap();
+        assert!(validate(&recs).unwrap_err().contains("non-monotonic"));
+    }
+}

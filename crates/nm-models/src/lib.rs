@@ -45,6 +45,6 @@ pub use model::{CdrModel, Domain};
 pub use resume::{FaultPlan, FtConfig, TrainError};
 pub use task::{CdrTask, TaskConfig};
 pub use train::{
-    evaluate_model, evaluate_model_valid, train_joint, train_joint_ft, EpochLog, TrainConfig,
-    TrainStats,
+    evaluate_model, evaluate_model_valid, train_joint, train_joint_ft, EpochLog, EpochTelemetry,
+    TrainConfig, TrainStats,
 };

@@ -16,7 +16,7 @@
 //! checksum turns any corruption that does reach disk into a structured
 //! [`CheckpointError::Format`] instead of a garbage load.
 
-use crate::train::{EpochLog, TrainConfig};
+use crate::train::{EpochLog, EpochTelemetry, TrainConfig};
 use crate::CdrModel;
 use nm_eval::RankingSummary;
 use nm_nn::checkpoint::{
@@ -30,8 +30,10 @@ use std::path::PathBuf;
 /// Name of the v2 checkpoint section holding trainer state.
 pub const TRAINER_SECTION: &str = "trainer";
 
-/// Layout version of the trainer-state section.
-const STATE_VERSION: u32 = 1;
+/// Layout version of the trainer-state section. v2 adds an optional
+/// per-epoch telemetry block to each log entry; v1 checkpoints still
+/// load (their logs simply carry no telemetry).
+const STATE_VERSION: u32 = 2;
 
 /// Structured training failure. Replaces the trainer's former
 /// `assert!`-panic on non-finite loss.
@@ -207,6 +209,66 @@ fn read_summary(r: &mut &[u8]) -> Result<RankingSummary, CheckpointError> {
     })
 }
 
+fn write_telemetry(w: &mut Vec<u8>, t: &EpochTelemetry) -> Result<(), CheckpointError> {
+    write_u64(w, t.wall_us)?;
+    write_u64(w, t.forward_us)?;
+    write_u64(w, t.backward_us)?;
+    write_u64(w, t.optimizer_us)?;
+    write_u64(w, t.steps)?;
+    write_u64(w, t.examples)?;
+    write_f32(w, t.grad_norm)?;
+    write_f32(w, t.param_norm)?;
+    write_u32(w, t.stage_us.len() as u32)?;
+    for (name, us) in &t.stage_us {
+        write_bytes(w, name.as_bytes())?;
+        write_u64(w, *us)?;
+    }
+    write_u32(w, t.loss_terms.len() as u32)?;
+    for (name, v) in &t.loss_terms {
+        write_bytes(w, name.as_bytes())?;
+        write_f32(w, *v)?;
+    }
+    Ok(())
+}
+
+fn read_name(r: &mut &[u8]) -> Result<String, CheckpointError> {
+    String::from_utf8(read_bytes(r)?)
+        .map_err(|_| CheckpointError::Format("non-utf8 telemetry name".into()))
+}
+
+fn read_telemetry(r: &mut &[u8]) -> Result<EpochTelemetry, CheckpointError> {
+    let mut t = EpochTelemetry {
+        wall_us: read_u64(r)?,
+        forward_us: read_u64(r)?,
+        backward_us: read_u64(r)?,
+        optimizer_us: read_u64(r)?,
+        steps: read_u64(r)?,
+        examples: read_u64(r)?,
+        grad_norm: read_f32(r)?,
+        param_norm: read_f32(r)?,
+        ..Default::default()
+    };
+    let n_stages = read_u32(r)? as usize;
+    if n_stages > 1 << 16 {
+        return Err(CheckpointError::Format("unreasonable stage count".into()));
+    }
+    for _ in 0..n_stages {
+        let name = read_name(r)?;
+        let us = read_u64(r)?;
+        t.stage_us.push((name, us));
+    }
+    let n_terms = read_u32(r)? as usize;
+    if n_terms > 1 << 16 {
+        return Err(CheckpointError::Format("unreasonable term count".into()));
+    }
+    for _ in 0..n_terms {
+        let name = read_name(r)?;
+        let v = read_f32(r)?;
+        t.loss_terms.push((name, v));
+    }
+    Ok(t)
+}
+
 /// Serializes the full trainer checkpoint (model params + trainer
 /// section) into the byte buffer that gets written atomically — and
 /// doubles as the in-memory "last good state" divergence rollback
@@ -247,6 +309,14 @@ pub fn encode_state(
                 write_u8(&mut sec, 1)?;
                 write_summary(&mut sec, a)?;
                 write_summary(&mut sec, b)?;
+            }
+        }
+        // v2: per-epoch telemetry (absent for untraced epochs).
+        match &log.telemetry {
+            None => write_u8(&mut sec, 0)?,
+            Some(t) => {
+                write_u8(&mut sec, 1)?;
+                write_telemetry(&mut sec, t)?;
             }
         }
     }
@@ -295,7 +365,7 @@ pub fn restore_state(
     })?;
     let mut r: &[u8] = sec;
     let version = read_u32(&mut r)?;
-    if version != STATE_VERSION {
+    if !(1..=STATE_VERSION).contains(&version) {
         return Err(TrainError::Checkpoint(CheckpointError::Format(format!(
             "unsupported trainer-state version {version}"
         ))));
@@ -340,10 +410,25 @@ pub fn restore_state(
                 ))))
             }
         };
+        // v1 checkpoints predate telemetry.
+        let telemetry = if version >= 2 {
+            match read_u8(&mut r)? {
+                0 => None,
+                1 => Some(read_telemetry(&mut r)?),
+                x => {
+                    return Err(TrainError::Checkpoint(CheckpointError::Format(format!(
+                        "bad telemetry tag {x}"
+                    ))))
+                }
+            }
+        } else {
+            None
+        };
         logs.push(EpochLog {
             epoch,
             mean_loss,
             eval,
+            telemetry,
         });
     }
     let best_valid = read_f64(&mut r)?;

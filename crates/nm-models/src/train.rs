@@ -18,6 +18,7 @@ use nm_data::batch::{batches, epoch_seed, Batch};
 use nm_data::negative::train_examples;
 use nm_eval::{evaluate_ranking, RankingSummary};
 use nm_nn::checkpoint;
+use nm_obs::trace;
 use nm_optim::{clip_global_norm, Adam, Optimizer};
 
 /// Training hyperparameters.
@@ -64,6 +65,96 @@ pub struct EpochLog {
     pub epoch: usize,
     pub mean_loss: f32,
     pub eval: Option<(RankingSummary, RankingSummary)>,
+    /// Per-stage wall time / loss breakdown, captured only while
+    /// tracing is enabled (`None` otherwise). Never part of the resume
+    /// replay contract: a traced and an untraced run stay bit-identical
+    /// in every other field.
+    pub telemetry: Option<EpochTelemetry>,
+}
+
+/// Per-epoch training telemetry: where the epoch's wall time went and
+/// what each loss component did. Captured from the tracing layer's
+/// per-thread aggregates after each epoch when tracing is enabled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochTelemetry {
+    /// Wall time of the epoch's optimization loop (µs).
+    pub wall_us: u64,
+    /// Total time under `train.forward` spans (model loss graphs).
+    pub forward_us: u64,
+    /// Total time under `train.backward` spans (tape backward + grad
+    /// absorption).
+    pub backward_us: u64,
+    /// Total time under `train.optimizer` spans (clip + Adam step).
+    pub optimizer_us: u64,
+    /// `(span name, total µs)` for model pipeline stage spans
+    /// (`stage.*`, e.g. NMCDR's encoder/intra/inter/complementing —
+    /// PAPER.md Eq. 2–19), sorted by name.
+    pub stage_us: Vec<(String, u64)>,
+    /// `(value name, per-epoch mean)` for recorded loss components
+    /// (`loss.*`, e.g. NMCDR's companion objectives Eq. 21–24), sorted
+    /// by name.
+    pub loss_terms: Vec<(String, f32)>,
+    /// Global gradient L2 norm at the last step (pre-clip).
+    pub grad_norm: f32,
+    /// Parameter L2 norm at the last step (pre-update).
+    pub param_norm: f32,
+    /// Optimization steps executed this epoch.
+    pub steps: u64,
+    /// Training examples consumed this epoch (both domains).
+    pub examples: u64,
+}
+
+impl EpochTelemetry {
+    /// Builds the record from drained per-thread trace aggregates.
+    fn from_thread_stats(
+        stats: trace::ThreadStats,
+        wall_us: u64,
+        steps: u64,
+        examples: u64,
+    ) -> Self {
+        let span_total = |name: &str| stats.spans.get(name).map_or(0, |a| a.total_us);
+        let value_mean = |name: &str| stats.values.get(name).map_or(0.0, |v| v.mean()) as f32;
+        Self {
+            wall_us,
+            forward_us: span_total("train.forward"),
+            backward_us: span_total("train.backward"),
+            optimizer_us: span_total("train.optimizer"),
+            stage_us: stats
+                .spans
+                .iter()
+                .filter(|(k, _)| k.starts_with("stage."))
+                .map(|(k, a)| (k.clone(), a.total_us))
+                .collect(),
+            loss_terms: stats
+                .values
+                .iter()
+                .filter(|(k, _)| k.starts_with("loss."))
+                .map(|(k, v)| (k.clone(), v.mean() as f32))
+                .collect(),
+            grad_norm: value_mean("train.grad_norm"),
+            param_norm: value_mean("train.param_norm"),
+            steps,
+            examples,
+        }
+    }
+
+    /// Steps per second over the epoch's optimization loop.
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.wall_us == 0 {
+            0.0
+        } else {
+            self.steps as f64 / (self.wall_us as f64 / 1e6)
+        }
+    }
+
+    /// Training-example throughput over the epoch's optimization loop.
+    pub fn examples_per_sec(&self) -> f64 {
+        if self.wall_us == 0 {
+            0.0
+        } else {
+            self.examples as f64 / (self.wall_us as f64 / 1e6)
+        }
+    }
 }
 
 /// Result of a full training run.
@@ -126,8 +217,15 @@ pub fn train_joint(model: &mut dyn CdrModel, cfg: &TrainConfig) -> Result<TrainS
 
 /// Outcome of one attempted epoch: completed, or diverged mid-epoch.
 enum EpochRun {
-    Done { loss_sum: f64, steps: u64 },
-    Diverged { step: usize, loss: f32 },
+    Done {
+        loss_sum: f64,
+        steps: u64,
+        examples: u64,
+    },
+    Diverged {
+        step: usize,
+        loss: f32,
+    },
 }
 
 /// Fault-tolerant joint training: [`train_joint`] plus crash-safe
@@ -156,6 +254,9 @@ pub fn train_joint_ft(
                 let bytes = std::fs::read(path)?;
                 st = resume::restore_state(model, &mut opt, cfg, &bytes)?;
                 resumed_from = Some(st.epoch_next);
+                trace::event("resume", |e| {
+                    e.u("epoch", st.epoch_next as u64).u("steps", st.steps);
+                });
             }
         }
     }
@@ -175,9 +276,18 @@ pub fn train_joint_ft(
 
     while st.epoch_next < cfg.epochs && !stopped_early {
         let epoch = st.epoch_next;
+        if trace::enabled() {
+            // Discard aggregates left over from eval or a previous
+            // model so this epoch's telemetry only sees its own loop.
+            drop(trace::drain_thread_stats());
+        }
         model.begin_epoch(epoch);
         opt.set_lr(st.lr);
-        let run = run_epoch(model, &mut opt, cfg, &mut faults, epoch, st.steps)?;
+        let epoch_wall = std::time::Instant::now();
+        let run = {
+            let _sp = trace::span("train.epoch");
+            run_epoch(model, &mut opt, cfg, &mut faults, epoch, st.steps)?
+        };
         match run {
             EpochRun::Diverged { step, loss } => {
                 let total_rollbacks = st.rollbacks + 1;
@@ -195,25 +305,69 @@ pub fn train_joint_ft(
                 st = resume::restore_state(model, &mut opt, cfg, &last_good)?;
                 st.rollbacks = total_rollbacks;
                 st.lr *= ft.rollback_lr_factor;
+                trace::event("rollback", |e| {
+                    e.u("epoch", epoch as u64)
+                        .u("step", step as u64)
+                        .f("loss", loss as f64)
+                        .f("lr", st.lr as f64)
+                        .u("rollbacks", st.rollbacks as u64);
+                });
                 continue;
             }
-            EpochRun::Done { loss_sum, steps } => {
+            EpochRun::Done {
+                loss_sum,
+                steps,
+                examples,
+            } => {
                 let n_steps = steps - st.steps;
                 st.steps = steps;
+                let mean_loss = (loss_sum / (n_steps.max(1) as f64)) as f32;
+                let telemetry = if trace::enabled() {
+                    let wall_us = epoch_wall.elapsed().as_micros() as u64;
+                    trace::drain_thread_stats()
+                        .map(|ts| EpochTelemetry::from_thread_stats(ts, wall_us, n_steps, examples))
+                } else {
+                    None
+                };
+                if let Some(t) = &telemetry {
+                    trace::event("epoch", |e| {
+                        e.u("epoch", epoch as u64)
+                            .f("mean_loss", mean_loss as f64)
+                            .u("wall_us", t.wall_us)
+                            .u("forward_us", t.forward_us)
+                            .u("backward_us", t.backward_us)
+                            .u("optimizer_us", t.optimizer_us)
+                            .u("steps", t.steps)
+                            .u("examples", t.examples)
+                            .f("grad_norm", t.grad_norm as f64)
+                            .f("param_norm", t.param_norm as f64);
+                        for (name, us) in &t.stage_us {
+                            e.u(&format!("{name}_us"), *us);
+                        }
+                        for (name, v) in &t.loss_terms {
+                            e.f(name, *v as f64);
+                        }
+                    });
+                }
                 let eval = if cfg.eval_every > 0 && (epoch + 1).is_multiple_of(cfg.eval_every) {
+                    let _sp = trace::span("train.eval");
                     Some(evaluate_model(model, cfg.top_k))
                 } else {
                     None
                 };
                 st.logs.push(EpochLog {
                     epoch,
-                    mean_loss: (loss_sum / (n_steps.max(1) as f64)) as f32,
+                    mean_loss,
                     eval,
+                    telemetry,
                 });
             }
         }
         if early_stopping {
-            let (va, vb) = evaluate_model_valid(model, cfg.top_k);
+            let (va, vb) = {
+                let _sp = trace::span("train.eval");
+                evaluate_model_valid(model, cfg.top_k)
+            };
             let score = (va.hr + vb.hr) / 2.0;
             if score > st.best_valid {
                 st.best_valid = score;
@@ -225,6 +379,9 @@ pub fn train_joint_ft(
                 st.epochs_since_best += 1;
                 if st.epochs_since_best >= cfg.early_stop_patience {
                     stopped_early = true;
+                    trace::event("early_stop", |e| {
+                        e.u("epoch", epoch as u64).f("best_valid", st.best_valid);
+                    });
                 }
             }
         }
@@ -233,6 +390,10 @@ pub fn train_joint_ft(
         let boundary = epoch + 1 == cfg.epochs || stopped_early;
         if ft.checkpoint.is_some() && (epoch % every == every - 1 || boundary) {
             persist_checkpoint(ft, &last_good, epoch)?;
+            trace::event("checkpoint", |e| {
+                e.u("epoch", epoch as u64)
+                    .u("bytes", last_good.len() as u64);
+            });
         }
     }
 
@@ -280,6 +441,7 @@ fn run_epoch(
     let bb = batches(&ex_b, cfg.batch_size, seed ^ 0xBB);
     let n_steps = ba.len().max(bb.len());
     let mut loss_sum = 0.0f64;
+    let mut examples = 0u64;
     for s in 0..n_steps {
         if faults.kill_at_step == Some(steps) {
             return Err(TrainError::Injected {
@@ -289,9 +451,14 @@ fn run_epoch(
         }
         let batch_a: &Batch = &ba[s % ba.len()];
         let batch_b: &Batch = &bb[s % bb.len()];
+        examples += (batch_a.len() + batch_b.len()) as u64;
         let mut tape = nm_autograd::Tape::new();
-        let loss = model.loss(&mut tape, batch_a, batch_b, steps);
-        let mut lv = tape.value(loss).item();
+        let (loss, mut lv) = {
+            let _sp = trace::span("train.forward");
+            let loss = model.loss(&mut tape, batch_a, batch_b, steps);
+            let lv = tape.value(loss).item();
+            (loss, lv)
+        };
         if faults.nan_at_step == Some(steps) {
             faults.nan_at_step = None; // one-shot: the retry must pass
             lv = f32::NAN;
@@ -300,16 +467,39 @@ fn run_epoch(
             return Ok(EpochRun::Diverged { step: s, loss: lv });
         }
         loss_sum += lv as f64;
-        tape.backward(loss);
-        nm_nn::absorb_all(&*model, &tape);
-        let params = model.params();
-        if cfg.grad_clip > 0.0 {
-            clip_global_norm(&params, cfg.grad_clip);
+        {
+            let _sp = trace::span("train.backward");
+            tape.backward(loss);
+            nm_nn::absorb_all(&*model, &tape);
         }
-        opt.step(&params);
+        let params = model.params();
+        if trace::enabled() && s + 1 == n_steps {
+            // Norms at the last step of the epoch: raw (pre-clip)
+            // gradient and pre-update parameters. Observation only —
+            // no RNG stream or parameter is touched.
+            let g = params.iter().map(|p| p.grad_norm_sq()).sum::<f32>().sqrt();
+            let w = params
+                .iter()
+                .map(|p| p.value().sum_squares())
+                .sum::<f32>()
+                .sqrt();
+            trace::value("train.grad_norm", g as f64);
+            trace::value("train.param_norm", w as f64);
+        }
+        {
+            let _sp = trace::span("train.optimizer");
+            if cfg.grad_clip > 0.0 {
+                clip_global_norm(&params, cfg.grad_clip);
+            }
+            opt.step(&params);
+        }
         steps += 1;
     }
-    Ok(EpochRun::Done { loss_sum, steps })
+    Ok(EpochRun::Done {
+        loss_sum,
+        steps,
+        examples,
+    })
 }
 
 /// Writes the checkpoint for `epoch`, applying any injected write
@@ -504,6 +694,55 @@ mod tests {
         // in and the loop stops early
         assert!(stats.logs.len() < 30, "ran all {} epochs", stats.logs.len());
         assert!(stats.final_a.n_users > 0);
+    }
+
+    #[test]
+    fn traced_run_captures_telemetry_and_matches_untraced_bits() {
+        let task = tiny_task();
+        let cfg = TrainConfig {
+            epochs: 2,
+            lr: 1e-2,
+            ..Default::default()
+        };
+        let mut plain = TinyMf::new(task.clone(), 9);
+        let s_plain = train_joint(&mut plain, &cfg).expect("untraced training");
+        assert!(s_plain.logs.iter().all(|l| l.telemetry.is_none()));
+
+        let sink = std::sync::Arc::new(trace::MemorySink::new());
+        let (s_traced, lines) = trace::scoped(sink.clone(), || {
+            let mut traced = TinyMf::new(task, 9);
+            let s = train_joint(&mut traced, &cfg).expect("traced training");
+            (s, sink.lines())
+        });
+
+        // tracing observes, never mutates: bit-identical loss stream
+        for (a, b) in s_plain.logs.iter().zip(&s_traced.logs) {
+            assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits());
+        }
+        assert_eq!(s_plain.final_a.hr.to_bits(), s_traced.final_a.hr.to_bits());
+
+        // every epoch carries a telemetry record with real timings
+        for log in &s_traced.logs {
+            let t = log.telemetry.as_ref().expect("traced epoch telemetry");
+            assert!(t.steps > 0);
+            assert!(t.examples > 0);
+            assert!(t.forward_us > 0, "forward time not captured");
+            assert!(t.backward_us > 0);
+            assert!(t.wall_us >= t.forward_us + t.backward_us + t.optimizer_us);
+            assert!(t.param_norm > 0.0);
+            assert!(t.steps_per_sec() > 0.0);
+        }
+        // the trace file has per-epoch events and per-step spans
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"name\":\"epoch\""))
+                .count(),
+            2
+        );
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"name\":\"train.forward\"")));
     }
 
     #[test]

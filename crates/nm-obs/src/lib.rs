@@ -1,0 +1,34 @@
+//! # nm-obs — workspace-wide observability substrate
+//!
+//! Three layers, all `std`-only and shared by training, serving, and
+//! the benches:
+//!
+//! * [`metrics`] — a registry of named counters, gauges, and
+//!   fixed-bucket histograms behind lock-free atomics. The registry
+//!   generalizes the counters `nm-serve` used to keep privately; one
+//!   implementation and one JSON snapshot format now cover both the
+//!   serving hot path and training telemetry.
+//! * [`trace`] — hierarchical scoped spans (RAII guards over a
+//!   thread-local span stack) and typed events, written as line-JSON to
+//!   a pluggable sink. Installing a sink is a *runtime* decision; with
+//!   no sink installed every probe is a single relaxed atomic load, so
+//!   instrumented hot paths cost nothing in production. Span drops also
+//!   feed per-thread aggregates (`calls / total / self` time and value
+//!   sums) that the trainer drains once per epoch.
+//! * [`report`] — offline aggregation over a recorded trace: the
+//!   self-time/total-time profile behind `nmcdr obs report` and the
+//!   structural validator behind `nmcdr obs validate` / `scripts/ci.sh`.
+//!
+//! Tracing observes and never mutates: no RNG stream, step counter, or
+//! parameter is touched by a span, so a traced training run stays
+//! bit-identical to an untraced one (enforced by the fault harness).
+
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, LATENCY_BOUNDS_US,
+};
+pub use report::{validate, ProfileRow, TraceRecord, ValidateSummary};
+pub use trace::{FileSink, MemorySink, SpanGuard, ThreadStats, TraceSink};

@@ -1,0 +1,471 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms, all lock-free atomics on the record path so hot loops
+//! never block. Registration (name → handle) goes through a mutex, but
+//! callers hold `Arc` handles and only touch the map at startup.
+//!
+//! Naming scheme: dotted lowercase paths, coarsest component first —
+//! `serve.requests`, `serve.cache.hits`, `train.grad_norm`. Histograms
+//! carry their unit as the last path segment (`serve.latency_us`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds in microseconds used for latency-style
+/// distributions; the implicit last bucket is +inf overflow. Roughly
+/// logarithmic from 10 µs to 1 s.
+pub const LATENCY_BOUNDS_US: [u64; 15] = [
+    10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 500_000,
+    1_000_000,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram over `u64` samples (typically microseconds).
+///
+/// Samples above the largest bound land in an explicit overflow bucket
+/// and the maximum recorded sample is tracked separately, so tail
+/// quantiles stay honest: a quantile that falls in the overflow bucket
+/// reports the observed maximum instead of silently clamping to the
+/// largest configured bound.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` buckets; the last is overflow.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket upper bounds.
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The standard latency histogram ([`LATENCY_BOUNDS_US`]).
+    pub fn latency() -> Self {
+        Self::with_bounds(&LATENCY_BOUNDS_US)
+    }
+
+    pub fn record(&self, sample: u64) {
+        let idx = self.bounds.partition_point(|&b| b < sample);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(sample, Ordering::Relaxed);
+        self.max.fetch_max(sample, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Largest sample ever recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Samples that exceeded the largest configured bound.
+    pub fn overflow_count(&self) -> u64 {
+        self.buckets[self.bounds.len()].load(Ordering::Relaxed)
+    }
+
+    /// Approximate `q`-quantile: the upper bound of the bucket
+    /// containing that quantile. A quantile landing in the overflow
+    /// bucket reports the maximum recorded sample (which is ≥ the last
+    /// bound) rather than clamping to the last bound. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return match self.bounds.get(i) {
+                    Some(&bound) => bound,
+                    // overflow bucket: report the honest tail
+                    None => self.max(),
+                };
+            }
+        }
+        self.max()
+    }
+
+    /// Point-in-time snapshot of the derived statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+            overflow_count: self.overflow_count(),
+        }
+    }
+}
+
+/// Derived statistics of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub mean: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    pub max: u64,
+    pub overflow_count: u64,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A namespace of metrics. Handles are `Arc`s: register once at
+/// startup, then update lock-free.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(
+            inner
+                .counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(
+            inner
+                .gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get-or-create the histogram `name`. The bounds apply only on
+    /// first registration; later callers get the existing histogram.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(
+            inner
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::with_bounds(bounds))),
+        )
+    }
+
+    /// Point-in-time snapshot of every registered metric, names sorted.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock().unwrap();
+        RegistrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A consistent-enough view of a registry (each metric is read
+/// atomically; the set is read under the registration lock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistrySnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// The unified JSON snapshot format shared by the `obs` wire
+    /// request and the trace sink (compact, one object).
+    pub fn to_json_string(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}:{v}", escape_json(k));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}:{}", escape_json(k), json_f64(*v));
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{}:{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\"overflow_count\":{}}}",
+                escape_json(k),
+                h.count,
+                h.mean,
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max,
+                h.overflow_count
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// JSON-safe float formatting (JSON has no NaN/Inf literals).
+pub(crate) fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string as a JSON string literal (with quotes).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("x.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // same name → same handle
+        r.counter("x.count").inc();
+        assert_eq!(c.get(), 6);
+        let g = r.gauge("x.rate");
+        g.set(1.5);
+        assert_eq!(g.get(), 1.5);
+    }
+
+    #[test]
+    fn quantiles_land_in_expected_buckets() {
+        let h = Histogram::latency();
+        for _ in 0..90 {
+            h.record(5);
+        }
+        for _ in 0..10 {
+            h.record(3_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), 10);
+        assert_eq!(h.quantile(0.95), 5_000);
+        assert_eq!(h.quantile(0.99), 5_000);
+        assert_eq!(h.overflow_count(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::latency();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.overflow_count(), 0);
+    }
+
+    #[test]
+    fn single_bucket_histogram_quantiles() {
+        let h = Histogram::with_bounds(&[100]);
+        h.record(7);
+        assert_eq!(h.quantile(0.0), 100);
+        assert_eq!(h.quantile(1.0), 100);
+        h.record(500); // overflow
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.quantile(1.0), 500);
+    }
+
+    #[test]
+    fn overflow_quantile_reports_observed_max_not_last_bound() {
+        let h = Histogram::latency();
+        h.record(10_000_000); // 10 s, way past the 1 s last bound
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.max(), 10_000_000);
+        // the old behaviour clamped this to 1_000_000, underreporting
+        // tail latency by 10x
+        assert_eq!(h.quantile(0.5), 10_000_000);
+        // mixed: 99 fast samples + 1 overflow — p50 stays in-bounds,
+        // p100 is the honest max
+        for _ in 0..99 {
+            h.record(5);
+        }
+        assert_eq!(h.quantile(0.5), 10);
+        assert_eq!(h.quantile(1.0), 10_000_000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::latency());
+        let threads = 8;
+        let per = 10_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                thread::spawn(move || {
+                    for i in 0..per {
+                        h.record(((t * per + i) % 2_000) as u64);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), (threads * per) as u64);
+        let total: u64 = (0..threads * per).map(|i| (i % 2_000) as u64).sum();
+        assert_eq!(h.mean(), total / (threads * per) as u64);
+        assert_eq!(h.max(), 1_999);
+        assert_eq!(h.overflow_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_json_parses_shape() {
+        let r = Registry::new();
+        r.counter("b.two").add(2);
+        r.counter("a.one").add(1);
+        r.gauge("c.g").set(0.5);
+        r.histogram("d.h", &LATENCY_BOUNDS_US).record(42);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "a.one");
+        assert_eq!(snap.counters[1].0, "b.two");
+        let json = snap.to_json_string();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a.one\":1"));
+        assert!(json.contains("\"overflow_count\":0"));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(escape_json("\u{1}"), "\"\\u0001\"");
+    }
+}

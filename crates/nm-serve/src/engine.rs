@@ -327,7 +327,7 @@ impl Engine {
     /// item id). `(hit, list)` — `hit` reports whether the answer came
     /// from the cache.
     pub fn topk(&self, domain: usize, user: u32, k: usize) -> (bool, CachedList) {
-        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.requests.inc();
         let epoch = self.epoch();
         let key = CacheKey {
             user,
@@ -337,10 +337,10 @@ impl Engine {
         };
         if let Some(c) = &self.cache {
             if let Some(hit) = c.get(&key) {
-                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.cache_hits.inc();
                 return (true, hit);
             }
-            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.stats.cache_misses.inc();
         }
         let slot = ReqSlot::new();
         let become_leader = {
@@ -376,11 +376,9 @@ impl Engine {
                 }
                 q.pending.drain(..n).collect()
             };
-            self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            self.stats.batches.inc();
             if batch.len() > 1 {
-                self.stats
-                    .coalesced
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                self.stats.coalesced.add(batch.len() as u64);
             }
             let results = self.run_batch(domain, &batch);
             for (req, list) in batch.iter().zip(results) {
@@ -564,7 +562,7 @@ mod tests {
         let (hit2, second) = e.topk(0, 1, 5);
         assert!(hit2, "second identical query must be a cache hit");
         assert_eq!(first, second);
-        assert_eq!(e.stats().cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(e.stats().cache_hits.get(), 1);
 
         e.reload(snapshot(64, 99));
         assert_eq!(e.epoch(), 1);
@@ -600,7 +598,7 @@ mod tests {
             assert_eq!(*got, want, "user {user}");
         }
         // all requests accounted for
-        assert_eq!(e.stats().requests.load(Ordering::Relaxed), 8);
+        assert_eq!(e.stats().requests.get(), 8);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!   LRU result cache;
 //! * [`server`] + [`protocol`] — a `std::net` TCP server speaking
 //!   newline-delimited JSON;
-//! * [`stats`] — QPS counters and latency histograms;
+//! * [`stats`] — QPS counters and latency histograms, registered in a
+//!   shared [`nm_obs`] metrics registry (served raw by the `obs` op);
 //! * [`json`] — the dependency-free JSON used on the wire.
 //!
 //! Everything is `std`-only; the crate adds no external dependencies.

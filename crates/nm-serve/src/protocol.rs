@@ -6,6 +6,7 @@
 //! {"op":"topk","user":7,"domain":"a","k":10}
 //! {"op":"score","user":7,"domain":"b","items":[3,9,40]}
 //! {"op":"stats"}
+//! {"op":"obs"}
 //! {"op":"reload","path":"runs/exp1/model.nmss"}
 //! {"op":"shutdown"}
 //! ```
@@ -29,6 +30,8 @@ pub enum Request {
         items: Vec<u32>,
     },
     Stats,
+    /// Full unified metrics-registry snapshot (superset of `stats`).
+    Obs,
     Reload {
         path: String,
     },
@@ -97,6 +100,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "stats" => Ok(Request::Stats),
+        "obs" => Ok(Request::Obs),
         "reload" => {
             let path = field(&v, "path")?
                 .as_str()
@@ -210,6 +214,7 @@ mod tests {
             }
         );
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse_request(r#"{"op":"obs"}"#).unwrap(), Request::Obs);
         assert_eq!(
             parse_request(r#"{"op":"reload","path":"m.nmss"}"#).unwrap(),
             Request::Reload {

@@ -163,8 +163,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             // Saturated: shed this connection with a structured error
             // rather than stalling the accept loop behind a slot.
             let stats = shared.engine.stats();
-            stats.shed.fetch_add(1, Ordering::Relaxed);
-            stats.errors.fetch_add(1, Ordering::Relaxed);
+            stats.shed.inc();
+            stats.errors.inc();
             let mut s = stream;
             let msg = protocol::encode_error(&format!(
                 "overloaded: {} connections already active, retry later",
@@ -201,7 +201,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
         }
         let started = Instant::now();
         let (response, shutdown) = dispatch(&line, shared, started);
-        shared.engine.stats().latency.record(started.elapsed());
+        shared
+            .engine
+            .stats()
+            .latency
+            .record_duration(started.elapsed());
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -223,8 +227,8 @@ fn dispatch(line: &str, shared: &Shared, started: Instant) -> (String, bool) {
     let req = match protocol::parse_request(line) {
         Ok(r) => r,
         Err(e) => {
-            stats.requests.fetch_add(1, Ordering::Relaxed);
-            stats.errors.fetch_add(1, Ordering::Relaxed);
+            stats.requests.inc();
+            stats.errors.inc();
             return (protocol::encode_error(&e), false);
         }
     };
@@ -232,13 +236,13 @@ fn dispatch(line: &str, shared: &Shared, started: Instant) -> (String, bool) {
         Request::TopK { user, domain, k } => {
             // engine.topk counts the request itself on the happy path
             if user >= shared.engine.snapshot().n_users(domain) as u32 {
-                stats.requests.fetch_add(1, Ordering::Relaxed);
-                stats.errors.fetch_add(1, Ordering::Relaxed);
+                stats.requests.inc();
+                stats.errors.inc();
                 protocol::encode_error(&format!("unknown user {user}"))
             } else {
                 let (cached, list) = shared.engine.topk(domain, user, k);
                 if started.elapsed() > shared.cfg.deadline {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    stats.errors.inc();
                     protocol::encode_error("deadline exceeded")
                 } else {
                     protocol::encode_topk_response(user, domain, cached, &list)
@@ -250,14 +254,14 @@ fn dispatch(line: &str, shared: &Shared, started: Instant) -> (String, bool) {
             domain,
             items,
         } => {
-            stats.requests.fetch_add(1, Ordering::Relaxed);
+            stats.requests.inc();
             let snap = shared.engine.snapshot();
             let n_items = snap.n_items(domain) as u32;
             if user >= snap.n_users(domain) as u32 {
-                stats.errors.fetch_add(1, Ordering::Relaxed);
+                stats.errors.inc();
                 protocol::encode_error(&format!("unknown user {user}"))
             } else if let Some(bad) = items.iter().find(|&&i| i >= n_items) {
-                stats.errors.fetch_add(1, Ordering::Relaxed);
+                stats.errors.inc();
                 protocol::encode_error(&format!("unknown item {bad}"))
             } else {
                 let users = vec![user; items.len()];
@@ -266,11 +270,15 @@ fn dispatch(line: &str, shared: &Shared, started: Instant) -> (String, bool) {
             }
         }
         Request::Stats => {
-            stats.requests.fetch_add(1, Ordering::Relaxed);
+            stats.requests.inc();
             protocol::encode_ok(vec![("stats".into(), stats.to_json())])
         }
+        Request::Obs => {
+            stats.requests.inc();
+            protocol::encode_ok(vec![("obs".into(), stats.obs_json())])
+        }
         Request::Reload { path } => {
-            stats.requests.fetch_add(1, Ordering::Relaxed);
+            stats.requests.inc();
             match Snapshot::load_from_file(std::path::Path::new(&path)) {
                 Ok(snap) => {
                     shared.engine.reload(snap);
@@ -280,13 +288,13 @@ fn dispatch(line: &str, shared: &Shared, started: Instant) -> (String, bool) {
                     )])
                 }
                 Err(e) => {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    stats.errors.inc();
                     protocol::encode_error(&format!("reload failed: {e}"))
                 }
             }
         }
         Request::Shutdown => {
-            stats.requests.fetch_add(1, Ordering::Relaxed);
+            stats.requests.inc();
             shared.stopping.store(true, Ordering::Release);
             return (protocol::encode_ok(vec![]), true);
         }
@@ -421,7 +429,7 @@ mod tests {
         assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
         let err = resp.get("error").unwrap().as_str().unwrap().to_string();
         assert!(err.contains("overloaded"), "unexpected error: {err}");
-        assert!(engine.stats().shed.load(Ordering::Relaxed) >= 1);
+        assert!(engine.stats().shed.get() >= 1);
 
         // Releasing the holder frees the slot and service resumes.
         drop(holder);

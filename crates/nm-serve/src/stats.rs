@@ -1,100 +1,38 @@
-//! Serving observability: QPS counters and fixed-bucket latency
-//! histograms, all lock-free atomics so the hot path never blocks.
+//! Serving observability, backed by the workspace-wide [`nm_obs`]
+//! metrics registry: the serve counters and the latency histogram are
+//! registered under `serve.*` names in one [`Registry`], so the `obs`
+//! wire request, the training telemetry, and process-local snapshots
+//! all share a single implementation and JSON format.
 
 use crate::json::Json;
-use std::sync::atomic::{AtomicU64, Ordering};
+use nm_obs::{Counter, Histogram, HistogramSnapshot, Registry};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Histogram bucket upper bounds in microseconds; the last bucket is
-/// the +inf overflow. Roughly logarithmic from 10 µs to 1 s.
-const BOUNDS_US: [u64; 15] = [
-    10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 500_000,
-    1_000_000,
-];
-
-/// Fixed-bucket latency histogram.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    sum_us: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    pub fn new() -> Self {
-        Self {
-            buckets: (0..BOUNDS_US.len() + 1)
-                .map(|_| AtomicU64::new(0))
-                .collect(),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
-    }
-
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let idx = BOUNDS_US.partition_point(|&b| b < us);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_us(&self) -> u64 {
-        self.sum_us
-            .load(Ordering::Relaxed)
-            .checked_div(self.count())
-            .unwrap_or(0)
-    }
-
-    /// Approximate `q`-quantile in microseconds: the upper bound of the
-    /// bucket containing that quantile (overflow reports the largest
-    /// bound). 0 when empty.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return BOUNDS_US
-                    .get(i)
-                    .copied()
-                    .unwrap_or(BOUNDS_US[BOUNDS_US.len() - 1]);
-            }
-        }
-        BOUNDS_US[BOUNDS_US.len() - 1]
-    }
-}
+/// Back-compat alias: the old `nm-serve` latency histogram is now the
+/// shared [`nm_obs::Histogram`] (same buckets, plus overflow-aware
+/// quantiles and a tracked max).
+pub type LatencyHistogram = Histogram;
 
 /// Counters shared by the retrieval engine and the TCP server.
+///
+/// Fields are `Arc` handles into the registry: update them lock-free
+/// on the hot path, and read the whole set via [`Stats::obs_json`].
 #[derive(Debug)]
 pub struct Stats {
     started: Instant,
-    pub requests: AtomicU64,
-    pub errors: AtomicU64,
+    registry: Registry,
+    pub requests: Arc<Counter>,
+    pub errors: Arc<Counter>,
     /// Connections refused with an `overloaded` error (load shedding).
-    pub shed: AtomicU64,
-    pub cache_hits: AtomicU64,
-    pub cache_misses: AtomicU64,
+    pub shed: Arc<Counter>,
+    pub cache_hits: Arc<Counter>,
+    pub cache_misses: Arc<Counter>,
     /// Scoring passes executed (each may serve several requests).
-    pub batches: AtomicU64,
+    pub batches: Arc<Counter>,
     /// Requests that shared a scoring pass with at least one other.
-    pub coalesced: AtomicU64,
-    pub latency: LatencyHistogram,
+    pub coalesced: Arc<Counter>,
+    pub latency: Arc<Histogram>,
 }
 
 impl Default for Stats {
@@ -105,17 +43,24 @@ impl Default for Stats {
 
 impl Stats {
     pub fn new() -> Self {
+        let registry = Registry::new();
         Self {
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            latency: LatencyHistogram::new(),
+            requests: registry.counter("serve.requests"),
+            errors: registry.counter("serve.errors"),
+            shed: registry.counter("serve.shed"),
+            cache_hits: registry.counter("serve.cache.hits"),
+            cache_misses: registry.counter("serve.cache.misses"),
+            batches: registry.counter("serve.batches"),
+            coalesced: registry.counter("serve.coalesced"),
+            latency: registry.histogram("serve.latency_us", &nm_obs::LATENCY_BOUNDS_US),
+            registry,
         }
+    }
+
+    /// The underlying registry (e.g. to register extra metrics).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     pub fn uptime(&self) -> Duration {
@@ -132,9 +77,33 @@ impl Stats {
         }
     }
 
-    /// Snapshot as a JSON object for the `stats` wire request.
+    /// Fraction of cache lookups that hit (0.0 when no lookups yet).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits.get() as f64;
+        let total = hits + self.cache_misses.get() as f64;
+        if total <= 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
+    fn latency_json(h: &HistogramSnapshot) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::Num(h.count as f64)),
+            ("mean".into(), Json::Num(h.mean as f64)),
+            ("p50".into(), Json::Num(h.p50 as f64)),
+            ("p95".into(), Json::Num(h.p95 as f64)),
+            ("p99".into(), Json::Num(h.p99 as f64)),
+            ("max".into(), Json::Num(h.max as f64)),
+            ("overflow_count".into(), Json::Num(h.overflow_count as f64)),
+        ])
+    }
+
+    /// Snapshot as a JSON object for the `stats` wire request (legacy
+    /// flat shape, kept stable for existing consumers).
     pub fn to_json(&self) -> Json {
-        let g = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
+        let g = |c: &Counter| Json::Num(c.get() as f64);
         Json::Obj(vec![
             ("uptime_secs".into(), Json::Num(self.uptime().as_secs_f64())),
             ("requests".into(), g(&self.requests)),
@@ -147,23 +116,41 @@ impl Stats {
             ("qps".into(), Json::Num(self.qps())),
             (
                 "latency_us".into(),
-                Json::Obj(vec![
-                    ("count".into(), Json::Num(self.latency.count() as f64)),
-                    ("mean".into(), Json::Num(self.latency.mean_us() as f64)),
-                    (
-                        "p50".into(),
-                        Json::Num(self.latency.quantile_us(0.50) as f64),
-                    ),
-                    (
-                        "p95".into(),
-                        Json::Num(self.latency.quantile_us(0.95) as f64),
-                    ),
-                    (
-                        "p99".into(),
-                        Json::Num(self.latency.quantile_us(0.99) as f64),
-                    ),
-                ]),
+                Self::latency_json(&self.latency.snapshot()),
             ),
+        ])
+    }
+
+    /// Full unified registry snapshot for the `obs` wire request:
+    /// every registered counter/gauge/histogram by name, plus derived
+    /// rates the registry itself cannot know.
+    pub fn obs_json(&self) -> Json {
+        let snap = self.registry.snapshot();
+        let counters = Json::Obj(
+            snap.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            snap.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            snap.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), Self::latency_json(h)))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("uptime_secs".into(), Json::Num(self.uptime().as_secs_f64())),
+            ("qps".into(), Json::Num(self.qps())),
+            ("cache_hit_rate".into(), Json::Num(self.cache_hit_rate())),
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
         ])
     }
 }
@@ -174,42 +161,72 @@ mod tests {
 
     #[test]
     fn quantiles_land_in_expected_buckets() {
-        let h = LatencyHistogram::new();
+        let h = LatencyHistogram::latency();
         // 90 fast (≤10us bucket), 10 slow (≤5ms bucket)
         for _ in 0..90 {
-            h.record(Duration::from_micros(5));
+            h.record_duration(Duration::from_micros(5));
         }
         for _ in 0..10 {
-            h.record(Duration::from_micros(3_000));
+            h.record_duration(Duration::from_micros(3_000));
         }
         assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile_us(0.50), 10);
-        assert_eq!(h.quantile_us(0.95), 5_000);
-        assert_eq!(h.quantile_us(0.99), 5_000);
+        assert_eq!(h.quantile(0.50), 10);
+        assert_eq!(h.quantile(0.95), 5_000);
+        assert_eq!(h.quantile(0.99), 5_000);
     }
 
     #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile_us(0.99), 0);
-        assert_eq!(h.mean_us(), 0);
+    fn overflow_bucket_reports_observed_max() {
+        let h = LatencyHistogram::latency();
+        h.record_duration(Duration::from_secs(10));
+        // pre-fix this clamped to the last bound (1s), underreporting
+        // tail latency by 10x
+        assert_eq!(h.quantile(0.5), 10_000_000);
+        assert_eq!(h.overflow_count(), 1);
     }
 
     #[test]
-    fn overflow_bucket_reports_largest_bound() {
-        let h = LatencyHistogram::new();
-        h.record(Duration::from_secs(10));
-        assert_eq!(h.quantile_us(0.5), 1_000_000);
-    }
-
-    #[test]
-    fn stats_json_has_percentiles() {
+    fn stats_json_has_percentiles_and_overflow() {
         let s = Stats::new();
-        s.requests.fetch_add(3, Ordering::Relaxed);
-        s.latency.record(Duration::from_micros(100));
+        s.requests.add(3);
+        s.latency.record_duration(Duration::from_micros(100));
         let j = s.to_json();
         assert_eq!(j.get("requests").unwrap().as_f64(), Some(3.0));
         let lat = j.get("latency_us").unwrap();
         assert!(lat.get("p99").unwrap().as_f64().unwrap() >= 100.0);
+        assert_eq!(lat.get("overflow_count").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn obs_json_exposes_unified_registry() {
+        let s = Stats::new();
+        s.cache_hits.add(3);
+        s.cache_misses.inc();
+        s.latency.record_duration(Duration::from_micros(50));
+        let j = s.obs_json();
+        let counters = j.get("counters").unwrap();
+        assert_eq!(
+            counters.get("serve.cache.hits").unwrap().as_f64(),
+            Some(3.0)
+        );
+        assert_eq!(counters.get("serve.shed").unwrap().as_f64(), Some(0.0));
+        assert_eq!(j.get("cache_hit_rate").unwrap().as_f64(), Some(0.75));
+        let hist = j
+            .get("histograms")
+            .unwrap()
+            .get("serve.latency_us")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_f64(), Some(1.0));
+        // extra metrics registered through the same registry show up
+        s.registry().counter("serve.custom").add(7);
+        let j2 = s.obs_json();
+        assert_eq!(
+            j2.get("counters")
+                .unwrap()
+                .get("serve.custom")
+                .unwrap()
+                .as_f64(),
+            Some(7.0)
+        );
     }
 }

@@ -112,7 +112,7 @@ fn concurrent_clients_no_lost_or_corrupt_responses() {
 
     // Repeated queries must have produced cache hits.
     let stats = engine.stats();
-    let hits = stats.cache_hits.load(std::sync::atomic::Ordering::Relaxed);
+    let hits = stats.cache_hits.get();
     assert!(hits > 0, "expected cache hits on repeated queries");
 
     // And the stats endpoint agrees the traffic happened.
@@ -128,6 +128,26 @@ fn concurrent_clients_no_lost_or_corrupt_responses() {
     assert!(s.get("requests").unwrap().as_f64().unwrap() >= (CLIENTS * REQUESTS_PER_CLIENT) as f64);
     assert!(s.get("cache_hits").unwrap().as_f64().unwrap() > 0.0);
     assert!(s.get("latency_us").unwrap().get("p99").is_some());
+
+    // The obs endpoint exposes the full unified metrics registry over
+    // the same wire: dotted counter names and histogram snapshots.
+    writer.write_all(b"{\"op\":\"obs\"}\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = Json::parse(line.trim()).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{line}");
+    let obs = v.get("obs").unwrap();
+    let counters = obs.get("counters").unwrap();
+    assert!(counters.get("serve.requests").unwrap().as_f64().unwrap() > 0.0);
+    assert!(counters.get("serve.cache.hits").unwrap().as_f64().unwrap() > 0.0);
+    let hist = obs
+        .get("histograms")
+        .unwrap()
+        .get("serve.latency_us")
+        .unwrap();
+    assert!(hist.get("count").unwrap().as_f64().unwrap() > 0.0);
+    assert!(hist.get("overflow_count").is_some());
 
     server.stop();
 }

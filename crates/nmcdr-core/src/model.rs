@@ -5,6 +5,7 @@ use nm_autograd::{Tape, Var};
 use nm_graph::{sampling, Csr};
 use nm_models::{CdrModel, CdrTask, Domain};
 use nm_nn::{Activation, Embedding, GateFusion, Linear, Mlp, Module, Param};
+use nm_obs::trace;
 use nm_tensor::rng::{Rng, SeedableRng, StdRng};
 use nm_tensor::{Tensor, TensorRng};
 use std::cell::RefCell;
@@ -439,9 +440,12 @@ impl NmcdrModel {
         let u0: [Var; 2] = [self.user_emb[0].full(tape), self.user_emb[1].full(tape)];
         let v0: [Var; 2] = [self.item_emb[0].full(tape), self.item_emb[1].full(tape)];
         let mut g1 = [u0[0], u0[1]];
-        for z in 0..2 {
-            let (u, _) = self.hge_forward(tape, z, u0[z], v0[z]);
-            g1[z] = u;
+        {
+            let _sp = trace::span("stage.encoder");
+            for z in 0..2 {
+                let (u, _) = self.hge_forward(tape, z, u0[z], v0[z]);
+                g1[z] = u;
+            }
         }
         // Intra-to-inter matching, `matching_layers` recurrent passes
         // (paper §III-A-4 uses 3 aggregation layers in this module).
@@ -452,12 +456,14 @@ impl NmcdrModel {
         let mut cur = g1;
         for _ in 0..self.cfg.matching_layers {
             if !ab.no_intra_matching {
+                let _sp = trace::span("stage.intra_matching");
                 for (z, c) in cur.iter_mut().enumerate() {
                     *c = self.intra_forward(tape, z, *c);
                 }
             }
             g2 = cur;
             if !ab.no_inter_matching {
+                let _sp = trace::span("stage.inter_matching");
                 let n0 = self.inter_forward(tape, 0, cur[0], cur[1]);
                 let n1 = self.inter_forward(tape, 1, cur[1], cur[0]);
                 cur = [n0, n1];
@@ -466,6 +472,7 @@ impl NmcdrModel {
         }
         let mut g4 = g3;
         if !ab.no_complementing {
+            let _sp = trace::span("stage.complementing");
             for z in 0..2 {
                 g4[z] = self.complement_forward(tape, z, g3[z], v0[z]);
             }
@@ -581,13 +588,18 @@ impl CdrModel for NmcdrModel {
             let targets = Rc::new(
                 Tensor::from_vec(batch.labels.len(), 1, batch.labels.clone()).expect("labels"),
             );
+            let dom = if z == 0 { "a" } else { "b" };
             let co_weight = if z == 0 { w[4] } else { w[5] };
             if !self.cfg.ablation.no_companion && co_weight != 0.0 {
-                for (stage_table, wi) in [
-                    (stages.g0[z], w[0]),
-                    (stages.g1[z], w[1]),
-                    (stages.g2[z], w[2]),
-                    (stages.g3[z], w[3]),
+                // Companion objectives Eq. 21–24 attach to stages
+                // g0 (embeddings) / g1 (encoder) / g2 (intra) / g3
+                // (inter); each component is recorded *unweighted* so
+                // telemetry shows which stage's objective moves.
+                for (stage_table, wi, stage_name) in [
+                    (stages.g0[z], w[0], "embed"),
+                    (stages.g1[z], w[1], "encoder"),
+                    (stages.g2[z], w[2], "intra"),
+                    (stages.g3[z], w[3], "inter"),
                 ] {
                     if wi == 0.0 {
                         continue;
@@ -601,6 +613,12 @@ impl CdrModel for NmcdrModel {
                         Rc::clone(&items),
                     );
                     let l = tape.bce_with_logits_mean(logits, Rc::clone(&targets));
+                    if trace::enabled() {
+                        trace::value(
+                            &format!("loss.companion.{stage_name}.{dom}"),
+                            tape.value(l).item() as f64,
+                        );
+                    }
                     add(tape, &mut total, l, wi * co_weight);
                 }
             }
@@ -614,6 +632,9 @@ impl CdrModel for NmcdrModel {
                 Rc::clone(&items),
             );
             let l = tape.bce_with_logits_mean(logits, targets);
+            if trace::enabled() {
+                trace::value(&format!("loss.final.{dom}"), tape.value(l).item() as f64);
+            }
             add(tape, &mut total, l, cls_weight);
         }
         total.expect("at least one loss term must have positive weight")

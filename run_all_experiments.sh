@@ -8,7 +8,7 @@
 # sweep picks up where it left off. NMCDR_FORCE=1 reruns everything.
 set -uo pipefail
 cd "$(dirname "$0")"
-mkdir -p results results/.done
+mkdir -p results results/.done results/trace
 
 run() {
   local name="$1"; shift
@@ -35,6 +35,36 @@ if [[ "${NMCDR_SKIP_CI:-0}" != "1" ]]; then
 fi
 
 cargo build --release -p nm-bench
+
+# Traced reference training run: per-stage spans, per-epoch telemetry
+# events, and companion-loss components as line JSON under
+# results/trace/ (inspect with `nmcdr obs report --trace <file>`).
+run_trace() {
+  local name="trace_train"
+  local stamp="results/.done/${name}"
+  local out="results/trace/train_music_movie.jsonl"
+  if [[ -f "$stamp" && "${NMCDR_FORCE:-0}" != "1" ]]; then
+    echo ">> $name already done ($(cat "$stamp")); skipping (NMCDR_FORCE=1 to rerun)"
+    return 0
+  fi
+  echo "=============================================================="
+  echo ">> $name"
+  echo "=============================================================="
+  if cargo run --release -p nm-cli -- train --scenario music-movie \
+      --scale "${NMCDR_SCALE:-0.004}" --epochs "${NMCDR_EPOCHS:-6}" \
+      --trace-out "$out" 2>&1 | tee "results/${name}.txt" \
+     && cargo run --release -q -p nm-cli -- obs validate --trace "$out" \
+     && cargo run --release -q -p nm-cli -- obs report --trace "$out" \
+          | tee "results/${name}_profile.txt"; then
+    date -u +"%Y-%m-%dT%H:%M:%SZ" > "$stamp"
+  else
+    echo ">> $name FAILED; no stamp written (rerun to retry)"
+    return 1
+  fi
+}
+
+cargo build --release -p nm-cli
+run_trace
 
 run table1_stats
 run table_main

@@ -31,4 +31,16 @@ cargo test --workspace --release -q
 echo "== fault-injection harness (kill/resume/rollback/torn-write) =="
 cargo test --release -q --test fault_tolerance
 
+echo "== traced 1-epoch training + strict trace-schema validation =="
+TRACE_OUT=target/ci_trace.jsonl
+rm -f "$TRACE_OUT"
+cargo run --release -q -p nm-cli -- train --scenario music-movie \
+  --scale 0.002 --epochs 1 --dim 8 --trace-out "$TRACE_OUT"
+# validate rejects unknown fields, non-monotonic timestamps, bad seq
+cargo run --release -q -p nm-cli -- obs validate --trace "$TRACE_OUT"
+cargo run --release -q -p nm-cli -- obs report --trace "$TRACE_OUT" \
+  > target/ci_trace_profile.txt
+grep -q "train.forward" target/ci_trace_profile.txt \
+  || { echo "trace profile lacks train.forward"; exit 1; }
+
 echo "ci.sh: all green"

@@ -51,3 +51,6 @@ pub use nmcdr_core as core;
 
 /// Ranking metrics, projection, A/B simulation.
 pub use nm_eval as eval;
+
+/// Observability: metrics registry, structured tracing, trace reports.
+pub use nm_obs as obs;

@@ -406,6 +406,76 @@ fn early_stopping_state_survives_resume() {
     cleanup(&path);
 }
 
+/// Tracing is observe-only: a traced, killed-and-resumed run stays
+/// bit-identical to an untraced uninterrupted run, and per-epoch
+/// telemetry round-trips through the v2 checkpoint — the epochs
+/// restored from disk carry the telemetry recorded before the kill.
+#[test]
+fn traced_interrupted_resume_matches_untraced_run_bit_for_bit() {
+    use nmcdr::obs::trace::{scoped, MemorySink};
+    use std::sync::Arc;
+
+    let cfg = train_cfg(3);
+    let task = tiny_task(false);
+    let mut baseline_model = nmcdr_model(task.clone());
+    let baseline =
+        train_joint_ft(&mut baseline_model, &cfg, &FtConfig::default()).expect("baseline");
+
+    let path = tmp_path("traced_resume");
+    cleanup(&path);
+    let killed = FtConfig {
+        checkpoint: Some(path.clone()),
+        faults: FaultPlan {
+            kill_after_checkpoint: Some(1),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let resume = FtConfig {
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let sink = Arc::new(MemorySink::new());
+    let stats = scoped(sink.clone(), || {
+        let mut m = nmcdr_model(task.clone());
+        match train_joint_ft(&mut m, &cfg, &killed) {
+            Err(TrainError::Injected { epoch, .. }) => assert_eq!(epoch, 1),
+            other => panic!("expected injected kill, got {other:?}"),
+        }
+        let mut m2 = nmcdr_model(task.clone());
+        train_joint_ft(&mut m2, &cfg, &resume).expect("traced resumed run")
+    });
+    assert_eq!(stats.resumed_from, Some(2));
+    assert_identical(&baseline, &stats);
+
+    // Every epoch carries telemetry: epochs 0–1 were deserialized from
+    // the v2 checkpoint (recorded by the killed-but-traced first half),
+    // epoch 2 was measured live after the resume.
+    for log in &stats.logs {
+        let t = log
+            .telemetry
+            .as_ref()
+            .unwrap_or_else(|| panic!("epoch {} lost its telemetry across the resume", log.epoch));
+        assert!(t.steps > 0, "epoch {}: no steps counted", log.epoch);
+        assert!(t.forward_us > 0, "epoch {}: forward not timed", log.epoch);
+        assert!(
+            !t.stage_us.is_empty(),
+            "epoch {}: no per-stage timings",
+            log.epoch
+        );
+    }
+    // The trace itself records both halves: spans from training plus
+    // the resume / checkpoint / epoch lifecycle events.
+    let lines = sink.lines();
+    assert!(lines.iter().any(|l| l.contains("\"name\":\"resume\"")));
+    assert!(lines.iter().any(|l| l.contains("\"name\":\"checkpoint\"")));
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("\"t\":\"span\"") && l.contains("\"name\":\"train.forward\"")));
+    cleanup(&path);
+}
+
 /// Resuming a run that already finished all its epochs just re-runs the
 /// (idempotent) finalization and reports the same result.
 #[test]
