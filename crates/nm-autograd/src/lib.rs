@@ -27,7 +27,9 @@
 
 mod check;
 mod ops;
+pub mod optrace;
 mod tape;
 
 pub use check::finite_difference_grad;
+pub use optrace::{TraceMeta, TraceNode, OP_KINDS};
 pub use tape::{Tape, Var};

@@ -11,6 +11,14 @@ use std::rc::Rc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Var(pub(crate) usize);
 
+impl Var {
+    /// Position of this node on its tape — the index an exported
+    /// [`crate::TraceNode`] has in `Tape::export_trace`'s output.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 pub(crate) struct Node {
     pub value: Tensor,
     pub grad: Option<Tensor>,
@@ -56,6 +64,14 @@ impl Tape {
 
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Per-node (op, output shape, needs_grad) view for
+    /// [`Tape::export_trace`](crate::optrace).
+    pub(crate) fn nodes_for_trace(&self) -> impl Iterator<Item = (&Op, (usize, usize), bool)> {
+        self.nodes
+            .iter()
+            .map(|n| (&n.op, n.value.shape(), n.needs_grad))
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {

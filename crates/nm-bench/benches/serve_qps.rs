@@ -47,6 +47,7 @@ fn engine_with(snapshot: &Snapshot, n_workers: usize, batch_max: usize) -> Engin
             ..Default::default()
         },
     )
+    .expect("valid bench snapshot")
 }
 
 /// Sequential uncached top-K queries from one caller; returns QPS.

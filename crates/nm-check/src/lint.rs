@@ -1,0 +1,632 @@
+//! Lexer-level workspace invariant linter.
+//!
+//! A hand-rolled scanner (no syn, no regex — the workspace is
+//! dependency-free) tokenizes Rust source just deeply enough to lint
+//! reliably: comments (line + nested block), string/char/raw-string
+//! literals, and `#[cfg(test)]`/`#[test]` regions are recognized so a
+//! banned call inside a doc string or a unit test never fires.
+//!
+//! ## Rules
+//!
+//! | rule | invariant | scope |
+//! |------|-----------|-------|
+//! | `lint/no-unwrap` | no `.unwrap()` / `.expect(` / `panic!` | library crates (everything but `nm-cli`), non-test code |
+//! | `lint/no-wallclock` | no `Instant::now` / `SystemTime::now` — protects the bit-identical replay/resume contract | everywhere but `nm-obs`, `nm-bench` |
+//! | `lint/no-hash-iter` | no `HashMap`/`HashSet` in snapshot/checkpoint serialization files — their iteration order is not byte-stable | files whose name contains `snapshot` or `checkpoint` |
+//! | `lint/safety-comment` | every `unsafe` block preceded (≤3 lines) by a `// SAFETY:` comment | everywhere |
+//!
+//! ## Allowlist workflow
+//!
+//! Legacy debt is recorded in a checked-in TSV baseline
+//! (`rule<TAB>path<TAB>count`). A run fails only where the current
+//! count *exceeds* the baseline; counts below it are burn-down (CI
+//! prints a hint to re-tighten with `--fix-allowlist`, which rewrites
+//! the baseline from the current state).
+
+use crate::{Diagnostic, Pass};
+use std::collections::BTreeMap;
+
+pub const RULE_NO_UNWRAP: &str = "lint/no-unwrap";
+pub const RULE_NO_WALLCLOCK: &str = "lint/no-wallclock";
+pub const RULE_NO_HASH_ITER: &str = "lint/no-hash-iter";
+pub const RULE_SAFETY: &str = "lint/safety-comment";
+
+/// One raw lint finding at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintHit {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: usize,
+    pub message: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Token {
+    text: String,
+    line: usize,
+    in_test: bool,
+}
+
+/// Tokenizes `src` into identifier/punct tokens with line numbers and
+/// an in-test marker, and records which lines carry a `SAFETY:`
+/// comment. This is the single lexing pass all rules share.
+struct Scan {
+    tokens: Vec<Token>,
+    safety_lines: Vec<usize>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn scan(src: &str) -> Scan {
+    let b: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut safety_lines = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                if text.contains("SAFETY:") {
+                    safety_lines.push(line);
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i;
+                i += 2;
+                let mut depth = 1;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text: String = b[start..i.min(b.len())].iter().collect();
+                if text.contains("SAFETY:") {
+                    // attribute the comment to its last line, the one
+                    // adjacent to the code below it
+                    safety_lines.push(line.max(start_line));
+                }
+            }
+            '"' => {
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            'r' | 'b' if raw_string_hashes(&b, i).is_some() => {
+                let hashes = raw_string_hashes(&b, i).unwrap_or(0);
+                // skip prefix + hashes + opening quote
+                i += prefix_len(&b, i) + hashes + 1;
+                let closer: String = std::iter::once('"')
+                    .chain((0..hashes).map(|_| '#'))
+                    .collect();
+                let rest: String = b[i..].iter().collect();
+                match rest.find(&closer) {
+                    Some(off) => {
+                        line += rest[..off].matches('\n').count();
+                        i += off + closer.len();
+                    }
+                    None => i = b.len(),
+                }
+            }
+            'b' if i + 1 < b.len() && b[i + 1] == '"' => {
+                i += 1; // byte string: defer to the '"' arm next loop
+            }
+            '\'' => {
+                // char literal or lifetime: 'a' is a literal, 'a (no
+                // closing quote after one ident) is a lifetime
+                if i + 2 < b.len() && b[i + 1] == '\\' {
+                    i += 2;
+                    while i < b.len() && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < b.len() && b[i + 2] == '\'' {
+                    i += 3;
+                } else {
+                    i += 1; // lifetime tick; idents lexed normally after
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    text: b[start..i].iter().collect(),
+                    line,
+                    in_test: false,
+                });
+            }
+            c if c.is_whitespace() => i += 1,
+            _ => {
+                tokens.push(Token {
+                    text: c.to_string(),
+                    line,
+                    in_test: false,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    mark_test_regions(&mut tokens);
+    Scan {
+        tokens,
+        safety_lines,
+    }
+}
+
+/// `r"`, `r#"`, `br#"` … — returns the number of `#`s when `i` starts a
+/// raw (byte) string.
+fn raw_string_hashes(b: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    (j < b.len() && b[j] == '"').then_some(hashes)
+}
+
+fn prefix_len(b: &[char], i: usize) -> usize {
+    if b[i] == 'b' {
+        2 // b r
+    } else {
+        1 // r
+    }
+}
+
+/// Marks tokens inside `#[test]` / `#[cfg(test)]` item bodies. After a
+/// test attribute the brace-block of the next item is the test region;
+/// a `;` before any `{` (e.g. `#[cfg(test)] use …;`) cancels it.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && i + 1 < tokens.len() && tokens[i + 1].text == "[" {
+            // collect attribute tokens up to the matching ]
+            let mut j = i + 2;
+            let mut depth = 1;
+            let mut attr = Vec::new();
+            while j < tokens.len() && depth > 0 {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    t => attr.push(t.to_string()),
+                }
+                j += 1;
+            }
+            let is_test_attr = attr.first().map(String::as_str) == Some("test")
+                || (attr.first().map(String::as_str) == Some("cfg")
+                    && attr.iter().any(|t| t == "test"));
+            if is_test_attr {
+                // find the item's opening brace, bailing on `;`
+                let mut k = j;
+                while k < tokens.len() && tokens[k].text != "{" && tokens[k].text != ";" {
+                    k += 1;
+                }
+                if k < tokens.len() && tokens[k].text == "{" {
+                    let mut depth = 0;
+                    let start = k;
+                    while k < tokens.len() {
+                        match tokens[k].text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    let end = k.min(tokens.len() - 1);
+                    for t in &mut tokens[start..=end] {
+                        t.in_test = true;
+                    }
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Crate name for a workspace-relative path (`crates/nm-serve/src/…` →
+/// `nm-serve`, root `src/…` → `nmcdr`).
+fn crate_of(path: &str) -> &str {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or(rest)
+    } else {
+        "nmcdr"
+    }
+}
+
+/// Lints one source file. `path` must be workspace-relative — rule
+/// applicability is derived from it.
+pub fn lint_source(path: &str, src: &str) -> Vec<LintHit> {
+    let scan = scan(src);
+    let t = &scan.tokens;
+    let mut hits = Vec::new();
+    let krate = crate_of(path);
+    let file_name = path.rsplit('/').next().unwrap_or(path);
+
+    let unwrap_applies = krate != "nm-cli";
+    let wallclock_applies = krate != "nm-obs" && krate != "nm-bench";
+    let hash_applies = file_name.contains("snapshot") || file_name.contains("checkpoint");
+
+    let hit = |rule: &'static str, line: usize, message: String| LintHit {
+        rule,
+        path: path.to_string(),
+        line,
+        message,
+    };
+
+    for i in 0..t.len() {
+        let tok = &t[i];
+        if tok.in_test {
+            continue;
+        }
+        let next = |k: usize| t.get(i + k).map(|x| x.text.as_str());
+
+        if unwrap_applies {
+            if (tok.text == "unwrap" || tok.text == "expect")
+                && i > 0
+                && t[i - 1].text == "."
+                && next(1) == Some("(")
+            {
+                hits.push(hit(
+                    RULE_NO_UNWRAP,
+                    tok.line,
+                    format!(
+                        ".{}() in library non-test code: return a structured error instead",
+                        tok.text
+                    ),
+                ));
+            }
+            if tok.text == "panic" && next(1) == Some("!") {
+                hits.push(hit(
+                    RULE_NO_UNWRAP,
+                    tok.line,
+                    "panic! in library non-test code".to_string(),
+                ));
+            }
+        }
+
+        if wallclock_applies
+            && (tok.text == "Instant" || tok.text == "SystemTime")
+            && next(1) == Some(":")
+            && next(2) == Some(":")
+            && next(3) == Some("now")
+        {
+            hits.push(hit(
+                RULE_NO_WALLCLOCK,
+                tok.line,
+                format!(
+                    "{}::now outside nm-obs/nm-bench breaks replay/resume determinism",
+                    tok.text
+                ),
+            ));
+        }
+
+        if hash_applies && (tok.text == "HashMap" || tok.text == "HashSet") {
+            hits.push(hit(
+                RULE_NO_HASH_ITER,
+                tok.line,
+                format!(
+                    "{} in a serialization path: iteration order is not byte-stable, use \
+                     BTreeMap/BTreeSet or a sorted Vec",
+                    tok.text
+                ),
+            ));
+        }
+    }
+
+    // SAFETY rule runs over all tokens (tests included: an undocumented
+    // unsafe block is a hazard regardless of cfg).
+    for i in 0..t.len() {
+        if t[i].text == "unsafe" && t.get(i + 1).map(|x| x.text.as_str()) == Some("{") {
+            let line = t[i].line;
+            let documented = scan
+                .safety_lines
+                .iter()
+                .any(|&sl| sl <= line && line - sl <= 3);
+            if !documented {
+                hits.push(LintHit {
+                    rule: RULE_SAFETY,
+                    path: path.to_string(),
+                    line,
+                    message: "unsafe block without a `// SAFETY:` comment within the 3 \
+                              preceding lines"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    hits
+}
+
+/// Lints every `.rs` file under `crates/*/src` and the root `src/`,
+/// returning hits with workspace-relative paths. Integration-test and
+/// bench directories are out of scope by construction.
+pub fn lint_workspace(root: &std::path::Path) -> std::io::Result<Vec<LintHit>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<_> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        names.sort();
+        for krate in names {
+            collect_rs(&krate.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+
+    let mut hits = Vec::new();
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&f)?;
+        hits.extend(lint_source(&rel, &src));
+    }
+    Ok(hits)
+}
+
+fn collect_rs(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.filter_map(|e| e.ok()).collect();
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            // `src/bin` targets are CLI-adjacent, skip like nm-cli
+            if p.file_name().map(|n| n == "bin").unwrap_or(false) {
+                continue;
+            }
+            collect_rs(&p, out)?;
+        } else if p.extension().map(|x| x == "rs").unwrap_or(false) {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// `(rule, path) -> count` aggregation, the allowlist's unit.
+pub fn counts(hits: &[LintHit]) -> BTreeMap<(String, String), usize> {
+    let mut m = BTreeMap::new();
+    for h in hits {
+        *m.entry((h.rule.to_string(), h.path.clone())).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Parses the TSV allowlist (`rule<TAB>path<TAB>count`; `#` comments).
+/// Malformed lines are reported as diagnostics, not ignored.
+pub fn parse_allowlist(text: &str) -> (BTreeMap<(String, String), usize>, Vec<Diagnostic>) {
+    let mut m = BTreeMap::new();
+    let mut diags = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(path), Some(count)) => match count.parse::<usize>() {
+                Ok(n) => {
+                    m.insert((rule.to_string(), path.to_string()), n);
+                }
+                Err(_) => diags.push(Diagnostic::new(
+                    Pass::Lint,
+                    "lint/allowlist",
+                    format!("allowlist:{}", lineno + 1),
+                    format!("bad count {count:?}"),
+                )),
+            },
+            _ => diags.push(Diagnostic::new(
+                Pass::Lint,
+                "lint/allowlist",
+                format!("allowlist:{}", lineno + 1),
+                "expected rule<TAB>path<TAB>count".to_string(),
+            )),
+        }
+    }
+    (m, diags)
+}
+
+/// Renders the current counts as allowlist TSV (the `--fix-allowlist`
+/// output). Deterministic order so the file diffs cleanly.
+pub fn render_allowlist(counts: &BTreeMap<(String, String), usize>) -> String {
+    let mut out = String::from(
+        "# nm-check lint baseline: rule<TAB>path<TAB>allowed-count\n\
+         # Regenerate with `nmcdr check --fix-allowlist` after burning down debt.\n",
+    );
+    for ((rule, path), n) in counts {
+        out.push_str(&format!("{rule}\t{path}\t{n}\n"));
+    }
+    out
+}
+
+/// Outcome of comparing a run against the baseline.
+pub struct LintReport {
+    /// Groups whose count exceeds the baseline → CI failure.
+    pub new_violations: Vec<Diagnostic>,
+    /// Groups now below baseline → baseline can be tightened.
+    pub burned_down: Vec<(String, String, usize, usize)>,
+}
+
+/// Compares current hits against the baseline allowlist.
+pub fn compare(hits: &[LintHit], baseline: &BTreeMap<(String, String), usize>) -> LintReport {
+    let current = counts(hits);
+    let mut new_violations = Vec::new();
+    let mut burned_down = Vec::new();
+    for ((rule, path), &n) in &current {
+        let allowed = baseline
+            .get(&(rule.clone(), path.clone()))
+            .copied()
+            .unwrap_or(0);
+        if n > allowed {
+            let lines: Vec<String> = hits
+                .iter()
+                .filter(|h| h.rule == rule && h.path == *path)
+                .take(5)
+                .map(|h| h.line.to_string())
+                .collect();
+            new_violations.push(Diagnostic::new(
+                Pass::Lint,
+                rule.clone(),
+                path.clone(),
+                format!(
+                    "{n} hit(s), baseline allows {allowed} (lines {}, …)",
+                    lines.join(",")
+                ),
+            ));
+        } else if n < allowed {
+            burned_down.push((rule.clone(), path.clone(), n, allowed));
+        }
+    }
+    // Baseline entries with zero current hits are also burn-down.
+    for ((rule, path), &allowed) in baseline {
+        if allowed > 0 && !current.contains_key(&(rule.clone(), path.clone())) {
+            burned_down.push((rule.clone(), path.clone(), 0, allowed));
+        }
+    }
+    LintReport {
+        new_violations,
+        burned_down,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_has_no_hits() {
+        let src = r#"
+            pub fn ok(x: Option<u32>) -> u32 {
+                x.unwrap_or(0)
+            }
+        "#;
+        assert!(lint_source("crates/nm-tensor/src/ok.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_is_ignored() {
+        let src = r#"
+            // this mentions .unwrap() in prose
+            pub fn f() -> &'static str {
+                "call .unwrap() later"
+            }
+        "#;
+        assert!(lint_source("crates/nm-tensor/src/s.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_test_region_is_ignored() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    Some(1).unwrap();
+                }
+            }
+        "#;
+        assert!(lint_source("crates/nm-tensor/src/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = r#"
+            pub fn f(x: Option<u32>) -> u32 {
+                x.unwrap_or_else(|| 3).max(x.unwrap_or_default())
+            }
+        "#;
+        assert!(lint_source("crates/nm-tensor/src/u.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nm_cli_is_exempt_from_unwrap_rule() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(lint_source("crates/nm-cli/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_within_three_lines_passes() {
+        let src = r#"
+            pub fn f(b: &[u8]) -> &str {
+                // SAFETY: caller guarantees valid UTF-8
+                unsafe { std::str::from_utf8_unchecked(b) }
+            }
+        "#;
+        assert!(lint_source("crates/nm-serve/src/j.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_roundtrip() {
+        let mut c = BTreeMap::new();
+        c.insert(
+            (RULE_NO_UNWRAP.to_string(), "crates/x/src/a.rs".to_string()),
+            3,
+        );
+        let text = render_allowlist(&c);
+        let (parsed, diags) = parse_allowlist(&text);
+        assert!(diags.is_empty());
+        assert_eq!(parsed, c);
+    }
+}

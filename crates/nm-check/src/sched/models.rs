@@ -1,0 +1,604 @@
+//! Model-checked abstractions of the workspace's concurrent cores.
+//!
+//! Each model mirrors the step structure of real code — `nm-obs`'s
+//! lock-free metrics registry and trace sink, `nm-serve`'s
+//! leader-follower batch coalescer and connection-slot shedding — at
+//! the granularity of its atomic operations. Every model has a
+//! `seeded_bug` constructor that reintroduces the concurrency bug the
+//! real implementation is written to avoid; the negative suite proves
+//! [`crate::sched::explore`] finds each one, which is the evidence that
+//! a green run over the correct models actually means something.
+
+use super::SchedModel;
+
+// ---------------------------------------------------------------------
+// 1. Counter increments (nm-obs Counter::inc, relaxed fetch_add)
+// ---------------------------------------------------------------------
+
+/// N threads each increment a shared counter k times. The real counter
+/// is an `AtomicU64::fetch_add`; the seeded bug models a load/store
+/// pair, the classic lost update.
+#[derive(Clone)]
+pub struct CounterModel {
+    torn: bool,
+    per_thread: u64,
+    remaining: Vec<u64>,
+    loaded: Vec<Option<u64>>,
+    value: u64,
+}
+
+impl CounterModel {
+    pub fn atomic(threads: usize, per_thread: u64) -> Self {
+        Self {
+            torn: false,
+            per_thread,
+            remaining: vec![per_thread; threads],
+            loaded: vec![None; threads],
+            value: 0,
+        }
+    }
+
+    /// Seeded bug: increment = separate load and store steps.
+    pub fn seeded_bug(threads: usize, per_thread: u64) -> Self {
+        Self {
+            torn: true,
+            ..Self::atomic(threads, per_thread)
+        }
+    }
+}
+
+impl SchedModel for CounterModel {
+    fn thread_count(&self) -> usize {
+        self.remaining.len()
+    }
+    fn is_done(&self, t: usize) -> bool {
+        self.remaining[t] == 0 && self.loaded[t].is_none()
+    }
+    fn is_runnable(&self, t: usize) -> bool {
+        !self.is_done(t)
+    }
+    fn step(&mut self, t: usize) {
+        if !self.torn {
+            self.value += 1;
+            self.remaining[t] -= 1;
+            return;
+        }
+        match self.loaded[t].take() {
+            None => self.loaded[t] = Some(self.value),
+            Some(v) => {
+                self.value = v + 1;
+                self.remaining[t] -= 1;
+            }
+        }
+    }
+    fn check_final(&self) -> Result<(), String> {
+        let want = self.per_thread * self.remaining.len() as u64;
+        if self.value == want {
+            Ok(())
+        } else {
+            Err(format!(
+                "counter = {}, expected {want} (lost update)",
+                self.value
+            ))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Histogram record vs snapshot (nm-obs Histogram)
+// ---------------------------------------------------------------------
+
+/// One recorder incrementing `bucket` then `count` (the real ordering:
+/// bucket first, so a snapshot that reads `count` first can only
+/// *under*-count relative to the buckets it then reads) against one
+/// reader taking two-step snapshots. Invariant: every snapshot sees
+/// `bucket_sum >= count` — a torn read the other way means a consumer
+/// could observe a histogram whose total disagrees with its count.
+#[derive(Clone)]
+pub struct HistogramModel {
+    count_first: bool,
+    records_left: u64,
+    recorder_mid: bool,
+    snaps_left: u64,
+    snap_count: Option<u64>,
+    bucket: u64,
+    count: u64,
+    violated: Option<String>,
+}
+
+impl HistogramModel {
+    pub fn correct(records: u64, snapshots: u64) -> Self {
+        Self {
+            count_first: false,
+            records_left: records,
+            recorder_mid: false,
+            snaps_left: snapshots,
+            snap_count: None,
+            bucket: 0,
+            count: 0,
+            violated: None,
+        }
+    }
+
+    /// Seeded bug: record increments `count` before the bucket, so a
+    /// snapshot between the halves observes count > bucket_sum.
+    pub fn seeded_bug(records: u64, snapshots: u64) -> Self {
+        Self {
+            count_first: true,
+            ..Self::correct(records, snapshots)
+        }
+    }
+}
+
+impl SchedModel for HistogramModel {
+    fn thread_count(&self) -> usize {
+        2
+    }
+    fn is_done(&self, t: usize) -> bool {
+        match t {
+            0 => self.records_left == 0 && !self.recorder_mid,
+            _ => self.snaps_left == 0 && self.snap_count.is_none(),
+        }
+    }
+    fn is_runnable(&self, t: usize) -> bool {
+        !self.is_done(t)
+    }
+    fn step(&mut self, t: usize) {
+        match t {
+            0 => {
+                let first = if self.count_first {
+                    &mut self.count
+                } else {
+                    &mut self.bucket
+                };
+                if !self.recorder_mid {
+                    *first += 1;
+                    self.recorder_mid = true;
+                } else {
+                    let second = if self.count_first {
+                        &mut self.bucket
+                    } else {
+                        &mut self.count
+                    };
+                    *second += 1;
+                    self.recorder_mid = false;
+                    self.records_left -= 1;
+                }
+            }
+            _ => match self.snap_count.take() {
+                None => self.snap_count = Some(self.count),
+                Some(c) => {
+                    let b = self.bucket;
+                    if b < c {
+                        self.violated =
+                            Some(format!("torn snapshot: count={c} but bucket_sum={b}"));
+                    }
+                    self.snaps_left -= 1;
+                }
+            },
+        }
+    }
+    fn check_step(&self) -> Result<(), String> {
+        match &self.violated {
+            Some(m) => Err(m.clone()),
+            None => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Trace sink sequence numbers (nm-obs TraceSink)
+// ---------------------------------------------------------------------
+
+/// Writers emit trace events with sequence numbers into a shared log.
+/// The real sink allocates `seq` *inside* the sink lock, immediately
+/// before appending, so file order equals seq order. The seeded bug
+/// allocates seq from an atomic before taking the lock — each write is
+/// still consistent, but two writers can append out of seq order.
+#[derive(Clone)]
+pub struct SeqSinkModel {
+    seq_outside_lock: bool,
+    msgs_left: Vec<u32>,
+    /// per-thread progress: None = idle, Some(seq) = holds a seq (bug
+    /// variant) or holds the lock mid-append
+    pending: Vec<Option<u64>>,
+    lock_holder: Option<usize>,
+    next_seq: u64,
+    log: Vec<u64>,
+}
+
+impl SeqSinkModel {
+    pub fn correct(threads: usize, msgs_each: u32) -> Self {
+        Self {
+            seq_outside_lock: false,
+            msgs_left: vec![msgs_each; threads],
+            pending: vec![None; threads],
+            lock_holder: None,
+            next_seq: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Seeded bug: seq allocated before lock acquisition.
+    pub fn seeded_bug(threads: usize, msgs_each: u32) -> Self {
+        Self {
+            seq_outside_lock: true,
+            ..Self::correct(threads, msgs_each)
+        }
+    }
+}
+
+impl SchedModel for SeqSinkModel {
+    fn thread_count(&self) -> usize {
+        self.msgs_left.len()
+    }
+    fn is_done(&self, t: usize) -> bool {
+        self.msgs_left[t] == 0 && self.pending[t].is_none()
+    }
+    fn is_runnable(&self, t: usize) -> bool {
+        if self.is_done(t) {
+            return false;
+        }
+        if self.seq_outside_lock {
+            // idle -> allocate seq (free); holding seq -> appends in
+            // one atomic lock region, so always steppable
+            true
+        } else {
+            // idle -> needs lock; holding lock -> append (free)
+            self.pending[t].is_some() || self.lock_holder.is_none()
+        }
+    }
+    fn step(&mut self, t: usize) {
+        if self.seq_outside_lock {
+            match self.pending[t] {
+                None => {
+                    self.pending[t] = Some(self.next_seq);
+                    self.next_seq += 1;
+                }
+                Some(seq) => {
+                    self.log.push(seq);
+                    self.pending[t] = None;
+                    self.msgs_left[t] -= 1;
+                }
+            }
+        } else {
+            match self.pending[t] {
+                None => {
+                    debug_assert!(self.lock_holder.is_none());
+                    self.lock_holder = Some(t);
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.pending[t] = Some(seq);
+                }
+                Some(seq) => {
+                    self.log.push(seq);
+                    self.pending[t] = None;
+                    self.lock_holder = None;
+                    self.msgs_left[t] -= 1;
+                }
+            }
+        }
+    }
+    fn check_step(&self) -> Result<(), String> {
+        for w in self.log.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!(
+                    "log order {:?} disagrees with seq order: event {} written after {}",
+                    self.log, w[1], w[0]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. Leader-follower batch coalescer (nm-serve DomainQueue)
+// ---------------------------------------------------------------------
+
+/// Requesters enqueue into a shared pending queue under a lock; the
+/// first arrival while no leader is active becomes the leader and
+/// drains batches until the queue is empty, dispatching every request
+/// (its own included); later arrivals park until their request is
+/// dispatched. Invariants: every request dispatched exactly once
+/// (double dispatch), no requester parked forever (lost wakeup —
+/// surfaces as a deadlock).
+#[derive(Clone)]
+pub struct CoalescerModel {
+    bug: CoalescerBug,
+    batch_max: usize,
+    /// per-thread phase
+    phase: Vec<CoalPhase>,
+    /// request ids in the pending queue
+    pending: Vec<usize>,
+    leader_active: bool,
+    /// dispatch count per request id (== thread id)
+    dispatched: Vec<u32>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum CoalescerBug {
+    None,
+    /// Leader observes the queue empty and exits in one step, but only
+    /// clears `leader_active` in a *later* step: a requester enqueueing
+    /// in between sees a live leader and parks forever.
+    LostWakeup,
+    /// Leader copies the batch out without removing it from the queue.
+    DoubleDispatch,
+}
+
+#[derive(Clone)]
+enum CoalPhase {
+    /// Parse/prepare step outside any lock (models request decode).
+    Prepare,
+    /// Waiting to enqueue (needs the queue lock — modeled as one
+    /// atomic step like the real single lock region).
+    Enqueue,
+    /// Leader with a drained batch in hand (empty = about to exit).
+    Lead {
+        hand: Vec<usize>,
+    },
+    /// LostWakeup bug only: drained empty, exit step pending before
+    /// leader_active is cleared.
+    LeadExitPending,
+    /// Parked until own request is dispatched.
+    Park,
+    Done,
+}
+
+impl CoalescerModel {
+    pub fn new(requesters: usize, batch_max: usize, bug: CoalescerBug) -> Self {
+        Self {
+            bug,
+            batch_max,
+            phase: vec![CoalPhase::Prepare; requesters],
+            pending: Vec::new(),
+            leader_active: false,
+            dispatched: vec![0; requesters],
+        }
+    }
+
+    pub fn correct(requesters: usize, batch_max: usize) -> Self {
+        Self::new(requesters, batch_max, CoalescerBug::None)
+    }
+}
+
+impl SchedModel for CoalescerModel {
+    fn thread_count(&self) -> usize {
+        self.phase.len()
+    }
+    fn is_done(&self, t: usize) -> bool {
+        matches!(self.phase[t], CoalPhase::Done)
+    }
+    fn is_runnable(&self, t: usize) -> bool {
+        match &self.phase[t] {
+            CoalPhase::Prepare | CoalPhase::Enqueue => true,
+            CoalPhase::Lead { .. } | CoalPhase::LeadExitPending => true,
+            CoalPhase::Park => self.dispatched[t] > 0,
+            CoalPhase::Done => false,
+        }
+    }
+    fn step(&mut self, t: usize) {
+        match std::mem::replace(&mut self.phase[t], CoalPhase::Done) {
+            CoalPhase::Prepare => self.phase[t] = CoalPhase::Enqueue,
+            CoalPhase::Enqueue => {
+                // single lock region: push + role decision
+                self.pending.push(t);
+                if !self.leader_active {
+                    self.leader_active = true;
+                    self.phase[t] = CoalPhase::Lead { hand: Vec::new() };
+                } else {
+                    self.phase[t] = CoalPhase::Park;
+                }
+            }
+            CoalPhase::Lead { hand } => {
+                if hand.is_empty() {
+                    // lock region: drain up to batch_max
+                    let take = self.pending.len().min(self.batch_max);
+                    let batch: Vec<usize> = if self.bug == CoalescerBug::DoubleDispatch {
+                        self.pending.iter().take(take).copied().collect()
+                    } else {
+                        self.pending.drain(..take).collect()
+                    };
+                    if batch.is_empty() {
+                        match self.bug {
+                            CoalescerBug::LostWakeup => {
+                                // exit decided; flag cleared next step
+                                self.phase[t] = CoalPhase::LeadExitPending;
+                            }
+                            _ => {
+                                self.leader_active = false;
+                                self.finish(t);
+                            }
+                        }
+                    } else {
+                        if self.bug == CoalescerBug::DoubleDispatch {
+                            // leader "re-discovers" the same requests
+                            // next drain; clear only after two rounds
+                            // to keep the model finite
+                            self.pending
+                                .retain(|r| !batch.contains(r) || self.dispatched[*r] == 0);
+                        }
+                        self.phase[t] = CoalPhase::Lead { hand: batch };
+                    }
+                } else {
+                    // dispatch outside the lock
+                    for r in hand {
+                        self.dispatched[r] += 1;
+                    }
+                    self.phase[t] = CoalPhase::Lead { hand: Vec::new() };
+                }
+            }
+            CoalPhase::LeadExitPending => {
+                self.leader_active = false;
+                self.finish(t);
+            }
+            CoalPhase::Park => {
+                debug_assert!(self.dispatched[t] > 0);
+                // woken: request served
+            }
+            CoalPhase::Done => unreachable!("done threads are not runnable"),
+        }
+    }
+    fn check_step(&self) -> Result<(), String> {
+        for (r, &n) in self.dispatched.iter().enumerate() {
+            if n > 1 {
+                return Err(format!(
+                    "request {r} dispatched {n} times (double dispatch)"
+                ));
+            }
+        }
+        Ok(())
+    }
+    fn check_final(&self) -> Result<(), String> {
+        for (r, &n) in self.dispatched.iter().enumerate() {
+            if n != 1 {
+                return Err(format!(
+                    "request {r} dispatched {n} times, expected exactly 1"
+                ));
+            }
+        }
+        if self.leader_active {
+            return Err("leader_active still set after completion".into());
+        }
+        Ok(())
+    }
+}
+
+impl CoalescerModel {
+    fn finish(&mut self, t: usize) {
+        // Leaving leadership: thread is done once its own request has
+        // been dispatched (it always is — the leader drains itself),
+        // otherwise it parks like a follower.
+        self.phase[t] = if self.dispatched[t] > 0 {
+            CoalPhase::Done
+        } else {
+            CoalPhase::Park
+        };
+    }
+}
+
+// ---------------------------------------------------------------------
+// 5. Connection slots + shedding (nm-serve ConnSlots)
+// ---------------------------------------------------------------------
+
+/// N connections race for K slots; losers are shed. The real
+/// implementation acquires with a single atomic compare-exchange loop;
+/// the seeded bug splits the check and the decrement, admitting more
+/// than K concurrent connections. Invariants: concurrent admissions
+/// never exceed K, and finally `admitted + shed == N` with all slots
+/// returned (shed-counter accuracy).
+#[derive(Clone)]
+pub struct ShedModel {
+    check_then_act: bool,
+    capacity: i64,
+    slots: i64,
+    shed: u32,
+    admitted_total: u32,
+    active: u32,
+    phase: Vec<ShedPhase>,
+}
+
+#[derive(Clone, Copy)]
+enum ShedPhase {
+    Arrive,
+    /// Bug variant only: observed a free slot, decrement still pending.
+    AdmitPending,
+    Work,
+    Release,
+    Done,
+}
+
+impl ShedModel {
+    pub fn correct(conns: usize, capacity: i64) -> Self {
+        Self {
+            check_then_act: false,
+            capacity,
+            slots: capacity,
+            shed: 0,
+            admitted_total: 0,
+            active: 0,
+            phase: vec![ShedPhase::Arrive; conns],
+        }
+    }
+
+    /// Seeded bug: slot check and slot decrement are separate steps.
+    pub fn seeded_bug(conns: usize, capacity: i64) -> Self {
+        Self {
+            check_then_act: true,
+            ..Self::correct(conns, capacity)
+        }
+    }
+}
+
+impl SchedModel for ShedModel {
+    fn thread_count(&self) -> usize {
+        self.phase.len()
+    }
+    fn is_done(&self, t: usize) -> bool {
+        matches!(self.phase[t], ShedPhase::Done)
+    }
+    fn is_runnable(&self, t: usize) -> bool {
+        !self.is_done(t)
+    }
+    fn step(&mut self, t: usize) {
+        match self.phase[t] {
+            ShedPhase::Arrive => {
+                if self.check_then_act {
+                    if self.slots > 0 {
+                        self.phase[t] = ShedPhase::AdmitPending;
+                    } else {
+                        self.shed += 1;
+                        self.phase[t] = ShedPhase::Done;
+                    }
+                } else if self.slots > 0 {
+                    self.slots -= 1;
+                    self.active += 1;
+                    self.admitted_total += 1;
+                    self.phase[t] = ShedPhase::Work;
+                } else {
+                    self.shed += 1;
+                    self.phase[t] = ShedPhase::Done;
+                }
+            }
+            ShedPhase::AdmitPending => {
+                self.slots -= 1;
+                self.active += 1;
+                self.admitted_total += 1;
+                self.phase[t] = ShedPhase::Work;
+            }
+            ShedPhase::Work => self.phase[t] = ShedPhase::Release,
+            ShedPhase::Release => {
+                self.slots += 1;
+                self.active -= 1;
+                self.phase[t] = ShedPhase::Done;
+            }
+            ShedPhase::Done => unreachable!("done threads are not runnable"),
+        }
+    }
+    fn check_step(&self) -> Result<(), String> {
+        if i64::from(self.active) > self.capacity {
+            return Err(format!(
+                "{} connections active with capacity {} (over-admission)",
+                self.active, self.capacity
+            ));
+        }
+        Ok(())
+    }
+    fn check_final(&self) -> Result<(), String> {
+        let n = self.phase.len() as u32;
+        if self.admitted_total + self.shed != n {
+            return Err(format!(
+                "admitted {} + shed {} != {} connections (shed counter inaccurate)",
+                self.admitted_total, self.shed, n
+            ));
+        }
+        if self.slots != self.capacity {
+            return Err(format!(
+                "{} slots free at rest, expected {} (slot leak)",
+                self.slots, self.capacity
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,290 @@
+//! Seeded-defect suite: every analysis pass must catch the bug class
+//! it claims to catch — and *only* the intended rule may fire, so a
+//! green production run is evidence, not vacuous.
+//!
+//! Coverage of the acceptance list:
+//! 1. shape mismatch            -> shape/matmul + shape/mismatch
+//! 2. illegal broadcast         -> shape/broadcast
+//! 3. graph cycle               -> shape/cycle
+//! 4. unreachable parameter     -> shape/unreachable-param (bound + never-bound forms)
+//! 5. banned call               -> lint/no-unwrap
+//! 6. missing SAFETY comment    -> lint/safety-comment
+//! 7. hash in serialization     -> lint/no-hash-iter
+//! 8. wall-clock read           -> lint/no-wallclock
+//! 9. lost-wakeup coalescer     -> sched deadlock
+//! 10. double dispatch          -> sched invariant
+//! 11. torn histogram snapshot  -> sched invariant
+//! 12. seq allocated off-lock   -> sched invariant
+//! 13. non-atomic counter       -> sched final-state
+//! 14. connection over-admission-> sched invariant
+
+use nm_autograd::{TraceMeta, TraceNode};
+use nm_check::sched::models::*;
+use nm_check::sched::{explore, ExploreOpts};
+use nm_check::shape::{compare_symbolic, verify_reachability, verify_trace};
+use nm_check::{lint, Diagnostic};
+
+fn leaf(r: usize, c: usize) -> TraceNode {
+    TraceNode {
+        kind: "leaf",
+        parents: vec![],
+        rows: r,
+        cols: c,
+        requires_grad: true,
+        meta: TraceMeta::None,
+    }
+}
+
+fn node(kind: &'static str, parents: Vec<usize>, r: usize, c: usize) -> TraceNode {
+    TraceNode {
+        kind,
+        parents,
+        rows: r,
+        cols: c,
+        requires_grad: true,
+        meta: TraceMeta::None,
+    }
+}
+
+fn rules(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule.as_str()).collect()
+}
+
+fn assert_only_rule(diags: &[Diagnostic], rule: &str) {
+    assert!(
+        !diags.is_empty(),
+        "expected {rule} to fire, got no diagnostics"
+    );
+    for d in diags {
+        assert_eq!(d.rule, rule, "unexpected extra diagnostic: {}", d.render());
+    }
+}
+
+// ---- shape verifier ---------------------------------------------------
+
+#[test]
+fn seeded_shape_mismatch_matmul_inner_dims() {
+    // (3x4) @ (5x2): the tape would have panicked; the verifier reports.
+    let trace = vec![
+        leaf(3, 4),
+        leaf(5, 2),
+        node("matmul", vec![0, 1], 3, 2),
+        node("sum_all", vec![2], 1, 1),
+    ];
+    assert_only_rule(&verify_trace(&trace), "shape/matmul");
+}
+
+#[test]
+fn seeded_shape_mismatch_recorded_vs_derived() {
+    // relu claims to change the shape: derived (3,4) vs recorded (4,3)
+    let trace = vec![leaf(3, 4), node("relu", vec![0], 4, 3)];
+    assert_only_rule(&verify_trace(&trace), "shape/mismatch");
+}
+
+#[test]
+fn seeded_illegal_broadcast() {
+    // (3x4) + (2x4) is no legal broadcast class
+    let trace = vec![leaf(3, 4), leaf(2, 4), node("add", vec![0, 1], 3, 4)];
+    assert_only_rule(&verify_trace(&trace), "shape/broadcast");
+}
+
+#[test]
+fn seeded_cycle_forward_parent() {
+    // node 1 lists node 2 as a parent: not topologically ordered
+    let trace = vec![
+        leaf(2, 2),
+        node("relu", vec![2], 2, 2),
+        node("sigmoid", vec![1], 2, 2),
+    ];
+    let diags = verify_trace(&trace);
+    assert!(
+        rules(&diags).contains(&"shape/cycle"),
+        "cycle not reported: {:?}",
+        rules(&diags)
+    );
+}
+
+#[test]
+fn seeded_unreachable_parameter() {
+    // w2 is on the tape but feeds a dead branch; w3 never bound at all.
+    let trace = vec![
+        leaf(3, 4), // w1 -> loss
+        leaf(3, 4), // w2 -> dead branch
+        node("relu", vec![1], 3, 4),
+        node("sum_all", vec![0], 1, 1), // loss reads only w1
+    ];
+    assert!(verify_trace(&trace).is_empty(), "trace itself is clean");
+    let params = vec![
+        ("w1".to_string(), Some(0)),
+        ("w2".to_string(), Some(1)),
+        ("w3".to_string(), None),
+    ];
+    let diags = verify_reachability(&trace, 3, &params);
+    assert_eq!(diags.len(), 2, "{:?}", rules(&diags));
+    assert_only_rule(&diags, "shape/unreachable-param");
+    assert!(diags.iter().any(|d| d.location == "w2"));
+    assert!(diags.iter().any(|d| d.location == "w3"));
+}
+
+#[test]
+fn seeded_symbolic_leak_batch_dim_hardcoded() {
+    // A layer hard-codes the batch size 3 into a weight: at B=3 all is
+    // well, at B=5 the weight still has 3 rows -> a dim equal to the
+    // batch size failed to vary.
+    let mk = |b: usize, w_rows: usize| {
+        vec![
+            leaf(b, 8),
+            leaf(8, w_rows),
+            node("matmul", vec![0, 1], b, w_rows),
+            node("sum_all", vec![2], 1, 1),
+        ]
+    };
+    // weight rows hard-coded to 3 == batch size of run A
+    let diags = compare_symbolic(&mk(3, 3), &mk(5, 3), &[3], &[5]);
+    assert!(
+        diags.iter().all(|d| d.rule == "shape/symbolic") && !diags.is_empty(),
+        "{:?}",
+        rules(&diags)
+    );
+}
+
+// ---- linter -----------------------------------------------------------
+
+#[test]
+fn seeded_banned_call_unwrap() {
+    let src = r#"
+        pub fn f(x: Option<u32>) -> u32 {
+            x.unwrap()
+        }
+    "#;
+    let hits = lint::lint_source("crates/nm-serve/src/engine.rs", src);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].rule, lint::RULE_NO_UNWRAP);
+    assert_eq!(hits[0].line, 3);
+}
+
+#[test]
+fn seeded_banned_call_panic_macro() {
+    let src = "pub fn f() { panic!(\"boom\"); }";
+    let hits = lint::lint_source("crates/nm-tensor/src/x.rs", src);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].rule, lint::RULE_NO_UNWRAP);
+}
+
+#[test]
+fn seeded_missing_safety_comment() {
+    let src = r#"
+        pub fn f(b: &[u8]) -> &str {
+            unsafe { std::str::from_utf8_unchecked(b) }
+        }
+    "#;
+    let hits = lint::lint_source("crates/nm-serve/src/json.rs", src);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].rule, lint::RULE_SAFETY);
+}
+
+#[test]
+fn seeded_hash_in_serialization_path() {
+    let src = r#"
+        use std::collections::HashMap;
+        pub fn write_snapshot(m: &HashMap<u32, f32>) {}
+    "#;
+    let hits = lint::lint_source("crates/nm-serve/src/snapshot.rs", src);
+    assert!(hits.iter().all(|h| h.rule == lint::RULE_NO_HASH_ITER));
+    assert_eq!(hits.len(), 2, "both HashMap mentions flagged");
+    // the same source in a non-serialization file is fine
+    assert!(lint::lint_source("crates/nm-serve/src/cache.rs", src).is_empty());
+}
+
+#[test]
+fn seeded_wallclock_outside_obs() {
+    let src = "pub fn now_ms() -> u128 { Instant::now().elapsed().as_millis() }";
+    let hits = lint::lint_source("crates/nm-models/src/train.rs", src);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].rule, lint::RULE_NO_WALLCLOCK);
+    // the identical code inside nm-obs is the sanctioned clock domain
+    assert!(lint::lint_source("crates/nm-obs/src/clock.rs", src).is_empty());
+}
+
+#[test]
+fn allowlist_gates_new_violations_only() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    let hits = lint::lint_source("crates/nm-serve/src/engine.rs", src);
+    // baseline admits exactly this debt -> no new violations
+    let baseline = lint::counts(&hits);
+    let report = lint::compare(&hits, &baseline);
+    assert!(report.new_violations.is_empty());
+    // empty baseline -> the same hit is a new violation
+    let report = lint::compare(&hits, &Default::default());
+    assert_eq!(report.new_violations.len(), 1);
+    assert_eq!(report.new_violations[0].rule, lint::RULE_NO_UNWRAP);
+}
+
+// ---- concurrency checker ----------------------------------------------
+
+fn opts() -> ExploreOpts {
+    ExploreOpts::default()
+}
+
+#[test]
+fn seeded_lost_wakeup_coalescer_deadlocks() {
+    let r = explore(
+        &CoalescerModel::new(3, 2, CoalescerBug::LostWakeup),
+        &opts(),
+    );
+    let v = r.violation.expect("lost wakeup must surface");
+    assert!(v.message.contains("deadlock"), "{}", v.message);
+}
+
+#[test]
+fn seeded_double_dispatch_caught() {
+    let r = explore(
+        &CoalescerModel::new(3, 2, CoalescerBug::DoubleDispatch),
+        &opts(),
+    );
+    let v = r.violation.expect("double dispatch must surface");
+    assert!(v.message.contains("double dispatch"), "{}", v.message);
+}
+
+#[test]
+fn seeded_torn_histogram_snapshot_caught() {
+    let r = explore(&HistogramModel::seeded_bug(2, 2), &opts());
+    let v = r.violation.expect("torn read must surface");
+    assert!(v.message.contains("torn snapshot"), "{}", v.message);
+}
+
+#[test]
+fn seeded_seq_allocation_outside_lock_caught() {
+    let r = explore(&SeqSinkModel::seeded_bug(2, 2), &opts());
+    let v = r.violation.expect("out-of-order seq must surface");
+    assert!(v.message.contains("seq order"), "{}", v.message);
+}
+
+#[test]
+fn seeded_nonatomic_counter_caught() {
+    let r = explore(&CounterModel::seeded_bug(2, 2), &opts());
+    let v = r.violation.expect("lost update must surface");
+    assert!(v.message.contains("lost update"), "{}", v.message);
+}
+
+#[test]
+fn seeded_over_admission_caught() {
+    let r = explore(&ShedModel::seeded_bug(3, 1), &opts());
+    let v = r.violation.expect("over-admission must surface");
+    assert!(v.message.contains("over-admission"), "{}", v.message);
+}
+
+#[test]
+fn bounded_preemption_still_finds_the_counter_bug() {
+    // Two preemptions suffice for the lost update — the CHESS small-
+    // bound hypothesis holds here, which is what makes the bounded
+    // mode a useful fast path.
+    let r = explore(
+        &CounterModel::seeded_bug(2, 2),
+        &ExploreOpts {
+            preemption_bound: Some(2),
+            ..Default::default()
+        },
+    );
+    assert!(r.violation.is_some());
+}

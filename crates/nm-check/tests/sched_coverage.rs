@@ -1,0 +1,49 @@
+//! Positive half of the concurrency checking: the models mirroring the
+//! real `nm-obs`/`nm-serve` algorithms pass every schedule, and the
+//! schedule space explored is large enough (>= 1000 distinct schedules
+//! per invariant, the ci.sh acceptance bar) that "no violation" is a
+//! meaningful statement.
+
+use nm_check::sched::models::*;
+use nm_check::sched::{explore, ExploreOpts, SchedModel};
+
+fn assert_clean<M: SchedModel>(name: &str, model: M) -> u64 {
+    let r = explore(&model, &ExploreOpts::default());
+    assert!(
+        r.violation.is_none(),
+        "{name}: unexpected violation: {:?}",
+        r.violation
+    );
+    assert!(!r.truncated, "{name}: schedule space truncated");
+    assert!(
+        r.schedules >= 1000,
+        "{name}: only {} schedules explored, need >= 1000 — grow the config",
+        r.schedules
+    );
+    r.schedules
+}
+
+#[test]
+fn counter_atomic_all_schedules_clean() {
+    assert_clean("counter", CounterModel::atomic(2, 7));
+}
+
+#[test]
+fn histogram_record_order_all_schedules_clean() {
+    assert_clean("histogram", HistogramModel::correct(4, 3));
+}
+
+#[test]
+fn seq_sink_lock_order_all_schedules_clean() {
+    assert_clean("seq-sink", SeqSinkModel::correct(3, 3));
+}
+
+#[test]
+fn coalescer_all_schedules_clean() {
+    assert_clean("coalescer", CoalescerModel::correct(3, 2));
+}
+
+#[test]
+fn shed_slots_all_schedules_clean() {
+    assert_clean("shed", ShedModel::correct(4, 2));
+}

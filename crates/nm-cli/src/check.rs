@@ -1,0 +1,319 @@
+//! `nmcdr check` — the static-analysis gate.
+//!
+//! Four stages, each independent, all findings aggregated:
+//!
+//! 1. **Shape & graph verification**: every registered model (NMCDR +
+//!    the 11 baselines) has its training loss traced on probe batches
+//!    at two batch-size pairs; `nm-check` re-derives all shapes,
+//!    verifies broadcast legality and topological order, checks every
+//!    parameter is reachable from the loss, and diffs the two traces to
+//!    prove batch dims propagate symbolically.
+//! 2. **NMCDR stage invariants**: the gate/residual/attention shape
+//!    contracts of Eq. 5–19 via `NmcdrModel::check_stage_invariants`.
+//! 3. **Workspace lint** against the checked-in allowlist
+//!    (`scripts/lint_allowlist.tsv`); `--fix-allowlist` regenerates it.
+//! 4. **Concurrency model checking** of the nm-obs/nm-serve
+//!    abstractions, requiring >= 1000 distinct schedules per invariant.
+//!
+//! Flags: `--root <dir>` (workspace root, default `.`), `--json <file>`
+//! (machine-readable findings report), `--fix-allowlist`,
+//! `--allowlist <file>`, `--skip <shape,lint,sched>`.
+
+use crate::args::Args;
+use nm_autograd::TraceNode;
+use nm_bench::{ExpProfile, ModelKind};
+use nm_check::sched::models::{
+    CoalescerModel, CounterModel, HistogramModel, SeqSinkModel, ShedModel,
+};
+use nm_check::sched::{explore, ExploreOpts, SchedModel};
+use nm_check::shape::{compare_symbolic, verify_reachability, verify_trace};
+use nm_check::{diagnostics_to_json, lint, Diagnostic, Pass};
+use nm_data::batch::Batch;
+use nm_data::Scenario;
+use nm_models::CdrModel;
+use nmcdr_core::NmcdrModel;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+pub fn check(args: &Args) -> Result<(), String> {
+    let root = args.get("root").unwrap_or(".").to_string();
+    let allowlist_path = args
+        .get("allowlist")
+        .unwrap_or("scripts/lint_allowlist.tsv")
+        .to_string();
+    let skip: BTreeSet<String> = args
+        .get("skip")
+        .map(|s| s.split(',').map(|x| x.trim().to_string()).collect())
+        .unwrap_or_default();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    if !skip.contains("shape") {
+        diags.extend(shape_stage()?);
+    }
+    if !skip.contains("lint") {
+        diags.extend(lint_stage(
+            &root,
+            &allowlist_path,
+            args.flag("fix-allowlist"),
+        )?);
+    }
+    if !skip.contains("sched") {
+        diags.extend(sched_stage());
+    }
+
+    if let Some(json_path) = args.get("json") {
+        std::fs::write(json_path, diagnostics_to_json(&diags))
+            .map_err(|e| format!("writing {json_path}: {e}"))?;
+        println!("[check] findings report written to {json_path}");
+    }
+
+    if diags.is_empty() {
+        println!("check: all passes green");
+        Ok(())
+    } else {
+        for d in &diags {
+            eprintln!("  {}", d.render());
+        }
+        Err(format!("check failed: {} finding(s)", diags.len()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// stage 1+2: shape/graph/reachability over the full model registry
+// ---------------------------------------------------------------------
+
+/// Probe profile: smallest configuration every model accepts. The
+/// verification is shape-level, so scale only affects trace-recording
+/// time, not coverage.
+fn probe_profile() -> ExpProfile {
+    ExpProfile {
+        scale: 0.002,
+        dim: 8,
+        epochs: 1,
+        batch_size: 64,
+        match_neighbors: 8,
+        eval_negatives: 10,
+        k_head: 6,
+        seed: 2023,
+        ..Default::default()
+    }
+}
+
+/// Picks four distinct probe batch sizes that collide with no fixed
+/// dimension of the models (parameter extents, user/item counts, config
+/// constants). A collision would make the symbolic comparison unable to
+/// tell "fixed dim" from "batch dim that failed to vary".
+fn pick_batch_sizes(forbidden: &BTreeSet<usize>, max: usize) -> Result<[usize; 4], String> {
+    let picks: Vec<usize> = (3..=max)
+        .filter(|b| !forbidden.contains(b) && !forbidden.contains(&(b * 2)))
+        .take(4)
+        .collect();
+    picks
+        .try_into()
+        .map_err(|_| "probe task too small to pick 4 distinct batch sizes".to_string())
+}
+
+fn shape_stage() -> Result<Vec<Diagnostic>, String> {
+    let profile = probe_profile();
+    let data = profile.dataset(Scenario::PhoneElec);
+    let task = profile.task(data);
+
+    // Fixed dims the batch sizes must avoid: model parameter extents
+    // (covers hidden sizes, vocab sizes), raw user/item counts, and the
+    // config constants that show up as group sizes.
+    let mut forbidden: BTreeSet<usize> = BTreeSet::new();
+    for d in [
+        task.split_a.n_users,
+        task.split_b.n_users,
+        task.split_a.n_items,
+        task.split_b.n_items,
+        task.n_overlap(),
+        profile.dim,
+        2 * profile.dim,
+        profile.k_head,
+        profile.match_neighbors,
+    ] {
+        forbidden.insert(d);
+    }
+    for kind in ModelKind::ALL {
+        let model = kind.build(Rc::clone(&task), &profile);
+        for p in model.params() {
+            let (r, c) = p.shape();
+            forbidden.insert(r);
+            forbidden.insert(c);
+        }
+    }
+    let cap = task
+        .split_a
+        .n_users
+        .min(task.split_b.n_users)
+        .min(task.split_a.n_items)
+        .min(task.split_b.n_items);
+    let [ba1, bb1, ba2, bb2] = pick_batch_sizes(&forbidden, cap)?;
+    println!("[check] shape: probe batches ({ba1},{bb1}) vs ({ba2},{bb2}), 12 models");
+
+    let mut diags = Vec::new();
+    for kind in ModelKind::ALL {
+        let mut model = kind.build(Rc::clone(&task), &profile);
+        model.begin_epoch(0);
+        let (trace1, reach) = trace_loss(&*model, ba1, bb1);
+        let prefix = |d: Diagnostic| Diagnostic {
+            location: format!("{}:{}", kind.name(), d.location),
+            ..d
+        };
+        diags.extend(verify_trace(&trace1).into_iter().map(prefix));
+        let loss_index = trace1.len() - 1;
+        diags.extend(
+            verify_reachability(&trace1, loss_index, &reach)
+                .into_iter()
+                .map(prefix),
+        );
+        let (trace2, _) = trace_loss(&*model, ba2, bb2);
+        diags.extend(
+            compare_symbolic(&trace1, &trace2, &[ba1, bb1], &[ba2, bb2])
+                .into_iter()
+                .map(prefix),
+        );
+    }
+
+    // NMCDR-specific stage contracts (Eq. 5-19).
+    let nmcdr = NmcdrModel::new(
+        Rc::clone(&task),
+        nm_bench::nmcdr_config(&profile, nmcdr_core::Ablation::none()),
+    );
+    for msg in nmcdr.check_stage_invariants() {
+        diags.push(Diagnostic::new(
+            Pass::Shape,
+            "shape/stage-invariant",
+            "NMCDR",
+            msg,
+        ));
+    }
+
+    let n = diags.len();
+    println!(
+        "[check] shape: {} model traces verified, {n} finding(s)",
+        ModelKind::ALL.len() * 2
+    );
+    Ok(diags)
+}
+
+/// Traces one loss evaluation at the given per-domain batch sizes and
+/// probes parameter reachability. The trace is exported *before* the
+/// probe binds so a never-bound parameter's fresh leaf cannot mask
+/// itself.
+fn trace_loss(
+    model: &dyn CdrModel,
+    batch_a: usize,
+    batch_b: usize,
+) -> (Vec<TraceNode>, Vec<(String, Option<usize>)>) {
+    let mut tape = nm_autograd::Tape::new();
+    let ba = probe_batch(batch_a);
+    let bb = probe_batch(batch_b);
+    let _loss = model.loss(&mut tape, &ba, &bb, 0);
+    let trace = tape.export_trace();
+    let reach = model
+        .params()
+        .iter()
+        .map(|p| {
+            let before = tape.len();
+            let var = p.bind(&mut tape);
+            let bound = tape.len() == before;
+            (p.name().to_string(), bound.then(|| var.index()))
+        })
+        .collect();
+    (trace, reach)
+}
+
+/// Distinct in-range users/items, all labeled positive. All-positive
+/// matters: pairwise losses (BPR, DML) keep only the positive subset,
+/// and the symbolic comparison needs every derived row count to stay
+/// proportional to the batch size.
+fn probe_batch(n: usize) -> Batch {
+    Batch {
+        users: (0..n as u32).collect(),
+        items: (0..n as u32).collect(),
+        labels: vec![1.0; n],
+    }
+}
+
+// ---------------------------------------------------------------------
+// stage 3: workspace lint + allowlist
+// ---------------------------------------------------------------------
+
+fn lint_stage(root: &str, allowlist_path: &str, fix: bool) -> Result<Vec<Diagnostic>, String> {
+    let root_path = std::path::Path::new(root);
+    let hits = lint::lint_workspace(root_path).map_err(|e| format!("lint walk: {e}"))?;
+
+    if fix {
+        let text = lint::render_allowlist(&lint::counts(&hits));
+        let path = root_path.join(allowlist_path);
+        std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "[check] lint: baseline regenerated at {} ({} hits)",
+            path.display(),
+            hits.len()
+        );
+        return Ok(Vec::new());
+    }
+
+    let path = root_path.join(allowlist_path);
+    let (baseline, mut diags) = match std::fs::read_to_string(&path) {
+        Ok(text) => lint::parse_allowlist(&text),
+        Err(e) => {
+            return Err(format!(
+                "allowlist {} unreadable ({e}); run `nmcdr check --fix-allowlist` once to \
+                 create the baseline",
+                path.display()
+            ))
+        }
+    };
+    let report = lint::compare(&hits, &baseline);
+    for (rule, file, now, allowed) in &report.burned_down {
+        println!(
+            "[check] lint: {rule} {file} burned down {allowed} -> {now}; tighten with \
+             --fix-allowlist"
+        );
+    }
+    println!(
+        "[check] lint: {} hit(s) total, {} above baseline",
+        hits.len(),
+        report.new_violations.len()
+    );
+    diags.extend(report.new_violations);
+    Ok(diags)
+}
+
+// ---------------------------------------------------------------------
+// stage 4: concurrency model checking
+// ---------------------------------------------------------------------
+
+fn sched_stage() -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    run_sched(&mut diags, "obs.counter", CounterModel::atomic(2, 7));
+    run_sched(&mut diags, "obs.histogram", HistogramModel::correct(4, 3));
+    run_sched(&mut diags, "obs.trace-seq", SeqSinkModel::correct(3, 3));
+    run_sched(&mut diags, "serve.coalescer", CoalescerModel::correct(3, 2));
+    run_sched(&mut diags, "serve.conn-slots", ShedModel::correct(4, 2));
+    diags
+}
+
+fn run_sched<M: SchedModel>(diags: &mut Vec<Diagnostic>, name: &str, model: M) {
+    let r = explore(&model, &ExploreOpts::default());
+    println!("[check] sched: {name}: {} schedules explored", r.schedules);
+    if let Some(d) = r.to_diagnostic(name) {
+        diags.push(d);
+    }
+    if r.schedules < 1000 {
+        diags.push(Diagnostic::new(
+            Pass::Sched,
+            "sched/coverage",
+            name.to_string(),
+            format!(
+                "only {} schedules explored; the acceptance bar is 1000 per invariant",
+                r.schedules
+            ),
+        ));
+    }
+}

@@ -47,6 +47,12 @@ COMMANDS:
   obs        offline trace tooling for --trace-out files
              report   --trace <file>   self-time profile per span
              validate --trace <file>   strict schema + monotonicity check
+  check      static analysis: symbolic shape/graph verification over all
+             models, workspace invariant lints, schedule-exploring
+             concurrency checks
+             [--root .] [--allowlist scripts/lint_allowlist.tsv]
+             [--skip shape,lint,sched] [--json <report.json>]
+             [--fix-allowlist]
   help       this text
 
 TRACING:
@@ -362,7 +368,8 @@ pub fn serve(args: &Args) -> Result<(), String> {
         ..Default::default()
     };
     let n_workers = cfg.n_workers;
-    let engine = Arc::new(nm_serve::Engine::new(snap, cfg));
+    let engine =
+        Arc::new(nm_serve::Engine::new(snap, cfg).map_err(|e| format!("invalid snapshot: {e}"))?);
     let bind = args.get("bind").unwrap_or("127.0.0.1:7878");
     let mut server = nm_serve::Server::start(engine, bind, nm_serve::ServerConfig::default())
         .map_err(|e| format!("cannot bind '{bind}': {e} (is the port already in use?)"))?;

@@ -21,6 +21,7 @@
 //! pairs); see `nmcdr help`.
 
 mod args;
+mod check;
 mod commands;
 mod obs;
 
@@ -61,6 +62,7 @@ fn main() -> ExitCode {
         "serve" => commands::serve(&parsed),
         "query" => commands::query(&parsed),
         "obs" => commands::obs(action.as_deref().unwrap_or(""), &parsed),
+        "check" => check::check(&parsed),
         "help" | "--help" | "-h" => {
             commands::print_help();
             Ok(())

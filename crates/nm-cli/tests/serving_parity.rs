@@ -69,7 +69,8 @@ fn roundtrip_parity<M: CdrModel + FrozenModel + Module>(tag: &str, mut trained: 
             shard_items: 7, // deliberately uneven shards
             ..Default::default()
         },
-    );
+    )
+    .expect("valid exported snapshot");
 
     trained.prepare_eval();
     for (z, domain) in [(0usize, Domain::A), (1usize, Domain::B)] {
@@ -149,7 +150,8 @@ fn herograph_checkpoint_snapshot_engine_parity() {
 fn engine_scorer_is_a_dyn_scorer() {
     let task = tiny_task();
     let mut m = BprModel::new(task, 8, 5);
-    let engine = Engine::new(m.export_frozen(), EngineConfig::default());
+    let engine =
+        Engine::new(m.export_frozen(), EngineConfig::default()).expect("valid exported snapshot");
     let scorer = engine.scorer(0);
     let as_dyn: &dyn Scorer = &scorer;
     let s = as_dyn.score(&[0, 1], &[0, 1]);

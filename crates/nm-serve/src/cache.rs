@@ -4,6 +4,7 @@
 //! every cached list even before the physical `clear()` runs — a stale
 //! epoch can never be looked up again.
 
+use crate::sync::lock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -88,28 +89,22 @@ impl ShardedLru {
 
     /// Looks up and refreshes recency.
     pub fn get(&self, key: &CacheKey) -> Option<CachedList> {
-        self.shards[self.shard_of(key)].lock().unwrap().touch(key)
+        lock(&self.shards[self.shard_of(key)]).touch(key)
     }
 
     pub fn insert(&self, key: CacheKey, value: CachedList) {
-        self.shards[self.shard_of(&key)]
-            .lock()
-            .unwrap()
-            .insert(key, value);
+        lock(&self.shards[self.shard_of(&key)]).insert(key, value);
     }
 
     /// Drops every entry (snapshot reload).
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().unwrap().map.clear();
+            lock(s).map.clear();
         }
     }
 
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap().map.len())
-            .sum()
+        self.shards.iter().map(|s| lock(s).map.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {

@@ -21,7 +21,9 @@
 use crate::cache::{CacheKey, CachedList, ShardedLru};
 use crate::snapshot::Snapshot;
 use crate::stats::Stats;
+use crate::sync::{lock, read, wait, write};
 use nm_eval::harness::{rank_order, Scorer};
+use nm_nn::checkpoint::CheckpointError;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -110,9 +112,11 @@ impl BoundedTopK {
         }
         if self.heap.len() < self.k {
             self.heap.push(HeapPair(pair));
-        } else if rank_order(&pair, &self.heap.peek().unwrap().0) == std::cmp::Ordering::Less {
-            self.heap.pop();
-            self.heap.push(HeapPair(pair));
+        } else if let Some(worst) = self.heap.peek() {
+            if rank_order(&pair, &worst.0) == std::cmp::Ordering::Less {
+                self.heap.pop();
+                self.heap.push(HeapPair(pair));
+            }
         }
     }
 
@@ -142,13 +146,16 @@ impl WorkerPool {
             shutdown: AtomicBool::new(false),
         });
         let workers = (0..n.max(1))
-            .map(|i| {
+            .filter_map(|i| {
                 let shared = Arc::clone(&shared);
+                // A failed spawn (thread exhaustion) degrades the pool
+                // rather than aborting; `submit` falls back to inline
+                // execution if no worker came up at all.
                 thread::Builder::new()
                     .name(format!("nm-serve-worker-{i}"))
                     .spawn(move || loop {
                         let job = {
-                            let mut q = shared.jobs.lock().unwrap();
+                            let mut q = lock(&shared.jobs);
                             loop {
                                 if let Some(job) = q.pop_front() {
                                     break job;
@@ -156,19 +163,25 @@ impl WorkerPool {
                                 if shared.shutdown.load(Ordering::Acquire) {
                                     return;
                                 }
-                                q = shared.available.wait(q).unwrap();
+                                q = wait(&shared.available, q);
                             }
                         };
                         job();
                     })
-                    .expect("spawn worker")
+                    .ok()
             })
             .collect();
         Self { shared, workers }
     }
 
     fn submit(&self, job: Job) {
-        self.shared.jobs.lock().unwrap().push_back(job);
+        if self.workers.is_empty() {
+            // Degraded mode: no worker threads could be spawned. Run the
+            // job on the caller so latches still count down.
+            job();
+            return;
+        }
+        lock(&self.shared.jobs).push_back(job);
         self.shared.available.notify_one();
     }
 }
@@ -198,16 +211,18 @@ impl ReqSlot {
     }
 
     fn fill(&self, value: CachedList) {
-        *self.result.lock().unwrap() = Some(value);
+        *lock(&self.result) = Some(value);
         self.ready.notify_all();
     }
 
     fn wait(&self) -> CachedList {
-        let mut guard = self.result.lock().unwrap();
-        while guard.is_none() {
-            guard = self.ready.wait(guard).unwrap();
+        let mut guard = lock(&self.result);
+        loop {
+            if let Some(list) = guard.as_ref() {
+                return Arc::clone(list);
+            }
+            guard = wait(&self.ready, guard);
         }
-        Arc::clone(guard.as_ref().unwrap())
     }
 }
 
@@ -238,7 +253,7 @@ impl Latch {
     }
 
     fn count_down(&self) {
-        let mut left = self.left.lock().unwrap();
+        let mut left = lock(&self.left);
         *left -= 1;
         if *left == 0 {
             self.done.notify_all();
@@ -246,9 +261,9 @@ impl Latch {
     }
 
     fn wait(&self) {
-        let mut left = self.left.lock().unwrap();
+        let mut left = lock(&self.left);
         while *left > 0 {
-            left = self.done.wait(left).unwrap();
+            left = wait(&self.done, left);
         }
     }
 }
@@ -266,11 +281,14 @@ pub struct Engine {
 }
 
 impl Engine {
-    pub fn new(snapshot: Snapshot, cfg: EngineConfig) -> Self {
-        snapshot.validate().expect("invalid snapshot");
+    /// Builds an engine over a validated snapshot. Rejects (rather than
+    /// panics on) a structurally inconsistent snapshot so callers can
+    /// surface the failure as a protocol/CLI error.
+    pub fn new(snapshot: Snapshot, cfg: EngineConfig) -> Result<Self, CheckpointError> {
+        snapshot.validate()?;
         let cache =
             (cfg.cache_capacity > 0).then(|| ShardedLru::new(cfg.cache_capacity, cfg.cache_shards));
-        Self {
+        Ok(Self {
             snapshot: RwLock::new(Arc::new(snapshot)),
             epoch: AtomicU64::new(0),
             pool: WorkerPool::new(cfg.n_workers),
@@ -281,7 +299,7 @@ impl Engine {
             cache,
             stats: Arc::new(Stats::new()),
             cfg,
-        }
+        })
     }
 
     /// Shared observability counters.
@@ -296,17 +314,20 @@ impl Engine {
 
     /// The live snapshot.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.snapshot.read().unwrap())
+        Arc::clone(&read(&self.snapshot))
     }
 
     /// Swaps in a new snapshot, bumps the epoch, and clears the cache.
-    pub fn reload(&self, snapshot: Snapshot) {
-        snapshot.validate().expect("invalid snapshot");
-        *self.snapshot.write().unwrap() = Arc::new(snapshot);
+    /// On a validation failure the live snapshot is left untouched and
+    /// the error is returned for the caller to report.
+    pub fn reload(&self, snapshot: Snapshot) -> Result<(), CheckpointError> {
+        snapshot.validate()?;
+        *write(&self.snapshot) = Arc::new(snapshot);
         self.epoch.fetch_add(1, Ordering::AcqRel);
         if let Some(c) = &self.cache {
             c.clear();
         }
+        Ok(())
     }
 
     /// Scores `(user, item)` pairs against the live snapshot — the
@@ -344,7 +365,7 @@ impl Engine {
         }
         let slot = ReqSlot::new();
         let become_leader = {
-            let mut q = self.queues[domain].lock().unwrap();
+            let mut q = lock(&self.queues[domain]);
             q.pending.push_back(Pending {
                 user,
                 k,
@@ -368,7 +389,7 @@ impl Engine {
     fn lead_batches(&self, domain: usize, epoch: u64) {
         loop {
             let batch: Vec<Pending> = {
-                let mut q = self.queues[domain].lock().unwrap();
+                let mut q = lock(&self.queues[domain]);
                 let n = q.pending.len().min(self.cfg.batch_max);
                 if n == 0 {
                     q.leader_active = false;
@@ -443,7 +464,7 @@ impl Engine {
                         for (j, &sc) in out.iter().enumerate() {
                             local.push(((lo + j) as u32, sc));
                         }
-                        candidates[r].lock().unwrap().extend(local.into_unordered());
+                        lock(&candidates[r]).extend(local.into_unordered());
                     }
                 }
                 latch.count_down();
@@ -455,7 +476,7 @@ impl Engine {
             .iter()
             .enumerate()
             .map(|(r, req)| {
-                let mut pool = candidates[r].lock().unwrap();
+                let mut pool = lock(&candidates[r]);
                 // Shard append order varies with scheduling; the total
                 // order of rank_order makes the final sort canonical.
                 pool.sort_by(rank_order);
@@ -526,6 +547,7 @@ mod tests {
                 ..Default::default()
             },
         )
+        .expect("valid test snapshot")
     }
 
     /// Reference: brute-force top-k from score_pairs.
@@ -564,7 +586,7 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(e.stats().cache_hits.get(), 1);
 
-        e.reload(snapshot(64, 99));
+        e.reload(snapshot(64, 99)).expect("valid reload snapshot");
         assert_eq!(e.epoch(), 1);
         let (hit3, third) = e.topk(0, 1, 5);
         assert!(!hit3, "reload must invalidate the cache");
@@ -574,15 +596,18 @@ mod tests {
 
     #[test]
     fn concurrent_requests_are_coalesced_and_correct() {
-        let e = Arc::new(Engine::new(
-            snapshot(200, 5),
-            EngineConfig {
-                n_workers: 2,
-                shard_items: 32,
-                cache_capacity: 0, // force every request through scoring
-                ..Default::default()
-            },
-        ));
+        let e = Arc::new(
+            Engine::new(
+                snapshot(200, 5),
+                EngineConfig {
+                    n_workers: 2,
+                    shard_items: 32,
+                    cache_capacity: 0, // force every request through scoring
+                    ..Default::default()
+                },
+            )
+            .expect("valid test snapshot"),
+        );
         let mut handles = Vec::new();
         for t in 0..8u32 {
             let e = Arc::clone(&e);

@@ -296,11 +296,15 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so the
-                    // bytes are valid UTF-8).
+                    // Consume one UTF-8 scalar.
                     let rest = &self.b[self.i..];
+                    // SAFETY: `self.b` is the byte view of the `&str`
+                    // input and `self.i` only advances by whole scalar
+                    // widths, so `rest` is valid UTF-8 at a boundary.
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().unwrap();
+                    let Some(c) = s.chars().next() else {
+                        return Err("unterminated string".into());
+                    };
                     if (c as u32) < 0x20 {
                         return Err("raw control character in string".into());
                     }
@@ -322,7 +326,9 @@ impl<'a> Parser<'a> {
         ) {
             self.i += 1;
         }
-        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        // The scanned range is ASCII digits/signs, so UTF-8 always holds.
+        let text = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| "non-utf8 number literal".to_string())?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("bad number '{text}'"))

@@ -23,6 +23,7 @@ pub mod protocol;
 pub mod server;
 pub mod snapshot;
 pub mod stats;
+mod sync;
 
 pub use cache::{CacheKey, CachedList, ShardedLru};
 pub use engine::{Engine, EngineConfig, EngineScorer};

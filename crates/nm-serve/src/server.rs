@@ -8,6 +8,7 @@
 use crate::engine::Engine;
 use crate::protocol::{self, Request};
 use crate::snapshot::Snapshot;
+use crate::sync::{lock, wait};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,7 +49,7 @@ impl ConnSlots {
     /// accept loop sheds load on false instead of blocking, so a burst
     /// of connections cannot wedge accepts for well-behaved clients.
     fn try_acquire(&self) -> bool {
-        let mut n = self.active.lock().unwrap();
+        let mut n = lock(&self.active);
         if *n >= self.max {
             return false;
         }
@@ -57,14 +58,14 @@ impl ConnSlots {
     }
 
     fn release(&self) {
-        *self.active.lock().unwrap() -= 1;
+        *lock(&self.active) -= 1;
         self.changed.notify_all();
     }
 
     fn wait_idle(&self) {
-        let mut n = self.active.lock().unwrap();
+        let mut n = lock(&self.active);
         while *n > 0 {
-            n = self.changed.wait(n).unwrap();
+            n = wait(&self.changed, n);
         }
     }
 }
@@ -212,7 +213,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
         if shutdown || shared.stopping.load(Ordering::Acquire) {
             // Wake the accept loop (it blocks in accept()) so it
             // observes the stop flag and exits.
-            if let Some(addr) = *shared.addr.lock().unwrap() {
+            if let Some(addr) = *lock(&shared.addr) {
                 let _ = TcpStream::connect(addr);
             }
             break;
@@ -279,14 +280,13 @@ fn dispatch(line: &str, shared: &Shared, started: Instant) -> (String, bool) {
         }
         Request::Reload { path } => {
             stats.requests.inc();
-            match Snapshot::load_from_file(std::path::Path::new(&path)) {
-                Ok(snap) => {
-                    shared.engine.reload(snap);
-                    protocol::encode_ok(vec![(
-                        "epoch".into(),
-                        crate::json::Json::Num(shared.engine.epoch() as f64),
-                    )])
-                }
+            match Snapshot::load_from_file(std::path::Path::new(&path))
+                .and_then(|snap| shared.engine.reload(snap))
+            {
+                Ok(()) => protocol::encode_ok(vec![(
+                    "epoch".into(),
+                    crate::json::Json::Num(shared.engine.epoch() as f64),
+                )]),
                 Err(e) => {
                     stats.errors.inc();
                     protocol::encode_error(&format!("reload failed: {e}"))
@@ -321,13 +321,16 @@ mod tests {
             model: "test".into(),
             domains: [mk(&mut rng), mk(&mut rng)],
         };
-        let engine = Arc::new(Engine::new(
-            snap,
-            EngineConfig {
-                n_workers: 2,
-                ..Default::default()
-            },
-        ));
+        let engine = Arc::new(
+            Engine::new(
+                snap,
+                EngineConfig {
+                    n_workers: 2,
+                    ..Default::default()
+                },
+            )
+            .expect("valid test snapshot"),
+        );
         Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap()
     }
 
@@ -391,13 +394,16 @@ mod tests {
             model: "test".into(),
             domains: [mk(&mut rng), mk(&mut rng)],
         };
-        let engine = Arc::new(Engine::new(
-            snap,
-            EngineConfig {
-                n_workers: 1,
-                ..Default::default()
-            },
-        ));
+        let engine = Arc::new(
+            Engine::new(
+                snap,
+                EngineConfig {
+                    n_workers: 1,
+                    ..Default::default()
+                },
+            )
+            .expect("valid test snapshot"),
+        );
         let mut server = Server::start(
             Arc::clone(&engine),
             "127.0.0.1:0",

@@ -370,8 +370,10 @@ impl Snapshot {
             };
             domains.push(DomainSnapshot { users, items, head });
         }
-        let b = domains.pop().unwrap();
-        let a = domains.pop().unwrap();
+        let mut it = domains.into_iter();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(CheckpointError::Format("missing domain snapshot".into()));
+        };
         let snap = Snapshot {
             model,
             domains: [a, b],

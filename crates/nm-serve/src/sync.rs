@@ -1,0 +1,32 @@
+//! Poison-tolerant synchronization helpers.
+//!
+//! A poisoned lock means some other thread panicked while holding it.
+//! Every critical section in this crate either completes its invariant
+//! or leaves state a later request can safely recompute (cache entries,
+//! queue membership, counters), so the right recovery is to take the
+//! guard and keep serving rather than propagate the panic to every
+//! unrelated connection.
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Read-locks, recovering from poisoning.
+pub(crate) fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Write-locks, recovering from poisoning.
+pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Condvar wait that survives poisoning. Safe because every caller
+/// re-checks its predicate in a loop (the spurious-wakeup discipline).
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -26,14 +26,17 @@ fn make_snapshot(seed: u64) -> Snapshot {
 
 #[test]
 fn concurrent_clients_no_lost_or_corrupt_responses() {
-    let engine = Arc::new(Engine::new(
-        make_snapshot(42),
-        EngineConfig {
-            n_workers: 4,
-            shard_items: 64,
-            ..Default::default()
-        },
-    ));
+    let engine = Arc::new(
+        Engine::new(
+            make_snapshot(42),
+            EngineConfig {
+                n_workers: 4,
+                shard_items: 64,
+                ..Default::default()
+            },
+        )
+        .expect("valid test snapshot"),
+    );
     let mut server =
         Server::start(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default()).unwrap();
     let addr = server.local_addr();
@@ -154,7 +157,9 @@ fn concurrent_clients_no_lost_or_corrupt_responses() {
 
 #[test]
 fn reload_over_wire_swaps_answers() {
-    let engine = Arc::new(Engine::new(make_snapshot(1), EngineConfig::default()));
+    let engine = Arc::new(
+        Engine::new(make_snapshot(1), EngineConfig::default()).expect("valid test snapshot"),
+    );
     let mut server =
         Server::start(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default()).unwrap();
     let addr = server.local_addr();

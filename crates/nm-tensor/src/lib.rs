@@ -28,7 +28,7 @@ pub use activations::{sigmoid_scalar, softplus_scalar};
 pub use error::TensorError;
 pub use init::TensorRng;
 pub use matmul::{vecmat_blocked, vecmat_nt_blocked};
-pub use ops::{classify_broadcast, Broadcast};
+pub use ops::{classify_broadcast, try_classify_broadcast, Broadcast};
 pub use reduce::Axis;
 pub use tensor::Tensor;
 

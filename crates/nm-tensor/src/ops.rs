@@ -23,22 +23,32 @@ pub enum Broadcast {
     Scalar,
 }
 
+/// Classifies the broadcast of `rhs` onto `lhs`, or `None` if the
+/// shapes are incompatible. Static analyses (`nm-check`'s shape
+/// verifier) use this form to report a diagnostic instead of aborting.
+pub fn try_classify_broadcast(lhs: (usize, usize), rhs: (usize, usize)) -> Option<Broadcast> {
+    if lhs == rhs {
+        Some(Broadcast::Same)
+    } else if rhs == (1, 1) {
+        Some(Broadcast::Scalar)
+    } else if rhs.0 == 1 && rhs.1 == lhs.1 {
+        Some(Broadcast::RowVector)
+    } else if rhs.1 == 1 && rhs.0 == lhs.0 {
+        Some(Broadcast::ColVector)
+    } else {
+        None
+    }
+}
+
 /// Classifies the broadcast of `rhs` onto `lhs`, panicking on
 /// incompatible shapes.
 pub fn classify_broadcast(lhs: (usize, usize), rhs: (usize, usize), op: &str) -> Broadcast {
-    if lhs == rhs {
-        Broadcast::Same
-    } else if rhs == (1, 1) {
-        Broadcast::Scalar
-    } else if rhs.0 == 1 && rhs.1 == lhs.1 {
-        Broadcast::RowVector
-    } else if rhs.1 == 1 && rhs.0 == lhs.0 {
-        Broadcast::ColVector
-    } else {
-        panic!(
+    match try_classify_broadcast(lhs, rhs) {
+        Some(bc) => bc,
+        None => panic!(
             "{op}: incompatible shapes {}x{} vs {}x{}",
             lhs.0, lhs.1, rhs.0, rhs.1
-        );
+        ),
     }
 }
 

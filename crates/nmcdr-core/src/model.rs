@@ -503,6 +503,54 @@ impl NmcdrModel {
         self.pred[z].forward(tape, x)
     }
 
+    /// Statically verifies the matching-pipeline shape invariants of
+    /// Eq. 5–19 on a fresh probe tape: every user stage must keep shape
+    /// `(n_users_z, dim)` — the gate (Eq. 8/16) and residual (Eq. 11/17)
+    /// structure of intra/inter matching is only well-formed when a
+    /// stage's input and output agree — and the complementing attention
+    /// (Eq. 18–19) must return to the same shape after its
+    /// repeat/softmax/segment-sum round trip. Item tables must stay
+    /// `(n_items_z, dim)`. Returns one message per violated invariant;
+    /// `nmcdr check` surfaces them as diagnostics.
+    pub fn check_stage_invariants(&self) -> Vec<String> {
+        let mut tape = Tape::new();
+        let s = self.propagate(&mut tape);
+        let d = self.cfg.dim;
+        let n_users = [self.task.split_a.n_users, self.task.split_b.n_users];
+        let n_items = [self.task.split_a.n_items, self.task.split_b.n_items];
+        let mut out = Vec::new();
+        let stages: [(&str, &[Var; 2]); 5] = [
+            ("g0 embeddings (Eq. 2)", &s.g0),
+            ("g1 encoder (Eq. 3-4)", &s.g1),
+            ("g2 intra matching (Eq. 5-11)", &s.g2),
+            ("g3 inter matching (Eq. 12-17)", &s.g3),
+            ("g4 complementing attention (Eq. 18-19)", &s.g4),
+        ];
+        for (name, vs) in stages {
+            for (z, &nu) in n_users.iter().enumerate() {
+                let got = tape.value(vs[z]).shape();
+                let want = (nu, d);
+                if got != want {
+                    out.push(format!(
+                        "{name} domain {z}: shape {}x{}, invariant requires {}x{}",
+                        got.0, got.1, want.0, want.1
+                    ));
+                }
+            }
+        }
+        for (z, &ni) in n_items.iter().enumerate() {
+            let got = tape.value(s.items[z]).shape();
+            let want = (ni, d);
+            if got != want {
+                out.push(format!(
+                    "item table domain {z}: shape {}x{}, invariant requires {}x{}",
+                    got.0, got.1, want.0, want.1
+                ));
+            }
+        }
+        out
+    }
+
     /// Per-stage user embeddings with gradients detached (Fig. 5).
     pub fn stage_embeddings(&self) -> StageEmbeddings {
         let mut tape = Tape::new();

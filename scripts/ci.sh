@@ -22,6 +22,20 @@ fi
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== nmcdr check (shape/graph verify + lint + concurrency) =="
+# Fails on any shape/reachability finding, any lint hit above the
+# checked-in baseline (scripts/lint_allowlist.tsv), or any concurrency
+# invariant violation. Regenerate the baseline after burning down debt
+# with: cargo run -p nm-cli -- check --fix-allowlist
+cargo run -q -p nm-cli -- check --json target/check_report.json
+
+if [[ "${MIRI:-0}" == "1" ]]; then
+  echo "== cargo miri test -p nm-obs (MIRI=1) =="
+  # Optional deep pass: interpret the nm-obs atomics under Miri. Needs
+  # a nightly toolchain with the miri component installed.
+  cargo +nightly miri test -p nm-obs
+fi
+
 echo "== cargo build --release --workspace =="
 cargo build --release --workspace
 
