@@ -20,6 +20,7 @@ use nm_models::{
 use nmcdr_core::{Ablation, NmcdrConfig, NmcdrModel};
 use std::rc::Rc;
 
+pub mod regress;
 pub mod timing;
 
 /// Scaled experiment profile. Values follow the paper's protocol

@@ -1,0 +1,489 @@
+//! The CI perf-regression gate behind `nmcdr bench`.
+//!
+//! A fixed, named metric suite is measured the same way on every run:
+//!
+//! * `serve.p50_us` / `serve.p99_us` — request latency of a synthetic
+//!   top-K workload against an uncached [`nm_serve::Engine`];
+//! * `serve.merge_self_us` — mean self time of the top-K merge stage,
+//!   from the engine's own [`nm_serve::ReqTiming`] instrumentation;
+//! * `train.steps_per_sec` — optimization throughput of a small fixed
+//!   BPR training run;
+//! * `train.forward_self_us` — mean per-step forward time from the
+//!   epoch telemetry captured by the tracing layer.
+//!
+//! `--record` writes the suite to a named baseline JSON
+//! (`results/BENCH_baseline.json` by default — machine-dependent, so
+//! never committed); `--compare` re-measures and fails on a
+//! noise-aware regression: each metric has a relative tolerance *and*
+//! an absolute floor, and the suite is measured `runs` times with the
+//! per-metric median taken, so one descheduled run cannot fail CI.
+//! Every measurement is appended to `results/BENCH_trajectory.jsonl`
+//! for trend inspection.
+//!
+//! The gate is self-testing: `scripts/ci.sh` records a fresh baseline,
+//! re-runs the compare with `NMCDR_BENCH_SLOW_MERGE=2` (an injected 2×
+//! slowdown of the serve merge stage), and requires that compare to
+//! fail — a gate that cannot catch a planted regression is treated as
+//! broken.
+
+use crate::ExpProfile;
+use nm_data::Scenario;
+use nm_models::train_joint;
+use nm_obs::clock::Stopwatch;
+use nm_obs::json::Json;
+use nm_obs::trace::MemorySink;
+use nm_serve::{DomainSnapshot, Engine, EngineConfig, HeadKind, Snapshot};
+use nm_tensor::{Tensor, TensorRng};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+/// One gated metric: identity, direction, and noise thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    pub name: &'static str,
+    pub unit: &'static str,
+    /// `true` for latencies (a rise is a regression), `false` for
+    /// throughputs (a drop is a regression).
+    pub lower_is_better: bool,
+    /// Relative tolerance: the bad-direction change (as a fraction of
+    /// the baseline) that fails the gate.
+    pub rel_tol: f64,
+    /// Absolute floor in the metric's unit: smaller bad-direction
+    /// deltas never fail, whatever the percentage (kills flakes on
+    /// near-zero baselines).
+    pub abs_floor: f64,
+}
+
+/// The gated suite. Order is the report order.
+pub const METRICS: &[MetricDef] = &[
+    MetricDef {
+        name: "serve.p50_us",
+        unit: "us",
+        lower_is_better: true,
+        rel_tol: 0.50,
+        abs_floor: 400.0,
+    },
+    MetricDef {
+        name: "serve.p99_us",
+        unit: "us",
+        lower_is_better: true,
+        rel_tol: 0.75,
+        abs_floor: 1_000.0,
+    },
+    MetricDef {
+        name: "serve.merge_self_us",
+        unit: "us",
+        lower_is_better: true,
+        rel_tol: 0.45,
+        abs_floor: 200.0,
+    },
+    MetricDef {
+        name: "train.steps_per_sec",
+        unit: "steps/s",
+        lower_is_better: false,
+        rel_tol: 0.35,
+        abs_floor: 2.0,
+    },
+    MetricDef {
+        name: "train.forward_self_us",
+        unit: "us",
+        lower_is_better: true,
+        rel_tol: 0.50,
+        abs_floor: 300.0,
+    },
+];
+
+fn metric_def(name: &str) -> Option<&'static MetricDef> {
+    METRICS.iter().find(|m| m.name == name)
+}
+
+/// A measured suite: metric name → value.
+pub type Measurements = BTreeMap<String, f64>;
+
+fn serve_snapshot(seed: u64) -> Snapshot {
+    let mut rng = TensorRng::seed_from(seed);
+    let mk = |rng: &mut TensorRng| DomainSnapshot {
+        users: Tensor::randn(64, 16, 1.0, rng),
+        items: Tensor::randn(16_384, 16, 1.0, rng),
+        head: HeadKind::Dot,
+    };
+    Snapshot {
+        model: "bench".into(),
+        domains: [mk(&mut rng), mk(&mut rng)],
+    }
+}
+
+/// Nearest-rank quantile of a sorted sample.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Serve-side metrics: a fixed top-K workload against an uncached
+/// engine. The engine config deliberately uses `..Default::default()`
+/// so the `NMCDR_BENCH_SLOW_MERGE` injection reaches the measured
+/// merge stage.
+fn serve_metrics(out: &mut Measurements) -> Result<(), String> {
+    let engine = Engine::new(
+        serve_snapshot(17),
+        EngineConfig {
+            n_workers: 2,
+            shard_items: 256,
+            cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("bench serve engine: {e}"))?;
+    const REQUESTS: usize = 48;
+    const WARMUP: usize = 4;
+    let mut totals = Vec::with_capacity(REQUESTS);
+    let mut merges = Vec::with_capacity(REQUESTS);
+    for i in 0..WARMUP + REQUESTS {
+        let user = (i % 64) as u32;
+        let domain = i % 2;
+        let sw = Stopwatch::start();
+        let (_, t) = engine.topk_traced(domain, user, 500);
+        if i >= WARMUP {
+            totals.push(sw.elapsed_us() as f64);
+            merges.push(t.merge_us as f64);
+        }
+    }
+    totals.sort_by(|a, b| a.total_cmp(b));
+    out.insert("serve.p50_us".into(), quantile(&totals, 0.50));
+    out.insert("serve.p99_us".into(), quantile(&totals, 0.99));
+    let merge_mean = merges.iter().sum::<f64>() / merges.len().max(1) as f64;
+    out.insert("serve.merge_self_us".into(), merge_mean);
+    Ok(())
+}
+
+/// Train-side metrics: a fixed small BPR run, traced so the epoch
+/// telemetry (per-stage self time) is captured.
+fn train_metrics(out: &mut Measurements) -> Result<(), String> {
+    let profile = ExpProfile {
+        scale: 0.004,
+        dim: 8,
+        epochs: 2,
+        batch_size: 256,
+        match_neighbors: 16,
+        eval_negatives: 20,
+        ..Default::default()
+    };
+    let task = profile.task(profile.dataset(Scenario::MusicMovie));
+    let mut model = crate::ModelKind::Bpr.build(task, &profile);
+    let sink = Arc::new(MemorySink::new());
+    let stats = nm_obs::trace::scoped(sink, || train_joint(&mut *model, &profile.train_config()))
+        .map_err(|e| format!("bench train run: {e}"))?;
+    let steps_per_sec = if stats.secs_per_step > 0.0 {
+        1.0 / stats.secs_per_step
+    } else {
+        0.0
+    };
+    out.insert("train.steps_per_sec".into(), steps_per_sec);
+    let (mut forward_us, mut steps) = (0u64, 0u64);
+    for log in &stats.logs {
+        if let Some(t) = &log.telemetry {
+            forward_us += t.forward_us;
+            steps += t.steps;
+        }
+    }
+    let forward_self = forward_us as f64 / steps.max(1) as f64;
+    out.insert("train.forward_self_us".into(), forward_self);
+    Ok(())
+}
+
+fn measure_once() -> Result<Measurements, String> {
+    let mut out = Measurements::new();
+    serve_metrics(&mut out)?;
+    train_metrics(&mut out)?;
+    Ok(out)
+}
+
+/// Measures the whole suite `runs` times and takes the per-metric
+/// median — whole-suite repeats, so a load spike hitting one repeat
+/// skews every metric of that repeat and the median drops all of it.
+pub fn measure(runs: usize) -> Result<Measurements, String> {
+    let runs = runs.max(1);
+    let repeats: Vec<Measurements> = (0..runs)
+        .map(|_| measure_once())
+        .collect::<Result<_, _>>()?;
+    let mut merged = Measurements::new();
+    for def in METRICS {
+        let mut vals: Vec<f64> = repeats
+            .iter()
+            .filter_map(|m| m.get(def.name).copied())
+            .collect();
+        vals.sort_by(|a, b| a.total_cmp(b));
+        if !vals.is_empty() {
+            merged.insert(def.name.into(), vals[vals.len() / 2]);
+        }
+    }
+    Ok(merged)
+}
+
+fn metrics_json(m: &Measurements) -> Json {
+    Json::Obj(m.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect())
+}
+
+/// Serializes a baseline file: `{"version":1,"metrics":{...}}`.
+pub fn render_baseline(m: &Measurements) -> String {
+    Json::Obj(vec![
+        ("version".into(), Json::Num(1.0)),
+        ("metrics".into(), metrics_json(m)),
+    ])
+    .encode()
+}
+
+/// Parses a baseline file produced by [`render_baseline`].
+pub fn parse_baseline(text: &str) -> Result<Measurements, String> {
+    let v = Json::parse(text.trim())?;
+    match v.get("version").and_then(Json::as_u64) {
+        Some(1) => {}
+        Some(other) => return Err(format!("unsupported baseline version {other}")),
+        None => return Err("baseline missing numeric 'version'".into()),
+    }
+    let metrics = v
+        .get("metrics")
+        .ok_or("baseline missing 'metrics'")?
+        .as_obj()
+        .ok_or("'metrics' must be an object")?;
+    let mut out = Measurements::new();
+    for (k, j) in metrics {
+        let val = j
+            .as_f64()
+            .ok_or_else(|| format!("metric '{k}' must be a number"))?;
+        out.insert(k.clone(), val);
+    }
+    Ok(out)
+}
+
+pub fn write_baseline(path: &Path, m: &Measurements) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, render_baseline(m) + "\n")
+}
+
+pub fn read_baseline(path: &Path) -> Result<Measurements, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    parse_baseline(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Appends this measurement to the `BENCH_trajectory.jsonl` history
+/// (same opt-out as the criterion benches: `NMCDR_BENCH_JSONL=0`).
+pub fn append_trajectory(m: &Measurements, label: &str) {
+    if std::env::var("NMCDR_BENCH_JSONL").as_deref() == Ok("0") {
+        return;
+    }
+    let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let line = Json::Obj(vec![
+        ("kind".into(), Json::Str("bench_regress".into())),
+        ("label".into(), Json::Str(label.into())),
+        ("metrics".into(), metrics_json(m)),
+    ])
+    .encode();
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("BENCH_trajectory.jsonl"))
+    {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// One metric's compare outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    pub name: &'static str,
+    pub unit: &'static str,
+    pub baseline: f64,
+    pub current: f64,
+    /// Signed bad-direction change as a fraction of the baseline
+    /// (positive = worse).
+    pub worse_frac: f64,
+    pub regressed: bool,
+}
+
+/// Compares a measurement against a baseline under the per-metric
+/// thresholds. Metrics missing from the baseline are skipped (they
+/// were added after the baseline was recorded) — re-record to gate
+/// them.
+pub fn compare(current: &Measurements, baseline: &Measurements) -> Vec<Verdict> {
+    let mut out = Vec::new();
+    for def in METRICS {
+        let (Some(&cur), Some(&base)) = (current.get(def.name), baseline.get(def.name)) else {
+            continue;
+        };
+        let bad_delta = if def.lower_is_better {
+            cur - base
+        } else {
+            base - cur
+        };
+        let worse_frac = if base.abs() > f64::EPSILON {
+            bad_delta / base.abs()
+        } else {
+            0.0
+        };
+        let regressed = worse_frac > def.rel_tol && bad_delta > def.abs_floor;
+        out.push(Verdict {
+            name: def.name,
+            unit: def.unit,
+            baseline: base,
+            current: cur,
+            worse_frac,
+            regressed,
+        });
+    }
+    out
+}
+
+pub fn any_regression(verdicts: &[Verdict]) -> bool {
+    verdicts.iter().any(|v| v.regressed)
+}
+
+/// Renders the compare outcome as an aligned report table.
+pub fn render_report(verdicts: &[Verdict]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22}  {:>12}  {:>12}  {:>8}  verdict",
+        "metric", "baseline", "current", "change"
+    );
+    for v in verdicts {
+        let def = metric_def(v.name);
+        let verdict = if v.regressed {
+            "REGRESSED".to_string()
+        } else if let Some(d) = def {
+            format!("ok (tol {:.0}%)", d.rel_tol * 100.0)
+        } else {
+            "ok".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{:<22}  {:>10.1}{}  {:>10.1}{}  {:>+7.1}%  {}",
+            v.name,
+            v.baseline,
+            v.unit,
+            v.current,
+            v.unit,
+            v.worse_frac * 100.0,
+            verdict
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pairs: &[(&str, f64)]) -> Measurements {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let base = m(&[("serve.p50_us", 123.5), ("train.steps_per_sec", 88.25)]);
+        let text = render_baseline(&base);
+        assert!(text.starts_with("{\"version\":1"));
+        assert_eq!(parse_baseline(&text).unwrap(), base);
+        assert!(parse_baseline("{\"metrics\":{}}").is_err());
+        assert!(parse_baseline("{\"version\":2,\"metrics\":{}}").is_err());
+        assert!(parse_baseline("{\"version\":1,\"metrics\":{\"x\":\"no\"}}").is_err());
+    }
+
+    #[test]
+    fn compare_fails_only_past_both_thresholds() {
+        let base = m(&[("serve.merge_self_us", 1_000.0)]);
+        // +30% < 45% tolerance: fine
+        let v = compare(&m(&[("serve.merge_self_us", 1_300.0)]), &base);
+        assert!(!any_regression(&v));
+        // +80% and +800us > 200us floor: regression
+        let v = compare(&m(&[("serve.merge_self_us", 1_800.0)]), &base);
+        assert!(any_regression(&v));
+        assert!(v[0].regressed);
+        assert!(render_report(&v).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn absolute_floor_suppresses_big_relative_noise_on_tiny_baselines() {
+        // +100% but only +50us on a 50us baseline: below the 200us
+        // floor, so not a regression
+        let base = m(&[("serve.merge_self_us", 50.0)]);
+        let v = compare(&m(&[("serve.merge_self_us", 100.0)]), &base);
+        assert!(!any_regression(&v));
+    }
+
+    #[test]
+    fn higher_is_better_metrics_regress_downward() {
+        let base = m(&[("train.steps_per_sec", 100.0)]);
+        // faster is never a regression
+        let v = compare(&m(&[("train.steps_per_sec", 180.0)]), &base);
+        assert!(!any_regression(&v));
+        // -50% and -50 steps/s: regression
+        let v = compare(&m(&[("train.steps_per_sec", 50.0)]), &base);
+        assert!(any_regression(&v));
+    }
+
+    #[test]
+    fn improvements_never_regress_latency_metrics() {
+        let base = m(&[("serve.p50_us", 2_000.0), ("serve.p99_us", 9_000.0)]);
+        let cur = m(&[("serve.p50_us", 400.0), ("serve.p99_us", 1_000.0)]);
+        assert!(!any_regression(&compare(&cur, &base)));
+    }
+
+    #[test]
+    fn metrics_missing_from_the_baseline_are_skipped() {
+        let base = m(&[("serve.p50_us", 100.0)]);
+        let cur = m(&[("serve.p50_us", 100.0), ("serve.p99_us", 1e9)]);
+        let v = compare(&cur, &base);
+        assert_eq!(v.len(), 1);
+        assert!(!any_regression(&v));
+    }
+
+    #[test]
+    fn injected_merge_slowdown_is_caught_by_the_gate() {
+        // In-process version of the ci.sh self-test, on the serve suite
+        // only (train metrics are too slow for a unit test): measure,
+        // then measure again with the slowdown injected via the config
+        // knob, and the merge metric must regress.
+        let run = |slowdown: u32| -> Measurements {
+            let engine = Engine::new(
+                serve_snapshot(17),
+                EngineConfig {
+                    n_workers: 2,
+                    shard_items: 256,
+                    cache_capacity: 0,
+                    merge_slowdown: slowdown,
+                    ..Default::default()
+                },
+            )
+            .expect("valid bench snapshot");
+            let mut merges = Vec::new();
+            for i in 0..24 {
+                let (_, t) = engine.topk_traced(i % 2, (i % 64) as u32, 500);
+                merges.push(t.merge_us as f64);
+            }
+            m(&[(
+                "serve.merge_self_us",
+                merges.iter().sum::<f64>() / merges.len() as f64,
+            )])
+        };
+        let base = run(1);
+        let slow = run(8);
+        let v = compare(&slow, &base);
+        assert!(
+            any_regression(&v),
+            "8x merge slowdown must trip the gate: {v:?}"
+        );
+    }
+}

@@ -531,6 +531,161 @@ impl ShedModel {
     }
 }
 
+// ---------------------------------------------------------------------
+// 6. Slowest-N exemplar ring (nm-serve ExemplarRing)
+// ---------------------------------------------------------------------
+
+/// N request threads each record one exemplar with a distinct total
+/// latency into a bounded slowest-N ring. The real ring does the whole
+/// push-or-replace-min decision inside one mutex region; the seeded bug
+/// reads `len` in one step and pushes in a later one (check-then-act),
+/// so two racing requests can both see a free slot and overfill the
+/// ring. Invariants: the ring never exceeds its capacity, and at rest
+/// it holds exactly the N-slowest totals (a dropped slow exemplar means
+/// the trace endpoint lies about the worst requests).
+#[derive(Clone)]
+pub struct ExemplarRingModel {
+    check_then_act: bool,
+    capacity: usize,
+    totals: Vec<u64>,
+    phase: Vec<RingPhase>,
+    /// (total_us, id) pairs currently held.
+    ring: Vec<(u64, usize)>,
+    /// Models `ExemplarRing::next_id` (atomic fetch_add).
+    next_id: usize,
+}
+
+#[derive(Clone, Copy)]
+enum RingPhase {
+    /// Allocate a request id (one atomic step, like the real fetch_add).
+    Arrive {
+        total: u64,
+    },
+    /// Bug variant only: observed `len < capacity`, push still pending.
+    RecordPending {
+        total: u64,
+        id: usize,
+        room: bool,
+    },
+    /// Correct variant: full locked push-or-replace-min region.
+    Record {
+        total: u64,
+        id: usize,
+    },
+    Done,
+}
+
+impl ExemplarRingModel {
+    fn new(threads: usize, capacity: usize, check_then_act: bool) -> Self {
+        // Distinct totals so the expected resting content is schedule-
+        // independent: the ring must end up with the `capacity` largest.
+        let totals: Vec<u64> = (1..=threads as u64).map(|i| i * 10).collect();
+        Self {
+            check_then_act,
+            capacity,
+            phase: totals
+                .iter()
+                .map(|&t| RingPhase::Arrive { total: t })
+                .collect(),
+            totals,
+            ring: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    pub fn correct(threads: usize, capacity: usize) -> Self {
+        Self::new(threads, capacity, false)
+    }
+
+    /// Seeded bug: capacity check and push are separate steps.
+    pub fn seeded_bug(threads: usize, capacity: usize) -> Self {
+        Self::new(threads, capacity, true)
+    }
+
+    /// Locked region of the real `ExemplarRing::record`: push while
+    /// there is room, otherwise evict the fastest entry — newest first
+    /// among ties — iff the newcomer is strictly slower.
+    fn push_or_replace(&mut self, total: u64, id: usize) {
+        if self.ring.len() < self.capacity {
+            self.ring.push((total, id));
+            return;
+        }
+        let Some(min_at) =
+            (0..self.ring.len()).min_by_key(|&i| (self.ring[i].0, usize::MAX - self.ring[i].1))
+        else {
+            return; // capacity 0: ring keeps nothing
+        };
+        if total > self.ring[min_at].0 {
+            self.ring[min_at] = (total, id);
+        }
+    }
+}
+
+impl SchedModel for ExemplarRingModel {
+    fn thread_count(&self) -> usize {
+        self.phase.len()
+    }
+    fn is_done(&self, t: usize) -> bool {
+        matches!(self.phase[t], RingPhase::Done)
+    }
+    fn is_runnable(&self, t: usize) -> bool {
+        !self.is_done(t)
+    }
+    fn step(&mut self, t: usize) {
+        match self.phase[t] {
+            RingPhase::Arrive { total } => {
+                let id = self.next_id;
+                self.next_id += 1;
+                self.phase[t] = if self.check_then_act {
+                    let room = self.ring.len() < self.capacity;
+                    RingPhase::RecordPending { total, id, room }
+                } else {
+                    RingPhase::Record { total, id }
+                };
+            }
+            RingPhase::RecordPending { total, id, room } => {
+                if room {
+                    // acts on the stale observation: unconditional push
+                    self.ring.push((total, id));
+                } else {
+                    self.push_or_replace(total, id);
+                }
+                self.phase[t] = RingPhase::Done;
+            }
+            RingPhase::Record { total, id } => {
+                self.push_or_replace(total, id);
+                self.phase[t] = RingPhase::Done;
+            }
+            RingPhase::Done => unreachable!("done threads are not runnable"),
+        }
+    }
+    fn check_step(&self) -> Result<(), String> {
+        if self.ring.len() > self.capacity {
+            return Err(format!(
+                "ring holds {} exemplars with capacity {} (over-capacity ring)",
+                self.ring.len(),
+                self.capacity
+            ));
+        }
+        Ok(())
+    }
+    fn check_final(&self) -> Result<(), String> {
+        let mut want: Vec<u64> = self.totals.clone();
+        want.sort_unstable_by(|a, b| b.cmp(a));
+        want.truncate(self.capacity);
+        want.sort_unstable();
+        let mut got: Vec<u64> = self.ring.iter().map(|&(total, _)| total).collect();
+        got.sort_unstable();
+        if got != want {
+            return Err(format!(
+                "ring kept totals {got:?}, expected the slowest {want:?} \
+                 (lost slowest exemplar)"
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl SchedModel for ShedModel {
     fn thread_count(&self) -> usize {
         self.phase.len()

@@ -275,6 +275,13 @@ fn seeded_over_admission_caught() {
 }
 
 #[test]
+fn seeded_ring_check_then_act_caught() {
+    let r = explore(&ExemplarRingModel::seeded_bug(3, 1), &opts());
+    let v = r.violation.expect("over-capacity ring must surface");
+    assert!(v.message.contains("over-capacity ring"), "{}", v.message);
+}
+
+#[test]
 fn bounded_preemption_still_finds_the_counter_bug() {
     // Two preemptions suffice for the lost update — the CHESS small-
     // bound hypothesis holds here, which is what makes the bounded

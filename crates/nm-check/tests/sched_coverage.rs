@@ -47,3 +47,8 @@ fn coalescer_all_schedules_clean() {
 fn shed_slots_all_schedules_clean() {
     assert_clean("shed", ShedModel::correct(4, 2));
 }
+
+#[test]
+fn exemplar_ring_all_schedules_clean() {
+    assert_clean("exemplar-ring", ExemplarRingModel::correct(4, 2));
+}

@@ -23,7 +23,7 @@ use crate::args::Args;
 use nm_autograd::TraceNode;
 use nm_bench::{ExpProfile, ModelKind};
 use nm_check::sched::models::{
-    CoalescerModel, CounterModel, HistogramModel, SeqSinkModel, ShedModel,
+    CoalescerModel, CounterModel, ExemplarRingModel, HistogramModel, SeqSinkModel, ShedModel,
 };
 use nm_check::sched::{explore, ExploreOpts, SchedModel};
 use nm_check::shape::{compare_symbolic, verify_reachability, verify_trace};
@@ -296,6 +296,11 @@ fn sched_stage() -> Vec<Diagnostic> {
     run_sched(&mut diags, "obs.trace-seq", SeqSinkModel::correct(3, 3));
     run_sched(&mut diags, "serve.coalescer", CoalescerModel::correct(3, 2));
     run_sched(&mut diags, "serve.conn-slots", ShedModel::correct(4, 2));
+    run_sched(
+        &mut diags,
+        "serve.exemplar-ring",
+        ExemplarRingModel::correct(4, 2),
+    );
     diags
 }
 

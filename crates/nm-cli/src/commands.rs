@@ -42,11 +42,21 @@ COMMANDS:
              [--workers N] [--shard-items 256] [--batch-max 8]
              [--cache 4096]
   query      one-shot client against a running server
-             [--addr 127.0.0.1:7878] [--op topk|stats|obs|shutdown]
-             [--user 0] [--domain a] [--k 10]
+             [--addr 127.0.0.1:7878] [--op topk|stats|obs|trace|shutdown]
+             [--user 0] [--domain a] [--k 10] [--n 5]
+             --op trace prints the server's slowest-request exemplars
+             as a raw schema-v1 trace (pipe to a file for obs flame)
   obs        offline trace tooling for --trace-out files
              report   --trace <file>   self-time profile per span
              validate --trace <file>   strict schema + monotonicity check
+             flame    --in <file> --out <flame.svg> [--collapsed <txt>]
+                      collapsed-stack fold + SVG flamegraph +
+                      critical-path report
+  bench      perf-regression gate over a fixed serve+train suite
+             (--record | --compare) [--baseline results/BENCH_baseline.json]
+             [--runs 3]   median-of-runs, per-metric relative tolerance
+             with an absolute noise floor; --compare exits non-zero on
+             regression (wired into scripts/ci.sh)
   check      static analysis: symbolic shape/graph verification over all
              models, workspace invariant lints, schedule-exploring
              concurrency checks
@@ -386,7 +396,8 @@ pub fn serve(args: &Args) -> Result<(), String> {
 pub fn query(args: &Args) -> Result<(), String> {
     use std::io::{BufRead, BufReader, Write};
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
-    let line = match args.get("op").unwrap_or("topk") {
+    let op = args.get("op").unwrap_or("topk");
+    let line = match op {
         "topk" => {
             let user: u32 = args.parse_or("user", 0)?;
             let k: usize = args.parse_or("k", 10)?;
@@ -395,8 +406,20 @@ pub fn query(args: &Args) -> Result<(), String> {
         }
         "stats" => r#"{"op":"stats"}"#.to_string(),
         "obs" => r#"{"op":"obs"}"#.to_string(),
+        "trace" => {
+            let n: usize = args.parse_or("n", 0)?;
+            if n > 0 {
+                format!(r#"{{"op":"trace","n":{n}}}"#)
+            } else {
+                r#"{"op":"trace"}"#.to_string()
+            }
+        }
         "shutdown" => r#"{"op":"shutdown"}"#.to_string(),
-        other => return Err(format!("unknown op '{other}' (topk, stats, obs, shutdown)")),
+        other => {
+            return Err(format!(
+                "unknown op '{other}' (topk, stats, obs, trace, shutdown)"
+            ))
+        }
     };
     let stream = std::net::TcpStream::connect(addr)
         .map_err(|e| format!("cannot connect to '{addr}': {e} (is 'nmcdr serve' running?)"))?;
@@ -409,11 +432,68 @@ pub fn query(args: &Args) -> Result<(), String> {
     BufReader::new(stream)
         .read_line(&mut resp)
         .map_err(|e| e.to_string())?;
+    if op == "trace" {
+        // Print the embedded trace document raw, so the output can be
+        // piped straight into a file and fed to `obs flame`/`validate`.
+        let v = nm_serve::Json::parse(resp.trim())
+            .map_err(|e| format!("malformed server response: {e}"))?;
+        if v.get("ok").and_then(nm_serve::Json::as_bool) != Some(true) {
+            return Err(format!("server error: {}", resp.trim_end()));
+        }
+        let text = v
+            .get("trace")
+            .and_then(nm_serve::Json::as_str)
+            .ok_or("server response missing 'trace' field")?;
+        print!("{text}");
+        return Ok(());
+    }
     println!("{}", resp.trim_end());
     Ok(())
 }
 
-/// `nmcdr obs <report|validate> --trace <file>` — see [`crate::obs`].
+/// `nmcdr bench (--record | --compare)` — the perf-regression gate;
+/// see [`nm_bench::regress`] for the metric suite and thresholds.
+pub fn bench(args: &Args) -> Result<(), String> {
+    use nm_bench::regress;
+    let runs: usize = args.parse_or("runs", 3)?;
+    let baseline_path = PathBuf::from(
+        args.get("baseline")
+            .unwrap_or("results/BENCH_baseline.json"),
+    );
+    let record = args.flag("record");
+    let compare = args.flag("compare");
+    if record == compare {
+        return Err("pass exactly one of --record or --compare".into());
+    }
+    println!("measuring perf suite ({runs} run(s), median per metric)…");
+    let current = regress::measure(runs)?;
+    for def in regress::METRICS {
+        if let Some(v) = current.get(def.name) {
+            println!("  {:<22} {v:>12.1}{}", def.name, def.unit);
+        }
+    }
+    regress::append_trajectory(&current, if record { "record" } else { "compare" });
+    if record {
+        regress::write_baseline(&baseline_path, &current)
+            .map_err(|e| format!("cannot write baseline '{}': {e}", baseline_path.display()))?;
+        println!("baseline written to {}", baseline_path.display());
+        return Ok(());
+    }
+    let baseline = regress::read_baseline(&baseline_path)?;
+    let verdicts = regress::compare(&current, &baseline);
+    print!("{}", regress::render_report(&verdicts));
+    if regress::any_regression(&verdicts) {
+        Err(format!(
+            "performance regression against {}",
+            baseline_path.display()
+        ))
+    } else {
+        println!("no regression against {}", baseline_path.display());
+        Ok(())
+    }
+}
+
+/// `nmcdr obs <report|validate|flame>` — see [`crate::obs`].
 pub fn obs(action: &str, args: &Args) -> Result<(), String> {
     crate::obs::run(action, args)
 }

@@ -15,6 +15,9 @@
 //! nmcdr train    --scenario cloth-sport --trace-out results/trace/run.jsonl
 //! nmcdr obs report   --trace results/trace/run.jsonl
 //! nmcdr obs validate --trace results/trace/run.jsonl
+//! nmcdr obs flame    --in results/trace/run.jsonl --out flame.svg
+//! nmcdr query    --addr 127.0.0.1:7878 --op trace > exemplars.jsonl
+//! nmcdr bench    --record            # then later: nmcdr bench --compare
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (`--key value`
@@ -39,7 +42,10 @@ fn main() -> ExitCode {
         match rest.split_first() {
             Some((a, r)) if !a.starts_with("--") => (Some(a.clone()), r),
             _ => {
-                eprintln!("error: usage: nmcdr obs <report|validate> --trace <file>");
+                eprintln!(
+                    "error: usage: nmcdr obs <report|validate|flame> --trace <file> \
+                     (flame: --in <file> --out <svg>)"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -61,6 +67,7 @@ fn main() -> ExitCode {
         "snapshot" => commands::snapshot(&parsed),
         "serve" => commands::serve(&parsed),
         "query" => commands::query(&parsed),
+        "bench" => commands::bench(&parsed),
         "obs" => commands::obs(action.as_deref().unwrap_or(""), &parsed),
         "check" => check::check(&parsed),
         "help" | "--help" | "-h" => {

@@ -1,18 +1,25 @@
 //! `nmcdr obs` — offline trace tooling.
 //!
-//! Reads a line-JSON trace produced by `train --trace-out` (or any
-//! [`nm_obs::trace`] file sink), parses each line against the
-//! documented schema version 1 *strictly* — unknown fields and wrong
-//! types are errors, so the schema cannot drift silently — and then
-//! either validates the structure (`obs validate`, used by
-//! `scripts/ci.sh`) or renders a self-time profile (`obs report`).
+//! Reads a line-JSON trace produced by `train --trace-out`, the serve
+//! `{"op":"trace"}` endpoint, or any [`nm_obs::trace`] file sink.
+//! Every line is parsed against the documented schema version 1
+//! *strictly* (via [`nm_obs::parse`] — unknown fields and wrong types
+//! are errors, so the schema cannot drift silently), then:
+//!
+//! * `obs validate` — structural validation (used by `scripts/ci.sh`);
+//! * `obs report`   — self-time profile table;
+//! * `obs flame`    — collapsed-stack fold + self-contained SVG
+//!   flamegraph + critical-path report, via [`nm_obs::flame`].
 
 use crate::args::Args;
+use nm_obs::parse::parse_trace;
 use nm_obs::report::{profile, render_profile, validate, TraceRecord};
-use nm_serve::Json;
 
-/// Entry point for `nmcdr obs <action> --trace <file>`.
+/// Entry point for `nmcdr obs <action>`.
 pub fn run(action: &str, args: &Args) -> Result<(), String> {
+    if action == "flame" {
+        return flame(args);
+    }
     let path = args.required("trace")?;
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read trace '{path}': {e}"))?;
@@ -33,165 +40,69 @@ pub fn run(action: &str, args: &Args) -> Result<(), String> {
         ),
         other => {
             return Err(format!(
-                "unknown obs action '{other}' (expected: report, validate)"
+                "unknown obs action '{other}' (expected: report, validate, flame)"
             ))
         }
     };
-    // The report is made for piping into head/grep: a closed pipe ends
-    // the output, it is not a crash.
-    use std::io::Write as _;
-    let _ = std::io::stdout().write_all(out.as_bytes());
+    print_piped(&out);
     Ok(())
 }
 
-/// Parses every non-empty line of a trace file, strictly.
-pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, String> {
-    let mut records = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let n = i + 1;
-        let json = Json::parse(line).map_err(|e| format!("line {n}: not valid JSON: {e}"))?;
-        records.push(record_from(&json).map_err(|e| format!("line {n}: {e}"))?);
+/// `nmcdr obs flame --in trace.jsonl --out flame.svg
+///                  [--collapsed stacks.txt]`
+///
+/// Accepts `--trace` as an alias for `--in` so all `obs` actions take
+/// the same input flag.
+fn flame(args: &Args) -> Result<(), String> {
+    let path = match args.get("in").or_else(|| args.get("trace")) {
+        Some(p) => p,
+        None => return Err("missing --in (or --trace)".into()),
+    };
+    let out_path = args.required("out")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace '{path}': {e}"))?;
+    let records = parse_trace(&text)?;
+    validate(&records).map_err(|e| format!("invalid trace '{path}': {e}"))?;
+    let folded = nm_obs::flame::fold(&records);
+
+    // Conservation check: folded self time must reproduce the root
+    // spans' inclusive time exactly — if it doesn't, the fold (or the
+    // trace) is lying and the graph would misattribute time.
+    let folded_total = nm_obs::flame::total_us(&folded);
+    let root_total: u64 = records
+        .iter()
+        .filter_map(|r| match r {
+            TraceRecord::Span {
+                depth: 0, dur_us, ..
+            } => Some(*dur_us),
+            _ => None,
+        })
+        .sum();
+    if folded_total != root_total {
+        return Err(format!(
+            "fold lost time: folded self {folded_total}us != root total {root_total}us"
+        ));
     }
-    Ok(records)
+
+    let svg = nm_obs::flame::render_svg(&folded);
+    std::fs::write(out_path, &svg).map_err(|e| format!("cannot write svg '{out_path}': {e}"))?;
+    if let Some(collapsed_path) = args.get("collapsed") {
+        std::fs::write(collapsed_path, nm_obs::flame::render_collapsed(&folded))
+            .map_err(|e| format!("cannot write collapsed '{collapsed_path}': {e}"))?;
+    }
+    let rows = nm_obs::flame::critical_path(&folded);
+    let out = format!(
+        "{out_path}: {} frames, {folded_total}us total (= root span time)\n\ncritical path:\n{}",
+        folded.len(),
+        nm_obs::flame::render_critical_path(&rows)
+    );
+    print_piped(&out);
+    Ok(())
 }
 
-/// Converts one parsed JSON line into a [`TraceRecord`], rejecting
-/// unknown fields, missing fields, and type mismatches.
-fn record_from(json: &Json) -> Result<TraceRecord, String> {
-    let Json::Obj(pairs) = json else {
-        return Err("trace line is not a JSON object".into());
-    };
-    let t = json
-        .get("t")
-        .and_then(Json::as_str)
-        .ok_or("missing string field \"t\"")?;
-    let allowed: &[&str] = match t {
-        "meta" => &["t", "version", "clock", "seq"],
-        "span" => &[
-            "t", "name", "start_us", "dur_us", "self_us", "depth", "tid", "seq",
-        ],
-        "event" => &["t", "name", "at_us", "tid", "seq", "f"],
-        other => return Err(format!("unknown record type {other:?}")),
-    };
-    for (k, _) in pairs {
-        if !allowed.contains(&k.as_str()) {
-            return Err(format!("unknown field {k:?} on {t:?} record"));
-        }
-    }
-    let need_u64 = |key: &str| -> Result<u64, String> {
-        json.get(key)
-            .ok_or_else(|| format!("missing field {key:?} on {t:?} record"))?
-            .as_u64()
-            .ok_or_else(|| format!("field {key:?} on {t:?} record is not a non-negative integer"))
-    };
-    let need_str = |key: &str| -> Result<String, String> {
-        json.get(key)
-            .and_then(Json::as_str)
-            .map(str::to_string)
-            .ok_or_else(|| format!("missing string field {key:?} on {t:?} record"))
-    };
-    match t {
-        "meta" => Ok(TraceRecord::Meta {
-            version: need_u64("version")?,
-        }),
-        "span" => Ok(TraceRecord::Span {
-            name: need_str("name")?,
-            start_us: need_u64("start_us")?,
-            dur_us: need_u64("dur_us")?,
-            self_us: need_u64("self_us")?,
-            depth: need_u64("depth")?,
-            tid: need_u64("tid")?,
-            seq: need_u64("seq")?,
-        }),
-        "event" => {
-            if let Some(f) = json.get("f") {
-                if !matches!(f, Json::Obj(_)) {
-                    return Err("field \"f\" on \"event\" record is not an object".into());
-                }
-            }
-            Ok(TraceRecord::Event {
-                name: need_str("name")?,
-                at_us: need_u64("at_us")?,
-                tid: need_u64("tid")?,
-                seq: need_u64("seq")?,
-            })
-        }
-        _ => unreachable!("type checked above"),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const META: &str = r#"{"t":"meta","version":1,"clock":"monotonic_us","seq":0}"#;
-
-    #[test]
-    fn parses_the_documented_schema() {
-        let text = format!(
-            "{META}\n\
-             {{\"t\":\"span\",\"name\":\"train.forward\",\"start_us\":5,\"dur_us\":10,\"self_us\":10,\"depth\":0,\"tid\":0,\"seq\":1}}\n\
-             {{\"t\":\"event\",\"name\":\"epoch\",\"at_us\":20,\"tid\":0,\"seq\":2,\"f\":{{\"epoch\":0,\"mean_loss\":0.5}}}}\n"
-        );
-        let recs = parse_trace(&text).unwrap();
-        assert_eq!(recs.len(), 3);
-        let s = validate(&recs).unwrap();
-        assert_eq!(s.spans, 1);
-        assert_eq!(s.events, 1);
-        assert_eq!(profile(&recs)[0].name, "train.forward");
-    }
-
-    #[test]
-    fn rejects_unknown_fields() {
-        let text = format!(
-            "{META}\n{{\"t\":\"event\",\"name\":\"e\",\"at_us\":1,\"tid\":0,\"seq\":1,\"bogus\":1}}\n"
-        );
-        let err = parse_trace(&text).unwrap_err();
-        assert!(err.contains("unknown field \"bogus\""), "{err}");
-    }
-
-    #[test]
-    fn rejects_missing_and_mistyped_fields() {
-        let no_dur = format!(
-            "{META}\n{{\"t\":\"span\",\"name\":\"x\",\"start_us\":0,\"self_us\":0,\"depth\":0,\"tid\":0,\"seq\":1}}\n"
-        );
-        assert!(parse_trace(&no_dur).unwrap_err().contains("dur_us"));
-        let neg = format!(
-            "{META}\n{{\"t\":\"event\",\"name\":\"e\",\"at_us\":-3,\"tid\":0,\"seq\":1}}\n"
-        );
-        assert!(parse_trace(&neg)
-            .unwrap_err()
-            .contains("non-negative integer"));
-        let bad_f = format!(
-            "{META}\n{{\"t\":\"event\",\"name\":\"e\",\"at_us\":1,\"tid\":0,\"seq\":1,\"f\":3}}\n"
-        );
-        assert!(parse_trace(&bad_f).unwrap_err().contains("not an object"));
-    }
-
-    #[test]
-    fn rejects_unknown_record_type_and_non_object() {
-        let bad_t = format!("{META}\n{{\"t\":\"blob\"}}\n");
-        assert!(parse_trace(&bad_t)
-            .unwrap_err()
-            .contains("unknown record type"));
-        let arr = format!("{META}\n[1,2]\n");
-        assert!(parse_trace(&arr).unwrap_err().contains("not a JSON object"));
-        assert!(parse_trace("not json\n").unwrap_err().contains("line 1"));
-    }
-
-    #[test]
-    fn validator_flags_non_monotonic_timestamps_through_the_cli_path() {
-        // seq strictly increasing but the second span ends before the
-        // first on the same thread — structural validation catches it.
-        let text = format!(
-            "{META}\n\
-             {{\"t\":\"span\",\"name\":\"a\",\"start_us\":0,\"dur_us\":100,\"self_us\":100,\"depth\":0,\"tid\":0,\"seq\":1}}\n\
-             {{\"t\":\"span\",\"name\":\"b\",\"start_us\":10,\"dur_us\":5,\"self_us\":5,\"depth\":0,\"tid\":0,\"seq\":2}}\n"
-        );
-        let recs = parse_trace(&text).unwrap();
-        assert!(validate(&recs).unwrap_err().contains("non-monotonic"));
-    }
+/// Reports are made for piping into head/grep: a closed pipe ends the
+/// output, it is not a crash.
+fn print_piped(out: &str) {
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(out.as_bytes());
 }

@@ -265,7 +265,7 @@ pub fn train_joint_ft(
     // front so even an epoch-0 divergence has somewhere to roll back to.
     let mut last_good = resume::encode_state(model, &opt, &st, cfg)?;
 
-    let t_start = std::time::Instant::now();
+    let t_start = nm_obs::clock::Stopwatch::start();
     let steps_before = st.steps;
     let early_stopping = cfg.early_stop_patience > 0 && !task.valid_eval_a.is_empty();
     let every = ft.checkpoint_every.max(1);
@@ -283,7 +283,7 @@ pub fn train_joint_ft(
         }
         model.begin_epoch(epoch);
         opt.set_lr(st.lr);
-        let epoch_wall = std::time::Instant::now();
+        let epoch_wall = nm_obs::clock::Stopwatch::start();
         let run = {
             let _sp = trace::span("train.epoch");
             run_epoch(model, &mut opt, cfg, &mut faults, epoch, st.steps)?
@@ -323,7 +323,7 @@ pub fn train_joint_ft(
                 st.steps = steps;
                 let mean_loss = (loss_sum / (n_steps.max(1) as f64)) as f32;
                 let telemetry = if trace::enabled() {
-                    let wall_us = epoch_wall.elapsed().as_micros() as u64;
+                    let wall_us = epoch_wall.elapsed_us();
                     trace::drain_thread_stats()
                         .map(|ts| EpochTelemetry::from_thread_stats(ts, wall_us, n_steps, examples))
                 } else {
@@ -408,7 +408,7 @@ pub fn train_joint_ft(
     if let Some(buf) = st.best_snapshot.take() {
         checkpoint::load_params(&model.params(), &mut buf.as_slice())?;
     }
-    let train_secs = t_start.elapsed().as_secs_f64();
+    let train_secs = t_start.elapsed_secs();
     let (final_a, final_b) = evaluate_model(model, cfg.top_k);
     Ok(TrainStats {
         logs: st.logs,

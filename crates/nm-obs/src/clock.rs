@@ -1,0 +1,77 @@
+//! The sanctioned monotonic clock domain.
+//!
+//! Every duration the workspace measures — tracer span timestamps,
+//! per-request serve stage timings, epoch wall time in `nm-models` —
+//! flows through this module, so `lint/no-wallclock` can forbid raw
+//! `Instant::now()` everywhere else. One clock domain means every
+//! microsecond in a trace, an exemplar, or a telemetry record is
+//! directly comparable, and traced replays stay deterministic: the
+//! clock only *observes*, it never feeds back into model state.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process clock epoch (first use). Monotonic
+/// and non-negative; saturates at `u64::MAX` after ~584k years.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// A started stopwatch: the replacement for ad-hoc `Instant::now()` +
+/// `elapsed()` pairs outside this crate.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start_us: u64,
+}
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Self { start_us: now_us() }
+    }
+
+    /// The start timestamp in the process clock domain.
+    pub fn start_us(&self) -> u64 {
+        self.start_us
+    }
+
+    pub fn elapsed_us(&self) -> u64 {
+        now_us().saturating_sub(self.start_us)
+    }
+
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_us() as f64 / 1e6
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_us_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_measures_elapsed_time() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let us = sw.elapsed_us();
+        assert!(us >= 2_000, "measured only {us}us");
+        assert!(sw.elapsed_secs() >= 0.002);
+        assert!(sw.start_us() <= now_us());
+    }
+}

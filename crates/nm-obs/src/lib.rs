@@ -1,8 +1,11 @@
 //! # nm-obs — workspace-wide observability substrate
 //!
-//! Three layers, all `std`-only and shared by training, serving, and
-//! the benches:
+//! All `std`-only and shared by training, serving, and the benches:
 //!
+//! * [`clock`] — the sanctioned monotonic clock domain (`now_us`,
+//!   `Stopwatch`); every duration measured anywhere in the workspace
+//!   flows through here so `lint/no-wallclock` can forbid raw
+//!   `Instant::now()` elsewhere.
 //! * [`metrics`] — a registry of named counters, gauges, and
 //!   fixed-bucket histograms behind lock-free atomics. The registry
 //!   generalizes the counters `nm-serve` used to keep privately; one
@@ -15,20 +18,34 @@
 //!   instrumented hot paths cost nothing in production. Span drops also
 //!   feed per-thread aggregates (`calls / total / self` time and value
 //!   sums) that the trainer drains once per epoch.
+//! * [`json`] + [`parse`] — the dependency-free JSON value type (also
+//!   re-exported by nm-serve for the wire protocol) and the strict
+//!   schema-v1 trace parser behind `nmcdr obs validate`.
 //! * [`report`] — offline aggregation over a recorded trace: the
 //!   self-time/total-time profile behind `nmcdr obs report` and the
 //!   structural validator behind `nmcdr obs validate` / `scripts/ci.sh`.
+//! * [`flame`] — collapsed-stack folding, self-contained SVG
+//!   flamegraph rendering, and critical-path extraction behind
+//!   `nmcdr obs flame`.
 //!
 //! Tracing observes and never mutates: no RNG stream, step counter, or
 //! parameter is touched by a span, so a traced training run stays
 //! bit-identical to an untraced one (enforced by the fault harness).
 
+pub mod clock;
+pub mod flame;
+pub mod json;
 pub mod metrics;
+pub mod parse;
 pub mod report;
+mod sync;
 pub mod trace;
 
+pub use flame::{critical_path, fold, render_collapsed, render_svg, CriticalPathRow};
+pub use json::Json;
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, LATENCY_BOUNDS_US,
 };
+pub use parse::parse_trace;
 pub use report::{validate, ProfileRow, TraceRecord, ValidateSummary};
 pub use trace::{FileSink, MemorySink, SpanGuard, ThreadStats, TraceSink};

@@ -7,6 +7,7 @@
 //! `serve.requests`, `serve.cache.hits`, `train.grad_norm`. Histograms
 //! carry their unit as the last path segment (`serve.latency_us`).
 
+use crate::sync::lock;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -212,7 +213,7 @@ impl Registry {
 
     /// Get-or-create the counter `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         Arc::clone(
             inner
                 .counters
@@ -223,7 +224,7 @@ impl Registry {
 
     /// Get-or-create the gauge `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         Arc::clone(
             inner
                 .gauges
@@ -235,7 +236,7 @@ impl Registry {
     /// Get-or-create the histogram `name`. The bounds apply only on
     /// first registration; later callers get the existing histogram.
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         Arc::clone(
             inner
                 .histograms
@@ -246,7 +247,7 @@ impl Registry {
 
     /// Point-in-time snapshot of every registered metric, names sorted.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock(&self.inner);
         RegistrySnapshot {
             counters: inner
                 .counters

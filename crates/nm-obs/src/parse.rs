@@ -1,0 +1,185 @@
+//! Strict trace-line parsing (schema version 1).
+//!
+//! Reads a line-JSON trace produced by any [`crate::trace`] sink —
+//! `train --trace-out`, the serve exemplar renderer — and parses each
+//! line against the documented schema *strictly*: unknown fields,
+//! missing fields, and type mismatches are errors, so the schema
+//! cannot drift silently. This used to live in the CLI; it moved here
+//! so library tests (e.g. nm-serve's `{"op":"trace"}` smoke test) can
+//! validate wire output against the same parser `nmcdr obs validate`
+//! uses.
+
+use crate::json::Json;
+use crate::report::TraceRecord;
+
+/// Parses every non-empty line of a trace file, strictly.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let json = Json::parse(line).map_err(|e| format!("line {n}: not valid JSON: {e}"))?;
+        records.push(record_from(&json).map_err(|e| format!("line {n}: {e}"))?);
+    }
+    Ok(records)
+}
+
+/// Converts one parsed JSON line into a [`TraceRecord`], rejecting
+/// unknown fields, missing fields, and type mismatches.
+pub fn record_from(json: &Json) -> Result<TraceRecord, String> {
+    let Json::Obj(pairs) = json else {
+        return Err("trace line is not a JSON object".into());
+    };
+    let t = json
+        .get("t")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"t\"")?;
+    let allowed: &[&str] = match t {
+        "meta" => &["t", "version", "clock", "seq"],
+        "span" => &[
+            "t", "name", "start_us", "dur_us", "self_us", "depth", "tid", "seq",
+        ],
+        "event" => &["t", "name", "at_us", "tid", "seq", "f"],
+        other => return Err(format!("unknown record type {other:?}")),
+    };
+    for (k, _) in pairs {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("unknown field {k:?} on {t:?} record"));
+        }
+    }
+    let need_u64 = |key: &str| -> Result<u64, String> {
+        json.get(key)
+            .ok_or_else(|| format!("missing field {key:?} on {t:?} record"))?
+            .as_u64()
+            .ok_or_else(|| format!("field {key:?} on {t:?} record is not a non-negative integer"))
+    };
+    let need_str = |key: &str| -> Result<String, String> {
+        json.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field {key:?} on {t:?} record"))
+    };
+    match t {
+        "meta" => Ok(TraceRecord::Meta {
+            version: need_u64("version")?,
+        }),
+        "span" => Ok(TraceRecord::Span {
+            name: need_str("name")?,
+            start_us: need_u64("start_us")?,
+            dur_us: need_u64("dur_us")?,
+            self_us: need_u64("self_us")?,
+            depth: need_u64("depth")?,
+            tid: need_u64("tid")?,
+            seq: need_u64("seq")?,
+        }),
+        "event" => {
+            if let Some(f) = json.get("f") {
+                if !matches!(f, Json::Obj(_)) {
+                    return Err("field \"f\" on \"event\" record is not an object".into());
+                }
+            }
+            Ok(TraceRecord::Event {
+                name: need_str("name")?,
+                at_us: need_u64("at_us")?,
+                tid: need_u64("tid")?,
+                seq: need_u64("seq")?,
+            })
+        }
+        _ => unreachable!("type checked above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{profile, validate};
+
+    const META: &str = r#"{"t":"meta","version":1,"clock":"monotonic_us","seq":0}"#;
+
+    #[test]
+    fn parses_the_documented_schema() {
+        let text = format!(
+            "{META}\n\
+             {{\"t\":\"span\",\"name\":\"train.forward\",\"start_us\":5,\"dur_us\":10,\"self_us\":10,\"depth\":0,\"tid\":0,\"seq\":1}}\n\
+             {{\"t\":\"event\",\"name\":\"epoch\",\"at_us\":20,\"tid\":0,\"seq\":2,\"f\":{{\"epoch\":0,\"mean_loss\":0.5}}}}\n"
+        );
+        let recs = parse_trace(&text).unwrap();
+        assert_eq!(recs.len(), 3);
+        let s = validate(&recs).unwrap();
+        assert_eq!(s.spans, 1);
+        assert_eq!(s.events, 1);
+        assert_eq!(profile(&recs)[0].name, "train.forward");
+    }
+
+    #[test]
+    fn rejects_unknown_fields() {
+        let text = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"e\",\"at_us\":1,\"tid\":0,\"seq\":1,\"bogus\":1}}\n"
+        );
+        let err = parse_trace(&text).unwrap_err();
+        assert!(err.contains("unknown field \"bogus\""), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_and_mistyped_fields() {
+        let no_dur = format!(
+            "{META}\n{{\"t\":\"span\",\"name\":\"x\",\"start_us\":0,\"self_us\":0,\"depth\":0,\"tid\":0,\"seq\":1}}\n"
+        );
+        assert!(parse_trace(&no_dur).unwrap_err().contains("dur_us"));
+        let neg = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"e\",\"at_us\":-3,\"tid\":0,\"seq\":1}}\n"
+        );
+        assert!(parse_trace(&neg)
+            .unwrap_err()
+            .contains("non-negative integer"));
+        let bad_f = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"e\",\"at_us\":1,\"tid\":0,\"seq\":1,\"f\":3}}\n"
+        );
+        assert!(parse_trace(&bad_f).unwrap_err().contains("not an object"));
+    }
+
+    #[test]
+    fn rejects_unknown_record_type_and_non_object() {
+        let bad_t = format!("{META}\n{{\"t\":\"blob\"}}\n");
+        assert!(parse_trace(&bad_t)
+            .unwrap_err()
+            .contains("unknown record type"));
+        let arr = format!("{META}\n[1,2]\n");
+        assert!(parse_trace(&arr).unwrap_err().contains("not a JSON object"));
+        assert!(parse_trace("not json\n").unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn validator_flags_non_monotonic_timestamps_through_the_parse_path() {
+        // seq strictly increasing but the second span ends before the
+        // first on the same thread — structural validation catches it.
+        let text = format!(
+            "{META}\n\
+             {{\"t\":\"span\",\"name\":\"a\",\"start_us\":0,\"dur_us\":100,\"self_us\":100,\"depth\":0,\"tid\":0,\"seq\":1}}\n\
+             {{\"t\":\"span\",\"name\":\"b\",\"start_us\":10,\"dur_us\":5,\"self_us\":5,\"depth\":0,\"tid\":0,\"seq\":2}}\n"
+        );
+        let recs = parse_trace(&text).unwrap();
+        assert!(validate(&recs).unwrap_err().contains("non-monotonic"));
+    }
+
+    #[test]
+    fn live_memory_sink_output_parses_strictly() {
+        use crate::trace::{event, scoped, span, MemorySink};
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        scoped(sink.clone(), || {
+            let _outer = span("outer");
+            let _inner = span("inner");
+            event("tick", |e| {
+                e.u("i", 1).s("why", "test").b("ok", true).f("x", 0.5);
+            });
+        });
+        let text = sink.lines().join("\n");
+        let recs = parse_trace(&text).unwrap();
+        let s = validate(&recs).unwrap();
+        assert_eq!(s.spans, 2);
+        assert_eq!(s.events, 1);
+    }
+}

@@ -4,8 +4,8 @@
 //! schema).
 //!
 //! This module works on already-parsed [`TraceRecord`]s; JSON parsing
-//! of trace lines (and strict unknown-field rejection) lives in the
-//! CLI, which owns a JSON reader. nm-obs only ever *writes* JSON.
+//! of trace lines (and strict unknown-field rejection) lives in
+//! [`crate::parse`].
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -1,0 +1,25 @@
+//! Poison-tolerant synchronization helpers (the same discipline as
+//! nm-serve's): a poisoned lock means another thread panicked while
+//! holding it. Observability state — sink buffers, the sequence
+//! counter, metric registration maps — is always valid after a holder
+//! panic (each critical section either completes or leaves data a
+//! later probe can safely overwrite), so the right recovery is to take
+//! the guard and keep observing rather than panic in every
+//! instrumented thread.
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Read-locks, recovering from poisoning.
+pub(crate) fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Write-locks, recovering from poisoning.
+pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -33,9 +33,9 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
 
 use crate::metrics::{escape_json, json_f64};
+use crate::sync::{lock, read, write};
 
 /// Destination for trace lines. Implementations must be safe to call
 /// from multiple threads (emission is additionally serialized by the
@@ -65,12 +65,12 @@ impl FileSink {
 
 impl TraceSink for FileSink {
     fn write_line(&self, line: &str) {
-        let mut w = self.w.lock().unwrap();
+        let mut w = lock(&self.w);
         let _ = writeln!(w, "{line}");
     }
 
     fn flush(&self) {
-        let _ = self.w.lock().unwrap().flush();
+        let _ = lock(&self.w).flush();
     }
 }
 
@@ -86,19 +86,21 @@ impl MemorySink {
     }
 
     pub fn lines(&self) -> Vec<String> {
-        self.lines.lock().unwrap().clone()
+        lock(&self.lines).clone()
     }
 }
 
 impl TraceSink for MemorySink {
     fn write_line(&self, line: &str) {
-        self.lines.lock().unwrap().push(line.to_string());
+        lock(&self.lines).push(line.to_string());
     }
 }
 
 struct Tracer {
     sink: Arc<dyn TraceSink>,
-    epoch: Instant,
+    /// Install time in the process clock domain ([`crate::clock`]);
+    /// trace timestamps are microseconds since this epoch.
+    epoch_us: u64,
     /// Guards both the sequence counter and the sink write, so `seq`
     /// order always matches file order.
     seq: Mutex<u64>,
@@ -106,11 +108,11 @@ struct Tracer {
 
 impl Tracer {
     fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+        crate::clock::now_us().saturating_sub(self.epoch_us)
     }
 
     fn emit(&self, build: impl FnOnce(u64) -> String) {
-        let mut seq = self.seq.lock().unwrap();
+        let mut seq = lock(&self.seq);
         let line = build(*seq);
         *seq += 1;
         self.sink.write_line(&line);
@@ -130,7 +132,7 @@ pub fn enabled() -> bool {
 }
 
 fn current() -> Option<Arc<Tracer>> {
-    TRACER.read().unwrap().clone()
+    read(&TRACER).clone()
 }
 
 /// Installs `sink` as the process-global tracer and writes the meta
@@ -138,13 +140,13 @@ fn current() -> Option<Arc<Tracer>> {
 pub fn install(sink: Arc<dyn TraceSink>) {
     let tracer = Arc::new(Tracer {
         sink,
-        epoch: Instant::now(),
+        epoch_us: crate::clock::now_us(),
         seq: Mutex::new(0),
     });
     tracer.emit(|seq| {
         format!("{{\"t\":\"meta\",\"version\":1,\"clock\":\"monotonic_us\",\"seq\":{seq}}}")
     });
-    *TRACER.write().unwrap() = Some(tracer);
+    *write(&TRACER) = Some(tracer);
     ENABLED.store(true, Ordering::SeqCst);
 }
 
@@ -158,7 +160,7 @@ pub fn init_file<P: AsRef<Path>>(path: P) -> io::Result<()> {
 /// handle to the old sink and finish writing there.
 pub fn shutdown() {
     ENABLED.store(false, Ordering::SeqCst);
-    let t = TRACER.write().unwrap().take();
+    let t = write(&TRACER).take();
     if let Some(t) = t {
         t.sink.flush();
     }

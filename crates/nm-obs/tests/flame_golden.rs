@@ -1,0 +1,73 @@
+//! Golden-file tests for the flamegraph pipeline: a fixed synthetic
+//! trace (two threads, nested spans, interleaved events) must fold to
+//! byte-identical collapsed-stack text and SVG across runs. Rendering
+//! is deliberately deterministic (BTreeMap ordering, name-hash colors),
+//! so any diff here is a real output-format change — regenerate the
+//! goldens with
+//!
+//! ```text
+//! nmcdr obs flame --in crates/nm-obs/tests/fixtures/flame_input.jsonl \
+//!   --out crates/nm-obs/tests/fixtures/flame_golden.svg \
+//!   --collapsed crates/nm-obs/tests/fixtures/flame_golden.collapsed
+//! ```
+//!
+//! and review the diff like any other golden update.
+
+use nm_obs::flame::{fold, render_collapsed, render_svg, total_us};
+use nm_obs::parse::parse_trace;
+use nm_obs::report::{validate, TraceRecord};
+
+const INPUT: &str = include_str!("fixtures/flame_input.jsonl");
+const GOLDEN_COLLAPSED: &str = include_str!("fixtures/flame_golden.collapsed");
+const GOLDEN_SVG: &str = include_str!("fixtures/flame_golden.svg");
+
+fn records() -> Vec<TraceRecord> {
+    let records = parse_trace(INPUT).expect("fixture parses under the strict schema");
+    validate(&records).expect("fixture passes structural validation");
+    records
+}
+
+#[test]
+fn fixture_folds_to_the_golden_collapsed_stacks() {
+    let folded = fold(&records());
+    assert_eq!(render_collapsed(&folded), GOLDEN_COLLAPSED);
+}
+
+#[test]
+fn fixture_renders_the_golden_svg_byte_for_byte() {
+    let folded = fold(&records());
+    assert_eq!(render_svg(&folded), GOLDEN_SVG);
+}
+
+#[test]
+fn golden_self_times_conserve_root_inclusive_time() {
+    // The invariant `obs flame` enforces, pinned on the fixture: the
+    // folded self times sum exactly to the depth-0 spans' inclusive
+    // duration (100us train.epoch + 40us serve.request).
+    let records = records();
+    let folded = fold(&records);
+    let root_total: u64 = records
+        .iter()
+        .filter_map(|r| match r {
+            TraceRecord::Span {
+                depth: 0, dur_us, ..
+            } => Some(*dur_us),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(root_total, 140);
+    assert_eq!(total_us(&folded), root_total);
+
+    // And the golden file itself agrees, so a hand-edited golden can't
+    // silently weaken the conservation check.
+    let golden_sum: u64 = GOLDEN_COLLAPSED
+        .lines()
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .expect("collapsed line ends in a self-time integer")
+        })
+        .sum();
+    assert_eq!(golden_sum, 140);
+}

@@ -19,11 +19,13 @@
 //!   invalidated by bumping the epoch on snapshot reload.
 
 use crate::cache::{CacheKey, CachedList, ShardedLru};
+use crate::reqtrace::{ExemplarRing, ReqTiming};
 use crate::snapshot::Snapshot;
 use crate::stats::Stats;
 use crate::sync::{lock, read, wait, write};
 use nm_eval::harness::{rank_order, Scorer};
 use nm_nn::checkpoint::CheckpointError;
+use nm_obs::clock::Stopwatch;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -42,6 +44,13 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Cache shard count.
     pub cache_shards: usize,
+    /// Slowest-request exemplars retained for `{"op":"trace"}`.
+    pub exemplar_capacity: usize,
+    /// Run the top-K merge `merge_slowdown` times (≥ 1). Anything above
+    /// 1 is a deliberate perf-bug injection used by `scripts/ci.sh` to
+    /// prove the bench regression gate actually fires; overridable via
+    /// the `NMCDR_BENCH_SLOW_MERGE` env var.
+    pub merge_slowdown: u32,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +63,12 @@ impl Default for EngineConfig {
             batch_max: 8,
             cache_capacity: 4096,
             cache_shards: 8,
+            exemplar_capacity: 32,
+            merge_slowdown: std::env::var("NMCDR_BENCH_SLOW_MERGE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1)
+                .max(1),
         }
     }
 }
@@ -196,9 +211,17 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Stage timing of one shared scoring pass, reported to every request
+/// the pass served.
+#[derive(Debug, Clone, Copy, Default)]
+struct BatchTiming {
+    fanout_us: u64,
+    merge_us: u64,
+}
+
 /// A follower's rendezvous slot: the batch leader fills it.
 struct ReqSlot {
-    result: Mutex<Option<CachedList>>,
+    result: Mutex<Option<(CachedList, BatchTiming)>>,
     ready: Condvar,
 }
 
@@ -210,16 +233,16 @@ impl ReqSlot {
         })
     }
 
-    fn fill(&self, value: CachedList) {
-        *lock(&self.result) = Some(value);
+    fn fill(&self, value: CachedList, timing: BatchTiming) {
+        *lock(&self.result) = Some((value, timing));
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> CachedList {
+    fn wait(&self) -> (CachedList, BatchTiming) {
         let mut guard = lock(&self.result);
         loop {
-            if let Some(list) = guard.as_ref() {
-                return Arc::clone(list);
+            if let Some((list, timing)) = guard.as_ref() {
+                return (Arc::clone(list), *timing);
             }
             guard = wait(&self.ready, guard);
         }
@@ -277,6 +300,7 @@ pub struct Engine {
     queues: [Mutex<DomainQueue>; 2],
     cache: Option<ShardedLru>,
     stats: Arc<Stats>,
+    reqtrace: ExemplarRing,
     cfg: EngineConfig,
 }
 
@@ -298,6 +322,7 @@ impl Engine {
             ],
             cache,
             stats: Arc::new(Stats::new()),
+            reqtrace: ExemplarRing::new(cfg.exemplar_capacity),
             cfg,
         })
     }
@@ -305,6 +330,12 @@ impl Engine {
     /// Shared observability counters.
     pub fn stats(&self) -> &Arc<Stats> {
         &self.stats
+    }
+
+    /// The slowest-N request exemplar ring (request-id allocator and
+    /// backing store for the `{"op":"trace"}` wire request).
+    pub fn exemplars(&self) -> &ExemplarRing {
+        &self.reqtrace
     }
 
     /// Current snapshot epoch (bumped on every [`Engine::reload`]).
@@ -348,7 +379,15 @@ impl Engine {
     /// item id). `(hit, list)` — `hit` reports whether the answer came
     /// from the cache.
     pub fn topk(&self, domain: usize, user: u32, k: usize) -> (bool, CachedList) {
+        let (list, t) = self.topk_traced(domain, user, k);
+        (t.cache_hit, list)
+    }
+
+    /// [`Engine::topk`] plus the per-stage [`ReqTiming`] breakdown the
+    /// server attaches to slow-request exemplars.
+    pub fn topk_traced(&self, domain: usize, user: u32, k: usize) -> (CachedList, ReqTiming) {
         self.stats.requests.inc();
+        let mut t = ReqTiming::default();
         let epoch = self.epoch();
         let key = CacheKey {
             user,
@@ -356,16 +395,24 @@ impl Engine {
             k: k as u32,
             epoch,
         };
+        let cache_sw = Stopwatch::start();
         if let Some(c) = &self.cache {
+            let _s = nm_obs::trace::span("serve.cache");
             if let Some(hit) = c.get(&key) {
                 self.stats.cache_hits.inc();
-                return (true, hit);
+                t.cache_us = cache_sw.elapsed_us();
+                t.cache_hit = true;
+                return (hit, t);
             }
             self.stats.cache_misses.inc();
         }
+        t.cache_us = cache_sw.elapsed_us();
         let slot = ReqSlot::new();
+        let lock_sw = Stopwatch::start();
         let become_leader = {
             let mut q = lock(&self.queues[domain]);
+            t.lock_us = lock_sw.elapsed_us();
+            t.queue_depth = q.pending.len() as u64;
             q.pending.push_back(Pending {
                 user,
                 k,
@@ -380,8 +427,20 @@ impl Engine {
         };
         if become_leader {
             self.lead_batches(domain, epoch);
+        } else {
+            t.coalesced = true;
         }
-        (false, slot.wait())
+        let wait_sw = Stopwatch::start();
+        let (list, bt) = {
+            let _s = nm_obs::trace::span("serve.coalesce");
+            slot.wait()
+        };
+        if t.coalesced {
+            t.coalesce_us = wait_sw.elapsed_us();
+        }
+        t.fanout_us = bt.fanout_us;
+        t.merge_us = bt.merge_us;
+        (list, t)
     }
 
     /// Batch leader loop: drain the domain queue in `batch_max` chunks
@@ -401,7 +460,7 @@ impl Engine {
             if batch.len() > 1 {
                 self.stats.coalesced.add(batch.len() as u64);
             }
-            let results = self.run_batch(domain, &batch);
+            let (results, timing) = self.run_batch(domain, &batch);
             for (req, list) in batch.iter().zip(results) {
                 if let Some(c) = &self.cache {
                     c.insert(
@@ -414,7 +473,7 @@ impl Engine {
                         Arc::clone(&list),
                     );
                 }
-                req.slot.fill(list);
+                req.slot.fill(list, timing);
             }
         }
     }
@@ -423,11 +482,12 @@ impl Engine {
     /// atomic counter and, per shard, scores *all* batched users over
     /// that item block (one streaming read of the block serves the
     /// whole batch).
-    fn run_batch(&self, domain: usize, batch: &[Pending]) -> Vec<CachedList> {
+    fn run_batch(&self, domain: usize, batch: &[Pending]) -> (Vec<CachedList>, BatchTiming) {
         let snap = self.snapshot();
         let n_items = snap.n_items(domain);
         if n_items == 0 {
-            return batch.iter().map(|_| Arc::new(Vec::new())).collect();
+            let empty = batch.iter().map(|_| Arc::new(Vec::new())).collect();
+            return (empty, BatchTiming::default());
         }
         let shard_items = self.cfg.shard_items.max(1);
         let n_shards = n_items.div_ceil(shard_items);
@@ -442,6 +502,8 @@ impl Engine {
         let n_jobs = self.cfg.n_workers.min(n_shards).max(1);
         let latch = Latch::new(n_jobs);
 
+        let fanout_sw = Stopwatch::start();
+        let fanout_span = nm_obs::trace::span("serve.fanout");
         for _ in 0..n_jobs {
             let snap = Arc::clone(&snap);
             let users = users.clone();
@@ -471,19 +533,36 @@ impl Engine {
             }));
         }
         latch.wait();
+        drop(fanout_span);
+        let fanout_us = fanout_sw.elapsed_us();
 
-        batch
+        let merge_sw = Stopwatch::start();
+        let _merge_span = nm_obs::trace::span("serve.merge");
+        let slowdown = self.cfg.merge_slowdown.max(1);
+        let lists = batch
             .iter()
             .enumerate()
             .map(|(r, req)| {
                 let mut pool = lock(&candidates[r]);
+                // Injected perf bug for the CI gate self-test: redo the
+                // sort on throwaway clones of the unsorted pool.
+                for _ in 1..slowdown {
+                    let mut again = pool.clone();
+                    again.sort_by(rank_order);
+                    std::hint::black_box(&again);
+                }
                 // Shard append order varies with scheduling; the total
                 // order of rank_order makes the final sort canonical.
                 pool.sort_by(rank_order);
                 pool.truncate(req.k);
                 Arc::new(std::mem::take(&mut *pool))
             })
-            .collect()
+            .collect();
+        let timing = BatchTiming {
+            fanout_us,
+            merge_us: merge_sw.elapsed_us(),
+        };
+        (lists, timing)
     }
 }
 
@@ -634,6 +713,45 @@ mod tests {
         let via_scorer = e.scorer(1).score(&users, &items);
         let via_snapshot = e.snapshot().score_pairs(1, &users, &items);
         assert_eq!(via_scorer, via_snapshot);
+    }
+
+    #[test]
+    fn traced_topk_reports_cache_and_stage_flags() {
+        let e = engine(64, 2);
+        let (first, t1) = e.topk_traced(0, 1, 5);
+        assert!(!t1.cache_hit, "cold cache must miss");
+        assert!(!t1.coalesced, "single caller is its own batch leader");
+        let (second, t2) = e.topk_traced(0, 1, 5);
+        assert!(t2.cache_hit, "repeat query must hit");
+        assert_eq!(first, second);
+        // a cache hit never touches the scoring pass
+        assert_eq!(t2.fanout_us, 0);
+        assert_eq!(t2.merge_us, 0);
+        assert!(!t2.coalesced);
+    }
+
+    #[test]
+    fn merge_slowdown_injection_does_not_change_results() {
+        let mk = |slowdown| {
+            Engine::new(
+                snapshot(100, 7),
+                EngineConfig {
+                    n_workers: 2,
+                    shard_items: 16,
+                    cache_capacity: 0,
+                    merge_slowdown: slowdown,
+                    ..Default::default()
+                },
+            )
+            .expect("valid test snapshot")
+        };
+        let fast = mk(1);
+        let slow = mk(4);
+        for user in [0u32, 5, 9] {
+            let (_, a) = fast.topk(0, user, 10);
+            let (_, b) = slow.topk(0, user, 10);
+            assert_eq!(a, b, "user {user}");
+        }
     }
 
     #[test]

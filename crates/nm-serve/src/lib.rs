@@ -12,7 +12,11 @@
 //!   newline-delimited JSON;
 //! * [`stats`] — QPS counters and latency histograms, registered in a
 //!   shared [`nm_obs`] metrics registry (served raw by the `obs` op);
-//! * [`json`] — the dependency-free JSON used on the wire.
+//! * [`reqtrace`] — per-request stage timing, the slowest-N exemplar
+//!   ring, and its rendering to the schema-v1 trace format (served by
+//!   the `trace` op);
+//! * [`json`] — the dependency-free JSON used on the wire (re-exported
+//!   from [`nm_obs::json`]).
 //!
 //! Everything is `std`-only; the crate adds no external dependencies.
 
@@ -20,6 +24,7 @@ pub mod cache;
 pub mod engine;
 pub mod json;
 pub mod protocol;
+pub mod reqtrace;
 pub mod server;
 pub mod snapshot;
 pub mod stats;
@@ -29,6 +34,7 @@ pub use cache::{CacheKey, CachedList, ShardedLru};
 pub use engine::{Engine, EngineConfig, EngineScorer};
 pub use json::Json;
 pub use protocol::Request;
+pub use reqtrace::{Exemplar, ExemplarRing, ReqTiming, StageUs};
 pub use server::{Server, ServerConfig};
 pub use snapshot::{DomainSnapshot, FrozenModel, HeadKind, MlpHead, Snapshot};
 pub use stats::{LatencyHistogram, Stats};

@@ -7,6 +7,7 @@
 //! {"op":"score","user":7,"domain":"b","items":[3,9,40]}
 //! {"op":"stats"}
 //! {"op":"obs"}
+//! {"op":"trace","n":5}
 //! {"op":"reload","path":"runs/exp1/model.nmss"}
 //! {"op":"shutdown"}
 //! ```
@@ -32,6 +33,11 @@ pub enum Request {
     Stats,
     /// Full unified metrics-registry snapshot (superset of `stats`).
     Obs,
+    /// Slowest-request exemplars rendered as a schema-v1 trace.
+    /// `n` limits how many exemplars are returned (default: all).
+    Trace {
+        n: Option<usize>,
+    },
     Reload {
         path: String,
     },
@@ -101,6 +107,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "stats" => Ok(Request::Stats),
         "obs" => Ok(Request::Obs),
+        "trace" => {
+            let n = match v.get("n") {
+                None => None,
+                Some(j) => Some(
+                    j.as_u64()
+                        .filter(|&n| (1..=10_000).contains(&n))
+                        .ok_or("field 'n' must be an integer in 1..=10000")?
+                        as usize,
+                ),
+            };
+            Ok(Request::Trace { n })
+        }
         "reload" => {
             let path = field(&v, "path")?
                 .as_str()
@@ -216,6 +234,14 @@ mod tests {
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(parse_request(r#"{"op":"obs"}"#).unwrap(), Request::Obs);
         assert_eq!(
+            parse_request(r#"{"op":"trace"}"#).unwrap(),
+            Request::Trace { n: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"trace","n":5}"#).unwrap(),
+            Request::Trace { n: Some(5) }
+        );
+        assert_eq!(
             parse_request(r#"{"op":"reload","path":"m.nmss"}"#).unwrap(),
             Request::Reload {
                 path: "m.nmss".into()
@@ -239,6 +265,8 @@ mod tests {
             r#"{"op":"topk","user":-3,"domain":"a","k":5}"#,
             r#"{"op":"topk","user":1.5,"domain":"a","k":5}"#,
             r#"{"op":"score","user":1,"domain":"a","items":[1,"x"]}"#,
+            r#"{"op":"trace","n":0}"#,
+            r#"{"op":"trace","n":"all"}"#,
             r#"{"op":"reload"}"#,
         ] {
             assert!(parse_request(bad).is_err(), "accepted: {bad}");

@@ -1,0 +1,369 @@
+//! Per-request tracing: stage timings, the slowest-N exemplar ring,
+//! and rendering exemplars back into the schema-v1 trace format.
+//!
+//! Every request the server handles gets a deterministic id (a single
+//! atomic counter) and a [`StageUs`] breakdown measured with
+//! [`nm_obs::clock`]: parse → cache lookup → coalesce wait → shard
+//! fan-out → top-K merge → serialize. The slowest requests are retained
+//! in a bounded [`ExemplarRing`] and exposed by the `{"op":"trace"}`
+//! wire request.
+//!
+//! Stage semantics:
+//!
+//! * `coalesce` is the *exclusive* wait of a follower request — time
+//!   parked on the batch leader minus the shared pass's fan-out and
+//!   merge time, which are reported in their own stages. A batch
+//!   leader has `coalesce == 0`.
+//! * `fanout`/`merge` for a coalesced request describe the shared
+//!   scoring pass that produced its answer (they are batch-level, not
+//!   exclusive to this request).
+//! * A leader that kept draining the queue after its own result spends
+//!   that extra time leading other batches; it shows up as root-span
+//!   self time, not as a stage.
+//!
+//! [`render_trace`] lays each exemplar out as one synthetic thread
+//! (`tid` = request id): the stage spans in wall order, one typed
+//! `serve.exemplar` event carrying queue depth / lock wait / shed
+//! state, then the `serve.request` root span. The output passes the
+//! strict `nmcdr obs validate` schema, so every offline tool
+//! (`obs report`, `obs flame`) works on serving exemplars unchanged.
+
+use crate::sync::lock;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-stage elapsed microseconds of one request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageUs {
+    pub parse: u64,
+    pub cache: u64,
+    pub coalesce: u64,
+    pub fanout: u64,
+    pub merge: u64,
+    pub serialize: u64,
+}
+
+impl StageUs {
+    /// Stage names and values in request wall order.
+    pub fn named(&self) -> [(&'static str, u64); 6] {
+        [
+            ("serve.parse", self.parse),
+            ("serve.cache", self.cache),
+            ("serve.coalesce", self.coalesce),
+            ("serve.fanout", self.fanout),
+            ("serve.merge", self.merge),
+            ("serve.serialize", self.serialize),
+        ]
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.named().iter().map(|(_, v)| v).sum()
+    }
+}
+
+/// Stage timing the engine measures for one `topk` request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReqTiming {
+    /// Cache probe duration.
+    pub cache_us: u64,
+    /// Time to acquire the domain queue lock (lock-held time of
+    /// whoever held it before us).
+    pub lock_us: u64,
+    /// Requests already pending in the domain queue at enqueue.
+    pub queue_depth: u64,
+    /// Total time parked on the batch leader (0 for the leader).
+    pub coalesce_us: u64,
+    /// Shared scoring pass: shard fan-out (submit + work + latch).
+    pub fanout_us: u64,
+    /// Shared scoring pass: sort/truncate merge of candidate pools.
+    pub merge_us: u64,
+    pub cache_hit: bool,
+    /// True when this request was served by another thread's batch.
+    pub coalesced: bool,
+}
+
+/// One captured slow request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    pub id: u64,
+    pub domain: usize,
+    pub user: u32,
+    pub k: usize,
+    /// Request start in the [`nm_obs::clock`] domain.
+    pub start_us: u64,
+    pub total_us: u64,
+    pub stages: StageUs,
+    pub queue_depth: u64,
+    pub lock_us: u64,
+    pub cache_hit: bool,
+    pub coalesced: bool,
+    /// Value of the shed counter when this request was captured.
+    pub shed_seen: u64,
+}
+
+/// Bounded ring retaining the slowest-N requests by `total_us`. A new
+/// exemplar evicts the current fastest entry once the ring is full
+/// (ties keep the older entry, so the retained set is deterministic
+/// for a deterministic request sequence).
+pub struct ExemplarRing {
+    cap: usize,
+    next_id: AtomicU64,
+    inner: Mutex<Vec<Exemplar>>,
+}
+
+impl ExemplarRing {
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            cap,
+            next_id: AtomicU64::new(0),
+            inner: Mutex::new(Vec::with_capacity(cap)),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Allocates the next request id (deterministic: 0, 1, 2, …).
+    pub fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Offers an exemplar; keeps it only if the ring has room or it is
+    /// slower than the current fastest retained entry.
+    pub fn record(&self, ex: Exemplar) {
+        let mut ring = lock(&self.inner);
+        if ring.len() < self.cap {
+            ring.push(ex);
+            return;
+        }
+        if let Some((idx, fastest)) = ring
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.total_us, u64::MAX - e.id))
+        {
+            if ex.total_us > fastest.total_us {
+                ring[idx] = ex;
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Retained exemplars, slowest first (ties by id ascending).
+    pub fn slowest(&self) -> Vec<Exemplar> {
+        let mut v = lock(&self.inner).clone();
+        v.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.id.cmp(&b.id)));
+        v
+    }
+}
+
+struct SpanLine<'a> {
+    name: &'a str,
+    start_us: u64,
+    dur_us: u64,
+    self_us: u64,
+    depth: u64,
+}
+
+fn span_line(out: &mut String, tid: u64, seq: u64, s: SpanLine<'_>) {
+    let SpanLine {
+        name,
+        start_us,
+        dur_us,
+        self_us,
+        depth,
+    } = s;
+    let _ = writeln!(
+        out,
+        "{{\"t\":\"span\",\"name\":\"{name}\",\"start_us\":{start_us},\"dur_us\":{dur_us},\
+         \"self_us\":{self_us},\"depth\":{depth},\"tid\":{tid},\"seq\":{seq}}}"
+    );
+}
+
+/// Renders exemplars as one schema-v1 trace document (line-JSON).
+///
+/// Each exemplar becomes its own synthetic thread (`tid` = request id):
+/// the non-zero stage spans laid out back-to-back from the request
+/// start, a `serve.exemplar` event with the typed context fields at
+/// the request end, and finally the `serve.request` root span whose
+/// self time is the instrumentation-uncovered remainder. Stage
+/// durations are clamped so children never outrun the root, keeping
+/// the output valid under the strict `obs validate` rules.
+pub fn render_trace(exemplars: &[Exemplar]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"t\":\"meta\",\"version\":1,\"clock\":\"monotonic_us\",\"seq\":0}}"
+    );
+    let mut seq = 1u64;
+    for ex in exemplars {
+        let tid = ex.id;
+        let mut off = 0u64;
+        for (name, dur) in ex.stages.named() {
+            let dur = dur.min(ex.total_us.saturating_sub(off));
+            if dur == 0 {
+                continue;
+            }
+            span_line(
+                &mut out,
+                tid,
+                seq,
+                SpanLine {
+                    name,
+                    start_us: ex.start_us + off,
+                    dur_us: dur,
+                    self_us: dur,
+                    depth: 1,
+                },
+            );
+            seq += 1;
+            off += dur;
+        }
+        let end_us = ex.start_us + ex.total_us;
+        let _ = writeln!(
+            out,
+            "{{\"t\":\"event\",\"name\":\"serve.exemplar\",\"at_us\":{end_us},\"tid\":{tid},\
+             \"seq\":{seq},\"f\":{{\"id\":{},\"domain\":{},\"user\":{},\"k\":{},\
+             \"queue_depth\":{},\"lock_us\":{},\"cache_hit\":{},\"coalesced\":{},\"shed\":{}}}}}",
+            ex.id,
+            ex.domain,
+            ex.user,
+            ex.k,
+            ex.queue_depth,
+            ex.lock_us,
+            ex.cache_hit,
+            ex.coalesced,
+            ex.shed_seen
+        );
+        seq += 1;
+        span_line(
+            &mut out,
+            tid,
+            seq,
+            SpanLine {
+                name: "serve.request",
+                start_us: ex.start_us,
+                dur_us: ex.total_us,
+                self_us: ex.total_us.saturating_sub(off),
+                depth: 0,
+            },
+        );
+        seq += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_obs::parse::parse_trace;
+    use nm_obs::report::validate;
+
+    fn exemplar(id: u64, total_us: u64) -> Exemplar {
+        Exemplar {
+            id,
+            domain: 0,
+            user: id as u32,
+            k: 10,
+            start_us: 1_000 * id,
+            total_us,
+            stages: StageUs {
+                parse: total_us / 10,
+                cache: total_us / 10,
+                coalesce: 0,
+                fanout: total_us / 2,
+                merge: total_us / 5,
+                serialize: total_us / 10,
+            },
+            queue_depth: 3,
+            lock_us: 2,
+            cache_hit: false,
+            coalesced: false,
+            shed_seen: 0,
+        }
+    }
+
+    #[test]
+    fn ring_retains_the_slowest_n() {
+        let ring = ExemplarRing::new(3);
+        for (id, total) in [(0, 50), (1, 500), (2, 30), (3, 200), (4, 100), (5, 40)] {
+            ring.record(exemplar(id, total));
+        }
+        let slowest = ring.slowest();
+        let kept: Vec<(u64, u64)> = slowest.iter().map(|e| (e.id, e.total_us)).collect();
+        assert_eq!(kept, vec![(1, 500), (3, 200), (4, 100)]);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+    }
+
+    #[test]
+    fn ring_tie_keeps_the_older_entry() {
+        let ring = ExemplarRing::new(1);
+        ring.record(exemplar(0, 100));
+        ring.record(exemplar(1, 100)); // equal total: not strictly slower
+        assert_eq!(ring.slowest()[0].id, 0);
+        ring.record(exemplar(2, 101));
+        assert_eq!(ring.slowest()[0].id, 2);
+    }
+
+    #[test]
+    fn ids_are_deterministic() {
+        let ring = ExemplarRing::new(4);
+        assert_eq!(ring.next_id(), 0);
+        assert_eq!(ring.next_id(), 1);
+        assert_eq!(ring.next_id(), 2);
+    }
+
+    #[test]
+    fn rendered_trace_passes_strict_validation() {
+        let exs = vec![exemplar(7, 1_000), exemplar(3, 500)];
+        let text = render_trace(&exs);
+        let recs = parse_trace(&text).expect("strict parse");
+        let s = validate(&recs).expect("structurally valid");
+        // 5 non-zero stages + 1 root per exemplar
+        assert_eq!(s.spans, 12);
+        assert_eq!(s.events, 2);
+    }
+
+    #[test]
+    fn rendered_stage_time_is_conserved() {
+        let exs = vec![exemplar(0, 1_000)];
+        let text = render_trace(&exs);
+        let recs = parse_trace(&text).unwrap();
+        let folded = nm_obs::flame::fold(&recs);
+        // folded self-time sums exactly to the root span duration
+        assert_eq!(nm_obs::flame::total_us(&folded), 1_000);
+        let collapsed = nm_obs::flame::render_collapsed(&folded);
+        assert!(
+            collapsed.contains("serve.request;serve.merge 200"),
+            "{collapsed}"
+        );
+    }
+
+    #[test]
+    fn oversized_stages_are_clamped_to_the_root() {
+        let mut ex = exemplar(0, 100);
+        ex.stages.fanout = 10_000; // lying stage must not outrun the root
+        let text = render_trace(&[ex]);
+        let recs = parse_trace(&text).unwrap();
+        validate(&recs).expect("clamped trace stays valid");
+    }
+
+    #[test]
+    fn empty_ring_renders_a_valid_empty_trace() {
+        let text = render_trace(&[]);
+        let recs = parse_trace(&text).unwrap();
+        let s = validate(&recs).unwrap();
+        assert_eq!(s.spans, 0);
+        assert_eq!(s.events, 0);
+    }
+}

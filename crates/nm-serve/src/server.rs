@@ -225,7 +225,15 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
 /// Handles one request line; returns `(response, shutdown_requested)`.
 fn dispatch(line: &str, shared: &Shared, started: Instant) -> (String, bool) {
     let stats = shared.engine.stats();
-    let req = match protocol::parse_request(line) {
+    let req_sw = nm_obs::clock::Stopwatch::start();
+    let _root = nm_obs::trace::span("serve.request");
+    let parse_sw = nm_obs::clock::Stopwatch::start();
+    let parsed = {
+        let _s = nm_obs::trace::span("serve.parse");
+        protocol::parse_request(line)
+    };
+    let parse_us = parse_sw.elapsed_us();
+    let req = match parsed {
         Ok(r) => r,
         Err(e) => {
             stats.requests.inc();
@@ -235,19 +243,50 @@ fn dispatch(line: &str, shared: &Shared, started: Instant) -> (String, bool) {
     };
     let response = match req {
         Request::TopK { user, domain, k } => {
-            // engine.topk counts the request itself on the happy path
+            // engine.topk_traced counts the request on the happy path
             if user >= shared.engine.snapshot().n_users(domain) as u32 {
                 stats.requests.inc();
                 stats.errors.inc();
                 protocol::encode_error(&format!("unknown user {user}"))
             } else {
-                let (cached, list) = shared.engine.topk(domain, user, k);
-                if started.elapsed() > shared.cfg.deadline {
+                let ring = shared.engine.exemplars();
+                let rid = ring.next_id();
+                let (list, rt) = shared.engine.topk_traced(domain, user, k);
+                let deadline_missed = started.elapsed() > shared.cfg.deadline;
+                let ser_sw = nm_obs::clock::Stopwatch::start();
+                let resp = if deadline_missed {
                     stats.errors.inc();
                     protocol::encode_error("deadline exceeded")
                 } else {
-                    protocol::encode_topk_response(user, domain, cached, &list)
-                }
+                    let _s = nm_obs::trace::span("serve.serialize");
+                    protocol::encode_topk_response(user, domain, rt.cache_hit, &list)
+                };
+                // Deadline-missed requests are the exemplars most worth
+                // keeping, so capture happens regardless of the outcome.
+                ring.record(crate::reqtrace::Exemplar {
+                    id: rid,
+                    domain,
+                    user,
+                    k,
+                    start_us: req_sw.start_us(),
+                    total_us: req_sw.elapsed_us(),
+                    stages: crate::reqtrace::StageUs {
+                        parse: parse_us,
+                        cache: rt.cache_us,
+                        // exclusive wait: the shared pass's fan-out and
+                        // merge time is reported in its own stages
+                        coalesce: rt.coalesce_us.saturating_sub(rt.fanout_us + rt.merge_us),
+                        fanout: rt.fanout_us,
+                        merge: rt.merge_us,
+                        serialize: ser_sw.elapsed_us(),
+                    },
+                    queue_depth: rt.queue_depth,
+                    lock_us: rt.lock_us,
+                    cache_hit: rt.cache_hit,
+                    coalesced: rt.coalesced,
+                    shed_seen: stats.shed.get(),
+                });
+                resp
             }
         }
         Request::Score {
@@ -277,6 +316,21 @@ fn dispatch(line: &str, shared: &Shared, started: Instant) -> (String, bool) {
         Request::Obs => {
             stats.requests.inc();
             protocol::encode_ok(vec![("obs".into(), stats.obs_json())])
+        }
+        Request::Trace { n } => {
+            stats.requests.inc();
+            let mut exemplars = shared.engine.exemplars().slowest();
+            if let Some(n) = n {
+                exemplars.truncate(n);
+            }
+            let text = crate::reqtrace::render_trace(&exemplars);
+            protocol::encode_ok(vec![
+                (
+                    "exemplars".into(),
+                    crate::json::Json::Num(exemplars.len() as f64),
+                ),
+                ("trace".into(), crate::json::Json::Str(text)),
+            ])
         }
         Request::Reload { path } => {
             stats.requests.inc();
@@ -449,6 +503,32 @@ mod tests {
             thread::sleep(Duration::from_millis(5));
         }
         assert!(served, "server never recovered after shedding");
+        server.stop();
+    }
+
+    #[test]
+    fn trace_op_returns_validating_exemplar_trace() {
+        let mut server = test_server();
+        let addr = server.local_addr();
+        let resps = roundtrip(
+            addr,
+            &[
+                r#"{"op":"topk","user":3,"domain":"a","k":5}"#,
+                r#"{"op":"topk","user":4,"domain":"b","k":7}"#,
+                r#"{"op":"topk","user":3,"domain":"a","k":5}"#,
+                r#"{"op":"trace"}"#,
+                r#"{"op":"trace","n":1}"#,
+            ],
+        );
+        assert_eq!(resps[3].get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(resps[3].get("exemplars").unwrap().as_u64(), Some(3));
+        let text = resps[3].get("trace").unwrap().as_str().unwrap();
+        let recs = nm_obs::parse::parse_trace(text).expect("embedded trace parses strictly");
+        let s = nm_obs::report::validate(&recs).expect("embedded trace validates");
+        assert_eq!(s.events, 3, "one serve.exemplar event per request");
+        assert!(s.spans >= 3, "at least one serve.request root per request");
+        // `n` bounds the exemplar count
+        assert_eq!(resps[4].get("exemplars").unwrap().as_u64(), Some(1));
         server.stop();
     }
 

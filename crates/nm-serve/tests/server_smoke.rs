@@ -152,6 +152,39 @@ fn concurrent_clients_no_lost_or_corrupt_responses() {
     assert!(hist.get("count").unwrap().as_f64().unwrap() > 0.0);
     assert!(hist.get("overflow_count").is_some());
 
+    // The trace endpoint returns slowest-request exemplars as an
+    // embedded schema-v1 trace that must pass the strict parser and
+    // the structural validator — the same bar `nmcdr obs validate`
+    // applies to training traces.
+    writer.write_all(b"{\"op\":\"trace\"}\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = Json::parse(line.trim()).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{line}");
+    let n_exemplars = v.get("exemplars").unwrap().as_u64().unwrap();
+    assert!(n_exemplars > 0, "traffic must have produced exemplars");
+    let text = v.get("trace").unwrap().as_str().unwrap();
+    let recs = nm_obs::parse::parse_trace(text).expect("exemplar trace parses strictly");
+    let summary = nm_obs::report::validate(&recs).expect("exemplar trace validates");
+    assert_eq!(
+        summary.events, n_exemplars,
+        "one exemplar event per request"
+    );
+    // every exemplar contributes a serve.request root span, and the
+    // folded flamegraph view conserves the roots' inclusive time
+    let folded = nm_obs::flame::fold(&recs);
+    let root_total: u64 = recs
+        .iter()
+        .filter_map(|r| match r {
+            nm_obs::TraceRecord::Span { name, dur_us, .. } if name == "serve.request" => {
+                Some(*dur_us)
+            }
+            _ => None,
+        })
+        .sum();
+    assert_eq!(nm_obs::flame::total_us(&folded), root_total);
+
     server.stop();
 }
 

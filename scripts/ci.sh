@@ -57,4 +57,41 @@ cargo run --release -q -p nm-cli -- obs report --trace "$TRACE_OUT" \
 grep -q "train.forward" target/ci_trace_profile.txt \
   || { echo "trace profile lacks train.forward"; exit 1; }
 
+echo "== flamegraph artifact of the traced CI run =="
+# `obs flame` hard-fails unless the folded self times reproduce the
+# root spans' inclusive time exactly, so this doubles as the time-
+# conservation check on a real training trace.
+mkdir -p results/trace
+cargo run --release -q -p nm-cli -- obs flame --in "$TRACE_OUT" \
+  --out results/trace/ci_train_flame.svg \
+  --collapsed results/trace/ci_train_flame.collapsed
+grep -q "<svg" results/trace/ci_train_flame.svg \
+  || { echo "flamegraph artifact is not an SVG"; exit 1; }
+
+echo "== perf-regression gate (nmcdr bench) =="
+# Baselines are per-machine and never committed. First run on a fresh
+# machine records one (soft pass); every later run compares against it
+# with noise-aware thresholds and hard-fails on regression.
+BASELINE=results/BENCH_baseline.json
+if [[ -f "$BASELINE" ]]; then
+  cargo run --release -q -p nm-cli -- bench --compare --baseline "$BASELINE"
+else
+  echo "no $BASELINE yet; recording one (gate arms on the next run)"
+  cargo run --release -q -p nm-cli -- bench --record --baseline "$BASELINE"
+fi
+
+echo "== perf gate self-test: injected 2x merge slowdown must fail =="
+# Record a throwaway baseline at normal speed, then re-measure with the
+# top-K merge deliberately slowed 2x. If the comparison does not fail,
+# the gate is dead and CI must say so.
+TMP_BASELINE=target/ci_bench_selftest.json
+NMCDR_BENCH_JSONL=0 cargo run --release -q -p nm-cli -- \
+  bench --record --baseline "$TMP_BASELINE" --runs 3
+if NMCDR_BENCH_JSONL=0 NMCDR_BENCH_SLOW_MERGE=2 cargo run --release -q -p nm-cli -- \
+    bench --compare --baseline "$TMP_BASELINE" --runs 3; then
+  echo "perf gate self-test FAILED: 2x merge slowdown went undetected"
+  exit 1
+fi
+echo "perf gate self-test ok: slowdown detected"
+
 echo "ci.sh: all green"
