@@ -686,6 +686,168 @@ impl SchedModel for ExemplarRingModel {
     }
 }
 
+// ---------------------------------------------------------------------
+// 7. Stream ring: producer / consumer / snapshot swapper (nm-stream)
+// ---------------------------------------------------------------------
+
+/// The online-loop ring buffer under concurrent snapshot hot-swap: a
+/// producer pushes events into a bounded drop-oldest ring, a consumer
+/// drains micro-batches, and a swapper bumps the serving epoch (the
+/// hot-swap). The real consumer reads the epoch *once per batch* inside
+/// the same lock region as the drain, so every event in a batch is
+/// attributed to exactly one serving snapshot; the seeded bug re-reads
+/// the epoch per item outside the lock, so a swap landing mid-drain
+/// splits one batch across two epochs. Invariants: lifetime counters
+/// conserve (`pushed == dropped + drained + len` after every step) and
+/// every completed batch is single-epoch.
+#[derive(Clone)]
+pub struct StreamRingModel {
+    epoch_per_item: bool,
+    cap: usize,
+    batch_max: usize,
+    to_push: u32,
+    swaps_left: u32,
+    epoch: u64,
+    len: usize,
+    pushed: u64,
+    dropped: u64,
+    drained: u64,
+    /// Bug variant: epoch tags of the in-progress batch.
+    hand: Vec<u64>,
+    /// Epoch tags of every completed batch.
+    batches: Vec<Vec<u64>>,
+}
+
+impl StreamRingModel {
+    fn new(pushes: u32, cap: usize, batch_max: usize, swaps: u32, epoch_per_item: bool) -> Self {
+        Self {
+            epoch_per_item,
+            cap,
+            batch_max,
+            to_push: pushes,
+            swaps_left: swaps,
+            epoch: 0,
+            len: 0,
+            pushed: 0,
+            dropped: 0,
+            drained: 0,
+            hand: Vec::new(),
+            batches: Vec::new(),
+        }
+    }
+
+    pub fn correct(pushes: u32, cap: usize, batch_max: usize, swaps: u32) -> Self {
+        Self::new(pushes, cap, batch_max, swaps, false)
+    }
+
+    /// Seeded bug: the consumer tags each drained item with an epoch
+    /// read at pop time, outside the batch's lock region.
+    pub fn seeded_bug(pushes: u32, cap: usize, batch_max: usize, swaps: u32) -> Self {
+        Self::new(pushes, cap, batch_max, swaps, true)
+    }
+}
+
+impl SchedModel for StreamRingModel {
+    fn thread_count(&self) -> usize {
+        3 // 0 = producer, 1 = consumer, 2 = swapper
+    }
+    fn is_done(&self, t: usize) -> bool {
+        match t {
+            0 => self.to_push == 0,
+            1 => self.to_push == 0 && self.len == 0 && self.hand.is_empty(),
+            _ => self.swaps_left == 0,
+        }
+    }
+    fn is_runnable(&self, t: usize) -> bool {
+        match t {
+            // Consumer blocks on an empty ring unless it only has a
+            // partial batch left to flush after the producer finished.
+            1 => !self.is_done(1) && (self.len > 0 || self.to_push == 0),
+            _ => !self.is_done(t),
+        }
+    }
+    fn step(&mut self, t: usize) {
+        match t {
+            0 => {
+                // One lock region: push, dropping the oldest when full.
+                self.pushed += 1;
+                if self.len == self.cap {
+                    self.dropped += 1;
+                } else {
+                    self.len += 1;
+                }
+                self.to_push -= 1;
+            }
+            1 => {
+                if !self.epoch_per_item {
+                    // One lock region: read epoch once, drain a batch.
+                    let k = self.len.min(self.batch_max);
+                    self.len -= k;
+                    self.drained += k as u64;
+                    self.batches.push(vec![self.epoch; k]);
+                } else if self.len > 0 {
+                    // Bug: pop one item, tag with the epoch *now*.
+                    self.len -= 1;
+                    self.drained += 1;
+                    self.hand.push(self.epoch);
+                    if self.hand.len() == self.batch_max {
+                        self.batches.push(std::mem::take(&mut self.hand));
+                    }
+                } else {
+                    // Producer finished: flush the partial batch.
+                    self.batches.push(std::mem::take(&mut self.hand));
+                }
+            }
+            _ => {
+                // Hot-swap: publish a new snapshot epoch.
+                self.epoch += 1;
+                self.swaps_left -= 1;
+            }
+        }
+    }
+    fn check_step(&self) -> Result<(), String> {
+        let held = self.drained; // hand items count as drained
+        if self.pushed != self.dropped + held + self.len as u64 {
+            return Err(format!(
+                "ring counters leak: pushed {} != dropped {} + drained {} + len {}",
+                self.pushed, self.dropped, held, self.len
+            ));
+        }
+        for b in &self.batches {
+            if b.len() > self.batch_max {
+                return Err(format!(
+                    "batch of {} events exceeds batch_max {}",
+                    b.len(),
+                    self.batch_max
+                ));
+            }
+            if b.windows(2).any(|w| w[0] != w[1]) {
+                return Err(format!(
+                    "mixed-epoch batch: one batch observed epochs {b:?} \
+                     (epoch must be read once per batch, under the drain lock)"
+                ));
+            }
+        }
+        Ok(())
+    }
+    fn check_final(&self) -> Result<(), String> {
+        if self.len != 0 || !self.hand.is_empty() {
+            return Err(format!(
+                "{} events stranded in the ring, {} in hand",
+                self.len,
+                self.hand.len()
+            ));
+        }
+        if self.dropped + self.drained != self.pushed {
+            return Err(format!(
+                "dropped {} + drained {} != pushed {}",
+                self.dropped, self.drained, self.pushed
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl SchedModel for ShedModel {
     fn thread_count(&self) -> usize {
         self.phase.len()

@@ -17,6 +17,7 @@
 //! 12. seq allocated off-lock   -> sched invariant
 //! 13. non-atomic counter       -> sched final-state
 //! 14. connection over-admission-> sched invariant
+//! 15. per-item epoch read      -> sched invariant (mixed-epoch batch)
 
 use nm_autograd::{TraceMeta, TraceNode};
 use nm_check::sched::models::*;
@@ -279,6 +280,13 @@ fn seeded_ring_check_then_act_caught() {
     let r = explore(&ExemplarRingModel::seeded_bug(3, 1), &opts());
     let v = r.violation.expect("over-capacity ring must surface");
     assert!(v.message.contains("over-capacity ring"), "{}", v.message);
+}
+
+#[test]
+fn seeded_per_item_epoch_read_caught() {
+    let r = explore(&StreamRingModel::seeded_bug(4, 3, 2, 1), &opts());
+    let v = r.violation.expect("mixed-epoch batch must surface");
+    assert!(v.message.contains("mixed-epoch batch"), "{}", v.message);
 }
 
 #[test]

@@ -24,6 +24,7 @@ use nm_autograd::TraceNode;
 use nm_bench::{ExpProfile, ModelKind};
 use nm_check::sched::models::{
     CoalescerModel, CounterModel, ExemplarRingModel, HistogramModel, SeqSinkModel, ShedModel,
+    StreamRingModel,
 };
 use nm_check::sched::{explore, ExploreOpts, SchedModel};
 use nm_check::shape::{compare_symbolic, verify_reachability, verify_trace};
@@ -300,6 +301,11 @@ fn sched_stage() -> Vec<Diagnostic> {
         &mut diags,
         "serve.exemplar-ring",
         ExemplarRingModel::correct(4, 2),
+    );
+    run_sched(
+        &mut diags,
+        "stream.ring",
+        StreamRingModel::correct(6, 3, 2, 2),
     );
     diags
 }

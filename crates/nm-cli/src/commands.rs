@@ -37,6 +37,18 @@ COMMANDS:
              (same data options as train) [--model NMCDR]
              [--checkpoint <file>] --out <file.nmss>
              (supported models: NMCDR, BPR, HeroGraph)
+  stream     online serve-while-train loop: simulated event stream, delta
+             fine-tuning, snapshot hot-swaps, drift-triggered rollback
+             (same data options as train) [--model HeroGraph] --out <dir>
+             [--rounds 12] [--events-per-round 64] [--publish-every 2]
+             [--shift-at N [--shift-duration 3] [--shift-magnitude 1.0]]
+             [--loss-factor 2.0] [--warmup 3] [--cooldown 4] [--hr-drop 0]
+             [--max-rollbacks 2] [--ring 4096] [--microbatch 256]
+             [--slate 8] [--slope 3.0] [--domain-mix 0.5] [--workers 2]
+             [--warm-epochs 0] [--seed N] [--trace-out <file.jsonl>]
+             [--require-swaps N] [--require-rollbacks N]
+             re-running the same --out resumes/verifies bit-identically;
+             --require-* make the exit code a CI gate
   serve      serve top-K recommendations over TCP (newline-delimited JSON)
              --snapshot <file.nmss> [--bind 127.0.0.1:7878]
              [--workers N] [--shard-items 256] [--batch-max 8]
@@ -359,6 +371,167 @@ pub fn snapshot(args: &Args) -> Result<(), String> {
         snap.n_items(0),
         snap.n_items(1)
     );
+    Ok(())
+}
+
+/// `nmcdr stream` — the online serve-while-train loop: replay a
+/// simulated interaction stream against the serving snapshot, delta
+/// fine-tune on each round, hot-swap snapshots on cadence, and roll
+/// back automatically when the drift monitor trips. All artifacts land
+/// in `--out`; re-running with the same arguments resumes (or verifies)
+/// the directory bit-identically.
+pub fn stream(args: &Args) -> Result<(), String> {
+    use nm_serve::FrozenModel;
+    use nm_stream::{DriftConfig, ShiftSchedule, SourceConfig, StreamConfig};
+    let profile = profile_from(args)?;
+    let data = dataset_from(args, &profile)?;
+    let task = CdrTask::build(data, task_config(&profile));
+    let out = PathBuf::from(args.required("out")?);
+
+    let shift = match args.get("shift-at") {
+        Some(at) => Some(ShiftSchedule {
+            at_round: at
+                .parse()
+                .map_err(|e| format!("invalid --shift-at '{at}': {e}"))?,
+            duration: args.parse_or("shift-duration", 3)?,
+            magnitude: args.parse_or("shift-magnitude", 1.0)?,
+        }),
+        None => None,
+    };
+    let src_defaults = SourceConfig::default();
+    let drift_defaults = DriftConfig::default();
+    let cfg = StreamConfig {
+        rounds: args.parse_or("rounds", 12)?,
+        source: SourceConfig {
+            seed: profile.seed,
+            events_per_round: args.parse_or("events-per-round", src_defaults.events_per_round)?,
+            slate_size: args.parse_or("slate", src_defaults.slate_size)?,
+            slope: args.parse_or("slope", src_defaults.slope)?,
+            domain_mix: args.parse_or("domain-mix", src_defaults.domain_mix)?,
+            shift,
+            ..src_defaults
+        },
+        ring_capacity: args.parse_or("ring", 4096)?,
+        microbatch_max: args.parse_or("microbatch", 256)?,
+        publish_every: args.parse_or("publish-every", 2)?,
+        drift: DriftConfig {
+            loss_factor: args.parse_or("loss-factor", drift_defaults.loss_factor)?,
+            warmup_rounds: args.parse_or("warmup", drift_defaults.warmup_rounds)?,
+            cooldown_rounds: args.parse_or("cooldown", drift_defaults.cooldown_rounds)?,
+            hr_drop: args.parse_or("hr-drop", drift_defaults.hr_drop)?,
+            max_rollbacks: args.parse_or("max-rollbacks", drift_defaults.max_rollbacks)?,
+            ..drift_defaults
+        },
+        engine: nm_serve::EngineConfig {
+            n_workers: args.parse_or("workers", 2)?,
+            ..Default::default()
+        },
+        ..StreamConfig::new(out)
+    };
+    let warm: usize = args.parse_or("warm-epochs", 0)?;
+    let train_cfg = profile.train_config();
+
+    let trace_out = args.get("trace-out").map(PathBuf::from);
+    if let Some(path) = &trace_out {
+        nm_obs::trace::init_file(path)
+            .map_err(|e| format!("cannot open trace sink '{}': {e}", path.display()))?;
+    }
+    fn drive<M: CdrModel + FrozenModel>(
+        mut model: M,
+        tc: &nm_models::TrainConfig,
+        warm: usize,
+        cfg: &nm_stream::StreamConfig,
+    ) -> Result<nm_stream::StreamReport, String> {
+        if warm > 0 {
+            let mut wtc = tc.clone();
+            wtc.epochs = warm;
+            nm_models::train_joint(&mut model, &wtc)
+                .map_err(|e| format!("warm-up training failed: {e}"))?;
+        }
+        nm_stream::run_stream(&mut model, tc, cfg).map_err(|e| format!("stream run failed: {e}"))
+    }
+    let name = args.get("model").unwrap_or("HeroGraph");
+    let kind = ModelKind::parse(name).ok_or_else(|| format!("unknown model '{name}'"))?;
+    let report = match kind {
+        ModelKind::Nmcdr => drive(
+            NmcdrModel::new(task, nmcdr_config(&profile, Ablation::none())),
+            &train_cfg,
+            warm,
+            &cfg,
+        ),
+        ModelKind::Bpr => drive(
+            nm_models::BprModel::new(task, profile.dim, profile.seed),
+            &train_cfg,
+            warm,
+            &cfg,
+        ),
+        ModelKind::HeroGraph => drive(
+            nm_models::HeroGraphModel::new(task, profile.dim, profile.seed),
+            &train_cfg,
+            warm,
+            &cfg,
+        ),
+        other => Err(format!(
+            "model '{}' does not support streaming (needs snapshot export; \
+             supported: NMCDR, BPR, HeroGraph)",
+            other.name()
+        )),
+    };
+    if trace_out.is_some() {
+        nm_obs::trace::shutdown();
+    }
+    let report = report?;
+
+    for d in &report.decisions {
+        println!(
+            "  iter {:>3} round {:>3} {:<8} {:<8} loss {:.4} hr {:>6.2}%",
+            d.iter,
+            d.round,
+            d.verdict.as_str(),
+            d.action.as_str(),
+            d.mean_loss,
+            d.hr
+        );
+    }
+    let (pushed, dropped, drained) = report.ring_counters;
+    println!(
+        "stream complete: {} rounds trained, {} events logged \
+         (ring: {pushed} pushed, {dropped} dropped, {drained} drained)",
+        report.rounds_trained, report.events_logged
+    );
+    println!(
+        "  {} publishes, {} hot-swaps, {} rollbacks, {} parity checks{}",
+        report.publishes,
+        report.swaps,
+        report.rollbacks,
+        report.parity_checks,
+        if report.halted {
+            " — HALTED (rollback budget exhausted)"
+        } else {
+            ""
+        }
+    );
+    if let Some(path) = &trace_out {
+        println!(
+            "trace written to {} (inspect with `nmcdr obs validate --trace {}`)",
+            path.display(),
+            path.display()
+        );
+    }
+    let want_swaps: u64 = args.parse_or("require-swaps", 0)?;
+    if report.swaps < want_swaps {
+        return Err(format!(
+            "only {} hot-swaps, --require-swaps {want_swaps} not met",
+            report.swaps
+        ));
+    }
+    let want_rollbacks: u64 = args.parse_or("require-rollbacks", 0)?;
+    if report.rollbacks < want_rollbacks {
+        return Err(format!(
+            "only {} rollbacks, --require-rollbacks {want_rollbacks} not met",
+            report.rollbacks
+        ));
+    }
     Ok(())
 }
 

@@ -10,6 +10,8 @@
 //! nmcdr stats    --scenario loan-fund
 //! nmcdr snapshot --scenario cloth-sport --model NMCDR \
 //!                --checkpoint model.nmck --out model.nmss
+//! nmcdr stream   --scenario cloth-sport --model HeroGraph --out results/stream \
+//!                --rounds 12 --shift-at 6 --require-swaps 2 --require-rollbacks 1
 //! nmcdr serve    --snapshot model.nmss --bind 127.0.0.1:7878
 //! nmcdr query    --addr 127.0.0.1:7878 --op topk --user 3 --domain a --k 10
 //! nmcdr train    --scenario cloth-sport --trace-out results/trace/run.jsonl
@@ -65,6 +67,7 @@ fn main() -> ExitCode {
         "evaluate" => commands::evaluate(&parsed),
         "stats" => commands::stats(&parsed),
         "snapshot" => commands::snapshot(&parsed),
+        "stream" => commands::stream(&parsed),
         "serve" => commands::serve(&parsed),
         "query" => commands::query(&parsed),
         "bench" => commands::bench(&parsed),

@@ -42,9 +42,9 @@ pub use baselines::ple::PleModel;
 pub use baselines::ptupcdr::PtupcdrModel;
 pub use common::SharedUserIndex;
 pub use model::{CdrModel, Domain};
-pub use resume::{FaultPlan, FtConfig, TrainError};
+pub use resume::{peek_state, FaultPlan, FtConfig, TrainError, TrainerState};
 pub use task::{CdrTask, TaskConfig};
 pub use train::{
-    evaluate_model, evaluate_model_valid, train_joint, train_joint_ft, EpochLog, EpochTelemetry,
-    TrainConfig, TrainStats,
+    evaluate_model, evaluate_model_valid, train_joint, train_joint_ft, train_joint_ft_with,
+    BatchSource, EpochLog, EpochTelemetry, SplitSource, TrainConfig, TrainStats,
 };

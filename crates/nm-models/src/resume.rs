@@ -134,6 +134,14 @@ pub struct FtConfig {
     pub max_rollbacks: usize,
     /// Learning-rate multiplier applied on each rollback.
     pub rollback_lr_factor: f32,
+    /// Cap on epochs *completed per call* (0 = unlimited). Lets an
+    /// online driver run one delta round at a time against the same
+    /// checkpoint: each call resumes, completes up to this many epochs,
+    /// checkpoints at the stopping boundary, and returns. Divergence
+    /// rollbacks retry an epoch and do not count against the cap. The
+    /// config fingerprint still pins `cfg.epochs` (the schedule total),
+    /// so every call must pass the same `TrainConfig`.
+    pub max_epochs_per_call: usize,
     /// Fault injection (tests).
     pub faults: FaultPlan,
 }
@@ -146,6 +154,7 @@ impl Default for FtConfig {
             resume: false,
             max_rollbacks: 3,
             rollback_lr_factor: 0.5,
+            max_epochs_per_call: 0,
             faults: FaultPlan::default(),
         }
     }
@@ -356,13 +365,54 @@ pub fn restore_state(
     bytes: &[u8],
 ) -> Result<TrainerState, TrainError> {
     let data = checkpoint::decode_checkpoint(bytes)?;
-    let sec = data.section(TRAINER_SECTION).ok_or_else(|| {
+    let sec = trainer_section(&data)?;
+    let (st, mut r) = parse_state_section(sec, cfg, model.name())?;
+    let params = model.params();
+    opt.import_state(&mut r, params.len())?;
+    if !r.is_empty() {
+        return Err(TrainError::Checkpoint(CheckpointError::Format(format!(
+            "{} trailing bytes in trainer-state section",
+            r.len()
+        ))));
+    }
+    checkpoint::assign_params(&params, &data.params)?;
+    Ok(st)
+}
+
+/// Reads the trainer counters and logs out of a checkpoint *without* a
+/// model or optimizer: the checksum is verified by the decode, the
+/// config fingerprint is verified against `cfg`/`model_name`, and the
+/// optimizer tail is left untouched. Lets an online driver inspect
+/// where a delta checkpoint stopped (epoch, loss/eval history) before
+/// deciding what to do next.
+pub fn peek_state(
+    bytes: &[u8],
+    cfg: &TrainConfig,
+    model_name: &str,
+) -> Result<TrainerState, TrainError> {
+    let data = checkpoint::decode_checkpoint(bytes)?;
+    let sec = trainer_section(&data)?;
+    let (st, _opt_tail) = parse_state_section(sec, cfg, model_name)?;
+    Ok(st)
+}
+
+fn trainer_section(data: &checkpoint::CheckpointData) -> Result<&[u8], TrainError> {
+    data.section(TRAINER_SECTION).ok_or_else(|| {
         TrainError::ResumeMismatch(
             "checkpoint has no trainer-state section (params-only file?); \
              re-train with checkpointing enabled"
                 .into(),
         )
-    })?;
+    })
+}
+
+/// Parses the trainer-state section, checking the config fingerprint.
+/// Returns the state and the unread remainder (optimizer moments).
+fn parse_state_section<'a>(
+    sec: &'a [u8],
+    cfg: &TrainConfig,
+    model_name: &str,
+) -> Result<(TrainerState, &'a [u8]), TrainError> {
     let mut r: &[u8] = sec;
     let version = read_u32(&mut r)?;
     if !(1..=STATE_VERSION).contains(&version) {
@@ -385,7 +435,7 @@ pub fn restore_state(
     )?;
     let file_model = String::from_utf8(read_bytes(&mut r)?)
         .map_err(|_| CheckpointError::Format("non-utf8 model name".into()))?;
-    check("model", file_model.as_str(), model.name())?;
+    check("model", file_model.as_str(), model_name)?;
 
     let epoch_next = read_u32(&mut r)? as usize;
     let steps = read_u64(&mut r)?;
@@ -442,23 +492,17 @@ pub fn restore_state(
             ))))
         }
     };
-    let params = model.params();
-    opt.import_state(&mut r, params.len())?;
-    if !r.is_empty() {
-        return Err(TrainError::Checkpoint(CheckpointError::Format(format!(
-            "{} trailing bytes in trainer-state section",
-            r.len()
-        ))));
-    }
-    checkpoint::assign_params(&params, &data.params)?;
-    Ok(TrainerState {
-        epoch_next,
-        steps,
-        lr,
-        rollbacks,
-        logs,
-        best_valid,
-        epochs_since_best,
-        best_snapshot,
-    })
+    Ok((
+        TrainerState {
+            epoch_next,
+            steps,
+            lr,
+            rollbacks,
+            logs,
+            best_valid,
+            epochs_since_best,
+            best_snapshot,
+        },
+        r,
+    ))
 }

@@ -215,6 +215,49 @@ pub fn train_joint(model: &mut dyn CdrModel, cfg: &TrainConfig) -> Result<TrainS
     train_joint_ft(model, cfg, &FtConfig::default())
 }
 
+/// Supplies each epoch's per-domain batch lists for
+/// [`train_joint_ft_with`].
+///
+/// Implementations **must be deterministic in `epoch`**: divergence
+/// rollback and crash resume replay an epoch by calling this again with
+/// the same `epoch`, and the replay contract requires the exact same
+/// batches back. The default [`SplitSource`] derives everything from
+/// `(cfg.seed, epoch)`; the streaming source replays its event log.
+pub trait BatchSource {
+    /// Batch lists for `epoch`, domains (A, B). An empty list on either
+    /// side makes the epoch a zero-step no-op.
+    fn epoch_batches(
+        &mut self,
+        model: &dyn CdrModel,
+        cfg: &TrainConfig,
+        epoch: usize,
+    ) -> (Vec<Batch>, Vec<Batch>);
+}
+
+/// The offline default: resamples `neg_per_pos` negatives per split
+/// positive and shuffles into `batch_size` batches, all seeded by
+/// `(seed, epoch)` — exactly the sampling [`train_joint`] has always
+/// used.
+pub struct SplitSource;
+
+impl BatchSource for SplitSource {
+    fn epoch_batches(
+        &mut self,
+        model: &dyn CdrModel,
+        cfg: &TrainConfig,
+        epoch: usize,
+    ) -> (Vec<Batch>, Vec<Batch>) {
+        let task = model.task().clone();
+        let seed = epoch_seed(cfg.seed, epoch);
+        let ex_a = train_examples(&task.split_a, cfg.neg_per_pos, seed);
+        let ex_b = train_examples(&task.split_b, cfg.neg_per_pos, seed ^ 0xB);
+        (
+            batches(&ex_a, cfg.batch_size, seed ^ 0xAA),
+            batches(&ex_b, cfg.batch_size, seed ^ 0xBB),
+        )
+    }
+}
+
 /// Outcome of one attempted epoch: completed, or diverged mid-epoch.
 enum EpochRun {
     Done {
@@ -242,6 +285,22 @@ pub fn train_joint_ft(
     model: &mut dyn CdrModel,
     cfg: &TrainConfig,
     ft: &FtConfig,
+) -> Result<TrainStats, TrainError> {
+    train_joint_ft_with(model, cfg, ft, &mut SplitSource)
+}
+
+/// [`train_joint_ft`] with a pluggable [`BatchSource`]. The offline
+/// trainers pass [`SplitSource`]; the `nm-stream` delta fine-tuner
+/// passes a source that drains its micro-batch ring. With
+/// `ft.max_epochs_per_call > 0` the call completes at most that many
+/// epochs, checkpoints at the stopping boundary, and returns — calling
+/// again with `ft.resume = true` continues the same schedule
+/// bit-identically.
+pub fn train_joint_ft_with(
+    model: &mut dyn CdrModel,
+    cfg: &TrainConfig,
+    ft: &FtConfig,
+    source: &mut dyn BatchSource,
 ) -> Result<TrainStats, TrainError> {
     let task = model.task().clone();
     let mut opt = Adam::new(cfg.lr);
@@ -273,8 +332,10 @@ pub fn train_joint_ft(
     // Mutable copy so one-shot injections (NaN) can disarm after
     // firing — a rollback retry replays the same global step.
     let mut faults = ft.faults.clone();
+    let cap = ft.max_epochs_per_call;
+    let mut done_this_call = 0usize;
 
-    while st.epoch_next < cfg.epochs && !stopped_early {
+    while st.epoch_next < cfg.epochs && !stopped_early && (cap == 0 || done_this_call < cap) {
         let epoch = st.epoch_next;
         if trace::enabled() {
             // Discard aggregates left over from eval or a previous
@@ -286,7 +347,8 @@ pub fn train_joint_ft(
         let epoch_wall = nm_obs::clock::Stopwatch::start();
         let run = {
             let _sp = trace::span("train.epoch");
-            run_epoch(model, &mut opt, cfg, &mut faults, epoch, st.steps)?
+            let (ba, bb) = source.epoch_batches(model, cfg, epoch);
+            run_epoch(model, &mut opt, cfg, &mut faults, epoch, st.steps, &ba, &bb)?
         };
         match run {
             EpochRun::Diverged { step, loss } => {
@@ -361,6 +423,7 @@ pub fn train_joint_ft(
                     eval,
                     telemetry,
                 });
+                done_this_call += 1;
             }
         }
         if early_stopping {
@@ -387,7 +450,10 @@ pub fn train_joint_ft(
         }
         st.epoch_next = epoch + 1;
         last_good = resume::encode_state(model, &opt, &st, cfg)?;
-        let boundary = epoch + 1 == cfg.epochs || stopped_early;
+        // A per-call cap stopping this call is a boundary too: the next
+        // call resumes from here, so the state must reach disk.
+        let boundary =
+            epoch + 1 == cfg.epochs || stopped_early || (cap != 0 && done_this_call >= cap);
         if ft.checkpoint.is_some() && (epoch % every == every - 1 || boundary) {
             persist_checkpoint(ft, &last_good, epoch)?;
             trace::event("checkpoint", |e| {
@@ -421,10 +487,12 @@ pub fn train_joint_ft(
     })
 }
 
-/// Executes one epoch of optimization steps. Returns the loss sum and
-/// the advanced global step counter, or the divergence point if the
-/// loss went non-finite (the model/optimizer are then mid-epoch dirty
-/// and the caller must roll back).
+/// Executes one epoch of optimization steps over the supplied batch
+/// lists (the shorter domain cycles). Returns the loss sum and the
+/// advanced global step counter, or the divergence point if the loss
+/// went non-finite (the model/optimizer are then mid-epoch dirty and
+/// the caller must roll back).
+#[allow(clippy::too_many_arguments)]
 fn run_epoch(
     model: &mut dyn CdrModel,
     opt: &mut Adam,
@@ -432,13 +500,18 @@ fn run_epoch(
     faults: &mut crate::resume::FaultPlan,
     epoch: usize,
     mut steps: u64,
+    ba: &[Batch],
+    bb: &[Batch],
 ) -> Result<EpochRun, TrainError> {
-    let task = model.task().clone();
-    let seed = epoch_seed(cfg.seed, epoch);
-    let ex_a = train_examples(&task.split_a, cfg.neg_per_pos, seed);
-    let ex_b = train_examples(&task.split_b, cfg.neg_per_pos, seed ^ 0xB);
-    let ba = batches(&ex_a, cfg.batch_size, seed ^ 0xAA);
-    let bb = batches(&ex_b, cfg.batch_size, seed ^ 0xBB);
+    // An empty side cannot cycle: a source with no work for this epoch
+    // yields a zero-step epoch instead of a modulo-by-zero panic.
+    if ba.is_empty() || bb.is_empty() {
+        return Ok(EpochRun::Done {
+            loss_sum: 0.0,
+            steps,
+            examples: 0,
+        });
+    }
     let n_steps = ba.len().max(bb.len());
     let mut loss_sum = 0.0f64;
     let mut examples = 0u64;

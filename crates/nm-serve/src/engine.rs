@@ -212,11 +212,13 @@ impl Drop for WorkerPool {
 }
 
 /// Stage timing of one shared scoring pass, reported to every request
-/// the pass served.
+/// the pass served, plus the snapshot epoch the pass actually scored
+/// against (taken *once per batch*, coherently with the snapshot).
 #[derive(Debug, Clone, Copy, Default)]
 struct BatchTiming {
     fanout_us: u64,
     merge_us: u64,
+    epoch: u64,
 }
 
 /// A follower's rendezvous slot: the batch leader fills it.
@@ -291,11 +293,23 @@ impl Latch {
     }
 }
 
+/// The live snapshot and its epoch, swapped together under one lock so
+/// no reader can ever observe a new snapshot labelled with an old epoch
+/// (or vice versa). The epoch is what keys the cache: a torn pair would
+/// let a scoring pass insert new-snapshot results under a pre-reload
+/// epoch, poisoning the cache for every later lookup of that key.
+struct Versioned {
+    epoch: u64,
+    snap: Arc<Snapshot>,
+}
+
 /// The online retrieval engine. Cheap to share: wrap in `Arc` and call
 /// [`Engine::topk`] from any number of threads.
 pub struct Engine {
-    snapshot: RwLock<Arc<Snapshot>>,
-    epoch: AtomicU64,
+    versioned: RwLock<Versioned>,
+    /// Lock-free mirror of `versioned.epoch` for cheap reads (cache
+    /// lookups, stats). Only `reload` writes it, inside the write lock.
+    epoch_mirror: AtomicU64,
     pool: WorkerPool,
     queues: [Mutex<DomainQueue>; 2],
     cache: Option<ShardedLru>,
@@ -313,8 +327,11 @@ impl Engine {
         let cache =
             (cfg.cache_capacity > 0).then(|| ShardedLru::new(cfg.cache_capacity, cfg.cache_shards));
         Ok(Self {
-            snapshot: RwLock::new(Arc::new(snapshot)),
-            epoch: AtomicU64::new(0),
+            versioned: RwLock::new(Versioned {
+                epoch: 0,
+                snap: Arc::new(snapshot),
+            }),
+            epoch_mirror: AtomicU64::new(0),
             pool: WorkerPool::new(cfg.n_workers),
             queues: [
                 Mutex::new(DomainQueue::default()),
@@ -340,21 +357,34 @@ impl Engine {
 
     /// Current snapshot epoch (bumped on every [`Engine::reload`]).
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+        self.epoch_mirror.load(Ordering::Acquire)
     }
 
     /// The live snapshot.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&read(&self.snapshot))
+        Arc::clone(&read(&self.versioned).snap)
+    }
+
+    /// The live `(epoch, snapshot)` pair, read coherently.
+    fn current(&self) -> (u64, Arc<Snapshot>) {
+        let g = read(&self.versioned);
+        (g.epoch, Arc::clone(&g.snap))
     }
 
     /// Swaps in a new snapshot, bumps the epoch, and clears the cache.
-    /// On a validation failure the live snapshot is left untouched and
-    /// the error is returned for the caller to report.
+    /// The swap and the bump happen atomically under the write lock, so
+    /// an in-flight scoring pass sees either the old pair or the new
+    /// pair — never a new snapshot under an old epoch. On a validation
+    /// failure the live snapshot is left untouched and the error is
+    /// returned for the caller to report.
     pub fn reload(&self, snapshot: Snapshot) -> Result<(), CheckpointError> {
         snapshot.validate()?;
-        *write(&self.snapshot) = Arc::new(snapshot);
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        {
+            let mut g = write(&self.versioned);
+            g.epoch += 1;
+            g.snap = Arc::new(snapshot);
+            self.epoch_mirror.store(g.epoch, Ordering::Release);
+        }
         if let Some(c) = &self.cache {
             c.clear();
         }
@@ -402,6 +432,7 @@ impl Engine {
                 self.stats.cache_hits.inc();
                 t.cache_us = cache_sw.elapsed_us();
                 t.cache_hit = true;
+                t.epoch = epoch;
                 return (hit, t);
             }
             self.stats.cache_misses.inc();
@@ -426,7 +457,7 @@ impl Engine {
             }
         };
         if become_leader {
-            self.lead_batches(domain, epoch);
+            self.lead_batches(domain);
         } else {
             t.coalesced = true;
         }
@@ -440,12 +471,17 @@ impl Engine {
         }
         t.fanout_us = bt.fanout_us;
         t.merge_us = bt.merge_us;
+        t.epoch = bt.epoch;
         (list, t)
     }
 
     /// Batch leader loop: drain the domain queue in `batch_max` chunks
-    /// until it is empty, then hand leadership back.
-    fn lead_batches(&self, domain: usize, epoch: u64) {
+    /// until it is empty, then hand leadership back. Each batch's cache
+    /// inserts use the epoch *of that batch's scoring pass* (a reload
+    /// can land between two drained batches of the same leader session;
+    /// labelling every batch with the session-entry epoch would insert
+    /// post-reload results under the pre-reload key).
+    fn lead_batches(&self, domain: usize) {
         loop {
             let batch: Vec<Pending> = {
                 let mut q = lock(&self.queues[domain]);
@@ -468,7 +504,7 @@ impl Engine {
                             user: req.user,
                             domain: domain as u8,
                             k: req.k as u32,
-                            epoch,
+                            epoch: timing.epoch,
                         },
                         Arc::clone(&list),
                     );
@@ -483,11 +519,19 @@ impl Engine {
     /// that item block (one streaming read of the block serves the
     /// whole batch).
     fn run_batch(&self, domain: usize, batch: &[Pending]) -> (Vec<CachedList>, BatchTiming) {
-        let snap = self.snapshot();
+        // One coherent read per batch: every shard of this pass scores
+        // the same snapshot, and the batch is labelled with its epoch.
+        let (epoch, snap) = self.current();
         let n_items = snap.n_items(domain);
         if n_items == 0 {
             let empty = batch.iter().map(|_| Arc::new(Vec::new())).collect();
-            return (empty, BatchTiming::default());
+            return (
+                empty,
+                BatchTiming {
+                    epoch,
+                    ..Default::default()
+                },
+            );
         }
         let shard_items = self.cfg.shard_items.max(1);
         let n_shards = n_items.div_ceil(shard_items);
@@ -561,6 +605,7 @@ impl Engine {
         let timing = BatchTiming {
             fanout_us,
             merge_us: merge_sw.elapsed_us(),
+            epoch,
         };
         (lists, timing)
     }
@@ -752,6 +797,88 @@ mod tests {
             let (_, b) = slow.topk(0, user, 10);
             assert_eq!(a, b, "user {user}");
         }
+    }
+
+    /// Reference top-k straight off a snapshot value (no engine).
+    fn snapshot_topk(snap: &Snapshot, domain: usize, user: u32, k: usize) -> Vec<(u32, f32)> {
+        let n = snap.n_items(domain);
+        let items: Vec<u32> = (0..n as u32).collect();
+        let scores = snap.score_pairs(domain, &vec![user; n], &items);
+        let pairs: Vec<(u32, f32)> = items.into_iter().zip(scores).collect();
+        top_k(&pairs, k)
+    }
+
+    /// Regression test for the reload/epoch race: the epoch used to be
+    /// read once per *leader session* while the snapshot was fetched
+    /// fresh per batch, so a reload landing between the two could label
+    /// new-snapshot results (and cache entries) with the old epoch.
+    /// Hammer reloads under concurrent queries and assert every answer
+    /// bit-matches the reference top-k of the snapshot version named by
+    /// its reported epoch.
+    #[test]
+    fn reload_under_concurrent_queries_is_epoch_coherent() {
+        const VERSIONS: usize = 5;
+        const RELOADS: u64 = 120;
+        const QUERIES: usize = 400;
+        let versions: Vec<Snapshot> = (0..VERSIONS)
+            .map(|i| snapshot(64, 100 + i as u64))
+            .collect();
+        // epoch e serves versions[e % VERSIONS]
+        let refs: Vec<Vec<Vec<(u32, f32)>>> = versions
+            .iter()
+            .map(|s| (0..10).map(|u| snapshot_topk(s, 0, u, 10)).collect())
+            .collect();
+        let e = Arc::new(
+            Engine::new(
+                versions[0].clone(),
+                EngineConfig {
+                    n_workers: 2,
+                    shard_items: 16,
+                    batch_max: 4,
+                    cache_capacity: 256,
+                    cache_shards: 2,
+                    ..Default::default()
+                },
+            )
+            .expect("valid test snapshot"),
+        );
+        let reloader = {
+            let e = Arc::clone(&e);
+            let versions = versions.clone();
+            thread::spawn(move || {
+                for k in 1..=RELOADS {
+                    e.reload(versions[(k % VERSIONS as u64) as usize].clone())
+                        .expect("valid reload snapshot");
+                    thread::yield_now();
+                }
+            })
+        };
+        let queriers: Vec<_> = (0..4u32)
+            .map(|q| {
+                let e = Arc::clone(&e);
+                thread::spawn(move || {
+                    let mut got = Vec::with_capacity(QUERIES);
+                    for i in 0..QUERIES {
+                        let user = (q.wrapping_mul(7).wrapping_add(i as u32)) % 10;
+                        let (list, t) = e.topk_traced(0, user, 10);
+                        got.push((user, t.epoch, list));
+                    }
+                    got
+                })
+            })
+            .collect();
+        reloader.join().expect("reloader thread");
+        for h in queriers {
+            for (user, epoch, list) in h.join().expect("querier thread") {
+                let want = &refs[(epoch % VERSIONS as u64) as usize][user as usize];
+                assert_eq!(
+                    *list, *want,
+                    "user {user} answered under epoch {epoch} does not match \
+                     that epoch's snapshot"
+                );
+            }
+        }
+        assert_eq!(e.epoch(), RELOADS);
     }
 
     #[test]

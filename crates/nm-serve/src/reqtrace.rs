@@ -81,6 +81,11 @@ pub struct ReqTiming {
     pub cache_hit: bool,
     /// True when this request was served by another thread's batch.
     pub coalesced: bool,
+    /// Snapshot epoch the answer came from: the epoch of the scoring
+    /// pass that produced it (taken once per coalesced batch, coherent
+    /// with the snapshot the pass scored), or the lookup epoch on a
+    /// cache hit.
+    pub epoch: u64,
 }
 
 /// One captured slow request.

@@ -1,0 +1,276 @@
+//! Drift detection over per-round training and probe metrics.
+//!
+//! The monitor watches three signals after every trained round:
+//!
+//! 1. **Loss EWMA** — the round's mean fine-tuning loss against an
+//!    exponentially weighted average of past rounds; a sudden jump
+//!    past `loss_factor ×` the average trips drift. This is the
+//!    primary, fully deterministic detector.
+//! 2. **Probe HR** — held-out hit-rate of the *candidate* model on a
+//!    fixed probe set, compared to the HR recorded at the last
+//!    publish. A relative drop past `hr_drop` trips drift.
+//! 3. **Serve p99** — optional and *advisory by default* (`0` = off):
+//!    latency is wall-clock, so gating decisions on it would break the
+//!    same-seed ⇒ same-decision-sequence contract. When enabled, runs
+//!    are only reproducible on identical hardware/load; the runner
+//!    still logs p99 to the trace either way, never to `decisions.log`.
+//!
+//! After a rollback the monitor holds publishes for `cooldown_rounds`
+//! so the re-trained model has rounds to recover before it can be
+//! promoted (or re-tripped) again.
+
+/// Thresholds and windows for [`DriftMonitor`].
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// EWMA smoothing for mean round loss (weight of the new round).
+    pub ewma_alpha: f64,
+    /// Trip when `mean_loss > loss_factor × ewma`. `0` disables.
+    pub loss_factor: f64,
+    /// Rounds before the loss detector arms (EWMA still warms up).
+    pub warmup_rounds: usize,
+    /// Trip when probe HR falls below `(1 - hr_drop) ×` the HR at the
+    /// last publish. `0` disables.
+    pub hr_drop: f64,
+    /// Trip when serve p99 exceeds this (µs). `0` (default) disables;
+    /// see the module docs — enabling sacrifices cross-run decision
+    /// reproducibility.
+    pub p99_limit_us: u64,
+    /// Rounds after a rollback during which publishes are held.
+    pub cooldown_rounds: usize,
+    /// Rollback budget; the next drift verdict past it halts the loop.
+    pub max_rollbacks: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            ewma_alpha: 0.3,
+            loss_factor: 2.0,
+            warmup_rounds: 3,
+            hr_drop: 0.0,
+            p99_limit_us: 0,
+            cooldown_rounds: 4,
+            max_rollbacks: 2,
+        }
+    }
+}
+
+/// Per-round health verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Detectors still arming; publishes proceed on cadence.
+    Warmup,
+    /// All enabled detectors inside their envelopes.
+    Healthy,
+    /// Post-rollback hold: healthy-looking but not yet publishable.
+    Cooldown,
+    /// At least one detector tripped.
+    Drift,
+}
+
+impl Verdict {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Warmup => "warmup",
+            Verdict::Healthy => "healthy",
+            Verdict::Cooldown => "cooldown",
+            Verdict::Drift => "drift",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "warmup" => Verdict::Warmup,
+            "healthy" => Verdict::Healthy,
+            "cooldown" => Verdict::Cooldown,
+            "drift" => Verdict::Drift,
+            _ => return None,
+        })
+    }
+}
+
+/// Streaming drift state. All fields are persisted (bit-exactly) in
+/// the runner state file so a crash-resumed process issues the same
+/// verdicts the uninterrupted run would have.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    /// Loss EWMA; negative means "no observation yet".
+    pub ewma: f64,
+    /// Rounds observed (drives warmup).
+    pub seen: u64,
+    /// Remaining cooldown rounds.
+    pub cooldown_left: u32,
+    /// Probe HR recorded at the last publish (0 = none yet).
+    pub published_hr: f64,
+}
+
+impl Default for DriftMonitor {
+    fn default() -> Self {
+        Self {
+            ewma: -1.0,
+            seen: 0,
+            cooldown_left: 0,
+            published_hr: 0.0,
+        }
+    }
+}
+
+impl DriftMonitor {
+    /// Folds one trained round's metrics in and returns the verdict.
+    /// `p99_us` is `None` unless the (reproducibility-breaking) latency
+    /// detector is enabled.
+    pub fn observe(
+        &mut self,
+        cfg: &DriftConfig,
+        mean_loss: f64,
+        probe_hr: f64,
+        p99_us: Option<u64>,
+    ) -> Verdict {
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            self.fold(cfg, mean_loss);
+            return Verdict::Cooldown;
+        }
+        if self.seen < cfg.warmup_rounds as u64 {
+            self.fold(cfg, mean_loss);
+            return Verdict::Warmup;
+        }
+        let loss_trip =
+            cfg.loss_factor > 0.0 && self.ewma > 0.0 && mean_loss > cfg.loss_factor * self.ewma;
+        let hr_trip = cfg.hr_drop > 0.0
+            && self.published_hr > 0.0
+            && probe_hr < (1.0 - cfg.hr_drop) * self.published_hr;
+        let p99_trip = cfg.p99_limit_us > 0 && p99_us.is_some_and(|p| p > cfg.p99_limit_us);
+        if loss_trip || hr_trip || p99_trip {
+            // Deliberately NOT folded into the EWMA: the drifted round
+            // must not drag the baseline toward the anomaly.
+            return Verdict::Drift;
+        }
+        self.fold(cfg, mean_loss);
+        Verdict::Healthy
+    }
+
+    fn fold(&mut self, cfg: &DriftConfig, mean_loss: f64) {
+        self.ewma = if self.ewma < 0.0 {
+            mean_loss
+        } else {
+            cfg.ewma_alpha * mean_loss + (1.0 - cfg.ewma_alpha) * self.ewma
+        };
+        self.seen += 1;
+    }
+
+    /// Re-applies the state mutation of a past [`DriftMonitor::observe`]
+    /// call whose verdict is already known — used by crash recovery to
+    /// replay a write-ahead-logged decision without re-running the
+    /// detectors (whose advisory inputs, e.g. p99, are not replayable).
+    pub fn replay(&mut self, cfg: &DriftConfig, verdict: Verdict, mean_loss: f64) {
+        match verdict {
+            Verdict::Cooldown => {
+                self.cooldown_left = self.cooldown_left.saturating_sub(1);
+                self.fold(cfg, mean_loss);
+            }
+            Verdict::Warmup | Verdict::Healthy => self.fold(cfg, mean_loss),
+            Verdict::Drift => {}
+        }
+    }
+
+    /// Records the probe HR of a freshly published snapshot.
+    pub fn on_publish(&mut self, probe_hr: f64) {
+        self.published_hr = probe_hr;
+    }
+
+    /// Starts the post-rollback cooldown window.
+    pub fn on_rollback(&mut self, cfg: &DriftConfig) {
+        self.cooldown_left = cfg.cooldown_rounds as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warms_up_then_trips_on_loss_jump() {
+        let cfg = DriftConfig::default();
+        let mut m = DriftMonitor::default();
+        assert_eq!(m.observe(&cfg, 0.7, 0.5, None), Verdict::Warmup);
+        assert_eq!(m.observe(&cfg, 0.69, 0.5, None), Verdict::Warmup);
+        assert_eq!(m.observe(&cfg, 0.68, 0.5, None), Verdict::Warmup);
+        assert_eq!(m.observe(&cfg, 0.70, 0.5, None), Verdict::Healthy);
+        let ewma_before = m.ewma;
+        assert_eq!(m.observe(&cfg, 5.0, 0.5, None), Verdict::Drift);
+        assert_eq!(m.ewma, ewma_before, "drifted round must not move the EWMA");
+    }
+
+    #[test]
+    fn hr_drop_detector() {
+        let cfg = DriftConfig {
+            warmup_rounds: 0,
+            loss_factor: 0.0,
+            hr_drop: 0.2,
+            ..Default::default()
+        };
+        let mut m = DriftMonitor::default();
+        assert_eq!(m.observe(&cfg, 0.7, 0.5, None), Verdict::Healthy);
+        m.on_publish(0.5);
+        assert_eq!(m.observe(&cfg, 0.7, 0.45, None), Verdict::Healthy);
+        assert_eq!(m.observe(&cfg, 0.7, 0.39, None), Verdict::Drift);
+    }
+
+    #[test]
+    fn cooldown_absorbs_rounds_then_rearms() {
+        let cfg = DriftConfig {
+            warmup_rounds: 0,
+            cooldown_rounds: 2,
+            ..Default::default()
+        };
+        let mut m = DriftMonitor::default();
+        assert_eq!(m.observe(&cfg, 0.7, 0.5, None), Verdict::Healthy);
+        m.on_rollback(&cfg);
+        assert_eq!(m.observe(&cfg, 9.0, 0.5, None), Verdict::Cooldown);
+        assert_eq!(m.observe(&cfg, 0.7, 0.5, None), Verdict::Cooldown);
+        assert_eq!(m.observe(&cfg, 0.7, 0.5, None), Verdict::Healthy);
+    }
+
+    #[test]
+    fn replay_reproduces_observe_mutation_bit_exactly() {
+        let cfg = DriftConfig {
+            cooldown_rounds: 2,
+            ..Default::default()
+        };
+        let mut live = DriftMonitor::default();
+        let mut replayed = DriftMonitor::default();
+        for (i, &loss) in [0.7, 0.65, 0.72, 0.68, 5.0, 0.66, 0.64, 0.63]
+            .iter()
+            .enumerate()
+        {
+            let v = live.observe(&cfg, loss, 0.5, None);
+            if v == Verdict::Drift {
+                live.on_rollback(&cfg);
+                replayed.replay(&cfg, v, loss);
+                replayed.on_rollback(&cfg);
+            } else {
+                replayed.replay(&cfg, v, loss);
+            }
+            assert_eq!(live.ewma.to_bits(), replayed.ewma.to_bits(), "step {i}");
+            assert_eq!(live.seen, replayed.seen, "step {i}");
+            assert_eq!(live.cooldown_left, replayed.cooldown_left, "step {i}");
+        }
+    }
+
+    #[test]
+    fn p99_detector_is_opt_in() {
+        let off = DriftConfig {
+            warmup_rounds: 0,
+            ..Default::default()
+        };
+        let mut m = DriftMonitor::default();
+        m.observe(&off, 0.7, 0.5, None);
+        assert_eq!(m.observe(&off, 0.7, 0.5, Some(u64::MAX)), Verdict::Healthy);
+        let on = DriftConfig {
+            p99_limit_us: 1000,
+            ..off
+        };
+        assert_eq!(m.observe(&on, 0.7, 0.5, Some(1001)), Verdict::Drift);
+    }
+}

@@ -1,0 +1,118 @@
+//! # nm-stream
+//!
+//! The online serve-while-train loop (paper Table VIII's deployment,
+//! simulated end to end): a seeded event source replays the hidden
+//! conversion environment of `nm-eval`'s A/B simulator **against the
+//! live serving engine**, interactions flow through a bounded ring
+//! buffer into a delta fine-tuner built on the offline
+//! `train_joint_ft` path, fresh snapshots are published on a cadence
+//! and hot-swapped into a running `nm-serve` [`nm_serve::Engine`], and
+//! a drift monitor rolls everything back to the last-good snapshot
+//! when the stream shifts under the model.
+//!
+//! ```text
+//!            ┌──────────── serving snapshot ranks the slate ─────────────┐
+//!            ▼                                                           │
+//!  [event source] ──► events.log ──► [ring buffer] ──► [delta fine-tune] │
+//!   hidden env        (round-framed,   (bounded,         one round per   │
+//!   + shift schedule   append-only)     drop-oldest)      call, ckpt     │
+//!                                                            │           │
+//!                                            [drift monitor] ◄ loss/HR   │
+//!                                              │ healthy: publish ───────┘
+//!                                              │ drift:   rollback to last-good
+//!                                              ▼
+//!                                       decisions.log + trace events
+//! ```
+//!
+//! **Determinism.** Same seed ⇒ byte-identical `events.log` and an
+//! identical publish/swap/rollback decision sequence across runs. The
+//! event log is round-framed and append-only: a round's events are
+//! generated once (a pure function of the seed, the round index, and
+//! the currently *published* snapshot) and replayed from the log ever
+//! after — including after a rollback, so retraining sees exactly the
+//! stream the first attempt saw. No wall-clock value feeds a decision;
+//! timestamps are logical (round index × configured round duration).
+//!
+//! **Crash safety.** The trainer's delta checkpoint (`NMCK` v2,
+//! checksummed, written with `atomic_write_bytes`), the runner state
+//! file, and the decision log together make the loop restartable at
+//! every boundary: a kill anywhere — mid-event-write, after training,
+//! during publish — resumes to the same final bytes an uninterrupted
+//! run produces (see `tests/stream_loop.rs`).
+
+pub mod drift;
+pub mod ring;
+pub mod runner;
+pub mod source;
+pub mod state;
+pub mod tuner;
+
+pub use drift::{DriftConfig, DriftMonitor, Verdict};
+pub use ring::RingBuffer;
+pub use runner::{run_stream, Action, Decision, StreamConfig, StreamFaults, StreamReport};
+pub use source::{generate_round, EventLog, ShiftSchedule, SourceConfig, StreamEvent};
+pub use tuner::MicroBatchSource;
+
+use nm_models::TrainError;
+use nm_nn::checkpoint::CheckpointError;
+use std::fmt;
+
+/// Structured failure of the streaming loop.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The delta fine-tuner failed (divergence budget, bad checkpoint,
+    /// resume mismatch, or an injected trainer fault).
+    Train(TrainError),
+    /// Snapshot or checkpoint I/O failed.
+    Checkpoint(CheckpointError),
+    Io(std::io::Error),
+    /// The configuration is unusable (e.g. zero rounds).
+    Config(String),
+    /// On-disk loop state is inconsistent (event log, state file, and
+    /// delta checkpoint disagree beyond what crash recovery covers).
+    Corrupt(String),
+    /// A published or restored snapshot is not bit-identical to the
+    /// trainer's in-memory model export.
+    ParityMismatch(String),
+    /// An injected [`StreamFaults`] crash point fired (tests only).
+    Injected {
+        what: &'static str,
+        round: usize,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Train(e) => write!(f, "stream fine-tuner: {e}"),
+            StreamError::Checkpoint(e) => write!(f, "stream checkpoint: {e}"),
+            StreamError::Io(e) => write!(f, "stream io: {e}"),
+            StreamError::Config(m) => write!(f, "stream config: {m}"),
+            StreamError::Corrupt(m) => write!(f, "stream state corrupt: {m}"),
+            StreamError::ParityMismatch(m) => write!(f, "snapshot parity violated: {m}"),
+            StreamError::Injected { what, round } => {
+                write!(f, "injected stream fault '{what}' at round {round}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<TrainError> for StreamError {
+    fn from(e: TrainError) -> Self {
+        StreamError::Train(e)
+    }
+}
+
+impl From<CheckpointError> for StreamError {
+    fn from(e: CheckpointError) -> Self {
+        StreamError::Checkpoint(e)
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}

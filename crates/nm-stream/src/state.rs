@@ -1,0 +1,343 @@
+//! Durable loop state: the runner state file and the decision log.
+//!
+//! Two tiny text artifacts make the loop restartable and auditable:
+//!
+//! * `state.txt` — the runner's counters plus the drift monitor's
+//!   state, rewritten atomically after every completed iteration.
+//!   Floats are stored as IEEE-754 bit patterns (`{:016x}`) so a
+//!   reload is bit-exact and a resumed run issues byte-identical
+//!   verdicts.
+//! * `decisions.log` — one line per iteration recording the verdict
+//!   and the action taken. The acceptance contract ("identical
+//!   publish/swap/rollback decision sequence across two runs") is
+//!   checked by comparing these files byte for byte.
+//!
+//! Both are rewritten with `atomic_write_bytes`, and the decision log
+//! is rewritten as `first state.iter lines + the new line`, which
+//! makes re-appending after a crash idempotent: a decision the dying
+//! process already wrote is simply written again, identically.
+
+use crate::drift::{DriftMonitor, Verdict};
+use crate::StreamError;
+use nm_nn::checkpoint::atomic_write_bytes;
+use std::path::Path;
+
+/// What the runner did with a trained round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Snapshot exported, parity-checked, hot-swapped into the engine.
+    Publish,
+    /// Keep training; not on the publish cadence (or cooling down).
+    Hold,
+    /// Restore last-good: delta checkpoint, model, and engine snapshot.
+    Rollback,
+    /// Rollback budget exhausted — loop stops, serving stays last-good.
+    Halt,
+}
+
+impl Action {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Action::Publish => "publish",
+            Action::Hold => "hold",
+            Action::Rollback => "rollback",
+            Action::Halt => "halt",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "publish" => Action::Publish,
+            "hold" => Action::Hold,
+            "rollback" => Action::Rollback,
+            "halt" => Action::Halt,
+            _ => return None,
+        })
+    }
+}
+
+/// One audited loop iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Loop iteration (monotone; rollbacks revisit *rounds*, never
+    /// iterations).
+    pub iter: u64,
+    /// Stream round that was trained this iteration.
+    pub round: usize,
+    pub verdict: Verdict,
+    pub action: Action,
+    /// Mean fine-tuning loss of the round.
+    pub mean_loss: f32,
+    /// Probe hit-rate of the candidate model (mean of both domains).
+    pub hr: f64,
+}
+
+impl Decision {
+    fn to_line(self) -> String {
+        format!(
+            "d {} {} {} {} {:08x} {:016x}\n",
+            self.iter,
+            self.round,
+            self.verdict.as_str(),
+            self.action.as_str(),
+            self.mean_loss.to_bits(),
+            self.hr.to_bits()
+        )
+    }
+
+    fn parse_line(line: &str) -> Option<Self> {
+        let mut it = line.split(' ');
+        if it.next()? != "d" {
+            return None;
+        }
+        Some(Self {
+            iter: it.next()?.parse().ok()?,
+            round: it.next()?.parse().ok()?,
+            verdict: Verdict::parse(it.next()?)?,
+            action: Action::parse(it.next()?)?,
+            mean_loss: f32::from_bits(u32::from_str_radix(it.next()?, 16).ok()?),
+            hr: f64::from_bits(u64::from_str_radix(it.next()?, 16).ok()?),
+        })
+    }
+}
+
+/// Reads the full decision history (absent file = empty).
+pub fn load_decisions(path: &Path) -> Result<Vec<Decision>, StreamError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        match Decision::parse_line(line) {
+            Some(d) => out.push(d),
+            None => {
+                return Err(StreamError::Corrupt(format!(
+                    "decisions.log line {}: unparseable '{line}'",
+                    i + 1
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Appends `d` as line `keep_lines + 1`, truncating anything past
+/// `keep_lines` first (idempotent re-append after a crash). The whole
+/// file is rewritten atomically — it is tiny.
+pub fn append_decision(path: &Path, keep_lines: u64, d: Decision) -> Result<(), StreamError> {
+    let mut text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e.into()),
+    };
+    if let Some((end, _)) = text
+        .split_inclusive('\n')
+        .scan(0usize, |off, l| {
+            *off += l.len();
+            Some((*off, l))
+        })
+        .take(keep_lines as usize)
+        .last()
+    {
+        text.truncate(end);
+    } else {
+        text.clear();
+    }
+    text.push_str(&d.to_line());
+    atomic_write_bytes(path, text.as_bytes())?;
+    Ok(())
+}
+
+/// Durable runner counters + drift-monitor state.
+#[derive(Debug, Clone, Default)]
+pub struct RunnerState {
+    /// Completed loop iterations (== valid lines in `decisions.log`).
+    pub iter: u64,
+    /// Rounds the delta checkpoint has fully trained (== trainer's
+    /// `epoch_next`).
+    pub trained_after: usize,
+    /// Round of the currently serving snapshot (`None` = the initial
+    /// pre-stream snapshot).
+    pub serving: Option<u32>,
+    pub publishes: u64,
+    pub swaps: u64,
+    pub rollbacks: u64,
+    pub halted: bool,
+    pub monitor: DriftMonitor,
+}
+
+const MAGIC: &str = "nmstream-state v1";
+
+impl RunnerState {
+    /// Atomically persists to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), StreamError> {
+        let m = &self.monitor;
+        let text = format!(
+            "{MAGIC}\niter {}\ntrained_after {}\nserving {}\npublishes {}\nswaps {}\n\
+             rollbacks {}\nhalted {}\newma {:016x}\npublished_hr {:016x}\nseen {}\ncooldown {}\n",
+            self.iter,
+            self.trained_after,
+            self.serving.map_or("init".to_string(), |r| r.to_string()),
+            self.publishes,
+            self.swaps,
+            self.rollbacks,
+            u8::from(self.halted),
+            m.ewma.to_bits(),
+            m.published_hr.to_bits(),
+            m.seen,
+            m.cooldown_left,
+        );
+        atomic_write_bytes(path, text.as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a previously saved state (`None` if the file is absent —
+    /// a fresh start).
+    pub fn load(path: &Path) -> Result<Option<Self>, StreamError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let corrupt = |m: &str| StreamError::Corrupt(format!("state.txt: {m}"));
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(corrupt("bad or missing magic"));
+        }
+        let mut field = |name: &str| -> Result<String, StreamError> {
+            let line = lines
+                .next()
+                .ok_or_else(|| corrupt(&format!("missing field '{name}'")))?;
+            line.strip_prefix(name)
+                .and_then(|r| r.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| corrupt(&format!("expected field '{name}', got '{line}'")))
+        };
+        let parse_u64 = |name: &str, v: &str| -> Result<u64, StreamError> {
+            v.parse()
+                .map_err(|_| corrupt(&format!("field '{name}': bad integer '{v}'")))
+        };
+        let parse_bits = |name: &str, v: &str| -> Result<f64, StreamError> {
+            u64::from_str_radix(v, 16)
+                .map(f64::from_bits)
+                .map_err(|_| corrupt(&format!("field '{name}': bad f64 bits '{v}'")))
+        };
+        let iter = parse_u64("iter", &field("iter")?)?;
+        let trained_after = parse_u64("trained_after", &field("trained_after")?)? as usize;
+        let serving = match field("serving")?.as_str() {
+            "init" => None,
+            v => Some(parse_u64("serving", v)? as u32),
+        };
+        let publishes = parse_u64("publishes", &field("publishes")?)?;
+        let swaps = parse_u64("swaps", &field("swaps")?)?;
+        let rollbacks = parse_u64("rollbacks", &field("rollbacks")?)?;
+        let halted = match field("halted")?.as_str() {
+            "0" => false,
+            "1" => true,
+            v => return Err(corrupt(&format!("field 'halted': expected 0|1, got '{v}'"))),
+        };
+        let ewma = parse_bits("ewma", &field("ewma")?)?;
+        let published_hr = parse_bits("published_hr", &field("published_hr")?)?;
+        let seen = parse_u64("seen", &field("seen")?)?;
+        let cooldown_left = parse_u64("cooldown", &field("cooldown")?)? as u32;
+        Ok(Some(Self {
+            iter,
+            trained_after,
+            serving,
+            publishes,
+            swaps,
+            rollbacks,
+            halted,
+            monitor: DriftMonitor {
+                ewma,
+                seen,
+                cooldown_left,
+                published_hr,
+            },
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("nmstream-state-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn state_roundtrips_bit_exactly() {
+        let path = tmp("state.txt");
+        let rs = RunnerState {
+            iter: 7,
+            trained_after: 6,
+            serving: Some(5),
+            publishes: 3,
+            swaps: 3,
+            rollbacks: 1,
+            halted: false,
+            monitor: DriftMonitor {
+                ewma: 0.1 + 0.2, // deliberately non-representable
+                seen: 6,
+                cooldown_left: 2,
+                published_hr: 1.0 / 3.0,
+            },
+        };
+        rs.save(&path).unwrap();
+        let back = RunnerState::load(&path).unwrap().unwrap();
+        assert_eq!(back.iter, 7);
+        assert_eq!(back.serving, Some(5));
+        assert_eq!(back.monitor.ewma.to_bits(), rs.monitor.ewma.to_bits());
+        assert_eq!(
+            back.monitor.published_hr.to_bits(),
+            rs.monitor.published_hr.to_bits()
+        );
+        assert_eq!(back.monitor.cooldown_left, 2);
+        assert!(RunnerState::load(&tmp("absent.txt")).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_state_is_rejected() {
+        let path = tmp("bad.txt");
+        std::fs::write(&path, "nmstream-state v1\niter x\n").unwrap();
+        assert!(matches!(
+            RunnerState::load(&path),
+            Err(StreamError::Corrupt(_))
+        ));
+        std::fs::write(&path, "something else\n").unwrap();
+        assert!(matches!(
+            RunnerState::load(&path),
+            Err(StreamError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn decision_log_append_is_idempotent() {
+        let path = tmp("decisions.log");
+        let _ = std::fs::remove_file(&path);
+        let d = |iter: u64, action: Action| Decision {
+            iter,
+            round: iter as usize,
+            verdict: Verdict::Healthy,
+            action,
+            mean_loss: 0.5,
+            hr: 0.25,
+        };
+        append_decision(&path, 0, d(0, Action::Hold)).unwrap();
+        append_decision(&path, 1, d(1, Action::Publish)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // a crash-resumed process re-appends iteration 1
+        append_decision(&path, 1, d(1, Action::Publish)).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        let ds = load_decisions(&path).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[1].action, Action::Publish);
+        assert_eq!(ds[1].mean_loss, 0.5);
+        assert_eq!(ds[1].hr, 0.25);
+    }
+}

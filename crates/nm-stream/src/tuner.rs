@@ -1,0 +1,120 @@
+//! Micro-batch adapter: feeds logged stream interactions into the
+//! offline fine-tuning path.
+//!
+//! [`MicroBatchSource`] implements [`BatchSource`], so the delta
+//! fine-tuner is literally `train_joint_ft` — same optimizer, same
+//! divergence rollback, same NMCK delta checkpoints — consuming one
+//! logged round per "epoch". Epoch `r` of the trainer corresponds to
+//! stream round `r`: the source pushes round `r` from the event log
+//! into the ring, drains up to the micro-batch budget, and chunks the
+//! drained events into `batch_size` batches per domain (labels are the
+//! logged conversion outcomes).
+//!
+//! The result for an epoch is computed once and cached: the trainer's
+//! divergence-rollback path may re-request the same epoch after
+//! restoring a checkpoint, and replaying the push/drain against the
+//! ring twice would corrupt its state.
+
+use crate::ring::RingBuffer;
+use crate::source::EventLog;
+use nm_data::batch::Batch;
+use nm_models::{BatchSource, CdrModel, TrainConfig};
+
+/// Batch lists for domains (A, B).
+type DomainBatches = (Vec<Batch>, Vec<Batch>);
+
+/// [`BatchSource`] over the event log + ring buffer.
+pub struct MicroBatchSource<'a> {
+    log: &'a EventLog,
+    ring: &'a mut RingBuffer,
+    microbatch_max: usize,
+    cached: Option<(usize, DomainBatches)>,
+}
+
+impl<'a> MicroBatchSource<'a> {
+    pub fn new(log: &'a EventLog, ring: &'a mut RingBuffer, microbatch_max: usize) -> Self {
+        Self {
+            log,
+            ring,
+            microbatch_max,
+            cached: None,
+        }
+    }
+}
+
+/// Chunks one domain's `(user, item, label)` triples into sequential
+/// `batch_size` batches — no shuffling: ring order is log order, which
+/// is already the stream's arrival order.
+fn chunk(triples: &[(u32, u32, f32)], batch_size: usize) -> Vec<Batch> {
+    triples
+        .chunks(batch_size.max(1))
+        .map(|c| Batch {
+            users: c.iter().map(|t| t.0).collect(),
+            items: c.iter().map(|t| t.1).collect(),
+            labels: c.iter().map(|t| t.2).collect(),
+        })
+        .collect()
+}
+
+impl BatchSource for MicroBatchSource<'_> {
+    fn epoch_batches(
+        &mut self,
+        model: &dyn CdrModel,
+        cfg: &TrainConfig,
+        epoch: usize,
+    ) -> (Vec<Batch>, Vec<Batch>) {
+        if let Some((e, ref cached)) = self.cached {
+            if e == epoch {
+                return cached.clone();
+            }
+        }
+        if epoch < self.log.rounds() {
+            self.ring.push_round(self.log.round(epoch));
+        }
+        let drained = self.ring.drain(self.microbatch_max);
+        let mut tri: [Vec<(u32, u32, f32)>; 2] = [Vec::new(), Vec::new()];
+        for ev in &drained {
+            tri[(ev.domain as usize).min(1)].push((ev.user, ev.item, f32::from(ev.converted)));
+        }
+        // The joint trainer interleaves the two domains and no-ops the
+        // whole epoch if either list is empty; when the round's traffic
+        // all landed in one domain, pad the other with a single known
+        // positive from its offline split so the round still trains.
+        let task = model.task().clone();
+        let anchors = [&task.split_a.train, &task.split_b.train];
+        for z in 0..2 {
+            if tri[z].is_empty() && !tri[1 - z].is_empty() && !anchors[z].is_empty() {
+                let (u, i) = anchors[z][epoch % anchors[z].len()];
+                tri[z].push((u, i, 1.0));
+            }
+        }
+        let out = (
+            chunk(&tri[0], cfg.batch_size),
+            chunk(&tri[1], cfg.batch_size),
+        );
+        self.cached = Some((epoch, out.clone()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_preserves_order_and_labels() {
+        let triples = vec![
+            (1, 10, 1.0),
+            (2, 11, 0.0),
+            (3, 12, 1.0),
+            (4, 13, 0.0),
+            (5, 14, 1.0),
+        ];
+        let b = chunk(&triples, 2);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0].users, vec![1, 2]);
+        assert_eq!(b[0].labels, vec![1.0, 0.0]);
+        assert_eq!(b[2].users, vec![5]);
+        assert_eq!(b.iter().map(Batch::len).sum::<usize>(), 5);
+    }
+}

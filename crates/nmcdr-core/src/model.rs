@@ -94,114 +94,83 @@ fn build_self_maps(n: usize, overlap: &[Option<u32>]) -> (Rc<Vec<u32>>, Tensor) 
     (Rc::new(map), mask)
 }
 
+/// One domain's parameter stack, created in a fixed order so the
+/// shared RNG consumption (and therefore every initial weight) is
+/// identical to older checkpoints.
+struct DomainParams {
+    user_emb: Embedding,
+    item_emb: Embedding,
+    hge: Vec<Linear>,
+    w_head: Linear,
+    w_tail: Linear,
+    gate_intra: GateFusion,
+    w_self: Linear,
+    w_other: Linear,
+    w_cross: Linear,
+    gate_inter: GateFusion,
+    w_ref: Linear,
+    pred: Mlp,
+}
+
+impl DomainParams {
+    fn new(
+        n: &str,
+        n_users: usize,
+        n_items: usize,
+        cfg: &NmcdrConfig,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let d = cfg.dim;
+        Self {
+            user_emb: Embedding::new(&format!("nmcdr.{n}.users"), n_users, d, 0.1, rng),
+            item_emb: Embedding::new(&format!("nmcdr.{n}.items"), n_items, d, 0.1, rng),
+            hge: (0..cfg.hge_layers)
+                .map(|l| Linear::new(&format!("nmcdr.{n}.hge{l}"), d, d, rng))
+                .collect(),
+            w_head: Linear::new(&format!("nmcdr.{n}.w_head"), d, d, rng),
+            w_tail: Linear::new(&format!("nmcdr.{n}.w_tail"), d, d, rng),
+            gate_intra: GateFusion::new(&format!("nmcdr.{n}.gate_intra"), d, rng),
+            w_self: Linear::new(&format!("nmcdr.{n}.w_self"), d, d, rng),
+            w_other: Linear::new(&format!("nmcdr.{n}.w_other"), d, d, rng),
+            w_cross: Linear::new_no_bias(&format!("nmcdr.{n}.w_cross"), d, d, rng),
+            gate_inter: GateFusion::new(&format!("nmcdr.{n}.gate_inter"), d, rng),
+            w_ref: Linear::new(&format!("nmcdr.{n}.w_ref"), d, d, rng),
+            pred: Mlp::new(
+                &format!("nmcdr.{n}.pred"),
+                &[2 * d, d, 1],
+                Activation::Relu,
+                rng,
+            ),
+        }
+    }
+}
+
 impl NmcdrModel {
     pub fn new(task: Rc<CdrTask>, cfg: NmcdrConfig) -> Self {
         cfg.validate().expect("invalid NmcdrConfig");
         let mut rng = TensorRng::seed_from(cfg.seed);
-        let d = cfg.dim;
         let n_users = [task.split_a.n_users, task.split_b.n_users];
         let n_items = [task.split_a.n_items, task.split_b.n_items];
-        let dn = ["a", "b"];
-        let mut user_emb = Vec::new();
-        let mut item_emb = Vec::new();
-        let mut hge = Vec::new();
-        let mut w_head = Vec::new();
-        let mut w_tail = Vec::new();
-        let mut gate_intra = Vec::new();
-        let mut w_self = Vec::new();
-        let mut w_other = Vec::new();
-        let mut w_cross = Vec::new();
-        let mut gate_inter = Vec::new();
-        let mut w_ref = Vec::new();
-        let mut pred = Vec::new();
-        for z in 0..2 {
-            let n = dn[z];
-            user_emb.push(Embedding::new(
-                &format!("nmcdr.{n}.users"),
-                n_users[z],
-                d,
-                0.1,
-                &mut rng,
-            ));
-            item_emb.push(Embedding::new(
-                &format!("nmcdr.{n}.items"),
-                n_items[z],
-                d,
-                0.1,
-                &mut rng,
-            ));
-            hge.push(
-                (0..cfg.hge_layers)
-                    .map(|l| Linear::new(&format!("nmcdr.{n}.hge{l}"), d, d, &mut rng))
-                    .collect::<Vec<_>>(),
-            );
-            w_head.push(Linear::new(&format!("nmcdr.{n}.w_head"), d, d, &mut rng));
-            w_tail.push(Linear::new(&format!("nmcdr.{n}.w_tail"), d, d, &mut rng));
-            gate_intra.push(GateFusion::new(
-                &format!("nmcdr.{n}.gate_intra"),
-                d,
-                &mut rng,
-            ));
-            w_self.push(Linear::new(&format!("nmcdr.{n}.w_self"), d, d, &mut rng));
-            w_other.push(Linear::new(&format!("nmcdr.{n}.w_other"), d, d, &mut rng));
-            w_cross.push(Linear::new_no_bias(
-                &format!("nmcdr.{n}.w_cross"),
-                d,
-                d,
-                &mut rng,
-            ));
-            gate_inter.push(GateFusion::new(
-                &format!("nmcdr.{n}.gate_inter"),
-                d,
-                &mut rng,
-            ));
-            w_ref.push(Linear::new(&format!("nmcdr.{n}.w_ref"), d, d, &mut rng));
-            pred.push(Mlp::new(
-                &format!("nmcdr.{n}.pred"),
-                &[2 * d, d, 1],
-                Activation::Relu,
-                &mut rng,
-            ));
-        }
+        // Domain A's full stack is created before domain B's — the same
+        // RNG order as always.
+        let da = DomainParams::new("a", n_users[0], n_items[0], &cfg, &mut rng);
+        let db = DomainParams::new("b", n_users[1], n_items[1], &cfg, &mut rng);
         let (sg_a, sm_a) = build_self_maps(n_users[0], &task.overlap_a_to_b);
         let (sg_b, sm_b) = build_self_maps(n_users[1], &task.overlap_b_to_a);
-        let into2 = |mut v: Vec<Linear>| -> [Linear; 2] {
-            let b = v.pop().unwrap();
-            let a = v.pop().unwrap();
-            [a, b]
-        };
         let bridges = RefCell::new(Self::build_bridges(&task, &cfg, 0));
         Self {
-            user_emb: {
-                let b = user_emb.pop().unwrap();
-                [user_emb.pop().unwrap(), b]
-            },
-            item_emb: {
-                let b = item_emb.pop().unwrap();
-                [item_emb.pop().unwrap(), b]
-            },
-            hge: {
-                let b = hge.pop().unwrap();
-                [hge.pop().unwrap(), b]
-            },
-            w_head: into2(w_head),
-            w_tail: into2(w_tail),
-            gate_intra: {
-                let b = gate_intra.pop().unwrap();
-                [gate_intra.pop().unwrap(), b]
-            },
-            w_self: into2(w_self),
-            w_other: into2(w_other),
-            w_cross: into2(w_cross),
-            gate_inter: {
-                let b = gate_inter.pop().unwrap();
-                [gate_inter.pop().unwrap(), b]
-            },
-            w_ref: into2(w_ref),
-            pred: {
-                let b = pred.pop().unwrap();
-                [pred.pop().unwrap(), b]
-            },
+            user_emb: [da.user_emb, db.user_emb],
+            item_emb: [da.item_emb, db.item_emb],
+            hge: [da.hge, db.hge],
+            w_head: [da.w_head, db.w_head],
+            w_tail: [da.w_tail, db.w_tail],
+            gate_intra: [da.gate_intra, db.gate_intra],
+            w_self: [da.w_self, db.w_self],
+            w_other: [da.w_other, db.w_other],
+            w_cross: [da.w_cross, db.w_cross],
+            gate_inter: [da.gate_inter, db.gate_inter],
+            w_ref: [da.w_ref, db.w_ref],
+            pred: [da.pred, db.pred],
             self_gather: [sg_a, sg_b],
             self_mask: [sm_a, sm_b],
             bridges,

@@ -68,6 +68,43 @@ cargo run --release -q -p nm-cli -- obs flame --in "$TRACE_OUT" \
 grep -q "<svg" results/trace/ci_train_flame.svg \
   || { echo "flamegraph artifact is not an SVG"; exit 1; }
 
+echo "== streaming smoke: serve-while-train, hot-swap, drift rollback =="
+# Fixed-seed online loop (~10s): the injected preference inversion at
+# round 8 must trip the drift monitor and roll back to last-good, with
+# at least two snapshot hot-swaps before it. Run twice into separate
+# dirs: every durable artifact must be byte-identical (same seed =>
+# same event log and same decision sequence), and the emitted trace
+# must pass strict schema validation.
+STREAM_ARGS=(--scenario cloth-sport --scale 0.0005 --model HeroGraph
+  --dim 8 --lr 0.1 --seed 91 --rounds 14 --events-per-round 3072
+  --slate 6 --slope 8.0 --shift-at 8 --loss-factor 1.2 --warmup 4
+  --microbatch 3072 --require-swaps 2 --require-rollbacks 1)
+rm -rf target/ci_stream_a target/ci_stream_b target/ci_stream_c \
+  target/ci_stream_trace.jsonl
+cargo run --release -q -p nm-cli -- stream "${STREAM_ARGS[@]}" \
+  --out target/ci_stream_a --trace-out target/ci_stream_trace.jsonl
+cargo run --release -q -p nm-cli -- stream "${STREAM_ARGS[@]}" \
+  --out target/ci_stream_b
+cargo run --release -q -p nm-cli -- stream "${STREAM_ARGS[@]}" \
+  --out target/ci_stream_c
+# The decision sequence is identical whether or not tracing is on …
+for f in events.log decisions.log state.txt; do
+  cmp target/ci_stream_a/$f target/ci_stream_b/$f \
+    || { echo "stream smoke: $f differs between same-seed runs"; exit 1; }
+done
+# … and two equally-configured runs agree on every durable byte
+# (checkpoints embed per-epoch telemetry, whose timings legitimately
+# differ when one run also records a trace).
+for f in events.log decisions.log state.txt delta.nmck good.nmck; do
+  cmp target/ci_stream_b/$f target/ci_stream_c/$f \
+    || { echo "stream smoke: $f differs between same-seed runs"; exit 1; }
+done
+grep -q '"name":"stream.rollback"' target/ci_stream_trace.jsonl \
+  || { echo "stream smoke: no stream.rollback event in trace"; exit 1; }
+grep -q '"name":"stream.swap"' target/ci_stream_trace.jsonl \
+  || { echo "stream smoke: no stream.swap event in trace"; exit 1; }
+cargo run --release -q -p nm-cli -- obs validate --trace target/ci_stream_trace.jsonl
+
 echo "== perf-regression gate (nmcdr bench) =="
 # Baselines are per-machine and never committed. First run on a fresh
 # machine records one (soft pass); every later run compares against it

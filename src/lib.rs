@@ -52,5 +52,12 @@ pub use nmcdr_core as core;
 /// Ranking metrics, projection, A/B simulation.
 pub use nm_eval as eval;
 
+/// Snapshot export + the low-latency serving engine.
+pub use nm_serve as serve;
+
+/// Online serve-while-train loop: delta fine-tuning, hot-swap
+/// snapshots, drift-triggered rollback.
+pub use nm_stream as stream;
+
 /// Observability: metrics registry, structured tracing, trace reports.
 pub use nm_obs as obs;
