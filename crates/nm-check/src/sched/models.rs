@@ -848,6 +848,286 @@ impl SchedModel for StreamRingModel {
     }
 }
 
+// ---------------------------------------------------------------------
+// 8. Circuit-breaker half-open probe (nm-serve ShardBreakers)
+// ---------------------------------------------------------------------
+
+/// N requests hit one shard whose breaker is Open with the cooldown
+/// already expired. The real `ShardBreakers::admit` consults the state
+/// and claims the half-open probe inside one mutex region, so exactly
+/// one request probes while the rest short-circuit; the seeded bug
+/// splits the consult and the claim into two steps, so two racing
+/// requests can both observe "cooldown expired" and both probe — the
+/// half-open state no longer bounds the load sent to a sick shard.
+/// Invariants: at most one probe in flight, and finally the breaker is
+/// closed by exactly one successful probe.
+#[derive(Clone)]
+pub struct BreakerModel {
+    split_claim: bool,
+    state: BreakerState,
+    probing: bool,
+    probes_total: u32,
+    allowed: u32,
+    skipped: u32,
+    phase: Vec<BreakerPhase>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Open,
+    HalfOpen,
+    Closed,
+}
+
+#[derive(Clone, Copy)]
+enum BreakerPhase {
+    Arrive,
+    /// Bug variant only: observed the cooldown expired; the probe claim
+    /// lands in a later step, acting on the stale observation.
+    ClaimPending,
+    Work {
+        probe: bool,
+    },
+    Done,
+}
+
+impl BreakerModel {
+    fn new(requests: usize, split_claim: bool) -> Self {
+        Self {
+            split_claim,
+            state: BreakerState::Open,
+            probing: false,
+            probes_total: 0,
+            allowed: 0,
+            skipped: 0,
+            phase: vec![BreakerPhase::Arrive; requests],
+        }
+    }
+
+    pub fn correct(requests: usize) -> Self {
+        Self::new(requests, false)
+    }
+
+    /// Seeded bug: state consult and probe claim are separate steps.
+    pub fn seeded_bug(requests: usize) -> Self {
+        Self::new(requests, true)
+    }
+
+    fn claim_probe(&mut self, t: usize) {
+        self.state = BreakerState::HalfOpen;
+        self.probing = true;
+        self.probes_total += 1;
+        self.phase[t] = BreakerPhase::Work { probe: true };
+    }
+}
+
+impl SchedModel for BreakerModel {
+    fn thread_count(&self) -> usize {
+        self.phase.len()
+    }
+    fn is_done(&self, t: usize) -> bool {
+        matches!(self.phase[t], BreakerPhase::Done)
+    }
+    fn is_runnable(&self, t: usize) -> bool {
+        !self.is_done(t)
+    }
+    fn step(&mut self, t: usize) {
+        match self.phase[t] {
+            BreakerPhase::Arrive => match self.state {
+                BreakerState::Closed => {
+                    self.allowed += 1;
+                    self.phase[t] = BreakerPhase::Work { probe: false };
+                }
+                BreakerState::Open => {
+                    if self.split_claim {
+                        self.phase[t] = BreakerPhase::ClaimPending;
+                    } else {
+                        self.claim_probe(t);
+                    }
+                }
+                BreakerState::HalfOpen => {
+                    if self.probing {
+                        // single-probe rule: short-circuit to degraded
+                        self.skipped += 1;
+                        self.phase[t] = BreakerPhase::Done;
+                    } else {
+                        self.claim_probe(t);
+                    }
+                }
+            },
+            BreakerPhase::ClaimPending => self.claim_probe(t),
+            BreakerPhase::Work { probe } => {
+                // the request succeeds; a successful probe closes
+                if probe {
+                    self.state = BreakerState::Closed;
+                    self.probing = false;
+                }
+                self.phase[t] = BreakerPhase::Done;
+            }
+            BreakerPhase::Done => unreachable!("done threads are not runnable"),
+        }
+    }
+    fn check_step(&self) -> Result<(), String> {
+        let in_flight = self
+            .phase
+            .iter()
+            .filter(|p| matches!(p, BreakerPhase::Work { probe: true }))
+            .count();
+        if in_flight > 1 {
+            return Err(format!(
+                "concurrent half-open probes: {in_flight} probes in flight \
+                 (the half-open state must admit exactly one)"
+            ));
+        }
+        Ok(())
+    }
+    fn check_final(&self) -> Result<(), String> {
+        if self.state != BreakerState::Closed {
+            return Err("breaker not closed after a successful probe".into());
+        }
+        if self.probes_total != 1 {
+            return Err(format!(
+                "{} probes sent to the sick shard, expected exactly 1",
+                self.probes_total
+            ));
+        }
+        let n = self.phase.len() as u32;
+        if self.allowed + self.skipped + self.probes_total != n {
+            return Err(format!(
+                "allowed {} + skipped {} + probes {} != {} requests",
+                self.allowed, self.skipped, self.probes_total, n
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// 9. Supervisor respawn (nm-serve Supervisor monitor loop)
+// ---------------------------------------------------------------------
+
+/// One supervised worker slot that crashes repeatedly, watched by two
+/// monitor threads. The real monitor loop holds the child-state lock
+/// across the whole is-dead check *and* the respawn, so a dead slot is
+/// refilled exactly once per crash; the seeded bug observes "dead" in
+/// one step and spawns in a later one, so two monitors can both see the
+/// corpse and both respawn — two live workers draining one queue slot's
+/// restart budget. Invariants: never more than one live worker in the
+/// slot, and finally restarts == crashes.
+#[derive(Clone)]
+pub struct SupervisorModel {
+    split_respawn: bool,
+    live: u32,
+    dead: bool,
+    restarts: u32,
+    budget: u32,
+    crashes_left: u32,
+    /// ticks threads: index 0 is the worker, 1.. are monitors.
+    pending_spawn: Vec<bool>,
+}
+
+impl SupervisorModel {
+    fn new(monitors: usize, crashes: u32, split_respawn: bool) -> Self {
+        Self {
+            split_respawn,
+            live: 1,
+            dead: false,
+            restarts: 0,
+            budget: crashes,
+            crashes_left: crashes,
+            pending_spawn: vec![false; monitors + 1],
+        }
+    }
+
+    pub fn correct(monitors: usize, crashes: u32) -> Self {
+        Self::new(monitors, crashes, false)
+    }
+
+    /// Seeded bug: dead-check and respawn are separate steps.
+    pub fn seeded_bug(monitors: usize, crashes: u32) -> Self {
+        Self::new(monitors, crashes, true)
+    }
+
+    fn slot_repaired(&self) -> bool {
+        self.crashes_left == 0 && !self.dead && self.live >= 1
+    }
+}
+
+impl SchedModel for SupervisorModel {
+    fn thread_count(&self) -> usize {
+        self.pending_spawn.len()
+    }
+    fn is_done(&self, t: usize) -> bool {
+        if t == 0 {
+            self.crashes_left == 0
+        } else {
+            self.slot_repaired() && !self.pending_spawn[t]
+        }
+    }
+    fn is_runnable(&self, t: usize) -> bool {
+        if self.is_done(t) {
+            return false;
+        }
+        if t == 0 {
+            // the worker can only crash while it is alive
+            self.live >= 1
+        } else {
+            // a monitor has work when the slot is dead (tick) or it
+            // already committed to a respawn (bug variant)
+            self.pending_spawn[t] || (self.dead && self.restarts < self.budget)
+        }
+    }
+    fn step(&mut self, t: usize) {
+        if t == 0 {
+            self.live -= 1;
+            self.dead = true;
+            self.crashes_left -= 1;
+            return;
+        }
+        if self.pending_spawn[t] {
+            // acts on the stale observation: unconditional respawn
+            self.pending_spawn[t] = false;
+            self.live += 1;
+            self.dead = false;
+            self.restarts += 1;
+            return;
+        }
+        // monitor tick: the slot is dead and budget remains
+        if self.split_respawn {
+            self.pending_spawn[t] = true;
+        } else {
+            // one lock region: check-dead + respawn
+            self.live += 1;
+            self.dead = false;
+            self.restarts += 1;
+        }
+    }
+    fn check_step(&self) -> Result<(), String> {
+        if self.live > 1 {
+            return Err(format!(
+                "double restart: {} live workers in one supervised slot",
+                self.live
+            ));
+        }
+        Ok(())
+    }
+    fn check_final(&self) -> Result<(), String> {
+        if self.live != 1 || self.dead {
+            return Err(format!(
+                "slot not repaired at rest: live={}, dead={}",
+                self.live, self.dead
+            ));
+        }
+        if self.restarts != self.budget {
+            return Err(format!(
+                "{} restarts for {} crashes (restart counter drift)",
+                self.restarts, self.budget
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl SchedModel for ShedModel {
     fn thread_count(&self) -> usize {
         self.phase.len()

@@ -18,6 +18,8 @@
 //! 13. non-atomic counter       -> sched final-state
 //! 14. connection over-admission-> sched invariant
 //! 15. per-item epoch read      -> sched invariant (mixed-epoch batch)
+//! 16. double half-open probe   -> sched invariant (concurrent probes)
+//! 17. non-atomic respawn check -> sched invariant (double restart)
 
 use nm_autograd::{TraceMeta, TraceNode};
 use nm_check::sched::models::*;
@@ -287,6 +289,27 @@ fn seeded_per_item_epoch_read_caught() {
     let r = explore(&StreamRingModel::seeded_bug(4, 3, 2, 1), &opts());
     let v = r.violation.expect("mixed-epoch batch must surface");
     assert!(v.message.contains("mixed-epoch batch"), "{}", v.message);
+}
+
+#[test]
+fn seeded_split_probe_claim_caught() {
+    let r = explore(&BreakerModel::seeded_bug(3), &opts());
+    let v = r.violation.expect("double probe must surface");
+    // the split claim surfaces either as two probes in flight at once
+    // or as two probes total within one cooldown window
+    assert!(
+        v.message.contains("concurrent half-open probes")
+            || v.message.contains("probes sent to the sick shard"),
+        "{}",
+        v.message
+    );
+}
+
+#[test]
+fn seeded_nonatomic_respawn_caught() {
+    let r = explore(&SupervisorModel::seeded_bug(2, 2), &opts());
+    let v = r.violation.expect("double restart must surface");
+    assert!(v.message.contains("double restart"), "{}", v.message);
 }
 
 #[test]

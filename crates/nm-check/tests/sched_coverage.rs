@@ -52,3 +52,13 @@ fn shed_slots_all_schedules_clean() {
 fn exemplar_ring_all_schedules_clean() {
     assert_clean("exemplar-ring", ExemplarRingModel::correct(4, 2));
 }
+
+#[test]
+fn breaker_probe_all_schedules_clean() {
+    assert_clean("breaker", BreakerModel::correct(6));
+}
+
+#[test]
+fn supervisor_respawn_all_schedules_clean() {
+    assert_clean("supervisor", SupervisorModel::correct(2, 10));
+}

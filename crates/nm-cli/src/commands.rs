@@ -53,6 +53,21 @@ COMMANDS:
              --snapshot <file.nmss> [--bind 127.0.0.1:7878]
              [--workers N] [--shard-items 256] [--batch-max 8]
              [--cache 4096]
+             [--chaos-seed N] enables fault injection (permille knobs:
+             [--chaos-panic 100] [--chaos-stall 100] [--chaos-torn-write 50]
+             [--chaos-torn-read 50] [--chaos-reload-fail 100]
+             [--chaos-deadline 50])
+  chaos      deterministic chaos drill: chaos-enabled server + fixed
+             workload (queries, reloads, hostile frames), run twice and
+             byte-compared; prints an injection/breaker/degraded report
+             [--seed N] [--requests 80] [--snapshot <file.nmss>]
+             [--panic 250] [--stall 250] [--torn-write 100]
+             [--torn-read 100] [--reload-fail 500] [--deadline-expire 150]
+             [--workers 2] [--shard-items 32] [--retries 1]
+             [--breaker-threshold 2] [--breaker-cooldown 4]
+             [--trace-out <file.jsonl>] [--require-injections N]
+             [--require-breaker-opens N] [--require-degraded N]
+             --require-* make the exit code a CI gate
   query      one-shot client against a running server
              [--addr 127.0.0.1:7878] [--op topk|stats|obs|trace|shutdown]
              [--user 0] [--domain a] [--k 10] [--n 5]
@@ -543,14 +558,32 @@ pub fn serve(args: &Args) -> Result<(), String> {
         format!("cannot load snapshot '{path}': {e} (export one with 'nmcdr snapshot --out ...')")
     })?;
     let model = snap.model.clone();
+    // Fault injection is off unless a chaos seed is given; the knob
+    // defaults are mild enough for interactive poking.
+    let chaos = match args.get("chaos-seed") {
+        Some(_) => Some(nm_serve::ChaosConfig {
+            seed: args.parse_or("chaos-seed", 0)?,
+            worker_panic_permille: args.parse_or("chaos-panic", 100)?,
+            shard_stall_permille: args.parse_or("chaos-stall", 100)?,
+            torn_write_permille: args.parse_or("chaos-torn-write", 50)?,
+            torn_read_permille: args.parse_or("chaos-torn-read", 50)?,
+            reload_fail_permille: args.parse_or("chaos-reload-fail", 100)?,
+            deadline_expire_permille: args.parse_or("chaos-deadline", 50)?,
+        }),
+        None => None,
+    };
     let cfg = nm_serve::EngineConfig {
         n_workers: args.parse_or("workers", nm_serve::EngineConfig::default().n_workers)?,
         shard_items: args.parse_or("shard-items", 256)?,
         batch_max: args.parse_or("batch-max", 8)?,
         cache_capacity: args.parse_or("cache", 4096)?,
+        chaos,
         ..Default::default()
     };
     let n_workers = cfg.n_workers;
+    if cfg.chaos.is_some() {
+        println!("WARNING: chaos fault injection is ENABLED on this server");
+    }
     let engine =
         Arc::new(nm_serve::Engine::new(snap, cfg).map_err(|e| format!("invalid snapshot: {e}"))?);
     let bind = args.get("bind").unwrap_or("127.0.0.1:7878");

@@ -13,6 +13,8 @@
 //! nmcdr stream   --scenario cloth-sport --model HeroGraph --out results/stream \
 //!                --rounds 12 --shift-at 6 --require-swaps 2 --require-rollbacks 1
 //! nmcdr serve    --snapshot model.nmss --bind 127.0.0.1:7878
+//! nmcdr chaos    --seed 7 --requests 120 --require-breaker-opens 1 \
+//!                --require-degraded 1 --trace-out chaos.jsonl
 //! nmcdr query    --addr 127.0.0.1:7878 --op topk --user 3 --domain a --k 10
 //! nmcdr train    --scenario cloth-sport --trace-out results/trace/run.jsonl
 //! nmcdr obs report   --trace results/trace/run.jsonl
@@ -26,6 +28,7 @@
 //! pairs); see `nmcdr help`.
 
 mod args;
+mod chaos;
 mod check;
 mod commands;
 mod obs;
@@ -73,6 +76,7 @@ fn main() -> ExitCode {
         "bench" => commands::bench(&parsed),
         "obs" => commands::obs(action.as_deref().unwrap_or(""), &parsed),
         "check" => check::check(&parsed),
+        "chaos" => chaos::chaos(&parsed),
         "help" | "--help" | "-h" => {
             commands::print_help();
             Ok(())

@@ -1,35 +1,94 @@
 //! The top-K retrieval engine.
 //!
-//! Architecture (see DESIGN.md "Serving"):
+//! Architecture (see DESIGN.md "Serving" and "Failure model & degraded
+//! modes"):
 //!
-//! * a persistent `std::thread` **worker pool**; each scoring pass
-//!   fans out over item **shards** that workers claim with an atomic
-//!   counter — finished workers steal remaining shards, so an uneven
-//!   shard (e.g. a cache-cold tail) never idles the rest of the pool;
+//! * a persistent `std::thread` **supervised worker pool**; each
+//!   scoring pass fans out over item **shards** that workers claim off
+//!   an atomic worklist cursor — finished workers steal remaining
+//!   shards, so an uneven shard never idles the rest of the pool. A
+//!   worker that panics *dies* and is restarted by the supervisor with
+//!   seeded backoff (quarantined once its restart budget is spent);
+//!   the batch leader always drains the worklist inline, so scoring
+//!   makes progress even with zero live workers;
+//! * **per-shard resilience**: every claimed shard is wrapped in a
+//!   latch guard (a panicking claim still counts down), failed shards
+//!   are retried with deterministic backoff up to a budget, and a
+//!   per-shard circuit breaker (closed/open/half-open, cooldown in
+//!   scoring passes) short-circuits persistently failing shards;
+//! * **degraded modes**: a pass that loses shards produces a `Partial`
+//!   answer; a pass that loses everything (or a request whose deadline
+//!   expires) falls back to the epoch-agnostic **stale cache** of last
+//!   good answers, and only then to an empty `Unavailable` reply —
+//!   never a hang or a panic across the request boundary;
 //! * a bounded per-domain **batching queue**: the first thread to
 //!   arrive becomes the batch leader, drains up to `batch_max`
 //!   concurrent same-domain requests, and serves them with one shared
 //!   pass over the item table; followers block until the leader posts
-//!   their result;
+//!   their result (or their [`Deadline`] expires);
 //! * **deterministic top-K**: shard-local bounded selections merged
 //!   under the total order of [`nm_eval::rank_order`] (score
 //!   descending, then item id ascending), so results are independent
 //!   of shard boundaries, worker count, and batching;
 //! * a sharded **LRU cache** keyed by `(user, domain, k, epoch)`,
-//!   invalidated by bumping the epoch on snapshot reload.
+//!   invalidated by bumping the epoch on snapshot reload. Degraded
+//!   answers are never inserted.
 
+use crate::breaker::{Admission, BreakerConfig, ShardBreakers, Transition};
 use crate::cache::{CacheKey, CachedList, ShardedLru};
-use crate::reqtrace::{ExemplarRing, ReqTiming};
+use crate::chaos::{seeded_backoff, Chaos, ChaosConfig, Deadline};
+use crate::reqtrace::{DegradedKind, ExemplarRing, ReqTiming};
 use crate::snapshot::Snapshot;
 use crate::stats::Stats;
-use crate::sync::{lock, read, wait, write};
+use crate::sync::{lock, read, wait, wait_timeout, write};
 use nm_eval::harness::{rank_order, Scorer};
 use nm_nn::checkpoint::CheckpointError;
 use nm_obs::clock::Stopwatch;
+use nm_obs::Counter;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
+use std::time::Duration;
+
+pub use crate::supervise::RestartPolicy;
+
+/// Request-path fault-tolerance knobs (see DESIGN.md "Failure model &
+/// degraded modes").
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Extra scoring attempts for a failed shard within one pass
+    /// (0 = fail fast to the degraded path).
+    pub shard_retries: u32,
+    /// First-retry backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Retry-backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Per-shard circuit breaker (threshold 0 disables).
+    pub breaker: BreakerConfig,
+    /// Entries in the epoch-agnostic stale cache of last good answers
+    /// (0 disables the stale fallback).
+    pub stale_capacity: usize,
+    /// Worker restart/quarantine policy.
+    pub restart: RestartPolicy,
+    /// Seed for deterministic retry-backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            shard_retries: 2,
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(2),
+            breaker: BreakerConfig::default(),
+            stale_capacity: 1024,
+            restart: RestartPolicy::default(),
+            seed: 0,
+        }
+    }
+}
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -51,6 +110,10 @@ pub struct EngineConfig {
     /// prove the bench regression gate actually fires; overridable via
     /// the `NMCDR_BENCH_SLOW_MERGE` env var.
     pub merge_slowdown: u32,
+    /// Retry/breaker/degraded-mode tuning.
+    pub resilience: ResilienceConfig,
+    /// Deterministic fault injection (None/disabled in production).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +132,8 @@ impl Default for EngineConfig {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(1)
                 .max(1),
+            resilience: ResilienceConfig::default(),
+            chaos: None,
         }
     }
 }
@@ -78,6 +143,10 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// One `(item, score)` candidate pool per in-flight request, appended
 /// to by shard workers under a short lock.
 type CandidatePools = Vec<Mutex<Vec<(u32, f32)>>>;
+
+/// Cache-key epoch reserved for the stale cache: entries are last good
+/// answers keyed only by `(user, domain, k)`, surviving reloads.
+const STALE_EPOCH: u64 = u64::MAX;
 
 /// Heap entry ordered by [`rank_order`]: `Greater` means *worse*
 /// ranked, so a max-heap's root is the worst retained candidate.
@@ -145,55 +214,105 @@ struct PoolShared {
     jobs: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
+    /// Workers currently inside their run loop.
+    live: AtomicUsize,
 }
 
-/// Fixed-size thread pool executing boxed jobs.
-struct WorkerPool {
+/// One worker thread's run loop. A panicking job kills the worker (the
+/// supervisor decides whether to restart it); the liveness gauge is
+/// maintained by a drop guard so a panic can't leak a stale count.
+fn worker_main(shared: &PoolShared, panics: &Counter) {
+    struct LiveGuard<'a>(&'a AtomicUsize);
+    impl Drop for LiveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+    shared.live.fetch_add(1, Ordering::AcqRel);
+    let _live = LiveGuard(&shared.live);
+    loop {
+        let job = {
+            let mut q = lock(&shared.jobs);
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = wait(&shared.available, q);
+            }
+        };
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            // Die on panic: the shard guard already recorded the shard
+            // as failed; the supervisor restarts (or quarantines) us.
+            panics.inc();
+            return;
+        }
+    }
+}
+
+/// Fixed-size supervised thread pool. Jobs are *helpers*: pure
+/// parallelism for a leader that is draining the same worklist inline,
+/// so a dead/quarantined pool degrades throughput, never liveness.
+struct SupervisedPool {
     shared: Arc<PoolShared>,
-    workers: Vec<thread::JoinHandle<()>>,
+    supervisor: Option<crate::supervise::Supervisor>,
 }
 
-impl WorkerPool {
-    fn new(n: usize) -> Self {
+impl SupervisedPool {
+    fn new(n: usize, policy: RestartPolicy, stats: &Stats) -> Self {
         let shared = Arc::new(PoolShared {
             jobs: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
         });
-        let workers = (0..n.max(1))
-            .filter_map(|i| {
+        let children = (0..n.max(1))
+            .map(|i| {
                 let shared = Arc::clone(&shared);
-                // A failed spawn (thread exhaustion) degrades the pool
-                // rather than aborting; `submit` falls back to inline
-                // execution if no worker came up at all.
-                thread::Builder::new()
-                    .name(format!("nm-serve-worker-{i}"))
-                    .spawn(move || loop {
-                        let job = {
-                            let mut q = lock(&shared.jobs);
-                            loop {
-                                if let Some(job) = q.pop_front() {
-                                    break job;
-                                }
-                                if shared.shutdown.load(Ordering::Acquire) {
-                                    return;
-                                }
-                                q = wait(&shared.available, q);
-                            }
-                        };
-                        job();
-                    })
-                    .ok()
+                let panics = Arc::clone(&stats.worker_panics);
+                crate::supervise::ChildSpec {
+                    name: format!("worker-{i}"),
+                    spawn: Box::new(move || {
+                        let shared = Arc::clone(&shared);
+                        let panics = Arc::clone(&panics);
+                        thread::Builder::new()
+                            .name(format!("nm-serve-worker-{i}"))
+                            .spawn(move || worker_main(&shared, &panics))
+                    }),
+                }
             })
             .collect();
-        Self { shared, workers }
+        let counters = crate::supervise::SupCounters {
+            restarts: Arc::clone(&stats.worker_restarts),
+            quarantines: Arc::clone(&stats.worker_quarantined),
+        };
+        let supervisor = crate::supervise::Supervisor::start(
+            children,
+            policy,
+            Duration::from_millis(5),
+            counters,
+        );
+        Self {
+            shared,
+            supervisor: Some(supervisor),
+        }
     }
 
-    fn submit(&self, job: Job) {
-        if self.workers.is_empty() {
-            // Degraded mode: no worker threads could be spawned. Run the
-            // job on the caller so latches still count down.
-            job();
+    fn live(&self) -> usize {
+        self.shared.live.load(Ordering::Acquire)
+    }
+
+    fn quarantined(&self) -> usize {
+        self.supervisor.as_ref().map_or(0, |s| s.quarantined())
+    }
+
+    /// Enqueues a helper job. Dropped when no worker is live — the
+    /// leader drains the worklist inline, and a stale helper running
+    /// after the fact no-ops on the exhausted cursor anyway.
+    fn submit_helper(&self, job: Job) {
+        if self.live() == 0 {
             return;
         }
         lock(&self.shared.jobs).push_back(job);
@@ -201,12 +320,12 @@ impl WorkerPool {
     }
 }
 
-impl Drop for WorkerPool {
+impl Drop for SupervisedPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.available.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(mut sup) = self.supervisor.take() {
+            sup.stop_and_join();
         }
     }
 }
@@ -219,11 +338,14 @@ struct BatchTiming {
     fanout_us: u64,
     merge_us: u64,
     epoch: u64,
+    /// Shards that contributed nothing (failed past the retry budget
+    /// or breaker-skipped). 0 ⇒ the answer is full fidelity.
+    degraded_shards: u32,
 }
 
 /// A follower's rendezvous slot: the batch leader fills it.
 struct ReqSlot {
-    result: Mutex<Option<(CachedList, BatchTiming)>>,
+    result: Mutex<Option<(CachedList, BatchTiming, DegradedKind)>>,
     ready: Condvar,
 }
 
@@ -235,18 +357,35 @@ impl ReqSlot {
         })
     }
 
-    fn fill(&self, value: CachedList, timing: BatchTiming) {
-        *lock(&self.result) = Some((value, timing));
+    fn fill(&self, value: CachedList, timing: BatchTiming, kind: DegradedKind) {
+        *lock(&self.result) = Some((value, timing, kind));
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> (CachedList, BatchTiming) {
+    /// Waits for the leader's fill, bounded by `deadline`. `None`
+    /// means the deadline expired first (the abandoned slot is still
+    /// filled and dropped later; the leader never blocks on us).
+    fn wait_deadline(
+        &self,
+        deadline: &Deadline,
+    ) -> Option<(CachedList, BatchTiming, DegradedKind)> {
         let mut guard = lock(&self.result);
         loop {
-            if let Some((list, timing)) = guard.as_ref() {
-                return (Arc::clone(list), *timing);
+            if let Some((list, timing, kind)) = guard.as_ref() {
+                return Some((Arc::clone(list), *timing, *kind));
             }
-            guard = wait(&self.ready, guard);
+            if deadline.is_unbounded() {
+                guard = wait(&self.ready, guard);
+                continue;
+            }
+            if deadline.expired() {
+                return None;
+            }
+            let budget = deadline
+                .remaining()
+                .min(Duration::from_millis(50))
+                .max(Duration::from_micros(100));
+            guard = wait_timeout(&self.ready, guard, budget);
         }
     }
 }
@@ -263,18 +402,18 @@ struct DomainQueue {
     leader_active: bool,
 }
 
-/// Counts outstanding shard jobs of one scoring pass.
+/// Counts outstanding shards of one scoring attempt.
 struct Latch {
     left: Mutex<usize>,
     done: Condvar,
 }
 
 impl Latch {
-    fn new(n: usize) -> Arc<Self> {
-        Arc::new(Self {
+    fn new(n: usize) -> Self {
+        Self {
             left: Mutex::new(n),
             done: Condvar::new(),
-        })
+        }
     }
 
     fn count_down(&self) {
@@ -290,6 +429,116 @@ impl Latch {
         while *left > 0 {
             left = wait(&self.done, left);
         }
+    }
+}
+
+/// Per-shard outcome of one scoring pass.
+const SHARD_PENDING: u8 = 0;
+const SHARD_DONE: u8 = 1;
+const SHARD_FAILED: u8 = 2;
+/// Breaker-skipped: short-circuited before any attempt.
+const SHARD_SKIPPED: u8 = 3;
+
+/// Immutable context of one batch's scoring pass, shared by every
+/// attempt over it.
+struct BatchCtx {
+    snap: Arc<Snapshot>,
+    domain: usize,
+    users: Vec<u32>,
+    k_max: usize,
+    shard_items: usize,
+    n_items: usize,
+    /// Domain-local pass ordinal (the breaker's clock-free cooldown
+    /// time base and the chaos draw coordinate).
+    pass: u64,
+    status: Vec<AtomicU8>,
+    candidates: CandidatePools,
+    chaos: Option<Arc<Chaos>>,
+}
+
+/// One attempt's worklist and completion latch.
+struct AttemptCtx {
+    batch: Arc<BatchCtx>,
+    worklist: Vec<usize>,
+    attempt: u32,
+    next: AtomicUsize,
+    latch: Latch,
+}
+
+/// Marks a claimed shard failed-unless-completed and counts the latch
+/// down exactly once — even when the claim panics or stalls, so the
+/// leader's `latch.wait()` can never hang on a dead worker.
+struct ShardGuard<'a> {
+    status: &'a AtomicU8,
+    latch: &'a Latch,
+}
+
+impl ShardGuard<'_> {
+    fn done(self) {
+        self.status.store(SHARD_DONE, Ordering::Release);
+        // Drop runs next: its PENDING→FAILED CAS loses, latch counts.
+    }
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        let _ = self.status.compare_exchange(
+            SHARD_PENDING,
+            SHARD_FAILED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        self.latch.count_down();
+    }
+}
+
+/// Drains the attempt's worklist: claim a shard off the atomic cursor,
+/// score it for every batched user, commit the candidates. Runs on
+/// helper workers *and* inline on the batch leader; a stale helper
+/// arriving after the cursor is exhausted exits immediately.
+///
+/// Candidates are buffered per shard and committed only after the
+/// whole shard scored cleanly, so a mid-shard fault never leaves a
+/// partial contribution for a retry to duplicate.
+fn drain_worklist(a: &AttemptCtx) {
+    let b = &*a.batch;
+    let mut scores = vec![0.0f32; b.shard_items];
+    loop {
+        let wi = a.next.fetch_add(1, Ordering::AcqRel);
+        if wi >= a.worklist.len() {
+            return;
+        }
+        let s = a.worklist[wi];
+        let guard = ShardGuard {
+            status: &b.status[s],
+            latch: &a.latch,
+        };
+        if let Some(chaos) = &b.chaos {
+            if chaos.worker_panic(b.domain, b.pass, s, a.attempt) {
+                std::panic::panic_any("chaos: injected worker panic");
+            }
+            if chaos.shard_stall(b.domain, b.pass, s, a.attempt) {
+                // A wedged shard, clock-free: no work happens and the
+                // guard records the claim as failed.
+                continue;
+            }
+        }
+        let lo = s * b.shard_items;
+        let hi = (lo + b.shard_items).min(b.n_items);
+        let mut staged: Vec<Vec<(u32, f32)>> = Vec::with_capacity(b.users.len());
+        for &user in &b.users {
+            let out = &mut scores[..hi - lo];
+            b.snap.score_user_range(b.domain, user, lo, hi, out);
+            let mut local = BoundedTopK::new(b.k_max);
+            for (j, &sc) in out.iter().enumerate() {
+                local.push(((lo + j) as u32, sc));
+            }
+            staged.push(local.into_unordered().collect());
+        }
+        for (r, chunk) in staged.into_iter().enumerate() {
+            lock(&b.candidates[r]).extend(chunk);
+        }
+        guard.done();
     }
 }
 
@@ -310,9 +559,17 @@ pub struct Engine {
     /// Lock-free mirror of `versioned.epoch` for cheap reads (cache
     /// lookups, stats). Only `reload` writes it, inside the write lock.
     epoch_mirror: AtomicU64,
-    pool: WorkerPool,
+    pool: SupervisedPool,
     queues: [Mutex<DomainQueue>; 2],
     cache: Option<ShardedLru>,
+    /// Last good answer per `(user, domain, k)`, epoch-agnostic;
+    /// survives reloads and is only served on the degraded path.
+    stale: Option<ShardedLru>,
+    breakers: [Mutex<ShardBreakers>; 2],
+    /// Per-domain scoring-pass ordinals (breaker cooldown time base).
+    pass_seq: [AtomicU64; 2],
+    reload_seq: AtomicU64,
+    chaos: Option<Arc<Chaos>>,
     stats: Arc<Stats>,
     reqtrace: ExemplarRing,
     cfg: EngineConfig,
@@ -324,21 +581,38 @@ impl Engine {
     /// surface the failure as a protocol/CLI error.
     pub fn new(snapshot: Snapshot, cfg: EngineConfig) -> Result<Self, CheckpointError> {
         snapshot.validate()?;
+        let stats = Arc::new(Stats::new());
+        let chaos = cfg
+            .chaos
+            .as_ref()
+            .filter(|c| c.enabled())
+            .map(|c| Arc::new(Chaos::new(c.clone(), stats.registry())));
         let cache =
             (cfg.cache_capacity > 0).then(|| ShardedLru::new(cfg.cache_capacity, cfg.cache_shards));
+        let stale = (cfg.resilience.stale_capacity > 0)
+            .then(|| ShardedLru::new(cfg.resilience.stale_capacity, cfg.cache_shards));
+        let pool = SupervisedPool::new(cfg.n_workers, cfg.resilience.restart.clone(), &stats);
         Ok(Self {
             versioned: RwLock::new(Versioned {
                 epoch: 0,
                 snap: Arc::new(snapshot),
             }),
             epoch_mirror: AtomicU64::new(0),
-            pool: WorkerPool::new(cfg.n_workers),
+            pool,
             queues: [
                 Mutex::new(DomainQueue::default()),
                 Mutex::new(DomainQueue::default()),
             ],
             cache,
-            stats: Arc::new(Stats::new()),
+            stale,
+            breakers: [
+                Mutex::new(ShardBreakers::new(cfg.resilience.breaker)),
+                Mutex::new(ShardBreakers::new(cfg.resilience.breaker)),
+            ],
+            pass_seq: [AtomicU64::new(0), AtomicU64::new(0)],
+            reload_seq: AtomicU64::new(0),
+            chaos,
+            stats,
             reqtrace: ExemplarRing::new(cfg.exemplar_capacity),
             cfg,
         })
@@ -360,6 +634,22 @@ impl Engine {
         self.epoch_mirror.load(Ordering::Acquire)
     }
 
+    /// Scoring workers currently alive (restarting workers flicker this
+    /// down; quarantined workers subtract permanently).
+    pub fn live_workers(&self) -> usize {
+        self.pool.live()
+    }
+
+    /// Scoring workers that exhausted their restart budget.
+    pub fn quarantined_workers(&self) -> usize {
+        self.pool.quarantined()
+    }
+
+    /// The fault-injection plan, when chaos is enabled.
+    pub(crate) fn chaos(&self) -> Option<&Arc<Chaos>> {
+        self.chaos.as_ref()
+    }
+
     /// The live snapshot.
     pub fn snapshot(&self) -> Arc<Snapshot> {
         Arc::clone(&read(&self.versioned).snap)
@@ -375,10 +665,24 @@ impl Engine {
     /// The swap and the bump happen atomically under the write lock, so
     /// an in-flight scoring pass sees either the old pair or the new
     /// pair — never a new snapshot under an old epoch. On a validation
-    /// failure the live snapshot is left untouched and the error is
-    /// returned for the caller to report.
+    /// (or injected) failure the live snapshot is left untouched and
+    /// the error is returned for the caller to report; the stale cache
+    /// is *not* cleared on success — it holds last good answers across
+    /// epochs by design.
     pub fn reload(&self, snapshot: Snapshot) -> Result<(), CheckpointError> {
-        snapshot.validate()?;
+        let ordinal = self.reload_seq.fetch_add(1, Ordering::AcqRel);
+        if let Some(chaos) = &self.chaos {
+            if chaos.reload_fail(ordinal) {
+                self.stats.reload_failed.inc();
+                return Err(CheckpointError::Format(
+                    "chaos: injected reload failure (last-good snapshot stays live)".into(),
+                ));
+            }
+        }
+        if let Err(e) = snapshot.validate() {
+            self.stats.reload_failed.inc();
+            return Err(e);
+        }
         {
             let mut g = write(&self.versioned);
             g.epoch += 1;
@@ -388,6 +692,7 @@ impl Engine {
         if let Some(c) = &self.cache {
             c.clear();
         }
+        self.stats.reload_ok.inc();
         Ok(())
     }
 
@@ -416,6 +721,21 @@ impl Engine {
     /// [`Engine::topk`] plus the per-stage [`ReqTiming`] breakdown the
     /// server attaches to slow-request exemplars.
     pub fn topk_traced(&self, domain: usize, user: u32, k: usize) -> (CachedList, ReqTiming) {
+        self.topk_deadline(domain, user, k, Deadline::unbounded())
+    }
+
+    /// [`Engine::topk_traced`] under a [`Deadline`]: the request either
+    /// completes in budget or returns the best degraded answer
+    /// reachable without further waiting (stale cache, else empty) —
+    /// never a hang. `ReqTiming::degraded` / `deadline_hit` report
+    /// which path was taken.
+    pub fn topk_deadline(
+        &self,
+        domain: usize,
+        user: u32,
+        k: usize,
+        deadline: Deadline,
+    ) -> (CachedList, ReqTiming) {
         self.stats.requests.inc();
         let mut t = ReqTiming::default();
         let epoch = self.epoch();
@@ -438,6 +758,10 @@ impl Engine {
             self.stats.cache_misses.inc();
         }
         t.cache_us = cache_sw.elapsed_us();
+        if deadline.expired() {
+            // Shed before queueing: scoring could not finish in budget.
+            return self.degrade_now(domain, user, k, t, true);
+        }
         let slot = ReqSlot::new();
         let lock_sw = Stopwatch::start();
         let become_leader = {
@@ -462,17 +786,96 @@ impl Engine {
             t.coalesced = true;
         }
         let wait_sw = Stopwatch::start();
-        let (list, bt) = {
+        let filled = {
             let _s = nm_obs::trace::span("serve.coalesce");
-            slot.wait()
+            slot.wait_deadline(&deadline)
         };
         if t.coalesced {
             t.coalesce_us = wait_sw.elapsed_us();
         }
+        let Some((list, bt, kind)) = filled else {
+            // Deadline expired while parked on the leader. The slot is
+            // abandoned (the leader's later fill is dropped harmlessly)
+            // and the caller gets the degraded fallback now.
+            return self.degrade_now(domain, user, k, t, true);
+        };
         t.fanout_us = bt.fanout_us;
         t.merge_us = bt.merge_us;
         t.epoch = bt.epoch;
+        t.degraded = kind;
         (list, t)
+    }
+
+    /// The no-waiting degraded path: stale-cache hit if available,
+    /// otherwise an empty `Unavailable` answer. Counts and traces the
+    /// outcome.
+    fn degrade_now(
+        &self,
+        domain: usize,
+        user: u32,
+        k: usize,
+        mut t: ReqTiming,
+        deadline_hit: bool,
+    ) -> (CachedList, ReqTiming) {
+        if deadline_hit {
+            self.stats.deadline_shed.inc();
+            t.deadline_hit = true;
+        }
+        if let Some(list) = self.stale_lookup(domain, user, k) {
+            self.note_degraded(domain, DegradedKind::Stale);
+            t.degraded = DegradedKind::Stale;
+            return (list, t);
+        }
+        self.note_degraded(domain, DegradedKind::Unavailable);
+        t.degraded = DegradedKind::Unavailable;
+        (Arc::new(Vec::new()), t)
+    }
+
+    fn stale_lookup(&self, domain: usize, user: u32, k: usize) -> Option<CachedList> {
+        self.stale.as_ref().and_then(|s| {
+            s.get(&CacheKey {
+                user,
+                domain: domain as u8,
+                k: k as u32,
+                epoch: STALE_EPOCH,
+            })
+        })
+    }
+
+    /// Counts one degraded answer and emits its typed trace event.
+    fn note_degraded(&self, domain: usize, kind: DegradedKind) {
+        match kind {
+            DegradedKind::Partial => self.stats.degraded_partial.inc(),
+            DegradedKind::Stale => self.stats.degraded_stale.inc(),
+            DegradedKind::Unavailable => self.stats.degraded_unavailable.inc(),
+            DegradedKind::None => return,
+        }
+        nm_obs::trace::event("serve.degraded", |e| {
+            e.u("domain", domain as u64).s("mode", kind.as_str());
+        });
+    }
+
+    /// Counts a breaker transition and emits its typed trace event.
+    fn note_breaker(&self, domain: usize, shard: usize, tr: Transition) {
+        let state = match tr {
+            Transition::Opened | Transition::Reopened => {
+                self.stats.breaker_opens.inc();
+                "open"
+            }
+            Transition::HalfOpened => {
+                self.stats.breaker_half_opens.inc();
+                "half_open"
+            }
+            Transition::Closed => {
+                self.stats.breaker_closes.inc();
+                "closed"
+            }
+        };
+        nm_obs::trace::event("serve.breaker", |e| {
+            e.u("domain", domain as u64)
+                .u("shard", shard as u64)
+                .s("state", state);
+        });
     }
 
     /// Batch leader loop: drain the domain queue in `batch_max` chunks
@@ -480,7 +883,9 @@ impl Engine {
     /// inserts use the epoch *of that batch's scoring pass* (a reload
     /// can land between two drained batches of the same leader session;
     /// labelling every batch with the session-entry epoch would insert
-    /// post-reload results under the pre-reload key).
+    /// post-reload results under the pre-reload key). Only full-fidelity
+    /// answers are cached (live epoch *and* stale); a degraded batch
+    /// falls back per request to partial/stale/unavailable.
     fn lead_batches(&self, domain: usize) {
         loop {
             let batch: Vec<Pending> = {
@@ -497,27 +902,52 @@ impl Engine {
                 self.stats.coalesced.add(batch.len() as u64);
             }
             let (results, timing) = self.run_batch(domain, &batch);
+            let healthy = timing.degraded_shards == 0;
             for (req, list) in batch.iter().zip(results) {
-                if let Some(c) = &self.cache {
-                    c.insert(
-                        CacheKey {
-                            user: req.user,
-                            domain: domain as u8,
-                            k: req.k as u32,
-                            epoch: timing.epoch,
-                        },
-                        Arc::clone(&list),
-                    );
+                if healthy {
+                    if let Some(c) = &self.cache {
+                        c.insert(
+                            CacheKey {
+                                user: req.user,
+                                domain: domain as u8,
+                                k: req.k as u32,
+                                epoch: timing.epoch,
+                            },
+                            Arc::clone(&list),
+                        );
+                    }
+                    if let Some(s) = &self.stale {
+                        s.insert(
+                            CacheKey {
+                                user: req.user,
+                                domain: domain as u8,
+                                k: req.k as u32,
+                                epoch: STALE_EPOCH,
+                            },
+                            Arc::clone(&list),
+                        );
+                    }
+                    req.slot.fill(list, timing, DegradedKind::None);
+                } else if !list.is_empty() {
+                    // Some shards survived: a partial answer over the
+                    // scored slice of the catalog.
+                    self.note_degraded(domain, DegradedKind::Partial);
+                    req.slot.fill(list, timing, DegradedKind::Partial);
+                } else if let Some(stale) = self.stale_lookup(domain, req.user, req.k) {
+                    self.note_degraded(domain, DegradedKind::Stale);
+                    req.slot.fill(stale, timing, DegradedKind::Stale);
+                } else {
+                    self.note_degraded(domain, DegradedKind::Unavailable);
+                    req.slot.fill(list, timing, DegradedKind::Unavailable);
                 }
-                req.slot.fill(list, timing);
             }
         }
     }
 
-    /// One shared scoring pass: every worker claims item shards off an
-    /// atomic counter and, per shard, scores *all* batched users over
-    /// that item block (one streaming read of the block serves the
-    /// whole batch).
+    /// One shared scoring pass with the full resilience pipeline:
+    /// breaker admission → guarded fan-out (helpers + leader-inline
+    /// drain) → bounded retries with seeded backoff → breaker
+    /// reporting → canonical merge.
     fn run_batch(&self, domain: usize, batch: &[Pending]) -> (Vec<CachedList>, BatchTiming) {
         // One coherent read per batch: every shard of this pass scores
         // the same snapshot, and the batch is labelled with its epoch.
@@ -533,52 +963,152 @@ impl Engine {
                 },
             );
         }
+        let res = &self.cfg.resilience;
         let shard_items = self.cfg.shard_items.max(1);
         let n_shards = n_items.div_ceil(shard_items);
         let k_max = batch.iter().map(|r| r.k).max().unwrap_or(0).min(n_items);
         let users: Vec<u32> = batch.iter().map(|r| r.user).collect();
+        let pass = self.pass_seq[domain].fetch_add(1, Ordering::AcqRel);
 
-        // Per-request candidate pools; each shard contributes at most
-        // k_max pairs per request, appended under a short lock.
-        let candidates: Arc<CandidatePools> =
-            Arc::new(users.iter().map(|_| Mutex::new(Vec::new())).collect());
-        let next_shard = Arc::new(AtomicUsize::new(0));
-        let n_jobs = self.cfg.n_workers.min(n_shards).max(1);
-        let latch = Latch::new(n_jobs);
+        // Breaker admission: decide per shard before any work starts.
+        let mut admissions = vec![Admission::Allow; n_shards];
+        if res.breaker.failure_threshold > 0 {
+            let mut br = lock(&self.breakers[domain]);
+            for (s, adm) in admissions.iter_mut().enumerate() {
+                let (a, tr) = br.admit(s, pass);
+                *adm = a;
+                if let Some(tr) = tr {
+                    self.note_breaker(domain, s, tr);
+                }
+            }
+        }
+        let short_circuited = admissions.iter().filter(|a| **a == Admission::Skip).count();
+        if short_circuited > 0 {
+            self.stats
+                .breaker_short_circuits
+                .add(short_circuited as u64);
+        }
+
+        let status: Vec<AtomicU8> = admissions
+            .iter()
+            .map(|a| {
+                AtomicU8::new(if *a == Admission::Skip {
+                    SHARD_SKIPPED
+                } else {
+                    SHARD_PENDING
+                })
+            })
+            .collect();
+        let ctx = Arc::new(BatchCtx {
+            snap,
+            domain,
+            users,
+            k_max,
+            shard_items,
+            n_items,
+            pass,
+            status,
+            candidates: batch.iter().map(|_| Mutex::new(Vec::new())).collect(),
+            chaos: self.chaos.clone(),
+        });
 
         let fanout_sw = Stopwatch::start();
         let fanout_span = nm_obs::trace::span("serve.fanout");
-        for _ in 0..n_jobs {
-            let snap = Arc::clone(&snap);
-            let users = users.clone();
-            let candidates = Arc::clone(&candidates);
-            let next_shard = Arc::clone(&next_shard);
-            let latch = Arc::clone(&latch);
-            self.pool.submit(Box::new(move || {
-                let mut scores = vec![0.0f32; shard_items];
-                loop {
-                    let s = next_shard.fetch_add(1, Ordering::Relaxed);
-                    if s >= n_shards {
-                        break;
-                    }
-                    let lo = s * shard_items;
-                    let hi = (lo + shard_items).min(n_items);
-                    for (r, &user) in users.iter().enumerate() {
-                        let out = &mut scores[..hi - lo];
-                        snap.score_user_range(domain, user, lo, hi, out);
-                        let mut local = BoundedTopK::new(k_max);
-                        for (j, &sc) in out.iter().enumerate() {
-                            local.push(((lo + j) as u32, sc));
-                        }
-                        lock(&candidates[r]).extend(local.into_unordered());
-                    }
+        let mut attempt: u32 = 0;
+        loop {
+            let worklist: Vec<usize> = if attempt == 0 {
+                (0..n_shards)
+                    .filter(|&s| admissions[s] != Admission::Skip)
+                    .collect()
+            } else {
+                // Retry only normally-admitted failures; a half-open
+                // probe gets exactly one attempt.
+                (0..n_shards)
+                    .filter(|&s| {
+                        admissions[s] == Admission::Allow
+                            && ctx.status[s].load(Ordering::Acquire) == SHARD_FAILED
+                    })
+                    .collect()
+            };
+            if worklist.is_empty() {
+                break;
+            }
+            if attempt > 0 {
+                self.stats.shard_retried.add(worklist.len() as u64);
+                nm_obs::trace::event("serve.retry", |e| {
+                    e.u("domain", domain as u64)
+                        .u("pass", pass)
+                        .u("attempt", attempt as u64)
+                        .u("shards", worklist.len() as u64);
+                });
+                thread::sleep(seeded_backoff(
+                    res.backoff_base,
+                    res.backoff_cap,
+                    attempt,
+                    res.seed,
+                    pass,
+                ));
+                for &s in &worklist {
+                    ctx.status[s].store(SHARD_PENDING, Ordering::Release);
                 }
-                latch.count_down();
-            }));
+            }
+            let n_jobs = self.cfg.n_workers.min(worklist.len()).max(1);
+            let actx = Arc::new(AttemptCtx {
+                batch: Arc::clone(&ctx),
+                latch: Latch::new(worklist.len()),
+                worklist,
+                attempt,
+                next: AtomicUsize::new(0),
+            });
+            for _ in 0..n_jobs.saturating_sub(1) {
+                let actx = Arc::clone(&actx);
+                self.pool
+                    .submit_helper(Box::new(move || drain_worklist(&actx)));
+            }
+            // The leader drains inline until the cursor is exhausted:
+            // an injected panic kills helper *workers*, but here it is
+            // caught and draining resumes, so a batch completes even
+            // with every worker dead or quarantined.
+            while actx.next.load(Ordering::Acquire) < actx.worklist.len() {
+                if catch_unwind(AssertUnwindSafe(|| drain_worklist(&actx))).is_err() {
+                    self.stats.worker_panics.inc();
+                }
+            }
+            actx.latch.wait();
+            if attempt >= res.shard_retries {
+                break;
+            }
+            attempt += 1;
         }
-        latch.wait();
         drop(fanout_span);
         let fanout_us = fanout_sw.elapsed_us();
+
+        // Outcome accounting + breaker reporting, one scan.
+        let mut degraded_shards: u32 = 0;
+        {
+            let mut br = (res.breaker.failure_threshold > 0).then(|| lock(&self.breakers[domain]));
+            for s in 0..n_shards {
+                match ctx.status[s].load(Ordering::Acquire) {
+                    SHARD_DONE => {
+                        if let Some(br) = br.as_mut() {
+                            if let Some(tr) = br.on_success(s) {
+                                self.note_breaker(domain, s, tr);
+                            }
+                        }
+                    }
+                    SHARD_SKIPPED => degraded_shards += 1,
+                    _ => {
+                        degraded_shards += 1;
+                        self.stats.shard_failures.inc();
+                        if let Some(br) = br.as_mut() {
+                            if let Some(tr) = br.on_failure(s, pass) {
+                                self.note_breaker(domain, s, tr);
+                            }
+                        }
+                    }
+                }
+            }
+        }
 
         let merge_sw = Stopwatch::start();
         let _merge_span = nm_obs::trace::span("serve.merge");
@@ -587,7 +1117,7 @@ impl Engine {
             .iter()
             .enumerate()
             .map(|(r, req)| {
-                let mut pool = lock(&candidates[r]);
+                let mut pool = lock(&ctx.candidates[r]);
                 // Injected perf bug for the CI gate self-test: redo the
                 // sort on throwaway clones of the unsorted pool.
                 for _ in 1..slowdown {
@@ -606,6 +1136,7 @@ impl Engine {
             fanout_us,
             merge_us: merge_sw.elapsed_us(),
             epoch,
+            degraded_shards,
         };
         (lists, timing)
     }
@@ -672,6 +1203,21 @@ mod tests {
             },
         )
         .expect("valid test snapshot")
+    }
+
+    /// Fast restart policy + backoffs so chaos tests finish quickly.
+    fn fast_resilience() -> ResilienceConfig {
+        ResilienceConfig {
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_micros(400),
+            restart: RestartPolicy {
+                max_restarts: 5,
+                backoff_base: Duration::from_micros(200),
+                backoff_cap: Duration::from_millis(2),
+                seed: 1,
+            },
+            ..Default::default()
+        }
     }
 
     /// Reference: brute-force top-k from score_pairs.
@@ -766,6 +1312,8 @@ mod tests {
         let (first, t1) = e.topk_traced(0, 1, 5);
         assert!(!t1.cache_hit, "cold cache must miss");
         assert!(!t1.coalesced, "single caller is its own batch leader");
+        assert_eq!(t1.degraded, DegradedKind::None);
+        assert!(!t1.deadline_hit);
         let (second, t2) = e.topk_traced(0, 1, 5);
         assert!(t2.cache_hit, "repeat query must hit");
         assert_eq!(first, second);
@@ -890,5 +1438,333 @@ mod tests {
         for w in list.windows(2) {
             assert!(rank_order(&w[0], &w[1]) != std::cmp::Ordering::Greater);
         }
+    }
+
+    // ---- chaos / resilience -------------------------------------------
+
+    #[test]
+    fn expired_deadline_degrades_to_stale_then_unavailable() {
+        let e = engine(64, 2);
+        let dead = Deadline::after(Duration::from_secs(60)).forced_expired();
+        // Nothing served yet: no stale entry, so unavailable.
+        let (list, t) = e.topk_deadline(0, 1, 5, dead);
+        assert!(list.is_empty());
+        assert_eq!(t.degraded, DegradedKind::Unavailable);
+        assert!(t.deadline_hit);
+        assert_eq!(e.stats().deadline_shed.get(), 1);
+        // A healthy pass populates the stale cache …
+        let (full, t2) = e.topk_traced(0, 1, 5);
+        assert_eq!(t2.degraded, DegradedKind::None);
+        // … and after a reload (live cache invalidated, stale kept) the
+        // same expired deadline serves the last good answer.
+        e.reload(snapshot(64, 123)).expect("valid reload snapshot");
+        let (stale, t3) = e.topk_deadline(0, 1, 5, dead);
+        assert_eq!(t3.degraded, DegradedKind::Stale);
+        assert!(t3.deadline_hit);
+        assert_eq!(stale, full, "stale must replay the last good answer");
+        assert_eq!(e.stats().degraded_stale.get(), 1);
+        assert_eq!(e.stats().degraded_unavailable.get(), 1);
+    }
+
+    #[test]
+    fn transient_stalls_are_absorbed_by_retries() {
+        let mk = |chaos| {
+            Engine::new(
+                snapshot(100, 7),
+                EngineConfig {
+                    n_workers: 2,
+                    shard_items: 16,
+                    cache_capacity: 0,
+                    chaos,
+                    resilience: ResilienceConfig {
+                        shard_retries: 4,
+                        ..fast_resilience()
+                    },
+                    ..Default::default()
+                },
+            )
+            .expect("valid test snapshot")
+        };
+        let plain = mk(None);
+        let faulty = mk(Some(ChaosConfig {
+            seed: 3,
+            shard_stall_permille: 150,
+            ..Default::default()
+        }));
+        for user in 0..10u32 {
+            let (want, _) = plain.topk_traced(0, user, 10);
+            let (got, t) = faulty.topk_traced(0, user, 10);
+            assert_eq!(got, want, "user {user}");
+            assert_eq!(t.degraded, DegradedKind::None, "user {user}");
+        }
+        assert!(
+            faulty.stats().shard_retried.get() > 0,
+            "seed 3 must inject at least one stall to absorb"
+        );
+        assert_eq!(faulty.stats().shard_failures.get(), 0);
+    }
+
+    #[test]
+    fn chaos_schedule_is_reproducible_across_engines() {
+        let mk = || {
+            Engine::new(
+                snapshot(100, 7),
+                EngineConfig {
+                    n_workers: 2,
+                    shard_items: 16,
+                    cache_capacity: 0,
+                    chaos: Some(ChaosConfig {
+                        seed: 21,
+                        worker_panic_permille: 120,
+                        shard_stall_permille: 120,
+                        ..Default::default()
+                    }),
+                    resilience: ResilienceConfig {
+                        shard_retries: 1,
+                        ..fast_resilience()
+                    },
+                    ..Default::default()
+                },
+            )
+            .expect("valid test snapshot")
+        };
+        let a = mk();
+        let b = mk();
+        for user in 0..12u32 {
+            let (la, ta) = a.topk_traced(0, user, 10);
+            let (lb, tb) = b.topk_traced(0, user, 10);
+            assert_eq!(la, lb, "user {user}");
+            assert_eq!(ta.degraded, tb.degraded, "user {user}");
+        }
+        let (ca, cb) = (a.chaos().unwrap(), b.chaos().unwrap());
+        assert!(ca.total.get() > 0, "seed 21 must inject something");
+        assert_eq!(ca.total.get(), cb.total.get());
+        assert_eq!(ca.worker_panics.get(), cb.worker_panics.get());
+        assert_eq!(ca.shard_stalls.get(), cb.shard_stalls.get());
+        assert_eq!(
+            a.stats().shard_failures.get(),
+            b.stats().shard_failures.get()
+        );
+    }
+
+    #[test]
+    fn total_panic_storm_degrades_without_hanging() {
+        let e = Engine::new(
+            snapshot(100, 7),
+            EngineConfig {
+                n_workers: 2,
+                shard_items: 16,
+                cache_capacity: 0,
+                chaos: Some(ChaosConfig {
+                    seed: 11,
+                    worker_panic_permille: 1000,
+                    ..Default::default()
+                }),
+                resilience: ResilienceConfig {
+                    shard_retries: 1,
+                    ..fast_resilience()
+                },
+                ..Default::default()
+            },
+        )
+        .expect("valid test snapshot");
+        for user in 0..6u32 {
+            let (list, t) = e.topk_traced(0, user, 10);
+            assert!(list.is_empty(), "user {user}");
+            assert_eq!(t.degraded, DegradedKind::Unavailable, "user {user}");
+        }
+        assert!(e.stats().worker_panics.get() > 0);
+        assert!(e.stats().shard_failures.get() > 0);
+        // default threshold 3 trips within 6 failing passes
+        assert!(e.stats().breaker_opens.get() >= 1);
+        assert!(e.stats().breaker_short_circuits.get() >= 1);
+    }
+
+    #[test]
+    fn stale_cache_serves_when_a_pass_fails_entirely() {
+        let e = Engine::new(
+            snapshot(40, 7),
+            EngineConfig {
+                n_workers: 1,
+                shard_items: 64, // single shard: a stall fails the pass
+                cache_capacity: 0,
+                chaos: Some(ChaosConfig {
+                    seed: 2,
+                    shard_stall_permille: 500,
+                    ..Default::default()
+                }),
+                resilience: ResilienceConfig {
+                    shard_retries: 0,
+                    // effectively disable the breaker so every pass scores
+                    breaker: BreakerConfig {
+                        failure_threshold: 1000,
+                        cooldown_passes: 4,
+                    },
+                    ..fast_resilience()
+                },
+                ..Default::default()
+            },
+        )
+        .expect("valid test snapshot");
+        let mut good: Option<CachedList> = None;
+        let mut saw_stale = false;
+        for pass in 0..30 {
+            let (list, t) = e.topk_traced(0, 5, 10);
+            match t.degraded {
+                DegradedKind::None => good = Some(list),
+                DegradedKind::Stale => {
+                    assert_eq!(
+                        Some(&list),
+                        good.as_ref(),
+                        "pass {pass}: stale must replay the last good answer"
+                    );
+                    saw_stale = true;
+                }
+                DegradedKind::Unavailable => {
+                    assert!(
+                        good.is_none(),
+                        "pass {pass}: stale cache must be preferred once populated"
+                    );
+                }
+                DegradedKind::Partial => {
+                    unreachable!("single-shard pass cannot be partial")
+                }
+            }
+        }
+        assert!(
+            saw_stale,
+            "seed 2 must mix successes and failures in 30 passes"
+        );
+        assert!(e.stats().degraded_stale.get() > 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_persistent_failure_and_probes_after_cooldown() {
+        let e = Engine::new(
+            snapshot(40, 7),
+            EngineConfig {
+                n_workers: 1,
+                shard_items: 64, // single shard
+                cache_capacity: 0,
+                chaos: Some(ChaosConfig {
+                    seed: 6,
+                    shard_stall_permille: 1000, // permanent outage
+                    ..Default::default()
+                }),
+                resilience: ResilienceConfig {
+                    shard_retries: 0,
+                    breaker: BreakerConfig {
+                        failure_threshold: 2,
+                        cooldown_passes: 3,
+                    },
+                    ..fast_resilience()
+                },
+                ..Default::default()
+            },
+        )
+        .expect("valid test snapshot");
+        for i in 0..12u32 {
+            let (_, t) = e.topk_traced(0, i % 10, 5);
+            assert_ne!(t.degraded, DegradedKind::None, "pass {i} cannot be healthy");
+        }
+        let s = e.stats();
+        assert!(s.breaker_opens.get() >= 1, "breaker must trip");
+        assert!(
+            s.breaker_short_circuits.get() >= 1,
+            "open breaker must shed at least one pass"
+        );
+        assert!(
+            s.breaker_half_opens.get() >= 1,
+            "cooldown must admit a probe within 12 passes"
+        );
+        assert_eq!(s.breaker_closes.get(), 0, "outage never heals here");
+        // conservation: every pass is failed or skipped, never both
+        assert_eq!(
+            s.shard_failures.get() + s.breaker_short_circuits.get(),
+            12,
+            "12 single-shard passes partition into failures and short-circuits"
+        );
+    }
+
+    #[test]
+    fn poisoned_workers_are_quarantined_and_leader_keeps_serving() {
+        let e = Engine::new(
+            snapshot(60, 7),
+            EngineConfig {
+                n_workers: 2,
+                shard_items: 8,
+                cache_capacity: 0,
+                chaos: Some(ChaosConfig {
+                    seed: 4,
+                    worker_panic_permille: 1000,
+                    ..Default::default()
+                }),
+                resilience: ResilienceConfig {
+                    shard_retries: 0,
+                    breaker: BreakerConfig {
+                        failure_threshold: 0, // keep scoring every pass
+                        cooldown_passes: 1,
+                    },
+                    restart: RestartPolicy {
+                        max_restarts: 1,
+                        backoff_base: Duration::from_micros(100),
+                        backoff_cap: Duration::from_micros(500),
+                        seed: 4,
+                    },
+                    ..fast_resilience()
+                },
+                ..Default::default()
+            },
+        )
+        .expect("valid test snapshot");
+        for user in 0..20u32 {
+            let (_, t) = e.topk_traced(0, user % 10, 5);
+            assert_eq!(t.degraded, DegradedKind::Unavailable, "user {user}");
+        }
+        // Workers die on their first claimed shard; with a budget of 1
+        // the supervisor quarantines them instead of flapping forever.
+        let mut quarantined = 0;
+        for _ in 0..300 {
+            quarantined = e.quarantined_workers();
+            if quarantined >= 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            quarantined >= 1,
+            "a poisoned worker must be quarantined, got {quarantined}"
+        );
+        assert!(e.stats().worker_restarts.get() >= 1);
+        // the leader-inline path still answers with zero live workers
+        let (_, t) = e.topk_traced(0, 9, 5);
+        assert_eq!(t.degraded, DegradedKind::Unavailable);
+    }
+
+    #[test]
+    fn injected_reload_failure_keeps_last_good_snapshot() {
+        let e = Engine::new(
+            snapshot(64, 7),
+            EngineConfig {
+                chaos: Some(ChaosConfig {
+                    seed: 1,
+                    reload_fail_permille: 1000,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        )
+        .expect("valid test snapshot");
+        let (_, before) = e.topk(0, 1, 5);
+        let err = e
+            .reload(snapshot(64, 99))
+            .expect_err("chaos must reject the reload");
+        assert!(matches!(err, CheckpointError::Format(_)), "{err:?}");
+        assert_eq!(e.epoch(), 0, "failed reload must not bump the epoch");
+        let (hit, after) = e.topk(0, 1, 5);
+        assert!(hit, "cache survives a failed reload");
+        assert_eq!(before, after);
+        assert_eq!(e.stats().reload_failed.get(), 1);
+        assert_eq!(e.stats().reload_ok.get(), 0);
     }
 }

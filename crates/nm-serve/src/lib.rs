@@ -16,11 +16,21 @@
 //!   ring, and its rendering to the schema-v1 trace format (served by
 //!   the `trace` op);
 //! * [`json`] — the dependency-free JSON used on the wire (re-exported
-//!   from [`nm_obs::json`]).
+//!   from [`nm_obs::json`]);
+//! * [`supervise`] — a supervision tree for worker threads: restart
+//!   with deterministic backoff under a budget, then quarantine;
+//! * [`breaker`] — per-shard circuit breakers with pass-ordinal (not
+//!   wall-clock) cooldowns and single-probe half-open recovery;
+//! * [`chaos`] — deterministic fault injection ([`ChaosConfig`]) keyed
+//!   on logical coordinates, plus clock-free [`Deadline`]s; same seed,
+//!   same fault schedule, same responses (see DESIGN.md "Failure model
+//!   & degraded modes").
 //!
 //! Everything is `std`-only; the crate adds no external dependencies.
 
+pub mod breaker;
 pub mod cache;
+pub mod chaos;
 pub mod engine;
 pub mod json;
 pub mod protocol;
@@ -28,13 +38,17 @@ pub mod reqtrace;
 pub mod server;
 pub mod snapshot;
 pub mod stats;
+pub mod supervise;
 mod sync;
 
+pub use breaker::{Admission, BreakerConfig, BreakerState, ShardBreakers, Transition};
 pub use cache::{CacheKey, CachedList, ShardedLru};
-pub use engine::{Engine, EngineConfig, EngineScorer};
+pub use chaos::{seeded_backoff, Chaos, ChaosConfig, Deadline};
+pub use engine::{Engine, EngineConfig, EngineScorer, ResilienceConfig};
 pub use json::Json;
 pub use protocol::Request;
-pub use reqtrace::{Exemplar, ExemplarRing, ReqTiming, StageUs};
+pub use reqtrace::{DegradedKind, Exemplar, ExemplarRing, ReqTiming, StageUs};
 pub use server::{Server, ServerConfig};
 pub use snapshot::{DomainSnapshot, FrozenModel, HeadKind, MlpHead, Snapshot};
 pub use stats::{LatencyHistogram, Stats};
+pub use supervise::{ChildSpec, RestartPolicy, SupCounters, Supervisor};

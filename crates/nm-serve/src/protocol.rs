@@ -163,6 +163,35 @@ pub fn encode_topk_response(
     .encode()
 }
 
+/// `topk` response served in a degraded mode: `ok` stays true (the
+/// client got a usable answer), but `degraded`/`reason` mark reduced
+/// fidelity — `"partial"` (shards lost), `"stale"` (last good answer),
+/// `"unavailable"` (empty), or `"deadline"` (full answer, over budget).
+pub fn encode_topk_degraded(
+    user: u32,
+    domain: usize,
+    reason: &str,
+    items: &[(u32, f32)],
+) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("user".into(), Json::Num(user as f64)),
+        ("domain".into(), Json::Str(domain_name(domain).into())),
+        ("cached".into(), Json::Bool(false)),
+        ("degraded".into(), Json::Bool(true)),
+        ("reason".into(), Json::Str(reason.into())),
+        (
+            "items".into(),
+            Json::Arr(items.iter().map(|&(i, _)| Json::Num(i as f64)).collect()),
+        ),
+        (
+            "scores".into(),
+            Json::Arr(items.iter().map(|&(_, s)| Json::Num(s as f64)).collect()),
+        ),
+    ])
+    .encode()
+}
+
 /// `score` success response.
 pub fn encode_scores_response(user: u32, domain: usize, scores: &[f32]) -> String {
     Json::Obj(vec![
@@ -188,6 +217,19 @@ pub fn encode_ok(extra: Vec<(String, Json)>) -> String {
 pub fn encode_error(msg: &str) -> String {
     Json::Obj(vec![
         ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(msg.into())),
+    ])
+    .encode()
+}
+
+/// Protocol-level error with a machine-readable `code` (`"timeout"`,
+/// `"oversized"`, `"torn"`, `"malformed"`), sent before the server
+/// closes or resynchronizes a misbehaving connection — never a silent
+/// drop.
+pub fn encode_proto_error(code: &str, msg: &str) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("code".into(), Json::Str(code.into())),
         ("error".into(), Json::Str(msg.into())),
     ])
     .encode()
@@ -289,6 +331,22 @@ mod tests {
         let v = Json::parse(&e).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
         assert!(v.get("error").unwrap().as_str().unwrap().contains("bad"));
+    }
+
+    #[test]
+    fn degraded_and_proto_error_responses_are_structured() {
+        let r = encode_topk_degraded(3, 1, "stale", &[(4, 2.0)]);
+        let v = Json::parse(&r).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("degraded").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("reason").unwrap().as_str(), Some("stale"));
+        assert_eq!(v.get("items").unwrap().as_arr().unwrap().len(), 1);
+
+        let e = encode_proto_error("oversized", "frame exceeds 65536 bytes");
+        let v = Json::parse(&e).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("code").unwrap().as_str(), Some("oversized"));
+        assert!(v.get("error").unwrap().as_str().unwrap().contains("frame"));
     }
 
     #[test]

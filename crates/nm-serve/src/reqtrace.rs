@@ -62,6 +62,37 @@ impl StageUs {
     }
 }
 
+/// How a request's answer was degraded (`None` = full fidelity).
+/// Degraded answers are never cached under the live epoch, so a
+/// recovered engine re-scores them at full fidelity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DegradedKind {
+    /// Full-fidelity answer from a healthy scoring pass.
+    #[default]
+    None,
+    /// The scoring pass lost shards (failed or breaker-skipped); the
+    /// answer covers only the surviving slice of the catalog.
+    Partial,
+    /// Served from the epoch-agnostic stale cache: the last good
+    /// answer for this `(user, domain, k)`, possibly from an older
+    /// snapshot.
+    Stale,
+    /// No fallback available; an empty list was returned.
+    Unavailable,
+}
+
+impl DegradedKind {
+    /// Wire/trace label (the `reason` field of a degraded response).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DegradedKind::None => "none",
+            DegradedKind::Partial => "partial",
+            DegradedKind::Stale => "stale",
+            DegradedKind::Unavailable => "unavailable",
+        }
+    }
+}
+
 /// Stage timing the engine measures for one `topk` request.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReqTiming {
@@ -86,6 +117,12 @@ pub struct ReqTiming {
     /// with the snapshot the pass scored), or the lookup epoch on a
     /// cache hit.
     pub epoch: u64,
+    /// Degradation of this answer (shed shards, stale fallback, …).
+    pub degraded: DegradedKind,
+    /// True when the request's deadline expired before a full answer
+    /// was ready (the response is whatever degraded mode was reachable
+    /// within budget).
+    pub deadline_hit: bool,
 }
 
 /// One captured slow request.

@@ -1,17 +1,25 @@
 //! TCP front end: newline-delimited JSON over `std::net`.
 //!
-//! An accept loop hands each connection to a handler thread; a
-//! connection-slot semaphore bounds concurrency, and each request gets
-//! a soft deadline — answers computed past it are replaced by an error
-//! so a slow pass cannot wedge clients that already gave up.
+//! A supervised accept loop hands each connection to a handler thread;
+//! a connection-slot semaphore bounds concurrency, and each request
+//! gets a deadline that propagates into the engine — a slow or broken
+//! pass degrades to a structured reply instead of wedging the client.
+//!
+//! Framing is defensive: oversized frames, torn frames (EOF mid-line),
+//! idle timeouts, and non-UTF-8 bytes all get a structured protocol
+//! error (with a machine-readable `code`) and a counter bump — never a
+//! silent drop.
 
+use crate::chaos::Deadline;
 use crate::engine::Engine;
 use crate::protocol::{self, Request};
+use crate::reqtrace::DegradedKind;
 use crate::snapshot::Snapshot;
 use crate::sync::{lock, wait};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -21,10 +29,14 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Max concurrently served connections; excess block in accept.
     pub max_conns: usize,
-    /// Soft per-request deadline.
+    /// Per-request deadline, propagated into the engine; past it the
+    /// request degrades (stale cache or empty) instead of waiting.
     pub deadline: Duration,
     /// Read timeout on idle client connections.
     pub idle_timeout: Duration,
+    /// Largest accepted request frame (bytes, excluding the newline);
+    /// longer frames get an `oversized` error and the connection closes.
+    pub max_frame_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -33,9 +45,15 @@ impl Default for ServerConfig {
             max_conns: 64,
             deadline: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(60),
+            max_frame_bytes: 64 * 1024,
         }
     }
 }
+
+/// Accept-loop restarts allowed before giving up (the loop is not
+/// expected to panic; the budget is a backstop, mirroring the worker
+/// supervisor).
+const ACCEPT_RESTART_BUDGET: u32 = 5;
 
 /// Counting semaphore for connection slots (also used to drain on stop).
 struct ConnSlots {
@@ -76,6 +94,18 @@ struct Shared {
     stopping: AtomicBool,
     slots: ConnSlots,
     addr: Mutex<Option<SocketAddr>>,
+    /// Connection ordinal, used as a chaos draw coordinate so injected
+    /// wire faults are keyed to (connection, request), not wall clock.
+    conn_seq: AtomicU64,
+    /// Live connections, so stop() can unblock handlers parked in
+    /// read instead of draining at the mercy of the idle timeout.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl Shared {
+    fn drop_conn(&self, id: u64) {
+        lock(&self.conns).retain(|(cid, _)| *cid != id);
+    }
 }
 
 /// A running server. Dropping it (or calling [`Server::stop`]) shuts
@@ -102,11 +132,13 @@ impl Server {
             cfg,
             stopping: AtomicBool::new(false),
             addr: Mutex::new(Some(addr)),
+            conn_seq: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = thread::Builder::new()
             .name("nm-serve-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+            .spawn(move || supervised_accept(listener, accept_shared))?;
         Ok(Server {
             shared,
             addr,
@@ -141,6 +173,11 @@ impl Server {
         // The accept loop blocks in accept(); poke it so it re-checks
         // the flag. Error is fine — it may have already exited.
         let _ = TcpStream::connect(self.addr);
+        // Unblock handlers parked in read on open client connections;
+        // without this, drain waits out the idle timeout per handler.
+        for (_, s) in lock(&self.shared.conns).iter() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
         self.wait();
     }
 }
@@ -148,6 +185,45 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// Supervises [`accept_loop`]: a panic there (never expected, but the
+/// one thread whose death would silently stop all service) restarts
+/// the loop on a clone of the listener, with seeded backoff, up to
+/// [`ACCEPT_RESTART_BUDGET`] times.
+fn supervised_accept(listener: TcpListener, shared: Arc<Shared>) {
+    let mut restarts: u32 = 0;
+    loop {
+        let incarnation = match listener.try_clone() {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let loop_shared = Arc::clone(&shared);
+        let exit = catch_unwind(AssertUnwindSafe(|| accept_loop(incarnation, loop_shared)));
+        if exit.is_ok() || shared.stopping.load(Ordering::Acquire) {
+            // accept_loop only returns on stop; a panic after the stop
+            // flag is set is also a clean exit.
+            break;
+        }
+        if restarts >= ACCEPT_RESTART_BUDGET {
+            nm_obs::trace::event("serve.quarantine", |e| {
+                e.s("child", "accept").u("restarts", restarts as u64);
+            });
+            break;
+        }
+        restarts += 1;
+        shared.engine.stats().accept_restarts.inc();
+        nm_obs::trace::event("serve.restart", |e| {
+            e.s("child", "accept").u("attempt", restarts as u64);
+        });
+        thread::sleep(crate::chaos::seeded_backoff(
+            Duration::from_millis(1),
+            Duration::from_millis(50),
+            restarts,
+            0,
+            0xACCE97,
+        ));
     }
 }
 
@@ -178,35 +254,132 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             shared.slots.release();
             break;
         }
+        let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            lock(&shared.conns).push((conn_id, clone));
+        }
         let conn_shared = Arc::clone(&shared);
         let spawned = thread::Builder::new()
             .name("nm-serve-conn".into())
             .spawn(move || {
-                let _ = handle_connection(stream, &conn_shared);
+                let _ = handle_connection(stream, &conn_shared, conn_id);
+                conn_shared.drop_conn(conn_id);
                 conn_shared.slots.release();
             });
         if spawned.is_err() {
+            shared.drop_conn(conn_id);
             shared.slots.release();
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+/// Writes one newline-terminated reply, best-effort (the peer may
+/// already be gone when we report a protocol error).
+fn send_line(writer: &mut TcpStream, msg: &str) {
+    let _ = writer
+        .write_all(msg.as_bytes())
+        .and_then(|_| writer.write_all(b"\n"))
+        .and_then(|_| writer.flush());
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared, conn: u64) -> std::io::Result<()> {
     stream.set_read_timeout(Some(shared.cfg.idle_timeout))?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut reader = BufReader::new(stream);
+    let stats = shared.engine.stats();
+    let mut req_no: u64 = 0;
+    let max = shared.cfg.max_frame_bytes.max(1);
+    loop {
+        // Manual framing instead of `lines()`: a bounded read that can
+        // tell apart clean EOF, torn frames, oversized frames, idle
+        // timeouts, and bad UTF-8 — each gets a structured error.
+        let mut buf: Vec<u8> = Vec::new();
+        let n = match (&mut reader)
+            .take(max as u64 + 1)
+            .read_until(b'\n', &mut buf)
+        {
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                stats.errors.inc();
+                stats.proto_timeouts.inc();
+                send_line(
+                    &mut writer,
+                    &protocol::encode_proto_error(
+                        "timeout",
+                        "idle timeout: no complete frame arrived in time; closing",
+                    ),
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            return Ok(()); // clean EOF between frames
+        }
+        if buf.last() != Some(&b'\n') {
+            // No newline: either the frame outgrew the limit (the
+            // `take` cap fired) or the peer hung up mid-frame.
+            stats.errors.inc();
+            let msg = if n > max {
+                stats.proto_oversized.inc();
+                protocol::encode_proto_error(
+                    "oversized",
+                    &format!("frame exceeds {max} bytes; closing"),
+                )
+            } else {
+                stats.proto_torn.inc();
+                protocol::encode_proto_error("torn", "connection closed mid-frame")
+            };
+            send_line(&mut writer, &msg);
+            return Ok(());
+        }
+        let line = match String::from_utf8(buf) {
+            Ok(s) => s,
+            Err(_) => {
+                stats.requests.inc();
+                stats.errors.inc();
+                stats.proto_malformed.inc();
+                send_line(
+                    &mut writer,
+                    &protocol::encode_proto_error("malformed", "frame is not valid UTF-8"),
+                );
+                continue; // framing is intact; keep the connection
+            }
+        };
+        let line = line.trim();
+        if line.is_empty() {
             continue;
         }
+        req_no += 1;
+        // Chaos: a torn read truncates the frame before parsing, so the
+        // parser must absorb an arbitrary prefix of a valid request.
+        let torn_line;
+        let effective = match shared.engine.chaos() {
+            Some(chaos) if chaos.torn_read(conn, req_no) => {
+                let mut cut = line.len() / 2;
+                while cut > 0 && !line.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                torn_line = &line[..cut];
+                torn_line
+            }
+            _ => line,
+        };
         let started = Instant::now();
-        let (response, shutdown) = dispatch(&line, shared, started);
-        shared
-            .engine
-            .stats()
-            .latency
-            .record_duration(started.elapsed());
+        let (response, shutdown) = dispatch(effective, shared, started, conn, req_no);
+        stats.latency.record_duration(started.elapsed());
+        // Chaos: a torn write cuts the reply mid-frame and closes, so
+        // clients must survive half a response.
+        if let Some(chaos) = shared.engine.chaos() {
+            if chaos.torn_write(conn, req_no) {
+                stats.proto_torn.inc();
+                let bytes = response.as_bytes();
+                let _ = writer
+                    .write_all(&bytes[..bytes.len() / 2])
+                    .and_then(|_| writer.flush());
+                return Ok(());
+            }
+        }
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -223,7 +396,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
 }
 
 /// Handles one request line; returns `(response, shutdown_requested)`.
-fn dispatch(line: &str, shared: &Shared, started: Instant) -> (String, bool) {
+/// `conn`/`req_no` key the chaos draws for deterministic fault replay.
+fn dispatch(
+    line: &str,
+    shared: &Shared,
+    started: Instant,
+    conn: u64,
+    req_no: u64,
+) -> (String, bool) {
     let stats = shared.engine.stats();
     let req_sw = nm_obs::clock::Stopwatch::start();
     let _root = nm_obs::trace::span("serve.request");
@@ -238,12 +418,13 @@ fn dispatch(line: &str, shared: &Shared, started: Instant) -> (String, bool) {
         Err(e) => {
             stats.requests.inc();
             stats.errors.inc();
-            return (protocol::encode_error(&e), false);
+            stats.proto_malformed.inc();
+            return (protocol::encode_proto_error("malformed", &e), false);
         }
     };
     let response = match req {
         Request::TopK { user, domain, k } => {
-            // engine.topk_traced counts the request on the happy path
+            // engine.topk_deadline counts the request on the happy path
             if user >= shared.engine.snapshot().n_users(domain) as u32 {
                 stats.requests.inc();
                 stats.errors.inc();
@@ -251,15 +432,25 @@ fn dispatch(line: &str, shared: &Shared, started: Instant) -> (String, bool) {
             } else {
                 let ring = shared.engine.exemplars();
                 let rid = ring.next_id();
-                let (list, rt) = shared.engine.topk_traced(domain, user, k);
-                let deadline_missed = started.elapsed() > shared.cfg.deadline;
+                let mut deadline = Deadline::after(shared.cfg.deadline);
+                if let Some(chaos) = shared.engine.chaos() {
+                    if chaos.deadline_expire(conn, req_no) {
+                        deadline = deadline.forced_expired();
+                    }
+                }
+                let (list, rt) = shared.engine.topk_deadline(domain, user, k, deadline);
                 let ser_sw = nm_obs::clock::Stopwatch::start();
-                let resp = if deadline_missed {
-                    stats.errors.inc();
-                    protocol::encode_error("deadline exceeded")
-                } else {
+                let resp = {
                     let _s = nm_obs::trace::span("serve.serialize");
-                    protocol::encode_topk_response(user, domain, rt.cache_hit, &list)
+                    if rt.degraded != DegradedKind::None {
+                        protocol::encode_topk_degraded(user, domain, rt.degraded.as_str(), &list)
+                    } else if started.elapsed() > shared.cfg.deadline {
+                        // Full answer, but the wire-level budget passed
+                        // while serializing: still usable, flagged.
+                        protocol::encode_topk_degraded(user, domain, "deadline", &list)
+                    } else {
+                        protocol::encode_topk_response(user, domain, rt.cache_hit, &list)
+                    }
                 };
                 // Deadline-missed requests are the exemplars most worth
                 // keeping, so capture happens regardless of the outcome.
@@ -529,6 +720,107 @@ mod tests {
         assert!(s.spans >= 3, "at least one serve.request root per request");
         // `n` bounds the exemplar count
         assert_eq!(resps[4].get("exemplars").unwrap().as_u64(), Some(1));
+        server.stop();
+    }
+
+    #[test]
+    fn hostile_frames_get_structured_errors_not_silence() {
+        use std::net::Shutdown;
+        let mut rng = TensorRng::seed_from(17);
+        let mk = |rng: &mut TensorRng| DomainSnapshot {
+            users: Tensor::randn(8, 4, 1.0, rng),
+            items: Tensor::randn(40, 4, 1.0, rng),
+            head: HeadKind::Dot,
+        };
+        let snap = Snapshot {
+            model: "test".into(),
+            domains: [mk(&mut rng), mk(&mut rng)],
+        };
+        let engine = Arc::new(
+            Engine::new(
+                snap,
+                EngineConfig {
+                    n_workers: 2,
+                    ..Default::default()
+                },
+            )
+            .expect("valid test snapshot"),
+        );
+        let mut server = Server::start(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServerConfig {
+                max_frame_bytes: 128,
+                idle_timeout: Duration::from_millis(150),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let stats = engine.stats();
+        let read_json = |stream: TcpStream| -> Json {
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            Json::parse(line.trim()).unwrap()
+        };
+
+        // Oversized: a frame past max_frame_bytes with no newline.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&[b'a'; 200]).unwrap();
+        s.flush().unwrap();
+        let resp = read_json(s);
+        assert_eq!(resp.get("code").unwrap().as_str(), Some("oversized"));
+        assert_eq!(stats.proto_oversized.get(), 1);
+
+        // Malformed UTF-8: rejected, but the connection survives and
+        // serves the next (valid) frame.
+        let s = TcpStream::connect(addr).unwrap();
+        let mut w = s.try_clone().unwrap();
+        let mut reader = BufReader::new(s);
+        w.write_all(&[0xff, 0xfe, 0xfd, b'\n']).unwrap();
+        w.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = Json::parse(line.trim()).unwrap();
+        assert_eq!(resp.get("code").unwrap().as_str(), Some("malformed"));
+        w.write_all(b"{\"op\":\"topk\",\"user\":1,\"domain\":\"a\",\"k\":3}\n")
+            .unwrap();
+        w.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let resp = Json::parse(line.trim()).unwrap();
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+        assert!(stats.proto_malformed.get() >= 1);
+        // close this connection cleanly so it cannot idle-time-out
+        // while the later steps wait
+        drop(w);
+        drop(reader);
+
+        // Torn frame: client hangs up mid-line (write side closed, read
+        // side still open to observe the error).
+        let s = TcpStream::connect(addr).unwrap();
+        let mut w = s.try_clone().unwrap();
+        w.write_all(b"{\"op\":\"topk\"").unwrap();
+        w.flush().unwrap();
+        s.shutdown(Shutdown::Write).unwrap();
+        let resp = read_json(s);
+        assert_eq!(resp.get("code").unwrap().as_str(), Some("torn"));
+        assert_eq!(stats.proto_torn.get(), 1);
+
+        // Idle timeout: a silent connection gets a timeout error before
+        // the server closes it.
+        let s = TcpStream::connect(addr).unwrap();
+        let resp = read_json(s);
+        assert_eq!(resp.get("code").unwrap().as_str(), Some("timeout"));
+        assert_eq!(stats.proto_timeouts.get(), 1);
+
+        // Unparseable JSON also counts as malformed (satellite: the
+        // old path returned a code-less error and no counter).
+        let before = stats.proto_malformed.get();
+        let resps = roundtrip(addr, &["this is not json"]);
+        assert_eq!(resps[0].get("code").unwrap().as_str(), Some("malformed"));
+        assert_eq!(stats.proto_malformed.get(), before + 1);
         server.stop();
     }
 

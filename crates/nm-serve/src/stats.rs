@@ -33,6 +33,49 @@ pub struct Stats {
     /// Requests that shared a scoring pass with at least one other.
     pub coalesced: Arc<Counter>,
     pub latency: Arc<Histogram>,
+    // --- resilience (see DESIGN.md "Failure model & degraded modes") ---
+    /// Scoring jobs that panicked (caught; the worker dies or the
+    /// leader-inline drain absorbs it).
+    pub worker_panics: Arc<Counter>,
+    /// Supervisor restarts of dead scoring workers.
+    pub worker_restarts: Arc<Counter>,
+    /// Workers quarantined after exhausting their restart budget.
+    pub worker_quarantined: Arc<Counter>,
+    /// Accept-loop supervisor restarts.
+    pub accept_restarts: Arc<Counter>,
+    /// Shard attempts re-run after a failure (retry budget).
+    pub shard_retried: Arc<Counter>,
+    /// Shards that stayed failed after the retry budget was spent.
+    pub shard_failures: Arc<Counter>,
+    /// Circuit-breaker trips (closed→open and reopen-after-probe).
+    pub breaker_opens: Arc<Counter>,
+    /// Cooldown expiries admitting a half-open probe.
+    pub breaker_half_opens: Arc<Counter>,
+    /// Probes that succeeded and closed the breaker.
+    pub breaker_closes: Arc<Counter>,
+    /// Shard passes shed by an open breaker.
+    pub breaker_short_circuits: Arc<Counter>,
+    /// Answers covering only the surviving slice of the catalog.
+    pub degraded_partial: Arc<Counter>,
+    /// Answers served from the epoch-agnostic stale cache.
+    pub degraded_stale: Arc<Counter>,
+    /// Empty answers (no fallback was available).
+    pub degraded_unavailable: Arc<Counter>,
+    /// Requests shed because their deadline expired before an answer.
+    pub deadline_shed: Arc<Counter>,
+    /// Successful snapshot reloads.
+    pub reload_ok: Arc<Counter>,
+    /// Rejected reloads (validation or injected failure).
+    pub reload_failed: Arc<Counter>,
+    /// Connections closed after an idle/read timeout (structured error
+    /// sent first).
+    pub proto_timeouts: Arc<Counter>,
+    /// Frames rejected for exceeding the frame-size limit.
+    pub proto_oversized: Arc<Counter>,
+    /// Frames cut mid-line (no trailing newline before EOF).
+    pub proto_torn: Arc<Counter>,
+    /// Frames rejected as invalid UTF-8 / unparseable before dispatch.
+    pub proto_malformed: Arc<Counter>,
 }
 
 impl Default for Stats {
@@ -54,8 +97,34 @@ impl Stats {
             batches: registry.counter("serve.batches"),
             coalesced: registry.counter("serve.coalesced"),
             latency: registry.histogram("serve.latency_us", &nm_obs::LATENCY_BOUNDS_US),
+            worker_panics: registry.counter("serve.worker.panics"),
+            worker_restarts: registry.counter("serve.worker.restarts"),
+            worker_quarantined: registry.counter("serve.worker.quarantined"),
+            accept_restarts: registry.counter("serve.accept.restarts"),
+            shard_retried: registry.counter("serve.shard.retried"),
+            shard_failures: registry.counter("serve.shard.failures"),
+            breaker_opens: registry.counter("serve.breaker.opens"),
+            breaker_half_opens: registry.counter("serve.breaker.half_opens"),
+            breaker_closes: registry.counter("serve.breaker.closes"),
+            breaker_short_circuits: registry.counter("serve.breaker.short_circuits"),
+            degraded_partial: registry.counter("serve.degraded.partial"),
+            degraded_stale: registry.counter("serve.degraded.stale"),
+            degraded_unavailable: registry.counter("serve.degraded.unavailable"),
+            deadline_shed: registry.counter("serve.deadline.shed"),
+            reload_ok: registry.counter("serve.reload.ok"),
+            reload_failed: registry.counter("serve.reload.failed"),
+            proto_timeouts: registry.counter("serve.proto.timeout"),
+            proto_oversized: registry.counter("serve.proto.oversized"),
+            proto_torn: registry.counter("serve.proto.torn"),
+            proto_malformed: registry.counter("serve.proto.malformed"),
             registry,
         }
+    }
+
+    /// Total degraded answers across modes (conservation partner of the
+    /// per-mode counters; asserted by the chaos harness).
+    pub fn degraded_total(&self) -> u64 {
+        self.degraded_partial.get() + self.degraded_stale.get() + self.degraded_unavailable.get()
     }
 
     /// The underlying registry (e.g. to register extra metrics).

@@ -1,0 +1,339 @@
+//! A small supervision tree for serve-side threads.
+//!
+//! Children (scoring workers, the accept loop) are spawned from a
+//! respawnable factory. A monitor thread polls child liveness
+//! (`JoinHandle::is_finished`, the health check) and restarts dead
+//! children with deterministic exponential backoff + seeded jitter,
+//! up to a restart budget; a child that keeps dying is *quarantined*
+//! (never revived) so a poisoned worker cannot flap forever. Restart
+//! and quarantine totals land in the shared metrics registry
+//! (`serve.worker.restarts` / `serve.worker.quarantined`) and emit
+//! typed `serve.restart` / `serve.quarantine` trace events.
+//!
+//! Supervision is an availability optimization, not a correctness
+//! crutch: the engine's batch leader drains the shard worklist inline
+//! when no worker is live, so requests make progress even with every
+//! child quarantined (see DESIGN.md "Failure model & degraded modes").
+
+use crate::chaos::seeded_backoff;
+use crate::sync::lock;
+use nm_obs::Counter;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Restart policy shared by all children of one supervisor.
+#[derive(Debug, Clone)]
+pub struct RestartPolicy {
+    /// Restarts allowed per child before quarantine.
+    pub max_restarts: u32,
+    /// First-restart backoff; doubles per restart of that child.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        Self {
+            max_restarts: 5,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+            seed: 0,
+        }
+    }
+}
+
+/// A supervised child: a name (for trace events) and a spawn factory
+/// that can be called again after the previous incarnation died.
+pub struct ChildSpec {
+    pub name: String,
+    pub spawn: Box<dyn Fn() -> std::io::Result<thread::JoinHandle<()>> + Send + 'static>,
+}
+
+struct Child {
+    spec: ChildSpec,
+    handle: Option<thread::JoinHandle<()>>,
+    restarts: u32,
+    quarantined: bool,
+}
+
+struct SupState {
+    children: Vec<Child>,
+}
+
+/// Counter handles the supervisor reports through (wired into the
+/// engine's stats registry by the caller).
+#[derive(Clone)]
+pub struct SupCounters {
+    pub restarts: Arc<Counter>,
+    pub quarantines: Arc<Counter>,
+}
+
+/// A running supervisor. Dropping it stops the monitor and joins every
+/// live child — callers must first make children exit on their own
+/// shutdown signal (e.g. the worker pool's shutdown flag).
+pub struct Supervisor {
+    state: Arc<Mutex<SupState>>,
+    stop: Arc<AtomicBool>,
+    monitor: Option<thread::JoinHandle<()>>,
+}
+
+impl Supervisor {
+    /// Spawns every child once and starts the monitor. A child whose
+    /// very first spawn fails is retried by the monitor like a death
+    /// (thread exhaustion is a transient fault, not a config error).
+    pub fn start(
+        children: Vec<ChildSpec>,
+        policy: RestartPolicy,
+        poll: Duration,
+        counters: SupCounters,
+    ) -> Self {
+        let state = Arc::new(Mutex::new(SupState {
+            children: children
+                .into_iter()
+                .map(|spec| {
+                    let handle = (spec.spawn)().ok();
+                    Child {
+                        spec,
+                        handle,
+                        restarts: 0,
+                        quarantined: false,
+                    }
+                })
+                .collect(),
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let monitor = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("nm-serve-supervisor".into())
+                .spawn(move || monitor_loop(&state, &stop, &policy, poll, &counters))
+                .ok()
+        };
+        Self {
+            state,
+            stop,
+            monitor,
+        }
+    }
+
+    /// Live (spawned and not finished) children.
+    pub fn live(&self) -> usize {
+        lock(&self.state)
+            .children
+            .iter()
+            .filter(|c| c.handle.as_ref().is_some_and(|h| !h.is_finished()))
+            .count()
+    }
+
+    /// Children that exhausted their restart budget.
+    pub fn quarantined(&self) -> usize {
+        lock(&self.state)
+            .children
+            .iter()
+            .filter(|c| c.quarantined)
+            .count()
+    }
+
+    /// Stops monitoring and joins all children. Children must already
+    /// have been told to exit (their run loops observe a shutdown
+    /// flag); this only reaps them.
+    pub fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(m) = self.monitor.take() {
+            let _ = m.join();
+        }
+        let handles: Vec<_> = lock(&self.state)
+            .children
+            .iter_mut()
+            .filter_map(|c| c.handle.take())
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn monitor_loop(
+    state: &Mutex<SupState>,
+    stop: &AtomicBool,
+    policy: &RestartPolicy,
+    poll: Duration,
+    counters: &SupCounters,
+) {
+    while !stop.load(Ordering::Acquire) {
+        // Scan under the lock; the check-dead-then-respawn of one child
+        // must be atomic or two revival paths could double-spawn it
+        // (the seeded bug of nm-check's SupervisorModel).
+        {
+            let mut st = lock(state);
+            for c in st.children.iter_mut() {
+                if c.quarantined || stop.load(Ordering::Acquire) {
+                    continue;
+                }
+                let dead = match &c.handle {
+                    Some(h) => h.is_finished(),
+                    None => true,
+                };
+                if !dead {
+                    continue;
+                }
+                if let Some(h) = c.handle.take() {
+                    let _ = h.join();
+                }
+                if c.restarts >= policy.max_restarts {
+                    c.quarantined = true;
+                    counters.quarantines.inc();
+                    nm_obs::trace::event("serve.quarantine", |e| {
+                        e.s("child", &c.spec.name).u("restarts", c.restarts as u64);
+                    });
+                    continue;
+                }
+                c.restarts += 1;
+                counters.restarts.inc();
+                nm_obs::trace::event("serve.restart", |e| {
+                    e.s("child", &c.spec.name).u("attempt", c.restarts as u64);
+                });
+                thread::sleep(seeded_backoff(
+                    policy.backoff_base,
+                    policy.backoff_cap,
+                    c.restarts,
+                    policy.seed,
+                    fnv(&c.spec.name),
+                ));
+                c.handle = (c.spec.spawn)().ok();
+            }
+        }
+        thread::sleep(poll);
+    }
+}
+
+/// FNV-1a64 of a child name: the jitter salt, so same-named children
+/// across runs back off identically while distinct children de-sync.
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn counters() -> (SupCounters, Arc<Counter>, Arc<Counter>) {
+        let reg = nm_obs::Registry::new();
+        let r = reg.counter("t.restarts");
+        let q = reg.counter("t.quarantines");
+        (
+            SupCounters {
+                restarts: Arc::clone(&r),
+                quarantines: Arc::clone(&q),
+            },
+            r,
+            q,
+        )
+    }
+
+    fn fast_policy(max_restarts: u32) -> RestartPolicy {
+        RestartPolicy {
+            max_restarts,
+            backoff_base: Duration::from_micros(200),
+            backoff_cap: Duration::from_millis(2),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn dead_child_is_restarted_with_budget() {
+        let (c, restarts, quarantines) = counters();
+        let spawned = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let spec = {
+            let spawned = Arc::clone(&spawned);
+            let stop = Arc::clone(&stop);
+            ChildSpec {
+                name: "flappy".into(),
+                spawn: Box::new(move || {
+                    let spawned = Arc::clone(&spawned);
+                    let stop = Arc::clone(&stop);
+                    thread::Builder::new().spawn(move || {
+                        let n = spawned.fetch_add(1, Ordering::SeqCst);
+                        // die twice, then stay up until told to stop
+                        if n >= 2 {
+                            while !stop.load(Ordering::Acquire) {
+                                thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                    })
+                }),
+            }
+        };
+        let mut sup = Supervisor::start(vec![spec], fast_policy(5), Duration::from_millis(1), c);
+        for _ in 0..500 {
+            if restarts.get() >= 2 && sup.live() == 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(restarts.get() >= 2, "child was not restarted");
+        assert_eq!(sup.live(), 1, "child must be up after restarts");
+        assert_eq!(quarantines.get(), 0);
+        assert_eq!(spawned.load(Ordering::SeqCst) as u64, restarts.get() + 1);
+        stop.store(true, Ordering::Release);
+        sup.stop_and_join();
+    }
+
+    #[test]
+    fn child_exhausting_budget_is_quarantined_not_flapped() {
+        let (c, restarts, quarantines) = counters();
+        let spawned = Arc::new(AtomicUsize::new(0));
+        let spec = {
+            let spawned = Arc::clone(&spawned);
+            ChildSpec {
+                name: "poisoned".into(),
+                spawn: Box::new(move || {
+                    let spawned = Arc::clone(&spawned);
+                    thread::Builder::new().spawn(move || {
+                        spawned.fetch_add(1, Ordering::SeqCst);
+                        // dies immediately, every time
+                    })
+                }),
+            }
+        };
+        let mut sup = Supervisor::start(vec![spec], fast_policy(3), Duration::from_millis(1), c);
+        for _ in 0..500 {
+            if quarantines.get() == 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(quarantines.get(), 1, "poisoned child must be quarantined");
+        assert_eq!(restarts.get(), 3, "restart budget respected exactly");
+        let total = spawned.load(Ordering::SeqCst);
+        assert_eq!(total, 4, "1 initial + 3 restarts, never revived again");
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(
+            spawned.load(Ordering::SeqCst),
+            total,
+            "quarantined child revived"
+        );
+        assert_eq!(sup.live(), 0);
+        assert_eq!(sup.quarantined(), 1);
+        sup.stop_and_join();
+    }
+}

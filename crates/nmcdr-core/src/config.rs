@@ -131,6 +131,36 @@ impl NmcdrConfig {
         }
         Ok(())
     }
+
+    /// Returns a copy with every out-of-range knob clamped to its
+    /// nearest legal value — the sanitizing counterpart of
+    /// [`NmcdrConfig::validate`], for construction paths that must not
+    /// panic deep inside a run.
+    pub fn clamped(&self) -> Self {
+        let mut c = self.clone();
+        c.dim = c.dim.max(1);
+        c.match_neighbors = c.match_neighbors.max(1);
+        c.hge_layers = c.hge_layers.max(1);
+        c.matching_layers = c.matching_layers.max(1);
+        c.complement = match c.complement {
+            ComplementCandidates::ObservedPlusSampled {
+                total,
+                max_observed,
+            } => {
+                let total = total.max(1);
+                ComplementCandidates::ObservedPlusSampled {
+                    total,
+                    max_observed: max_observed.min(total),
+                }
+            }
+            ComplementCandidates::ObservedOnly { max_observed } => {
+                ComplementCandidates::ObservedOnly {
+                    max_observed: max_observed.max(1),
+                }
+            }
+        };
+        c
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +170,28 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         NmcdrConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn clamped_always_validates() {
+        let mut c = NmcdrConfig {
+            dim: 0,
+            match_neighbors: 0,
+            hge_layers: 0,
+            matching_layers: 0,
+            complement: ComplementCandidates::ObservedPlusSampled {
+                total: 0,
+                max_observed: 9,
+            },
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        c.clamped().validate().expect("clamped config is legal");
+        c.complement = ComplementCandidates::ObservedOnly { max_observed: 0 };
+        c.clamped().validate().expect("clamped config is legal");
+        // an already-valid config passes through unchanged
+        let d = NmcdrConfig::default();
+        assert_eq!(format!("{:?}", d.clamped()), format!("{d:?}"));
     }
 
     #[test]

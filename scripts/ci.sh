@@ -105,6 +105,27 @@ grep -q '"name":"stream.swap"' target/ci_stream_trace.jsonl \
   || { echo "stream smoke: no stream.swap event in trace"; exit 1; }
 cargo run --release -q -p nm-cli -- obs validate --trace target/ci_stream_trace.jsonl
 
+echo "== chaos smoke: seeded fault injection, breakers, degraded modes =="
+# Fixed-seed chaos drill over a live server: worker panics, shard
+# stalls, torn frames, reload failures, and forced deadline expiries.
+# The command itself runs the workload twice and hard-fails unless the
+# transcripts are byte-identical (same seed => same faults => same
+# responses) and the --require-* floors are met; the emitted trace must
+# contain an actual breaker-open and a degraded answer, and pass strict
+# schema validation. The 60s timeout turns any hang into a failure.
+CHAOS_TRACE=target/ci_chaos_trace.jsonl
+rm -f "$CHAOS_TRACE"
+timeout 60 cargo run --release -q -p nm-cli -- chaos --seed 806405 \
+  --requests 120 --require-injections 10 --require-breaker-opens 1 \
+  --require-degraded 1 --trace-out "$CHAOS_TRACE"
+grep -q '"name":"chaos.inject"' "$CHAOS_TRACE" \
+  || { echo "chaos smoke: no chaos.inject event in trace"; exit 1; }
+grep -q '"name":"serve.breaker".*"state":"open"' "$CHAOS_TRACE" \
+  || { echo "chaos smoke: no breaker-open event in trace"; exit 1; }
+grep -q '"name":"serve.degraded"' "$CHAOS_TRACE" \
+  || { echo "chaos smoke: no serve.degraded event in trace"; exit 1; }
+cargo run --release -q -p nm-cli -- obs validate --trace "$CHAOS_TRACE"
+
 echo "== perf-regression gate (nmcdr bench) =="
 # Baselines are per-machine and never committed. First run on a fresh
 # machine records one (soft pass); every later run compares against it
