@@ -9,7 +9,10 @@
 //! * `train.steps_per_sec` — optimization throughput of a small fixed
 //!   BPR training run;
 //! * `train.forward_self_us` — mean per-step forward time from the
-//!   epoch telemetry captured by the tracing layer.
+//!   epoch telemetry captured by the tracing layer;
+//! * `obs.overhead_ns` — per-probe cost of a *disabled* trace span.
+//!   The observability contract is that uninstalled instrumentation
+//!   costs one relaxed atomic load; this metric gates creep.
 //!
 //! `--record` writes the suite to a named baseline JSON
 //! (`results/BENCH_baseline.json` by default — machine-dependent, so
@@ -92,6 +95,13 @@ pub const METRICS: &[MetricDef] = &[
         lower_is_better: true,
         rel_tol: 0.50,
         abs_floor: 300.0,
+    },
+    MetricDef {
+        name: "obs.overhead_ns",
+        unit: "ns",
+        lower_is_better: true,
+        rel_tol: 1.00,
+        abs_floor: 50.0,
     },
 ];
 
@@ -196,10 +206,30 @@ fn train_metrics(out: &mut Measurements) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-probe cost of a disabled trace span, in nanoseconds. No sink is
+/// installed on this thread, so every probe takes the early-out path:
+/// one relaxed atomic load plus call overhead.
+pub fn disabled_probe_ns() -> f64 {
+    const N: u64 = 1_000_000;
+    for _ in 0..10_000 {
+        let _g = nm_obs::trace::span(std::hint::black_box("bench.probe"));
+    }
+    let sw = Stopwatch::start();
+    for _ in 0..N {
+        let _g = nm_obs::trace::span(std::hint::black_box("bench.probe"));
+    }
+    sw.elapsed_us() as f64 * 1000.0 / N as f64
+}
+
+fn obs_metrics(out: &mut Measurements) {
+    out.insert("obs.overhead_ns".into(), disabled_probe_ns());
+}
+
 fn measure_once() -> Result<Measurements, String> {
     let mut out = Measurements::new();
     serve_metrics(&mut out)?;
     train_metrics(&mut out)?;
+    obs_metrics(&mut out);
     Ok(out)
 }
 
@@ -448,6 +478,37 @@ mod tests {
         let v = compare(&cur, &base);
         assert_eq!(v.len(), 1);
         assert!(!any_regression(&v));
+    }
+
+    #[test]
+    fn disabled_probe_stays_near_a_relaxed_load() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let probe = disabled_probe_ns();
+        // Reference cost: a bare relaxed atomic load in the same loop
+        // shape, so the bound scales with the machine instead of being
+        // an absolute number that flakes on slow CI hosts.
+        let a = AtomicU64::new(1);
+        const N: u64 = 1_000_000;
+        let sw = Stopwatch::start();
+        let mut acc = 0u64;
+        for _ in 0..N {
+            acc = acc.wrapping_add(std::hint::black_box(&a).load(Ordering::Relaxed));
+        }
+        std::hint::black_box(acc);
+        let load_ns = (sw.elapsed_us() as f64 * 1000.0 / N as f64).max(0.1);
+        // Debug builds don't inline the probe, so the multiple is loose
+        // there; release asserts the real contract.
+        let limit = if cfg!(debug_assertions) {
+            (200.0 * load_ns).max(2_000.0)
+        } else {
+            (25.0 * load_ns).max(250.0)
+        };
+        assert!(
+            probe < limit,
+            "disabled trace probe costs {probe:.1}ns, limit {limit:.1}ns \
+             (relaxed load: {load_ns:.2}ns) — the disabled path must stay \
+             within a small multiple of one relaxed atomic load"
+        );
     }
 
     #[test]

@@ -1128,6 +1128,143 @@ impl SchedModel for SupervisorModel {
     }
 }
 
+// ---------------------------------------------------------------------
+// 10. Telemetry sampler ring (nm-obs FlightRecorder::tick)
+// ---------------------------------------------------------------------
+
+/// Writer threads bump a shared cumulative counter (one relaxed
+/// `fetch_add` per step, like `Counter::inc`) while a sampler thread
+/// records delta ticks into a bounded drop-oldest ring. The real
+/// `FlightRecorder::tick` computes each delta *and* advances its
+/// per-name `prev` watermark from the same registry read, so recorded
+/// deltas conserve: ring sum + dropped sum == watermark after every
+/// tick, no matter how writers interleave. The seeded bug snapshots
+/// the counter in one step but advances the watermark from a re-read
+/// in a later step — increments landing in between are skipped by
+/// every delta, silently vanishing from the recorded series.
+/// Invariants: conservation holds after every step, the watermark
+/// never passes the counter, and the ring never exceeds its capacity.
+#[derive(Clone)]
+pub struct SamplerRingModel {
+    reread_watermark: bool,
+    capacity: usize,
+    incs_left: Vec<u64>,
+    ticks_left: u64,
+    /// Bug variant only: counter value snapshotted in the first half
+    /// of a torn tick.
+    loaded: Option<u64>,
+    cum: u64,
+    prev: u64,
+    ring: Vec<u64>,
+    dropped_sum: u64,
+}
+
+impl SamplerRingModel {
+    fn new(writers: usize, incs: u64, ticks: u64, capacity: usize, reread: bool) -> Self {
+        Self {
+            reread_watermark: reread,
+            capacity: capacity.max(1),
+            incs_left: vec![incs; writers],
+            ticks_left: ticks,
+            loaded: None,
+            cum: 0,
+            prev: 0,
+            ring: Vec::new(),
+            dropped_sum: 0,
+        }
+    }
+
+    pub fn correct(writers: usize, incs: u64, ticks: u64, capacity: usize) -> Self {
+        Self::new(writers, incs, ticks, capacity, false)
+    }
+
+    /// Seeded bug: the tick's delta comes from one counter read, the
+    /// watermark advance from a second.
+    pub fn seeded_bug(writers: usize, incs: u64, ticks: u64, capacity: usize) -> Self {
+        Self::new(writers, incs, ticks, capacity, true)
+    }
+
+    fn push(&mut self, delta: u64) {
+        if self.ring.len() == self.capacity {
+            self.dropped_sum += self.ring.remove(0);
+        }
+        self.ring.push(delta);
+    }
+}
+
+impl SchedModel for SamplerRingModel {
+    fn thread_count(&self) -> usize {
+        self.incs_left.len() + 1 // last thread is the sampler
+    }
+    fn is_done(&self, t: usize) -> bool {
+        match self.incs_left.get(t) {
+            Some(&left) => left == 0,
+            None => self.ticks_left == 0 && self.loaded.is_none(),
+        }
+    }
+    fn is_runnable(&self, t: usize) -> bool {
+        !self.is_done(t)
+    }
+    fn step(&mut self, t: usize) {
+        if t < self.incs_left.len() {
+            self.cum += 1;
+            self.incs_left[t] -= 1;
+            return;
+        }
+        if !self.reread_watermark {
+            // One linearization point: delta and watermark from the
+            // same read of the counter.
+            let read = self.cum;
+            let delta = read - self.prev;
+            self.prev = read;
+            self.push(delta);
+            self.ticks_left -= 1;
+            return;
+        }
+        match self.loaded.take() {
+            None => self.loaded = Some(self.cum),
+            Some(read) => {
+                let delta = read - self.prev;
+                // Bug: the watermark advances from a RE-READ — any
+                // increment since `read` is skipped by every delta.
+                self.prev = self.cum;
+                self.push(delta);
+                self.ticks_left -= 1;
+            }
+        }
+    }
+    fn check_step(&self) -> Result<(), String> {
+        if self.ring.len() > self.capacity {
+            return Err(format!(
+                "ring holds {} ticks with capacity {}",
+                self.ring.len(),
+                self.capacity
+            ));
+        }
+        if self.prev > self.cum {
+            return Err(format!(
+                "watermark {} passed the counter {}",
+                self.prev, self.cum
+            ));
+        }
+        let recorded: u64 = self.ring.iter().sum::<u64>() + self.dropped_sum;
+        if recorded != self.prev {
+            return Err(format!(
+                "sampler leaks deltas: ring + dropped = {recorded} but watermark = {} \
+                 (events lost between snapshot and watermark advance)",
+                self.prev
+            ));
+        }
+        Ok(())
+    }
+    fn check_final(&self) -> Result<(), String> {
+        // Conservation at rest; the watermark may trail the counter
+        // when writers outlive the last tick — that is not a leak,
+        // those events are simply not yet sampled.
+        self.check_step()
+    }
+}
+
 impl SchedModel for ShedModel {
     fn thread_count(&self) -> usize {
         self.phase.len()

@@ -306,6 +306,13 @@ fn seeded_split_probe_claim_caught() {
 }
 
 #[test]
+fn seeded_sampler_watermark_reread_caught() {
+    let r = explore(&SamplerRingModel::seeded_bug(2, 1, 2, 1), &opts());
+    let v = r.violation.expect("leaked deltas must surface");
+    assert!(v.message.contains("leaks deltas"), "{}", v.message);
+}
+
+#[test]
 fn seeded_nonatomic_respawn_caught() {
     let r = explore(&SupervisorModel::seeded_bug(2, 2), &opts());
     let v = r.violation.expect("double restart must surface");

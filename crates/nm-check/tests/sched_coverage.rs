@@ -62,3 +62,8 @@ fn breaker_probe_all_schedules_clean() {
 fn supervisor_respawn_all_schedules_clean() {
     assert_clean("supervisor", SupervisorModel::correct(2, 10));
 }
+
+#[test]
+fn sampler_ring_all_schedules_clean() {
+    assert_clean("sampler-ring", SamplerRingModel::correct(2, 3, 4, 2));
+}

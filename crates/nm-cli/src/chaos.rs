@@ -24,18 +24,47 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Counters whose values depend on thread scheduling rather than the
-/// fault schedule alone; excluded from the determinism comparison but
-/// still shown in the report.
-const SCHED_DEPENDENT: [&str; 3] = [
+/// Counters whose values depend on thread scheduling (or wall clock)
+/// rather than the fault schedule alone; excluded from the determinism
+/// comparison but still shown in the report.
+const SCHED_DEPENDENT: [&str; 4] = [
     "serve.worker.restarts",
     "serve.worker.quarantined",
     "serve.accept.restarts",
+    "obs.self_us",
 ];
 
 struct Drill {
     transcript: Vec<String>,
     counters: Vec<(String, u64)>,
+    /// Line-JSON flight-recorder dump (see `Telemetry::dump`).
+    series: String,
+    /// SLO alert fire/resolve transition log.
+    slo_log: String,
+}
+
+/// The drill's burn-rate objective: degraded responses over requests.
+/// Error ratio is deliberately NOT an objective here — the workload's
+/// hostile frames produce errors in the clean control run too, and the
+/// clean run must stay alert-free for the CI gate to mean anything.
+fn chaos_slos() -> Vec<nm_obs::SloSpec> {
+    vec![nm_obs::SloSpec {
+        name: "chaos-degraded-ratio".into(),
+        objective: nm_obs::Objective::CounterRatio {
+            bad: vec![
+                "serve.degraded.partial".into(),
+                "serve.degraded.stale".into(),
+                "serve.degraded.unavailable".into(),
+                "serve.deadline.shed".into(),
+            ],
+            total: "serve.requests".into(),
+        },
+        target: 0.005,
+        fast_window: 4,
+        slow_window: 16,
+        burn_threshold: 2.0,
+        min_events: 8,
+    }]
 }
 
 pub fn chaos(args: &Args) -> Result<(), String> {
@@ -44,17 +73,45 @@ pub fn chaos(args: &Args) -> Result<(), String> {
     if requests < 8 {
         return Err("--requests must be at least 8".into());
     }
+    // --clean runs the identical workload with every fault rate zeroed:
+    // the control arm of the SLO smoke test (burn-rate alerts must NOT
+    // fire without faults).
+    let clean = args.flag("clean");
     let cfg = ChaosConfig {
         seed,
-        worker_panic_permille: args.parse_or("panic", 250)?,
-        shard_stall_permille: args.parse_or("stall", 250)?,
-        torn_write_permille: args.parse_or("torn-write", 100)?,
-        torn_read_permille: args.parse_or("torn-read", 100)?,
-        reload_fail_permille: args.parse_or("reload-fail", 500)?,
-        deadline_expire_permille: args.parse_or("deadline-expire", 150)?,
+        worker_panic_permille: if clean {
+            0
+        } else {
+            args.parse_or("panic", 250)?
+        },
+        shard_stall_permille: if clean {
+            0
+        } else {
+            args.parse_or("stall", 250)?
+        },
+        torn_write_permille: if clean {
+            0
+        } else {
+            args.parse_or("torn-write", 100)?
+        },
+        torn_read_permille: if clean {
+            0
+        } else {
+            args.parse_or("torn-read", 100)?
+        },
+        reload_fail_permille: if clean {
+            0
+        } else {
+            args.parse_or("reload-fail", 500)?
+        },
+        deadline_expire_permille: if clean {
+            0
+        } else {
+            args.parse_or("deadline-expire", 150)?
+        },
     };
-    if !cfg.enabled() {
-        return Err("all fault rates are zero; nothing to drill".into());
+    if !clean && !cfg.enabled() {
+        return Err("all fault rates are zero; nothing to drill (did you mean --clean?)".into());
     }
 
     // Injected worker panics go through the normal panic machinery
@@ -135,7 +192,21 @@ pub fn chaos(args: &Args) -> Result<(), String> {
             ));
         }
     }
-    println!("deterministic replay: PASS (transcripts byte-identical, counters equal)");
+    if first.series != second.series {
+        return Err(
+            "NONDETERMINISTIC: flight-recorder dumps diverged across same-seed runs".into(),
+        );
+    }
+    if first.slo_log != second.slo_log {
+        return Err(format!(
+            "NONDETERMINISTIC: SLO decisions diverged across same-seed runs\n  run 1:\n{}  run 2:\n{}",
+            first.slo_log, second.slo_log
+        ));
+    }
+    println!(
+        "deterministic replay: PASS (transcripts byte-identical, counters equal, \
+         flight-recorder dump and SLO decisions byte-identical)"
+    );
 
     let get = |name: &str| {
         first
@@ -189,6 +260,23 @@ pub fn chaos(args: &Args) -> Result<(), String> {
         get("serve.proto.oversized"),
         get("serve.proto.timeout"),
     );
+    let ticks = first.series.lines().count().saturating_sub(1);
+    if first.slo_log.is_empty() {
+        println!("slo: {ticks} ticks recorded, no alert transitions");
+    } else {
+        println!("slo: {ticks} ticks recorded, alert transitions:");
+        for line in first.slo_log.lines() {
+            println!("  {line}");
+        }
+    }
+    if let Some(path) = args.get("series-out") {
+        std::fs::write(path, &first.series)
+            .map_err(|e| format!("cannot write series '{path}': {e}"))?;
+        println!(
+            "flight recorder written to {path} (inspect with `nmcdr obs tail --series {path}` \
+             and `nmcdr obs slo --series {path}`)"
+        );
+    }
     if let Some(path) = &trace_out {
         println!(
             "trace written to {} (inspect with `nmcdr obs validate --trace {}`)",
@@ -231,6 +319,11 @@ fn drill(
     requests: usize,
     args: &Args,
 ) -> Result<Drill, String> {
+    // The flight recorder ticks on the request ordinal, so the dump is
+    // part of the determinism contract; wall-clock and scheduling-
+    // dependent metrics are excluded from the recorded series.
+    let mut exclude: Vec<String> = vec!["serve.latency_us".into()];
+    exclude.extend(SCHED_DEPENDENT.iter().map(|s| s.to_string()));
     let engine = Arc::new(
         Engine::new(
             snap.clone(),
@@ -245,7 +338,12 @@ fn drill(
                     },
                     ..Default::default()
                 },
-                chaos: Some(chaos),
+                chaos: chaos.enabled().then_some(chaos),
+                telemetry: nm_obs::TelemetryConfig {
+                    capacity: args.parse_or("series-capacity", 64)?,
+                    exclude,
+                    slos: chaos_slos(),
+                },
                 ..Default::default()
             },
         )
@@ -260,6 +358,7 @@ fn drill(
             // adding schedule-dependent "late" degrades.
             deadline: Duration::from_secs(30),
             max_frame_bytes: 4096,
+            sample_every: args.parse_or("sample-every", 8)?,
             ..Default::default()
         },
     )
@@ -339,9 +438,13 @@ fn drill(
         .into_iter()
         .filter(|(name, _)| !SCHED_DEPENDENT.contains(&name.as_str()))
         .collect();
+    let series = engine.telemetry().dump();
+    let slo_log = engine.telemetry().render_transitions();
     server.stop();
     Ok(Drill {
         transcript,
         counters,
+        series,
+        slo_log,
     })
 }

@@ -23,8 +23,8 @@ use crate::args::Args;
 use nm_autograd::TraceNode;
 use nm_bench::{ExpProfile, ModelKind};
 use nm_check::sched::models::{
-    BreakerModel, CoalescerModel, CounterModel, ExemplarRingModel, HistogramModel, SeqSinkModel,
-    ShedModel, StreamRingModel, SupervisorModel,
+    BreakerModel, CoalescerModel, CounterModel, ExemplarRingModel, HistogramModel,
+    SamplerRingModel, SeqSinkModel, ShedModel, StreamRingModel, SupervisorModel,
 };
 use nm_check::sched::{explore, ExploreOpts, SchedModel};
 use nm_check::shape::{compare_symbolic, verify_reachability, verify_trace};
@@ -306,6 +306,11 @@ fn sched_stage() -> Vec<Diagnostic> {
         &mut diags,
         "stream.ring",
         StreamRingModel::correct(6, 3, 2, 2),
+    );
+    run_sched(
+        &mut diags,
+        "obs.sampler-ring",
+        SamplerRingModel::correct(2, 3, 4, 2),
     );
     run_sched(&mut diags, "serve.breaker", BreakerModel::correct(6));
     run_sched(

@@ -52,7 +52,8 @@ COMMANDS:
   serve      serve top-K recommendations over TCP (newline-delimited JSON)
              --snapshot <file.nmss> [--bind 127.0.0.1:7878]
              [--workers N] [--shard-items 256] [--batch-max 8]
-             [--cache 4096]
+             [--cache 4096] [--sample-ms 1000] (telemetry sampler
+             interval; 0 disables the flight recorder tick thread)
              [--chaos-seed N] enables fault injection (permille knobs:
              [--chaos-panic 100] [--chaos-stall 100] [--chaos-torn-write 50]
              [--chaos-torn-read 50] [--chaos-reload-fail 100]
@@ -65,20 +66,33 @@ COMMANDS:
              [--torn-read 100] [--reload-fail 500] [--deadline-expire 150]
              [--workers 2] [--shard-items 32] [--retries 1]
              [--breaker-threshold 2] [--breaker-cooldown 4]
-             [--trace-out <file.jsonl>] [--require-injections N]
+             [--trace-out <file.jsonl>] [--series-out <file.jsonl>]
+             [--sample-every 8] [--series-capacity 64] [--clean]
+             [--require-injections N]
              [--require-breaker-opens N] [--require-degraded N]
-             --require-* make the exit code a CI gate
+             --require-* make the exit code a CI gate; --clean zeroes
+             every fault rate (the SLO smoke control run); --series-out
+             dumps the telemetry flight recorder for obs tail/slo
   query      one-shot client against a running server
-             [--addr 127.0.0.1:7878] [--op topk|stats|obs|trace|shutdown]
-             [--user 0] [--domain a] [--k 10] [--n 5]
+             [--addr 127.0.0.1:7878]
+             [--op topk|stats|obs|series|trace|shutdown]
+             [--user 0] [--domain a] [--k 10] [--n 5] [--window 30]
              --op trace prints the server's slowest-request exemplars
-             as a raw schema-v1 trace (pipe to a file for obs flame)
+             as a raw schema-v1 trace (pipe to a file for obs flame);
+             --op series prints windowed rates/quantiles + SLO budgets
   obs        offline trace tooling for --trace-out files
              report   --trace <file>   self-time profile per span
              validate --trace <file>   strict schema + monotonicity check
              flame    --in <file> --out <flame.svg> [--collapsed <txt>]
                       collapsed-stack fold + SVG flamegraph +
                       critical-path report
+             tail     --series <file> [--window 20]
+                      per-tick rates + latency quantiles from a
+                      flight-recorder dump (chaos --series-out)
+             slo      --series <file> [--require-alerts N]
+                      [--require-clean]
+                      burn-rate replay: error-budget table and alert
+                      transitions; --require-* gate the exit code
   bench      perf-regression gate over a fixed serve+train suite
              (--record | --compare) [--baseline results/BENCH_baseline.json]
              [--runs 3]   median-of-runs, per-metric relative tolerance
@@ -587,7 +601,15 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let engine =
         Arc::new(nm_serve::Engine::new(snap, cfg).map_err(|e| format!("invalid snapshot: {e}"))?);
     let bind = args.get("bind").unwrap_or("127.0.0.1:7878");
-    let mut server = nm_serve::Server::start(engine, bind, nm_serve::ServerConfig::default())
+    // Production telemetry tick source: a clock-driven sampler (default
+    // 1s) keeps the flight recorder and SLO burn rates live for
+    // `nmcdr query --op series`; --sample-ms 0 disables it.
+    let sample_ms: u64 = args.parse_or("sample-ms", 1000)?;
+    let server_cfg = nm_serve::ServerConfig {
+        sample_interval: (sample_ms > 0).then(|| std::time::Duration::from_millis(sample_ms)),
+        ..Default::default()
+    };
+    let mut server = nm_serve::Server::start(engine, bind, server_cfg)
         .map_err(|e| format!("cannot bind '{bind}': {e} (is the port already in use?)"))?;
     println!(
         "serving {model} on {} ({n_workers} workers); send {{\"op\":\"shutdown\"}} to stop",
@@ -612,6 +634,14 @@ pub fn query(args: &Args) -> Result<(), String> {
         }
         "stats" => r#"{"op":"stats"}"#.to_string(),
         "obs" => r#"{"op":"obs"}"#.to_string(),
+        "series" => {
+            let window: usize = args.parse_or("window", 0)?;
+            if window > 0 {
+                format!(r#"{{"op":"series","window":{window}}}"#)
+            } else {
+                r#"{"op":"series"}"#.to_string()
+            }
+        }
         "trace" => {
             let n: usize = args.parse_or("n", 0)?;
             if n > 0 {
@@ -623,7 +653,7 @@ pub fn query(args: &Args) -> Result<(), String> {
         "shutdown" => r#"{"op":"shutdown"}"#.to_string(),
         other => {
             return Err(format!(
-                "unknown op '{other}' (topk, stats, obs, trace, shutdown)"
+                "unknown op '{other}' (topk, stats, obs, series, trace, shutdown)"
             ))
         }
     };

@@ -14,12 +14,15 @@
 //!                --rounds 12 --shift-at 6 --require-swaps 2 --require-rollbacks 1
 //! nmcdr serve    --snapshot model.nmss --bind 127.0.0.1:7878
 //! nmcdr chaos    --seed 7 --requests 120 --require-breaker-opens 1 \
-//!                --require-degraded 1 --trace-out chaos.jsonl
+//!                --require-degraded 1 --trace-out chaos.jsonl \
+//!                --series-out chaos-series.jsonl
 //! nmcdr query    --addr 127.0.0.1:7878 --op topk --user 3 --domain a --k 10
 //! nmcdr train    --scenario cloth-sport --trace-out results/trace/run.jsonl
 //! nmcdr obs report   --trace results/trace/run.jsonl
 //! nmcdr obs validate --trace results/trace/run.jsonl
 //! nmcdr obs flame    --in results/trace/run.jsonl --out flame.svg
+//! nmcdr obs tail     --series chaos-series.jsonl --window 20
+//! nmcdr obs slo      --series chaos-series.jsonl --require-alerts 1
 //! nmcdr query    --addr 127.0.0.1:7878 --op trace > exemplars.jsonl
 //! nmcdr bench    --record            # then later: nmcdr bench --compare
 //! ```
@@ -48,8 +51,8 @@ fn main() -> ExitCode {
             Some((a, r)) if !a.starts_with("--") => (Some(a.clone()), r),
             _ => {
                 eprintln!(
-                    "error: usage: nmcdr obs <report|validate|flame> --trace <file> \
-                     (flame: --in <file> --out <svg>)"
+                    "error: usage: nmcdr obs <report|validate|flame|tail|slo> --trace <file> \
+                     (flame: --in <file> --out <svg>; tail/slo: --series <file>)"
                 );
                 return ExitCode::FAILURE;
             }

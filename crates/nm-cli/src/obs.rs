@@ -10,6 +10,16 @@
 //! * `obs report`   — self-time profile table;
 //! * `obs flame`    — collapsed-stack fold + self-contained SVG
 //!   flamegraph + critical-path report, via [`nm_obs::flame`].
+//!
+//! Two more actions read a *flight-recorder dump* (line-JSON from
+//! `nmcdr chaos --series-out` or [`nm_obs::slo::Telemetry::dump`])
+//! instead of a trace:
+//!
+//! * `obs tail` — per-tick request/error/degraded rates and latency
+//!   quantiles, plus a window summary;
+//! * `obs slo`  — burn-rate replay: error-budget table and alert
+//!   transitions, with `--require-alerts N` / `--require-clean` CI
+//!   gates.
 
 use crate::args::Args;
 use nm_obs::parse::parse_trace;
@@ -19,6 +29,9 @@ use nm_obs::report::{profile, render_profile, validate, TraceRecord};
 pub fn run(action: &str, args: &Args) -> Result<(), String> {
     if action == "flame" {
         return flame(args);
+    }
+    if action == "tail" || action == "slo" {
+        return series(action, args);
     }
     let path = args.required("trace")?;
     let text =
@@ -40,11 +53,49 @@ pub fn run(action: &str, args: &Args) -> Result<(), String> {
         ),
         other => {
             return Err(format!(
-                "unknown obs action '{other}' (expected: report, validate, flame)"
+                "unknown obs action '{other}' (expected: report, validate, flame, tail, slo)"
             ))
         }
     };
     print_piped(&out);
+    Ok(())
+}
+
+/// `nmcdr obs tail --series dump.jsonl [--window N]`
+/// `nmcdr obs slo  --series dump.jsonl [--require-alerts N] [--require-clean]`
+///
+/// Both parse the dump strictly (schema drift is an error, like traces)
+/// and render deterministically: the same dump always produces the same
+/// bytes, so the outputs are golden-fixture testable and CI-gateable.
+fn series(action: &str, args: &Args) -> Result<(), String> {
+    let path = args.required("series")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read series '{path}': {e}"))?;
+    let series =
+        nm_obs::parse_series(&text).map_err(|e| format!("invalid series '{path}': {e}"))?;
+    if action == "tail" {
+        let window: usize = args.parse_or("window", 20)?;
+        if window == 0 {
+            return Err("--window must be at least 1".into());
+        }
+        print_piped(&nm_obs::render_tail(&series.ticks, window));
+        return Ok(());
+    }
+    let report = nm_obs::render_slo_report(&series);
+    print_piped(&report);
+    let (transitions, _) = nm_obs::evaluate_series(&series);
+    let alerts = nm_obs::count_alerts(&transitions);
+    if args.flag("require-clean") && alerts > 0 {
+        return Err(format!(
+            "--require-clean: {alerts} burn-rate alert(s) fired on a run expected to be clean"
+        ));
+    }
+    let want: usize = args.parse_or("require-alerts", 0)?;
+    if alerts < want {
+        return Err(format!(
+            "only {alerts} burn-rate alert(s) fired, --require-alerts {want} not met"
+        ));
+    }
     Ok(())
 }
 

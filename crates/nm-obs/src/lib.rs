@@ -27,6 +27,13 @@
 //! * [`flame`] — collapsed-stack folding, self-contained SVG
 //!   flamegraph rendering, and critical-path extraction behind
 //!   `nmcdr obs flame`.
+//! * [`series`] + [`slo`] — continuous telemetry: the flight recorder
+//!   (a bounded drop-oldest ring of per-tick registry delta snapshots
+//!   on a deterministic logical tick source), the windowed derivation
+//!   engine (rates, ratios, delta-histogram quantiles over any tick
+//!   range), and the multi-window burn-rate SLO engine behind
+//!   `nmcdr obs tail` / `nmcdr obs slo` and the `{"op":"series"}`
+//!   wire request.
 //!
 //! Tracing observes and never mutates: no RNG stream, step counter, or
 //! parameter is touched by a span, so a traced training run stays
@@ -38,6 +45,8 @@ pub mod json;
 pub mod metrics;
 pub mod parse;
 pub mod report;
+pub mod series;
+pub mod slo;
 mod sync;
 pub mod trace;
 
@@ -48,4 +57,11 @@ pub use metrics::{
 };
 pub use parse::parse_trace;
 pub use report::{validate, ProfileRow, TraceRecord, ValidateSummary};
+pub use series::{
+    render_tail, FlightRecorder, HistDelta, HistWindow, RecorderConfig, TickDelta, WindowStats,
+};
+pub use slo::{
+    count_alerts, evaluate_series, parse_series, render_slo_report, BudgetRow, Objective, Series,
+    SloDecision, SloEngine, SloSpec, Telemetry, TelemetryConfig,
+};
 pub use trace::{FileSink, MemorySink, SpanGuard, ThreadStats, TraceSink};

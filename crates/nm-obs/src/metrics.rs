@@ -160,6 +160,34 @@ impl Histogram {
         self.max()
     }
 
+    /// The configured bucket upper bounds (excludes overflow).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Raw bucket counts, `bounds.len() + 1` entries, last = overflow.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Raw (underived) view of this histogram, for delta computation.
+    pub fn raw(&self) -> RawHistogram {
+        RawHistogram {
+            bounds: self.bounds.clone(),
+            buckets: self.bucket_counts(),
+            sum: self.sum(),
+            max: self.max(),
+        }
+    }
+
     /// Point-in-time snapshot of the derived statistics.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -171,6 +199,34 @@ impl Histogram {
             max: self.max(),
             overflow_count: self.overflow_count(),
         }
+    }
+}
+
+/// Raw bucket-level view of one histogram: the inputs the flight
+/// recorder diffs, as opposed to the derived [`HistogramSnapshot`].
+///
+/// `count` is deliberately *derived* from the buckets rather than read
+/// from the count atomic: under concurrent recording the bucket reads
+/// and the count read can tear against each other, but a bucket-summed
+/// count is always self-consistent with the buckets it came from — the
+/// property the series layer's delta conservation depends on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawHistogram {
+    /// Configured upper bounds (overflow bucket excluded).
+    pub bounds: Vec<u64>,
+    /// `bounds.len() + 1` counts; last is overflow.
+    pub buckets: Vec<u64>,
+    /// Sum of recorded samples (approximate under races — read from a
+    /// separate atomic than the buckets).
+    pub sum: u64,
+    /// Largest sample ever recorded.
+    pub max: u64,
+}
+
+impl RawHistogram {
+    /// Total samples, summed from the buckets.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
     }
 }
 
@@ -266,6 +322,38 @@ impl Registry {
                 .collect(),
         }
     }
+
+    /// Raw snapshot — bucket-level histograms instead of derived
+    /// statistics — for the flight recorder's delta computation.
+    pub fn raw_snapshot(&self) -> RawSnapshot {
+        let inner = lock(&self.inner);
+        RawSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.raw()))
+                .collect(),
+        }
+    }
+}
+
+/// Raw counterpart of [`RegistrySnapshot`]: cumulative counter values,
+/// gauge samples, and bucket-level histograms, names sorted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, RawHistogram)>,
 }
 
 /// A consistent-enough view of a registry (each metric is read

@@ -15,15 +15,78 @@ use crate::report::TraceRecord;
 /// Parses every non-empty line of a trace file, strictly.
 pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, String> {
     let mut records = Vec::new();
+    // Telemetry sampler ticks are logical ordinals, strictly
+    // increasing process-wide (sink order == seq order, so file order
+    // is emission order); a repeat or regression means a corrupted or
+    // hand-edited trace.
+    let mut last_sample_tick: Option<u64> = None;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let n = i + 1;
         let json = Json::parse(line).map_err(|e| format!("line {n}: not valid JSON: {e}"))?;
+        if json.get("name").and_then(Json::as_str) == Some("obs.sample") {
+            let tick = json
+                .get("f")
+                .and_then(|f| f.get("tick"))
+                .and_then(Json::as_u64);
+            match (tick, last_sample_tick) {
+                (Some(t), Some(last)) if t <= last => {
+                    return Err(format!(
+                        "line {n}: obs.sample tick {t} not strictly after {last}"
+                    ));
+                }
+                (Some(t), _) => last_sample_tick = Some(t),
+                (None, _) => {} // missing/mistyped tick caught by record_from
+            }
+        }
         records.push(record_from(&json).map_err(|e| format!("line {n}: {e}"))?);
     }
     Ok(records)
+}
+
+/// Typed payload schemas for the telemetry events: event name → exact
+/// set of required `f` fields. Events not listed here keep free-form
+/// payloads (the `f` object is only checked to be an object).
+const TYPED_EVENT_FIELDS: &[(&str, &[&str])] = &[
+    ("obs.sample", &["tick", "self_us"]),
+    ("obs.slo.alert", &["slo", "tick", "fast_burn", "slow_burn"]),
+    ("obs.slo.resolve", &["slo", "tick"]),
+];
+
+fn check_typed_event(name: &str, json: &Json) -> Result<(), String> {
+    let Some(&(_, fields)) = TYPED_EVENT_FIELDS.iter().find(|(n, _)| *n == name) else {
+        return Ok(());
+    };
+    let f = json
+        .get("f")
+        .ok_or_else(|| format!("missing field \"f\" on {name:?} event"))?;
+    let Json::Obj(pairs) = f else {
+        return Err(format!("field \"f\" on {name:?} event is not an object"));
+    };
+    for (k, _) in pairs {
+        if !fields.contains(&k.as_str()) {
+            return Err(format!("unknown field {k:?} on {name:?} event payload"));
+        }
+    }
+    for want in fields {
+        let v = f
+            .get(want)
+            .ok_or_else(|| format!("missing field {want:?} on {name:?} event payload"))?;
+        let ok = match *want {
+            "slo" => v.as_str().is_some(),
+            "fast_burn" | "slow_burn" => v.as_f64().is_some(),
+            // tick / self_us: non-negative integers
+            _ => v.as_u64().is_some(),
+        };
+        if !ok {
+            return Err(format!(
+                "field {want:?} on {name:?} event payload has the wrong type"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Converts one parsed JSON line into a [`TraceRecord`], rejecting
@@ -80,6 +143,7 @@ pub fn record_from(json: &Json) -> Result<TraceRecord, String> {
                     return Err("field \"f\" on \"event\" record is not an object".into());
                 }
             }
+            check_typed_event(&need_str("name")?, json)?;
             Ok(TraceRecord::Event {
                 name: need_str("name")?,
                 at_us: need_u64("at_us")?,
@@ -162,6 +226,64 @@ mod tests {
         );
         let recs = parse_trace(&text).unwrap();
         assert!(validate(&recs).unwrap_err().contains("non-monotonic"));
+    }
+
+    #[test]
+    fn telemetry_events_are_schema_checked() {
+        // well-formed sampler + SLO events parse
+        let good = format!(
+            "{META}\n\
+             {{\"t\":\"event\",\"name\":\"obs.sample\",\"at_us\":1,\"tid\":0,\"seq\":1,\"f\":{{\"tick\":0,\"self_us\":12}}}}\n\
+             {{\"t\":\"event\",\"name\":\"obs.slo.alert\",\"at_us\":2,\"tid\":0,\"seq\":2,\"f\":{{\"slo\":\"serve-p99\",\"tick\":1,\"fast_burn\":7.5,\"slow_burn\":6.1}}}}\n\
+             {{\"t\":\"event\",\"name\":\"obs.sample\",\"at_us\":3,\"tid\":0,\"seq\":3,\"f\":{{\"tick\":1,\"self_us\":9}}}}\n\
+             {{\"t\":\"event\",\"name\":\"obs.slo.resolve\",\"at_us\":4,\"tid\":0,\"seq\":4,\"f\":{{\"slo\":\"serve-p99\",\"tick\":2}}}}\n"
+        );
+        assert_eq!(parse_trace(&good).unwrap().len(), 5);
+
+        // unknown payload field rejected
+        let unknown = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"obs.sample\",\"at_us\":1,\"tid\":0,\"seq\":1,\"f\":{{\"tick\":0,\"self_us\":1,\"evil\":1}}}}\n"
+        );
+        let err = parse_trace(&unknown).unwrap_err();
+        assert!(err.contains("unknown field \"evil\""), "{err}");
+
+        // missing required payload field rejected
+        let missing = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"obs.slo.alert\",\"at_us\":1,\"tid\":0,\"seq\":1,\"f\":{{\"slo\":\"x\",\"tick\":0,\"fast_burn\":1.0}}}}\n"
+        );
+        assert!(parse_trace(&missing).unwrap_err().contains("slow_burn"));
+
+        // mistyped payload field rejected
+        let mistyped = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"obs.sample\",\"at_us\":1,\"tid\":0,\"seq\":1,\"f\":{{\"tick\":\"zero\",\"self_us\":1}}}}\n"
+        );
+        assert!(parse_trace(&mistyped).unwrap_err().contains("wrong type"));
+
+        // payload object required
+        let no_f = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"obs.sample\",\"at_us\":1,\"tid\":0,\"seq\":1}}\n"
+        );
+        assert!(parse_trace(&no_f).unwrap_err().contains("\"f\""));
+    }
+
+    #[test]
+    fn non_monotonic_sampler_ticks_are_rejected() {
+        let mk = |ticks: &[u64]| {
+            let mut s = format!("{META}\n");
+            for (i, t) in ticks.iter().enumerate() {
+                s.push_str(&format!(
+                    "{{\"t\":\"event\",\"name\":\"obs.sample\",\"at_us\":{},\"tid\":0,\"seq\":{},\"f\":{{\"tick\":{t},\"self_us\":1}}}}\n",
+                    i + 1,
+                    i + 1
+                ));
+            }
+            s
+        };
+        assert!(parse_trace(&mk(&[0, 1, 2])).is_ok());
+        let err = parse_trace(&mk(&[0, 2, 1])).unwrap_err();
+        assert!(err.contains("not strictly after"), "{err}");
+        // a repeated tick is just as corrupt as a regression
+        assert!(parse_trace(&mk(&[3, 3])).is_err());
     }
 
     #[test]

@@ -44,7 +44,7 @@ use crate::sync::{lock, read, wait, wait_timeout, write};
 use nm_eval::harness::{rank_order, Scorer};
 use nm_nn::checkpoint::CheckpointError;
 use nm_obs::clock::Stopwatch;
-use nm_obs::Counter;
+use nm_obs::{Counter, SloDecision, Telemetry, TelemetryConfig};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -114,6 +114,10 @@ pub struct EngineConfig {
     pub resilience: ResilienceConfig,
     /// Deterministic fault injection (None/disabled in production).
     pub chaos: Option<ChaosConfig>,
+    /// Flight-recorder ring + SLO objectives (see `nm_obs::slo`). The
+    /// tick *source* is external: the server ticks on request ordinals
+    /// or a clock thread, the stream loop once per round.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -134,6 +138,7 @@ impl Default for EngineConfig {
                 .max(1),
             resilience: ResilienceConfig::default(),
             chaos: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -572,6 +577,7 @@ pub struct Engine {
     chaos: Option<Arc<Chaos>>,
     stats: Arc<Stats>,
     reqtrace: ExemplarRing,
+    telemetry: Arc<Telemetry>,
     cfg: EngineConfig,
 }
 
@@ -614,8 +620,22 @@ impl Engine {
             chaos,
             stats,
             reqtrace: ExemplarRing::new(cfg.exemplar_capacity),
+            telemetry: Arc::new(Telemetry::new(cfg.telemetry.clone())),
             cfg,
         })
+    }
+
+    /// The embedded telemetry unit (flight recorder + SLO engine).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Records one flight-recorder tick over the engine's registry and
+    /// evaluates the SLOs. Callers supply tick cadence: the server
+    /// ticks every `sample_every` requests (or on a clock thread), the
+    /// stream loop once per round.
+    pub fn tick_telemetry(&self) -> Vec<SloDecision> {
+        self.telemetry.tick(self.stats.registry())
     }
 
     /// Shared observability counters.

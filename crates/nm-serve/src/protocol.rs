@@ -7,6 +7,7 @@
 //! {"op":"score","user":7,"domain":"b","items":[3,9,40]}
 //! {"op":"stats"}
 //! {"op":"obs"}
+//! {"op":"series","window":30}
 //! {"op":"trace","n":5}
 //! {"op":"reload","path":"runs/exp1/model.nmss"}
 //! {"op":"shutdown"}
@@ -33,6 +34,12 @@ pub enum Request {
     Stats,
     /// Full unified metrics-registry snapshot (superset of `stats`).
     Obs,
+    /// Windowed time-series view from the flight recorder: the last
+    /// `window` ticks folded into rates/quantiles plus SLO budget rows
+    /// (default: the whole retained ring).
+    Series {
+        window: Option<usize>,
+    },
     /// Slowest-request exemplars rendered as a schema-v1 trace.
     /// `n` limits how many exemplars are returned (default: all).
     Trace {
@@ -107,6 +114,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "stats" => Ok(Request::Stats),
         "obs" => Ok(Request::Obs),
+        "series" => {
+            let window = match v.get("window") {
+                None => None,
+                Some(j) => Some(
+                    j.as_u64()
+                        .filter(|&w| (1..=1_000_000).contains(&w))
+                        .ok_or("field 'window' must be an integer in 1..=1000000")?
+                        as usize,
+                ),
+            };
+            Ok(Request::Series { window })
+        }
         "trace" => {
             let n = match v.get("n") {
                 None => None,
@@ -275,6 +294,14 @@ mod tests {
         );
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(parse_request(r#"{"op":"obs"}"#).unwrap(), Request::Obs);
+        assert_eq!(
+            parse_request(r#"{"op":"series"}"#).unwrap(),
+            Request::Series { window: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"series","window":30}"#).unwrap(),
+            Request::Series { window: Some(30) }
+        );
         assert_eq!(
             parse_request(r#"{"op":"trace"}"#).unwrap(),
             Request::Trace { n: None }

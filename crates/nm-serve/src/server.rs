@@ -37,6 +37,16 @@ pub struct ServerConfig {
     /// Largest accepted request frame (bytes, excluding the newline);
     /// longer frames get an `oversized` error and the connection closes.
     pub max_frame_bytes: usize,
+    /// Deterministic telemetry tick source: when non-zero, every
+    /// `sample_every`-th completed request records a flight-recorder
+    /// tick. Keyed to the request ordinal, not wall clock, so a seeded
+    /// workload produces a byte-identical recorded series.
+    pub sample_every: u64,
+    /// Production telemetry tick source: when set, a sampler thread
+    /// records a tick every interval on the monotonic clock. Intended
+    /// for long-lived `nmcdr serve` processes; tests and chaos drills
+    /// use `sample_every` instead so series stay deterministic.
+    pub sample_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +56,8 @@ impl Default for ServerConfig {
             deadline: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(60),
             max_frame_bytes: 64 * 1024,
+            sample_every: 0,
+            sample_interval: None,
         }
     }
 }
@@ -97,6 +109,9 @@ struct Shared {
     /// Connection ordinal, used as a chaos draw coordinate so injected
     /// wire faults are keyed to (connection, request), not wall clock.
     conn_seq: AtomicU64,
+    /// Completed-request ordinal across all connections: the logical
+    /// tick source when `sample_every` is set.
+    req_ordinal: AtomicU64,
     /// Live connections, so stop() can unblock handlers parked in
     /// read instead of draining at the mercy of the idle timeout.
     conns: Mutex<Vec<(u64, TcpStream)>>,
@@ -114,6 +129,7 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept_thread: Option<thread::JoinHandle<()>>,
+    sampler_thread: Option<thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -133,16 +149,29 @@ impl Server {
             stopping: AtomicBool::new(false),
             addr: Mutex::new(Some(addr)),
             conn_seq: AtomicU64::new(0),
+            req_ordinal: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = thread::Builder::new()
             .name("nm-serve-accept".into())
             .spawn(move || supervised_accept(listener, accept_shared))?;
+        let sampler_thread = match shared.cfg.sample_interval {
+            Some(interval) if !interval.is_zero() => {
+                let sampler_shared = Arc::clone(&shared);
+                Some(
+                    thread::Builder::new()
+                        .name("nm-serve-sampler".into())
+                        .spawn(move || sampler_loop(sampler_shared, interval))?,
+                )
+            }
+            _ => None,
+        };
         Ok(Server {
             shared,
             addr,
             accept_thread: Some(accept_thread),
+            sampler_thread,
         })
     }
 
@@ -163,6 +192,12 @@ impl Server {
             let _ = t.join();
         }
         self.shared.slots.wait_idle();
+        // By here the accept loop has exited, which only happens with
+        // the stop flag set — the sampler observes it and exits too.
+        self.shared.stopping.store(true, Ordering::Release);
+        if let Some(t) = self.sampler_thread.take() {
+            let _ = t.join();
+        }
     }
 
     /// Initiates shutdown and drains: stops accepting, wakes the accept
@@ -224,6 +259,21 @@ fn supervised_accept(listener: TcpListener, shared: Arc<Shared>) {
             0,
             0xACCE97,
         ));
+    }
+}
+
+/// Production tick source: records a flight-recorder tick every
+/// `interval`, sleeping in short chunks so stop() is observed promptly.
+fn sampler_loop(shared: Arc<Shared>, interval: Duration) {
+    let chunk = Duration::from_millis(50).min(interval);
+    let mut elapsed = Duration::ZERO;
+    while !shared.stopping.load(Ordering::Acquire) {
+        thread::sleep(chunk);
+        elapsed += chunk;
+        if elapsed >= interval {
+            elapsed = Duration::ZERO;
+            shared.engine.tick_telemetry();
+        }
     }
 }
 
@@ -368,6 +418,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared, conn: u64) -> std::io::
         let started = Instant::now();
         let (response, shutdown) = dispatch(effective, shared, started, conn, req_no);
         stats.latency.record_duration(started.elapsed());
+        // Deterministic tick source: the global completed-request
+        // ordinal (not per-connection req_no) drives sampling, so a
+        // seeded workload replays to the same recorded series no
+        // matter how requests spread over connections.
+        if shared.cfg.sample_every > 0 {
+            let done = shared.req_ordinal.fetch_add(1, Ordering::Relaxed) + 1;
+            if done.is_multiple_of(shared.cfg.sample_every) {
+                shared.engine.tick_telemetry();
+            }
+        }
         // Chaos: a torn write cuts the reply mid-frame and closes, so
         // clients must survive half a response.
         if let Some(chaos) = shared.engine.chaos() {
@@ -507,6 +567,14 @@ fn dispatch(
         Request::Obs => {
             stats.requests.inc();
             protocol::encode_ok(vec![("obs".into(), stats.obs_json())])
+        }
+        Request::Series { window } => {
+            stats.requests.inc();
+            let telemetry = shared.engine.telemetry();
+            protocol::encode_ok(vec![(
+                "series".into(),
+                telemetry.series_json(window.unwrap_or(usize::MAX)),
+            )])
         }
         Request::Trace { n } => {
             stats.requests.inc();
@@ -821,6 +889,64 @@ mod tests {
         let resps = roundtrip(addr, &["this is not json"]);
         assert_eq!(resps[0].get("code").unwrap().as_str(), Some("malformed"));
         assert_eq!(stats.proto_malformed.get(), before + 1);
+        server.stop();
+    }
+
+    #[test]
+    fn sample_every_ticks_recorder_and_series_op_reports_them() {
+        let mut rng = TensorRng::seed_from(23);
+        let mk = |rng: &mut TensorRng| DomainSnapshot {
+            users: Tensor::randn(8, 4, 1.0, rng),
+            items: Tensor::randn(40, 4, 1.0, rng),
+            head: HeadKind::Dot,
+        };
+        let snap = Snapshot {
+            model: "test".into(),
+            domains: [mk(&mut rng), mk(&mut rng)],
+        };
+        let engine = Arc::new(
+            Engine::new(
+                snap,
+                EngineConfig {
+                    n_workers: 2,
+                    ..Default::default()
+                },
+            )
+            .expect("valid test snapshot"),
+        );
+        let mut server = Server::start(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServerConfig {
+                sample_every: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let resps = roundtrip(
+            addr,
+            &[
+                r#"{"op":"topk","user":1,"domain":"a","k":3}"#,
+                r#"{"op":"topk","user":2,"domain":"a","k":3}"#,
+                r#"{"op":"topk","user":3,"domain":"b","k":3}"#,
+                r#"{"op":"topk","user":4,"domain":"b","k":3}"#,
+                r#"{"op":"series","window":10}"#,
+            ],
+        );
+        // 4 completed requests at sample_every=2 → ticks 0 and 1; the
+        // series request itself ticks only after its reply is built.
+        let series = resps[4].get("series").unwrap();
+        assert_eq!(series.get("ticks").unwrap().as_u64(), Some(2));
+        assert_eq!(series.get("first_tick").unwrap().as_u64(), Some(0));
+        assert_eq!(series.get("last_tick").unwrap().as_u64(), Some(1));
+        let counters = series.get("counters").unwrap();
+        assert_eq!(
+            counters.get("serve.requests").and_then(|j| j.as_u64()),
+            Some(4),
+            "window conserves the request count across ticks"
+        );
+        assert!(engine.telemetry().recorder().ticks().len() >= 2);
         server.stop();
     }
 

@@ -284,18 +284,31 @@ mod tests {
             }
         };
         let mut sup = Supervisor::start(vec![spec], fast_policy(5), Duration::from_millis(1), c);
+        // Wait until the third incarnation has actually *run* (spawned
+        // == 3), not merely been spawned: on a single-CPU box the
+        // respawned thread can sit unscheduled while restarts already
+        // reads 2, and asserting on spawned then would race.
+        let mut settled = false;
         for _ in 0..500 {
-            if restarts.get() >= 2 && sup.live() == 1 {
+            if restarts.get() >= 2 && sup.live() == 1 && spawned.load(Ordering::SeqCst) >= 3 {
+                settled = true;
                 break;
             }
             thread::sleep(Duration::from_millis(2));
         }
-        assert!(restarts.get() >= 2, "child was not restarted");
-        assert_eq!(sup.live(), 1, "child must be up after restarts");
+        let live = sup.live();
+        // Release the child *before* any assert: a panicking assert
+        // unwinds into Supervisor::drop, which joins children — a child
+        // still looping on `stop` would deadlock the whole test binary.
+        stop.store(true, Ordering::Release);
+        assert!(settled, "child was not restarted twice and kept up");
+        assert_eq!(live, 1, "child must be up after restarts");
+        // Join before reading the counters: a restart already past the
+        // stop check pairs its increment with the respawn only once the
+        // monitor finishes the scan.
+        sup.stop_and_join();
         assert_eq!(quarantines.get(), 0);
         assert_eq!(spawned.load(Ordering::SeqCst) as u64, restarts.get() + 1);
-        stop.store(true, Ordering::Release);
-        sup.stop_and_join();
     }
 
     #[test]

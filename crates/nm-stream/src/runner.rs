@@ -307,7 +307,15 @@ pub fn run_stream<M: CdrModel + FrozenModel>(
             serving_path.display()
         ))
     })?;
-    let engine = Engine::new(serving, cfg.engine.clone())?;
+    // The engine's telemetry additionally watches the stream loop: the
+    // per-round tick below records stream.* counters into the same
+    // flight recorder, and the rollback-rate SLO burns on them.
+    let mut engine_cfg = cfg.engine.clone();
+    engine_cfg
+        .telemetry
+        .slos
+        .extend(nm_obs::SloSpec::stream_defaults());
+    let engine = Engine::new(serving, engine_cfg)?;
 
     let mut log = EventLog::load(&paths.events)?;
     let decisions = load_decisions(&paths.decisions)?;
@@ -586,6 +594,9 @@ fn commit_iteration<M: CdrModel + FrozenModel>(
             lp.rs.monitor.on_publish(d.hr);
             lp.rs.publishes += 1;
             lp.rs.swaps += 1;
+            let reg = lp.engine.stats().registry();
+            reg.counter("stream.publishes").inc();
+            reg.counter("stream.swaps").inc();
             trace::event("stream.publish", |e| {
                 e.u("round", r as u64).f("hr", d.hr);
             });
@@ -624,6 +635,11 @@ fn commit_iteration<M: CdrModel + FrozenModel>(
             trained_next = restored.epoch_next;
             lp.rs.monitor.on_rollback(&lp.cfg.drift);
             lp.rs.rollbacks += 1;
+            lp.engine
+                .stats()
+                .registry()
+                .counter("stream.rollbacks")
+                .inc();
             trace::event("stream.rollback", |e| {
                 e.u("round", r as u64).u("to_round", trained_next as u64).s(
                     "serving",
@@ -644,5 +660,11 @@ fn commit_iteration<M: CdrModel + FrozenModel>(
     lp.rs.iter += 1;
     lp.rs.trained_after = trained_next;
     lp.rs.save(&lp.paths.state)?;
+    // One telemetry tick per committed iteration: the logical round
+    // ordinal is the tick source, so same-seed runs record the same
+    // series. The series lives only in memory — never in out_dir,
+    // whose bytes must converge across kill/resume runs.
+    lp.engine.stats().registry().counter("stream.rounds").inc();
+    lp.engine.tick_telemetry();
     Ok(())
 }

@@ -114,10 +114,12 @@ echo "== chaos smoke: seeded fault injection, breakers, degraded modes =="
 # contain an actual breaker-open and a degraded answer, and pass strict
 # schema validation. The 60s timeout turns any hang into a failure.
 CHAOS_TRACE=target/ci_chaos_trace.jsonl
-rm -f "$CHAOS_TRACE"
+CHAOS_SERIES=target/ci_chaos_series.jsonl
+rm -f "$CHAOS_TRACE" "$CHAOS_SERIES"
 timeout 60 cargo run --release -q -p nm-cli -- chaos --seed 806405 \
   --requests 120 --require-injections 10 --require-breaker-opens 1 \
-  --require-degraded 1 --trace-out "$CHAOS_TRACE"
+  --require-degraded 1 --trace-out "$CHAOS_TRACE" \
+  --series-out "$CHAOS_SERIES"
 grep -q '"name":"chaos.inject"' "$CHAOS_TRACE" \
   || { echo "chaos smoke: no chaos.inject event in trace"; exit 1; }
 grep -q '"name":"serve.breaker".*"state":"open"' "$CHAOS_TRACE" \
@@ -126,17 +128,38 @@ grep -q '"name":"serve.degraded"' "$CHAOS_TRACE" \
   || { echo "chaos smoke: no serve.degraded event in trace"; exit 1; }
 cargo run --release -q -p nm-cli -- obs validate --trace "$CHAOS_TRACE"
 
+echo "== SLO smoke: burn-rate alert fires under faults, not in control =="
+# The chaos drill above dumped its flight recorder; the degraded-ratio
+# SLO must have fired a burn-rate alert on it, and `obs tail` must
+# render a non-empty window. Then the same workload with every fault
+# rate zeroed (--clean) must keep the error budget intact: an alert in
+# the control run means the SLO thresholds are miscalibrated.
+cargo run --release -q -p nm-cli -- obs tail --series "$CHAOS_SERIES" \
+  --window 20 > target/ci_slo_tail.txt
+grep -q '^window ticks' target/ci_slo_tail.txt \
+  || { echo "slo smoke: obs tail produced no window footer"; exit 1; }
+cargo run --release -q -p nm-cli -- obs slo --series "$CHAOS_SERIES" \
+  --require-alerts 1
+CLEAN_SERIES=target/ci_clean_series.jsonl
+rm -f "$CLEAN_SERIES"
+timeout 60 cargo run --release -q -p nm-cli -- chaos --clean --seed 806405 \
+  --requests 120 --series-out "$CLEAN_SERIES"
+cargo run --release -q -p nm-cli -- obs slo --series "$CLEAN_SERIES" \
+  --require-clean
+
 echo "== perf-regression gate (nmcdr bench) =="
 # Baselines are per-machine and never committed. First run on a fresh
-# machine records one (soft pass); every later run compares against it
-# with noise-aware thresholds and hard-fails on regression.
+# machine records one, then immediately compares against it so every CI
+# run — including the first — appends a --compare entry to
+# results/BENCH_trajectory.jsonl; every later run compares against the
+# recorded baseline with noise-aware thresholds and hard-fails on
+# regression.
 BASELINE=results/BENCH_baseline.json
-if [[ -f "$BASELINE" ]]; then
-  cargo run --release -q -p nm-cli -- bench --compare --baseline "$BASELINE"
-else
-  echo "no $BASELINE yet; recording one (gate arms on the next run)"
+if [[ ! -f "$BASELINE" ]]; then
+  echo "no $BASELINE yet; recording one before the compare"
   cargo run --release -q -p nm-cli -- bench --record --baseline "$BASELINE"
 fi
+cargo run --release -q -p nm-cli -- bench --compare --baseline "$BASELINE"
 
 echo "== perf gate self-test: injected 2x merge slowdown must fail =="
 # Record a throwaway baseline at normal speed, then re-measure with the
