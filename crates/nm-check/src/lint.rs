@@ -14,6 +14,7 @@
 //! | `lint/no-wallclock` | no `Instant::now` / `SystemTime::now` — protects the bit-identical replay/resume contract | everywhere but `nm-obs`, `nm-bench` |
 //! | `lint/no-hash-iter` | no `HashMap`/`HashSet` in snapshot/checkpoint serialization files — their iteration order is not byte-stable | files whose name contains `snapshot` or `checkpoint` |
 //! | `lint/safety-comment` | every `unsafe` block preceded (≤3 lines) by a `// SAFETY:` comment | everywhere |
+//! | `lint/no-raw-sync` | no `std::sync` / `std::thread` — the generic cores must reach primitives only through the `Backend` trait, or the virtualized model checking silently stops covering them | `nm-sync` non-test code, except `backend.rs` (the one place allowed to name the real primitives) |
 //!
 //! ## Allowlist workflow
 //!
@@ -30,6 +31,7 @@ pub const RULE_NO_UNWRAP: &str = "lint/no-unwrap";
 pub const RULE_NO_WALLCLOCK: &str = "lint/no-wallclock";
 pub const RULE_NO_HASH_ITER: &str = "lint/no-hash-iter";
 pub const RULE_SAFETY: &str = "lint/safety-comment";
+pub const RULE_NO_RAW_SYNC: &str = "lint/no-raw-sync";
 
 /// One raw lint finding at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -300,6 +302,12 @@ pub fn lint_source(path: &str, src: &str) -> Vec<LintHit> {
     let unwrap_applies = krate != "nm-cli";
     let wallclock_applies = krate != "nm-obs" && krate != "nm-bench";
     let hash_applies = file_name.contains("snapshot") || file_name.contains("checkpoint");
+    // The generic cores in nm-sync must reach blocking and atomics only
+    // through the `Backend` trait — a raw `std::sync`/`std::thread` path
+    // anywhere else in the crate is invisible to the virtualized model
+    // checker. `backend.rs` is the one module allowed to name the real
+    // primitives (it implements `StdBackend` over them).
+    let raw_sync_applies = krate == "nm-sync" && file_name != "backend.rs";
 
     let hit = |rule: &'static str, line: usize, message: String| LintHit {
         rule,
@@ -351,6 +359,23 @@ pub fn lint_source(path: &str, src: &str) -> Vec<LintHit> {
                 format!(
                     "{}::now outside nm-obs/nm-bench breaks replay/resume determinism",
                     tok.text
+                ),
+            ));
+        }
+
+        if raw_sync_applies
+            && tok.text == "std"
+            && next(1) == Some(":")
+            && next(2) == Some(":")
+            && (next(3) == Some("sync") || next(3) == Some("thread"))
+        {
+            hits.push(hit(
+                RULE_NO_RAW_SYNC,
+                tok.line,
+                format!(
+                    "std::{} in nm-sync outside backend.rs: the generic cores must go through \
+                     the `Backend` trait or the virtualized checker stops covering them",
+                    next(3).unwrap_or("sync")
                 ),
             ));
         }
@@ -615,6 +640,40 @@ mod tests {
             }
         "#;
         assert!(lint_source("crates/nm-serve/src/j.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_sync_fires_in_nm_sync_core() {
+        let src = r#"
+            use std::sync::Mutex;
+            pub fn f() { let _h = std::thread::spawn(|| {}); }
+        "#;
+        let hits = lint_source("crates/nm-sync/src/coalesce.rs", src);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.rule == RULE_NO_RAW_SYNC));
+        assert!(hits[0].message.contains("std::sync"));
+        assert!(hits[1].message.contains("std::thread"));
+    }
+
+    #[test]
+    fn raw_sync_exempts_backend_rs() {
+        let src = "use std::sync::{Condvar, Mutex};\nuse std::thread;";
+        assert!(lint_source("crates/nm-sync/src/backend.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_sync_exempts_test_regions_and_other_crates() {
+        let in_test = r#"
+            #[cfg(test)]
+            mod tests {
+                use std::sync::Arc;
+                #[test]
+                fn t() { let _ = std::thread::spawn(|| {}); }
+            }
+        "#;
+        assert!(lint_source("crates/nm-sync/src/semaphore.rs", in_test).is_empty());
+        let other = "use std::sync::Mutex;";
+        assert!(lint_source("crates/nm-serve/src/worker.rs", other).is_empty());
     }
 
     #[test]

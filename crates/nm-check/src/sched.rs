@@ -16,10 +16,17 @@
 //! reported as a deadlock — which is exactly what a lost wakeup looks
 //! like in this framework.
 //!
-//! The concrete models mirroring `nm-obs` and `nm-serve` live in
-//! [`models`].
+//! Two front ends share this explorer. [`SchedModel`] state machines
+//! (in [`models`]) mirror algorithms whose real implementations are
+//! lock-free or crate-local; and [`virt::explore_virtual`] runs the
+//! *actual* `nm-sync` cores — coalescer, connection gate, exemplar
+//! ring, breaker bank, respawn path, sampler ring — under a virtual
+//! [`nm_sync::Backend`] whose blocking ops are the scheduling points
+//! (harnesses in [`cores`]).
 
+pub mod cores;
 pub mod models;
+pub mod virt;
 
 use crate::{Diagnostic, Pass};
 

@@ -1,13 +1,18 @@
-//! Model-checked abstractions of the workspace's concurrent cores.
+//! Model-checked abstractions of lock-free / crate-local algorithms.
 //!
-//! Each model mirrors the step structure of real code — `nm-obs`'s
-//! lock-free metrics registry and trace sink, `nm-serve`'s
-//! leader-follower batch coalescer and connection-slot shedding — at
+//! Each model mirrors the step structure of real code whose atomic ops
+//! cannot be virtualized through an `nm_sync::Backend` — `nm-obs`'s
+//! lock-free metrics registry and trace sink, `nm-stream`'s ring — at
 //! the granularity of its atomic operations. Every model has a
 //! `seeded_bug` constructor that reintroduces the concurrency bug the
 //! real implementation is written to avoid; the negative suite proves
 //! [`crate::sched::explore`] finds each one, which is the evidence that
 //! a green run over the correct models actually means something.
+//!
+//! The monitor-based cores (coalescer, connection gate, exemplar ring,
+//! breaker bank, respawn path, sampler ring) used to be mirrored here
+//! too; they are now checked directly — the *production* generic code
+//! instantiated with a virtual backend — via [`super::cores`].
 
 use super::SchedModel;
 
@@ -293,401 +298,7 @@ impl SchedModel for SeqSinkModel {
 }
 
 // ---------------------------------------------------------------------
-// 4. Leader-follower batch coalescer (nm-serve DomainQueue)
-// ---------------------------------------------------------------------
-
-/// Requesters enqueue into a shared pending queue under a lock; the
-/// first arrival while no leader is active becomes the leader and
-/// drains batches until the queue is empty, dispatching every request
-/// (its own included); later arrivals park until their request is
-/// dispatched. Invariants: every request dispatched exactly once
-/// (double dispatch), no requester parked forever (lost wakeup —
-/// surfaces as a deadlock).
-#[derive(Clone)]
-pub struct CoalescerModel {
-    bug: CoalescerBug,
-    batch_max: usize,
-    /// per-thread phase
-    phase: Vec<CoalPhase>,
-    /// request ids in the pending queue
-    pending: Vec<usize>,
-    leader_active: bool,
-    /// dispatch count per request id (== thread id)
-    dispatched: Vec<u32>,
-}
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-pub enum CoalescerBug {
-    None,
-    /// Leader observes the queue empty and exits in one step, but only
-    /// clears `leader_active` in a *later* step: a requester enqueueing
-    /// in between sees a live leader and parks forever.
-    LostWakeup,
-    /// Leader copies the batch out without removing it from the queue.
-    DoubleDispatch,
-}
-
-#[derive(Clone)]
-enum CoalPhase {
-    /// Parse/prepare step outside any lock (models request decode).
-    Prepare,
-    /// Waiting to enqueue (needs the queue lock — modeled as one
-    /// atomic step like the real single lock region).
-    Enqueue,
-    /// Leader with a drained batch in hand (empty = about to exit).
-    Lead {
-        hand: Vec<usize>,
-    },
-    /// LostWakeup bug only: drained empty, exit step pending before
-    /// leader_active is cleared.
-    LeadExitPending,
-    /// Parked until own request is dispatched.
-    Park,
-    Done,
-}
-
-impl CoalescerModel {
-    pub fn new(requesters: usize, batch_max: usize, bug: CoalescerBug) -> Self {
-        Self {
-            bug,
-            batch_max,
-            phase: vec![CoalPhase::Prepare; requesters],
-            pending: Vec::new(),
-            leader_active: false,
-            dispatched: vec![0; requesters],
-        }
-    }
-
-    pub fn correct(requesters: usize, batch_max: usize) -> Self {
-        Self::new(requesters, batch_max, CoalescerBug::None)
-    }
-}
-
-impl SchedModel for CoalescerModel {
-    fn thread_count(&self) -> usize {
-        self.phase.len()
-    }
-    fn is_done(&self, t: usize) -> bool {
-        matches!(self.phase[t], CoalPhase::Done)
-    }
-    fn is_runnable(&self, t: usize) -> bool {
-        match &self.phase[t] {
-            CoalPhase::Prepare | CoalPhase::Enqueue => true,
-            CoalPhase::Lead { .. } | CoalPhase::LeadExitPending => true,
-            CoalPhase::Park => self.dispatched[t] > 0,
-            CoalPhase::Done => false,
-        }
-    }
-    fn step(&mut self, t: usize) {
-        match std::mem::replace(&mut self.phase[t], CoalPhase::Done) {
-            CoalPhase::Prepare => self.phase[t] = CoalPhase::Enqueue,
-            CoalPhase::Enqueue => {
-                // single lock region: push + role decision
-                self.pending.push(t);
-                if !self.leader_active {
-                    self.leader_active = true;
-                    self.phase[t] = CoalPhase::Lead { hand: Vec::new() };
-                } else {
-                    self.phase[t] = CoalPhase::Park;
-                }
-            }
-            CoalPhase::Lead { hand } => {
-                if hand.is_empty() {
-                    // lock region: drain up to batch_max
-                    let take = self.pending.len().min(self.batch_max);
-                    let batch: Vec<usize> = if self.bug == CoalescerBug::DoubleDispatch {
-                        self.pending.iter().take(take).copied().collect()
-                    } else {
-                        self.pending.drain(..take).collect()
-                    };
-                    if batch.is_empty() {
-                        match self.bug {
-                            CoalescerBug::LostWakeup => {
-                                // exit decided; flag cleared next step
-                                self.phase[t] = CoalPhase::LeadExitPending;
-                            }
-                            _ => {
-                                self.leader_active = false;
-                                self.finish(t);
-                            }
-                        }
-                    } else {
-                        if self.bug == CoalescerBug::DoubleDispatch {
-                            // leader "re-discovers" the same requests
-                            // next drain; clear only after two rounds
-                            // to keep the model finite
-                            self.pending
-                                .retain(|r| !batch.contains(r) || self.dispatched[*r] == 0);
-                        }
-                        self.phase[t] = CoalPhase::Lead { hand: batch };
-                    }
-                } else {
-                    // dispatch outside the lock
-                    for r in hand {
-                        self.dispatched[r] += 1;
-                    }
-                    self.phase[t] = CoalPhase::Lead { hand: Vec::new() };
-                }
-            }
-            CoalPhase::LeadExitPending => {
-                self.leader_active = false;
-                self.finish(t);
-            }
-            CoalPhase::Park => {
-                debug_assert!(self.dispatched[t] > 0);
-                // woken: request served
-            }
-            CoalPhase::Done => unreachable!("done threads are not runnable"),
-        }
-    }
-    fn check_step(&self) -> Result<(), String> {
-        for (r, &n) in self.dispatched.iter().enumerate() {
-            if n > 1 {
-                return Err(format!(
-                    "request {r} dispatched {n} times (double dispatch)"
-                ));
-            }
-        }
-        Ok(())
-    }
-    fn check_final(&self) -> Result<(), String> {
-        for (r, &n) in self.dispatched.iter().enumerate() {
-            if n != 1 {
-                return Err(format!(
-                    "request {r} dispatched {n} times, expected exactly 1"
-                ));
-            }
-        }
-        if self.leader_active {
-            return Err("leader_active still set after completion".into());
-        }
-        Ok(())
-    }
-}
-
-impl CoalescerModel {
-    fn finish(&mut self, t: usize) {
-        // Leaving leadership: thread is done once its own request has
-        // been dispatched (it always is — the leader drains itself),
-        // otherwise it parks like a follower.
-        self.phase[t] = if self.dispatched[t] > 0 {
-            CoalPhase::Done
-        } else {
-            CoalPhase::Park
-        };
-    }
-}
-
-// ---------------------------------------------------------------------
-// 5. Connection slots + shedding (nm-serve ConnSlots)
-// ---------------------------------------------------------------------
-
-/// N connections race for K slots; losers are shed. The real
-/// implementation acquires with a single atomic compare-exchange loop;
-/// the seeded bug splits the check and the decrement, admitting more
-/// than K concurrent connections. Invariants: concurrent admissions
-/// never exceed K, and finally `admitted + shed == N` with all slots
-/// returned (shed-counter accuracy).
-#[derive(Clone)]
-pub struct ShedModel {
-    check_then_act: bool,
-    capacity: i64,
-    slots: i64,
-    shed: u32,
-    admitted_total: u32,
-    active: u32,
-    phase: Vec<ShedPhase>,
-}
-
-#[derive(Clone, Copy)]
-enum ShedPhase {
-    Arrive,
-    /// Bug variant only: observed a free slot, decrement still pending.
-    AdmitPending,
-    Work,
-    Release,
-    Done,
-}
-
-impl ShedModel {
-    pub fn correct(conns: usize, capacity: i64) -> Self {
-        Self {
-            check_then_act: false,
-            capacity,
-            slots: capacity,
-            shed: 0,
-            admitted_total: 0,
-            active: 0,
-            phase: vec![ShedPhase::Arrive; conns],
-        }
-    }
-
-    /// Seeded bug: slot check and slot decrement are separate steps.
-    pub fn seeded_bug(conns: usize, capacity: i64) -> Self {
-        Self {
-            check_then_act: true,
-            ..Self::correct(conns, capacity)
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// 6. Slowest-N exemplar ring (nm-serve ExemplarRing)
-// ---------------------------------------------------------------------
-
-/// N request threads each record one exemplar with a distinct total
-/// latency into a bounded slowest-N ring. The real ring does the whole
-/// push-or-replace-min decision inside one mutex region; the seeded bug
-/// reads `len` in one step and pushes in a later one (check-then-act),
-/// so two racing requests can both see a free slot and overfill the
-/// ring. Invariants: the ring never exceeds its capacity, and at rest
-/// it holds exactly the N-slowest totals (a dropped slow exemplar means
-/// the trace endpoint lies about the worst requests).
-#[derive(Clone)]
-pub struct ExemplarRingModel {
-    check_then_act: bool,
-    capacity: usize,
-    totals: Vec<u64>,
-    phase: Vec<RingPhase>,
-    /// (total_us, id) pairs currently held.
-    ring: Vec<(u64, usize)>,
-    /// Models `ExemplarRing::next_id` (atomic fetch_add).
-    next_id: usize,
-}
-
-#[derive(Clone, Copy)]
-enum RingPhase {
-    /// Allocate a request id (one atomic step, like the real fetch_add).
-    Arrive {
-        total: u64,
-    },
-    /// Bug variant only: observed `len < capacity`, push still pending.
-    RecordPending {
-        total: u64,
-        id: usize,
-        room: bool,
-    },
-    /// Correct variant: full locked push-or-replace-min region.
-    Record {
-        total: u64,
-        id: usize,
-    },
-    Done,
-}
-
-impl ExemplarRingModel {
-    fn new(threads: usize, capacity: usize, check_then_act: bool) -> Self {
-        // Distinct totals so the expected resting content is schedule-
-        // independent: the ring must end up with the `capacity` largest.
-        let totals: Vec<u64> = (1..=threads as u64).map(|i| i * 10).collect();
-        Self {
-            check_then_act,
-            capacity,
-            phase: totals
-                .iter()
-                .map(|&t| RingPhase::Arrive { total: t })
-                .collect(),
-            totals,
-            ring: Vec::new(),
-            next_id: 0,
-        }
-    }
-
-    pub fn correct(threads: usize, capacity: usize) -> Self {
-        Self::new(threads, capacity, false)
-    }
-
-    /// Seeded bug: capacity check and push are separate steps.
-    pub fn seeded_bug(threads: usize, capacity: usize) -> Self {
-        Self::new(threads, capacity, true)
-    }
-
-    /// Locked region of the real `ExemplarRing::record`: push while
-    /// there is room, otherwise evict the fastest entry — newest first
-    /// among ties — iff the newcomer is strictly slower.
-    fn push_or_replace(&mut self, total: u64, id: usize) {
-        if self.ring.len() < self.capacity {
-            self.ring.push((total, id));
-            return;
-        }
-        let Some(min_at) =
-            (0..self.ring.len()).min_by_key(|&i| (self.ring[i].0, usize::MAX - self.ring[i].1))
-        else {
-            return; // capacity 0: ring keeps nothing
-        };
-        if total > self.ring[min_at].0 {
-            self.ring[min_at] = (total, id);
-        }
-    }
-}
-
-impl SchedModel for ExemplarRingModel {
-    fn thread_count(&self) -> usize {
-        self.phase.len()
-    }
-    fn is_done(&self, t: usize) -> bool {
-        matches!(self.phase[t], RingPhase::Done)
-    }
-    fn is_runnable(&self, t: usize) -> bool {
-        !self.is_done(t)
-    }
-    fn step(&mut self, t: usize) {
-        match self.phase[t] {
-            RingPhase::Arrive { total } => {
-                let id = self.next_id;
-                self.next_id += 1;
-                self.phase[t] = if self.check_then_act {
-                    let room = self.ring.len() < self.capacity;
-                    RingPhase::RecordPending { total, id, room }
-                } else {
-                    RingPhase::Record { total, id }
-                };
-            }
-            RingPhase::RecordPending { total, id, room } => {
-                if room {
-                    // acts on the stale observation: unconditional push
-                    self.ring.push((total, id));
-                } else {
-                    self.push_or_replace(total, id);
-                }
-                self.phase[t] = RingPhase::Done;
-            }
-            RingPhase::Record { total, id } => {
-                self.push_or_replace(total, id);
-                self.phase[t] = RingPhase::Done;
-            }
-            RingPhase::Done => unreachable!("done threads are not runnable"),
-        }
-    }
-    fn check_step(&self) -> Result<(), String> {
-        if self.ring.len() > self.capacity {
-            return Err(format!(
-                "ring holds {} exemplars with capacity {} (over-capacity ring)",
-                self.ring.len(),
-                self.capacity
-            ));
-        }
-        Ok(())
-    }
-    fn check_final(&self) -> Result<(), String> {
-        let mut want: Vec<u64> = self.totals.clone();
-        want.sort_unstable_by(|a, b| b.cmp(a));
-        want.truncate(self.capacity);
-        want.sort_unstable();
-        let mut got: Vec<u64> = self.ring.iter().map(|&(total, _)| total).collect();
-        got.sort_unstable();
-        if got != want {
-            return Err(format!(
-                "ring kept totals {got:?}, expected the slowest {want:?} \
-                 (lost slowest exemplar)"
-            ));
-        }
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------
-// 7. Stream ring: producer / consumer / snapshot swapper (nm-stream)
+// 4. Stream ring: producer / consumer / snapshot swapper (nm-stream)
 // ---------------------------------------------------------------------
 
 /// The online-loop ring buffer under concurrent snapshot hot-swap: a
@@ -842,495 +453,6 @@ impl SchedModel for StreamRingModel {
             return Err(format!(
                 "dropped {} + drained {} != pushed {}",
                 self.dropped, self.drained, self.pushed
-            ));
-        }
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------
-// 8. Circuit-breaker half-open probe (nm-serve ShardBreakers)
-// ---------------------------------------------------------------------
-
-/// N requests hit one shard whose breaker is Open with the cooldown
-/// already expired. The real `ShardBreakers::admit` consults the state
-/// and claims the half-open probe inside one mutex region, so exactly
-/// one request probes while the rest short-circuit; the seeded bug
-/// splits the consult and the claim into two steps, so two racing
-/// requests can both observe "cooldown expired" and both probe — the
-/// half-open state no longer bounds the load sent to a sick shard.
-/// Invariants: at most one probe in flight, and finally the breaker is
-/// closed by exactly one successful probe.
-#[derive(Clone)]
-pub struct BreakerModel {
-    split_claim: bool,
-    state: BreakerState,
-    probing: bool,
-    probes_total: u32,
-    allowed: u32,
-    skipped: u32,
-    phase: Vec<BreakerPhase>,
-}
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum BreakerState {
-    Open,
-    HalfOpen,
-    Closed,
-}
-
-#[derive(Clone, Copy)]
-enum BreakerPhase {
-    Arrive,
-    /// Bug variant only: observed the cooldown expired; the probe claim
-    /// lands in a later step, acting on the stale observation.
-    ClaimPending,
-    Work {
-        probe: bool,
-    },
-    Done,
-}
-
-impl BreakerModel {
-    fn new(requests: usize, split_claim: bool) -> Self {
-        Self {
-            split_claim,
-            state: BreakerState::Open,
-            probing: false,
-            probes_total: 0,
-            allowed: 0,
-            skipped: 0,
-            phase: vec![BreakerPhase::Arrive; requests],
-        }
-    }
-
-    pub fn correct(requests: usize) -> Self {
-        Self::new(requests, false)
-    }
-
-    /// Seeded bug: state consult and probe claim are separate steps.
-    pub fn seeded_bug(requests: usize) -> Self {
-        Self::new(requests, true)
-    }
-
-    fn claim_probe(&mut self, t: usize) {
-        self.state = BreakerState::HalfOpen;
-        self.probing = true;
-        self.probes_total += 1;
-        self.phase[t] = BreakerPhase::Work { probe: true };
-    }
-}
-
-impl SchedModel for BreakerModel {
-    fn thread_count(&self) -> usize {
-        self.phase.len()
-    }
-    fn is_done(&self, t: usize) -> bool {
-        matches!(self.phase[t], BreakerPhase::Done)
-    }
-    fn is_runnable(&self, t: usize) -> bool {
-        !self.is_done(t)
-    }
-    fn step(&mut self, t: usize) {
-        match self.phase[t] {
-            BreakerPhase::Arrive => match self.state {
-                BreakerState::Closed => {
-                    self.allowed += 1;
-                    self.phase[t] = BreakerPhase::Work { probe: false };
-                }
-                BreakerState::Open => {
-                    if self.split_claim {
-                        self.phase[t] = BreakerPhase::ClaimPending;
-                    } else {
-                        self.claim_probe(t);
-                    }
-                }
-                BreakerState::HalfOpen => {
-                    if self.probing {
-                        // single-probe rule: short-circuit to degraded
-                        self.skipped += 1;
-                        self.phase[t] = BreakerPhase::Done;
-                    } else {
-                        self.claim_probe(t);
-                    }
-                }
-            },
-            BreakerPhase::ClaimPending => self.claim_probe(t),
-            BreakerPhase::Work { probe } => {
-                // the request succeeds; a successful probe closes
-                if probe {
-                    self.state = BreakerState::Closed;
-                    self.probing = false;
-                }
-                self.phase[t] = BreakerPhase::Done;
-            }
-            BreakerPhase::Done => unreachable!("done threads are not runnable"),
-        }
-    }
-    fn check_step(&self) -> Result<(), String> {
-        let in_flight = self
-            .phase
-            .iter()
-            .filter(|p| matches!(p, BreakerPhase::Work { probe: true }))
-            .count();
-        if in_flight > 1 {
-            return Err(format!(
-                "concurrent half-open probes: {in_flight} probes in flight \
-                 (the half-open state must admit exactly one)"
-            ));
-        }
-        Ok(())
-    }
-    fn check_final(&self) -> Result<(), String> {
-        if self.state != BreakerState::Closed {
-            return Err("breaker not closed after a successful probe".into());
-        }
-        if self.probes_total != 1 {
-            return Err(format!(
-                "{} probes sent to the sick shard, expected exactly 1",
-                self.probes_total
-            ));
-        }
-        let n = self.phase.len() as u32;
-        if self.allowed + self.skipped + self.probes_total != n {
-            return Err(format!(
-                "allowed {} + skipped {} + probes {} != {} requests",
-                self.allowed, self.skipped, self.probes_total, n
-            ));
-        }
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------
-// 9. Supervisor respawn (nm-serve Supervisor monitor loop)
-// ---------------------------------------------------------------------
-
-/// One supervised worker slot that crashes repeatedly, watched by two
-/// monitor threads. The real monitor loop holds the child-state lock
-/// across the whole is-dead check *and* the respawn, so a dead slot is
-/// refilled exactly once per crash; the seeded bug observes "dead" in
-/// one step and spawns in a later one, so two monitors can both see the
-/// corpse and both respawn — two live workers draining one queue slot's
-/// restart budget. Invariants: never more than one live worker in the
-/// slot, and finally restarts == crashes.
-#[derive(Clone)]
-pub struct SupervisorModel {
-    split_respawn: bool,
-    live: u32,
-    dead: bool,
-    restarts: u32,
-    budget: u32,
-    crashes_left: u32,
-    /// ticks threads: index 0 is the worker, 1.. are monitors.
-    pending_spawn: Vec<bool>,
-}
-
-impl SupervisorModel {
-    fn new(monitors: usize, crashes: u32, split_respawn: bool) -> Self {
-        Self {
-            split_respawn,
-            live: 1,
-            dead: false,
-            restarts: 0,
-            budget: crashes,
-            crashes_left: crashes,
-            pending_spawn: vec![false; monitors + 1],
-        }
-    }
-
-    pub fn correct(monitors: usize, crashes: u32) -> Self {
-        Self::new(monitors, crashes, false)
-    }
-
-    /// Seeded bug: dead-check and respawn are separate steps.
-    pub fn seeded_bug(monitors: usize, crashes: u32) -> Self {
-        Self::new(monitors, crashes, true)
-    }
-
-    fn slot_repaired(&self) -> bool {
-        self.crashes_left == 0 && !self.dead && self.live >= 1
-    }
-}
-
-impl SchedModel for SupervisorModel {
-    fn thread_count(&self) -> usize {
-        self.pending_spawn.len()
-    }
-    fn is_done(&self, t: usize) -> bool {
-        if t == 0 {
-            self.crashes_left == 0
-        } else {
-            self.slot_repaired() && !self.pending_spawn[t]
-        }
-    }
-    fn is_runnable(&self, t: usize) -> bool {
-        if self.is_done(t) {
-            return false;
-        }
-        if t == 0 {
-            // the worker can only crash while it is alive
-            self.live >= 1
-        } else {
-            // a monitor has work when the slot is dead (tick) or it
-            // already committed to a respawn (bug variant)
-            self.pending_spawn[t] || (self.dead && self.restarts < self.budget)
-        }
-    }
-    fn step(&mut self, t: usize) {
-        if t == 0 {
-            self.live -= 1;
-            self.dead = true;
-            self.crashes_left -= 1;
-            return;
-        }
-        if self.pending_spawn[t] {
-            // acts on the stale observation: unconditional respawn
-            self.pending_spawn[t] = false;
-            self.live += 1;
-            self.dead = false;
-            self.restarts += 1;
-            return;
-        }
-        // monitor tick: the slot is dead and budget remains
-        if self.split_respawn {
-            self.pending_spawn[t] = true;
-        } else {
-            // one lock region: check-dead + respawn
-            self.live += 1;
-            self.dead = false;
-            self.restarts += 1;
-        }
-    }
-    fn check_step(&self) -> Result<(), String> {
-        if self.live > 1 {
-            return Err(format!(
-                "double restart: {} live workers in one supervised slot",
-                self.live
-            ));
-        }
-        Ok(())
-    }
-    fn check_final(&self) -> Result<(), String> {
-        if self.live != 1 || self.dead {
-            return Err(format!(
-                "slot not repaired at rest: live={}, dead={}",
-                self.live, self.dead
-            ));
-        }
-        if self.restarts != self.budget {
-            return Err(format!(
-                "{} restarts for {} crashes (restart counter drift)",
-                self.restarts, self.budget
-            ));
-        }
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------
-// 10. Telemetry sampler ring (nm-obs FlightRecorder::tick)
-// ---------------------------------------------------------------------
-
-/// Writer threads bump a shared cumulative counter (one relaxed
-/// `fetch_add` per step, like `Counter::inc`) while a sampler thread
-/// records delta ticks into a bounded drop-oldest ring. The real
-/// `FlightRecorder::tick` computes each delta *and* advances its
-/// per-name `prev` watermark from the same registry read, so recorded
-/// deltas conserve: ring sum + dropped sum == watermark after every
-/// tick, no matter how writers interleave. The seeded bug snapshots
-/// the counter in one step but advances the watermark from a re-read
-/// in a later step — increments landing in between are skipped by
-/// every delta, silently vanishing from the recorded series.
-/// Invariants: conservation holds after every step, the watermark
-/// never passes the counter, and the ring never exceeds its capacity.
-#[derive(Clone)]
-pub struct SamplerRingModel {
-    reread_watermark: bool,
-    capacity: usize,
-    incs_left: Vec<u64>,
-    ticks_left: u64,
-    /// Bug variant only: counter value snapshotted in the first half
-    /// of a torn tick.
-    loaded: Option<u64>,
-    cum: u64,
-    prev: u64,
-    ring: Vec<u64>,
-    dropped_sum: u64,
-}
-
-impl SamplerRingModel {
-    fn new(writers: usize, incs: u64, ticks: u64, capacity: usize, reread: bool) -> Self {
-        Self {
-            reread_watermark: reread,
-            capacity: capacity.max(1),
-            incs_left: vec![incs; writers],
-            ticks_left: ticks,
-            loaded: None,
-            cum: 0,
-            prev: 0,
-            ring: Vec::new(),
-            dropped_sum: 0,
-        }
-    }
-
-    pub fn correct(writers: usize, incs: u64, ticks: u64, capacity: usize) -> Self {
-        Self::new(writers, incs, ticks, capacity, false)
-    }
-
-    /// Seeded bug: the tick's delta comes from one counter read, the
-    /// watermark advance from a second.
-    pub fn seeded_bug(writers: usize, incs: u64, ticks: u64, capacity: usize) -> Self {
-        Self::new(writers, incs, ticks, capacity, true)
-    }
-
-    fn push(&mut self, delta: u64) {
-        if self.ring.len() == self.capacity {
-            self.dropped_sum += self.ring.remove(0);
-        }
-        self.ring.push(delta);
-    }
-}
-
-impl SchedModel for SamplerRingModel {
-    fn thread_count(&self) -> usize {
-        self.incs_left.len() + 1 // last thread is the sampler
-    }
-    fn is_done(&self, t: usize) -> bool {
-        match self.incs_left.get(t) {
-            Some(&left) => left == 0,
-            None => self.ticks_left == 0 && self.loaded.is_none(),
-        }
-    }
-    fn is_runnable(&self, t: usize) -> bool {
-        !self.is_done(t)
-    }
-    fn step(&mut self, t: usize) {
-        if t < self.incs_left.len() {
-            self.cum += 1;
-            self.incs_left[t] -= 1;
-            return;
-        }
-        if !self.reread_watermark {
-            // One linearization point: delta and watermark from the
-            // same read of the counter.
-            let read = self.cum;
-            let delta = read - self.prev;
-            self.prev = read;
-            self.push(delta);
-            self.ticks_left -= 1;
-            return;
-        }
-        match self.loaded.take() {
-            None => self.loaded = Some(self.cum),
-            Some(read) => {
-                let delta = read - self.prev;
-                // Bug: the watermark advances from a RE-READ — any
-                // increment since `read` is skipped by every delta.
-                self.prev = self.cum;
-                self.push(delta);
-                self.ticks_left -= 1;
-            }
-        }
-    }
-    fn check_step(&self) -> Result<(), String> {
-        if self.ring.len() > self.capacity {
-            return Err(format!(
-                "ring holds {} ticks with capacity {}",
-                self.ring.len(),
-                self.capacity
-            ));
-        }
-        if self.prev > self.cum {
-            return Err(format!(
-                "watermark {} passed the counter {}",
-                self.prev, self.cum
-            ));
-        }
-        let recorded: u64 = self.ring.iter().sum::<u64>() + self.dropped_sum;
-        if recorded != self.prev {
-            return Err(format!(
-                "sampler leaks deltas: ring + dropped = {recorded} but watermark = {} \
-                 (events lost between snapshot and watermark advance)",
-                self.prev
-            ));
-        }
-        Ok(())
-    }
-    fn check_final(&self) -> Result<(), String> {
-        // Conservation at rest; the watermark may trail the counter
-        // when writers outlive the last tick — that is not a leak,
-        // those events are simply not yet sampled.
-        self.check_step()
-    }
-}
-
-impl SchedModel for ShedModel {
-    fn thread_count(&self) -> usize {
-        self.phase.len()
-    }
-    fn is_done(&self, t: usize) -> bool {
-        matches!(self.phase[t], ShedPhase::Done)
-    }
-    fn is_runnable(&self, t: usize) -> bool {
-        !self.is_done(t)
-    }
-    fn step(&mut self, t: usize) {
-        match self.phase[t] {
-            ShedPhase::Arrive => {
-                if self.check_then_act {
-                    if self.slots > 0 {
-                        self.phase[t] = ShedPhase::AdmitPending;
-                    } else {
-                        self.shed += 1;
-                        self.phase[t] = ShedPhase::Done;
-                    }
-                } else if self.slots > 0 {
-                    self.slots -= 1;
-                    self.active += 1;
-                    self.admitted_total += 1;
-                    self.phase[t] = ShedPhase::Work;
-                } else {
-                    self.shed += 1;
-                    self.phase[t] = ShedPhase::Done;
-                }
-            }
-            ShedPhase::AdmitPending => {
-                self.slots -= 1;
-                self.active += 1;
-                self.admitted_total += 1;
-                self.phase[t] = ShedPhase::Work;
-            }
-            ShedPhase::Work => self.phase[t] = ShedPhase::Release,
-            ShedPhase::Release => {
-                self.slots += 1;
-                self.active -= 1;
-                self.phase[t] = ShedPhase::Done;
-            }
-            ShedPhase::Done => unreachable!("done threads are not runnable"),
-        }
-    }
-    fn check_step(&self) -> Result<(), String> {
-        if i64::from(self.active) > self.capacity {
-            return Err(format!(
-                "{} connections active with capacity {} (over-admission)",
-                self.active, self.capacity
-            ));
-        }
-        Ok(())
-    }
-    fn check_final(&self) -> Result<(), String> {
-        let n = self.phase.len() as u32;
-        if self.admitted_total + self.shed != n {
-            return Err(format!(
-                "admitted {} + shed {} != {} connections (shed counter inaccurate)",
-                self.admitted_total, self.shed, n
-            ));
-        }
-        if self.slots != self.capacity {
-            return Err(format!(
-                "{} slots free at rest, expected {} (slot leak)",
-                self.slots, self.capacity
             ));
         }
         Ok(())

@@ -1,69 +1,126 @@
-//! Positive half of the concurrency checking: the models mirroring the
-//! real `nm-obs`/`nm-serve` algorithms pass every schedule, and the
-//! schedule space explored is large enough (>= 1000 distinct schedules
-//! per invariant, the ci.sh acceptance bar) that "no violation" is a
-//! meaningful statement.
+//! Positive half of the concurrency checking: every checked algorithm
+//! passes every explored schedule, and the schedule space is large
+//! enough (>= 1000 distinct schedules per invariant, the ci.sh
+//! acceptance bar) that "no violation" is a meaningful statement.
+//!
+//! Two kinds of subject here. The lock-free / crate-local algorithms
+//! (counter, histogram, trace sink, stream ring) are checked through
+//! their [`nm_check::sched::models`] mirrors. The monitor-based cores
+//! (coalescer, connection gate, exemplar ring, breaker, supervisor,
+//! sampler ring) are checked directly: the *production* `nm-sync`
+//! generic code instantiated with `VirtualBackend`, every blocking /
+//! atomic op a scheduling point.
 
-use nm_check::sched::models::*;
-use nm_check::sched::{explore, ExploreOpts, SchedModel};
+use nm_check::sched::virt::{explore_virtual, VirtSpec};
+use nm_check::sched::{cores, explore, ExploreOpts, SchedModel};
+use nm_sync::{BreakerBug, CoalesceBug, DeltaBug, GateBug, RespawnBug, RingBug};
 
 fn assert_clean<M: SchedModel>(name: &str, model: M) -> u64 {
-    let r = explore(&model, &ExploreOpts::default());
+    check("model", name, explore(&model, &ExploreOpts::default()))
+}
+
+fn assert_clean_virtual(name: &str, bound: Option<u32>, mk: impl Fn() -> VirtSpec) -> u64 {
+    let opts = ExploreOpts {
+        preemption_bound: bound,
+        ..Default::default()
+    };
+    check("core", name, explore_virtual(mk, &opts))
+}
+
+fn check(kind: &str, name: &str, r: nm_check::sched::Explored) -> u64 {
     assert!(
         r.violation.is_none(),
-        "{name}: unexpected violation: {:?}",
+        "{kind} {name}: unexpected violation: {:?}",
         r.violation
     );
-    assert!(!r.truncated, "{name}: schedule space truncated");
+    assert!(!r.truncated, "{kind} {name}: schedule space truncated");
     assert!(
         r.schedules >= 1000,
-        "{name}: only {} schedules explored, need >= 1000 — grow the config",
+        "{kind} {name}: only {} schedules explored, need >= 1000 — grow the config",
         r.schedules
     );
     r.schedules
 }
 
+// ---- state-machine mirrors (lock-free algorithms) ---------------------
+
 #[test]
 fn counter_atomic_all_schedules_clean() {
-    assert_clean("counter", CounterModel::atomic(2, 7));
+    assert_clean(
+        "counter",
+        nm_check::sched::models::CounterModel::atomic(2, 7),
+    );
 }
 
 #[test]
 fn histogram_record_order_all_schedules_clean() {
-    assert_clean("histogram", HistogramModel::correct(4, 3));
+    assert_clean(
+        "histogram",
+        nm_check::sched::models::HistogramModel::correct(4, 3),
+    );
 }
 
 #[test]
 fn seq_sink_lock_order_all_schedules_clean() {
-    assert_clean("seq-sink", SeqSinkModel::correct(3, 3));
+    assert_clean(
+        "seq-sink",
+        nm_check::sched::models::SeqSinkModel::correct(3, 3),
+    );
 }
 
 #[test]
-fn coalescer_all_schedules_clean() {
-    assert_clean("coalescer", CoalescerModel::correct(3, 2));
+fn stream_ring_all_schedules_clean() {
+    assert_clean(
+        "stream-ring",
+        nm_check::sched::models::StreamRingModel::correct(6, 3, 2, 2),
+    );
+}
+
+// ---- virtualized production cores (nm-sync under VirtualBackend) -----
+
+#[test]
+fn coalescer_real_core_all_schedules_clean() {
+    assert_clean_virtual(
+        "coalescer",
+        Some(2),
+        cores::coalescer(3, 2, CoalesceBug::None),
+    );
 }
 
 #[test]
-fn shed_slots_all_schedules_clean() {
-    assert_clean("shed", ShedModel::correct(4, 2));
+fn conn_gate_real_core_all_schedules_clean() {
+    assert_clean_virtual("conn-gate", Some(3), cores::conn_gate(3, 2, GateBug::None));
 }
 
 #[test]
-fn exemplar_ring_all_schedules_clean() {
-    assert_clean("exemplar-ring", ExemplarRingModel::correct(4, 2));
+fn exemplar_ring_real_core_all_schedules_clean() {
+    // Small enough for an exhaustive (unbounded) exploration.
+    assert_clean_virtual(
+        "exemplar-ring",
+        None,
+        cores::exemplar_ring(3, 2, RingBug::None),
+    );
 }
 
 #[test]
-fn breaker_probe_all_schedules_clean() {
-    assert_clean("breaker", BreakerModel::correct(6));
+fn breaker_real_core_all_schedules_clean() {
+    assert_clean_virtual("breaker", Some(2), cores::breaker(4, BreakerBug::None));
 }
 
 #[test]
-fn supervisor_respawn_all_schedules_clean() {
-    assert_clean("supervisor", SupervisorModel::correct(2, 10));
+fn supervisor_real_core_all_schedules_clean() {
+    assert_clean_virtual(
+        "supervisor",
+        Some(2),
+        cores::supervisor(3, RespawnBug::None),
+    );
 }
 
 #[test]
-fn sampler_ring_all_schedules_clean() {
-    assert_clean("sampler-ring", SamplerRingModel::correct(2, 3, 4, 2));
+fn sampler_ring_real_core_all_schedules_clean() {
+    assert_clean_virtual(
+        "sampler-ring",
+        Some(3),
+        cores::sampler_ring(2, 2, 2, DeltaBug::None),
+    );
 }

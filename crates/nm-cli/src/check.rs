@@ -3,17 +3,24 @@
 //! Four stages, each independent, all findings aggregated:
 //!
 //! 1. **Shape & graph verification**: every registered model (NMCDR +
-//!    the 11 baselines) has its training loss traced on probe batches
-//!    at two batch-size pairs; `nm-check` re-derives all shapes,
-//!    verifies broadcast legality and topological order, checks every
-//!    parameter is reachable from the loss, and diffs the two traces to
-//!    prove batch dims propagate symbolically.
+//!    the 11 baselines) has a full optimizer step traced on probe
+//!    batches at two batch-size pairs — forward (`nm-check` re-derives
+//!    all shapes, verifies broadcast legality and topological order,
+//!    checks every parameter is reachable from the loss, and diffs the
+//!    two traces to prove batch dims propagate symbolically), then
+//!    backward and a real Adam update, with the serialized optimizer
+//!    state checked moment-by-moment against the parameter shapes.
 //! 2. **NMCDR stage invariants**: the gate/residual/attention shape
 //!    contracts of Eq. 5–19 via `NmcdrModel::check_stage_invariants`.
 //! 3. **Workspace lint** against the checked-in allowlist
 //!    (`scripts/lint_allowlist.tsv`); `--fix-allowlist` regenerates it.
-//! 4. **Concurrency model checking** of the nm-obs/nm-serve
-//!    abstractions, requiring >= 1000 distinct schedules per invariant.
+//! 4. **Concurrency model checking**, requiring >= 1000 distinct
+//!    schedules per invariant. The lock-free nm-obs/nm-stream
+//!    algorithms are checked through state-machine mirrors; the
+//!    monitor-based `nm-sync` cores (coalescer, connection gate,
+//!    exemplar ring, breaker, supervisor, sampler ring) are checked
+//!    directly — the production generic code instantiated with
+//!    `VirtualBackend`, every blocking/atomic op a scheduling point.
 //!
 //! Flags: `--root <dir>` (workspace root, default `.`), `--json <file>`
 //! (machine-readable findings report), `--fix-allowlist`,
@@ -22,16 +29,17 @@
 use crate::args::Args;
 use nm_autograd::TraceNode;
 use nm_bench::{ExpProfile, ModelKind};
-use nm_check::sched::models::{
-    BreakerModel, CoalescerModel, CounterModel, ExemplarRingModel, HistogramModel,
-    SamplerRingModel, SeqSinkModel, ShedModel, StreamRingModel, SupervisorModel,
-};
-use nm_check::sched::{explore, ExploreOpts, SchedModel};
+use nm_check::sched::models::{CounterModel, HistogramModel, SeqSinkModel, StreamRingModel};
+use nm_check::sched::virt::{explore_virtual, VirtSpec};
+use nm_check::sched::{cores, explore, ExploreOpts, Explored, SchedModel};
 use nm_check::shape::{compare_symbolic, verify_reachability, verify_trace};
 use nm_check::{diagnostics_to_json, lint, Diagnostic, Pass};
 use nm_data::batch::Batch;
 use nm_data::Scenario;
 use nm_models::CdrModel;
+use nm_nn::checkpoint::{read_tensor, read_u32};
+use nm_optim::{Adam, Optimizer};
+use nm_sync::{BreakerBug, CoalesceBug, DeltaBug, GateBug, RespawnBug, RingBug};
 use nmcdr_core::NmcdrModel;
 use std::collections::BTreeSet;
 use std::rc::Rc;
@@ -158,7 +166,8 @@ fn shape_stage() -> Result<Vec<Diagnostic>, String> {
     for kind in ModelKind::ALL {
         let mut model = kind.build(Rc::clone(&task), &profile);
         model.begin_epoch(0);
-        let (trace1, reach) = trace_loss(&*model, ba1, bb1);
+        let mut opt = Adam::new(1e-4);
+        let (trace1, reach) = trace_optimizer_step(&*model, ba1, bb1, &mut opt);
         let prefix = |d: Diagnostic| Diagnostic {
             location: format!("{}:{}", kind.name(), d.location),
             ..d
@@ -170,9 +179,17 @@ fn shape_stage() -> Result<Vec<Diagnostic>, String> {
                 .into_iter()
                 .map(prefix),
         );
-        let (trace2, _) = trace_loss(&*model, ba2, bb2);
+        let (trace2, _) = trace_optimizer_step(&*model, ba2, bb2, &mut opt);
         diags.extend(
             compare_symbolic(&trace1, &trace2, &[ba1, bb1], &[ba2, bb2])
+                .into_iter()
+                .map(prefix),
+        );
+        // Two Adam steps at two different batch sizes have now run; the
+        // moments were allocated on the first and must still be
+        // congruent with the parameter shapes after the second.
+        diags.extend(
+            verify_adam_state(&opt, &model.params(), 2)
                 .into_iter()
                 .map(prefix),
         );
@@ -200,22 +217,27 @@ fn shape_stage() -> Result<Vec<Diagnostic>, String> {
     Ok(diags)
 }
 
-/// Traces one loss evaluation at the given per-domain batch sizes and
-/// probes parameter reachability. The trace is exported *before* the
-/// probe binds so a never-bound parameter's fresh leaf cannot mask
-/// itself.
-fn trace_loss(
+/// Traces one *full optimizer step* at the given per-domain batch
+/// sizes: forward (the exported trace feeds the shape verifier),
+/// parameter-reachability probe, backward, gradient absorption, and a
+/// real Adam update. The trace is exported *before* the probe binds so
+/// a never-bound parameter's fresh leaf cannot mask itself; the probe
+/// binds before backward, so even loss-unreachable parameters carry a
+/// (zero) gradient and the optimizer allocates a moment pair for every
+/// parameter.
+fn trace_optimizer_step(
     model: &dyn CdrModel,
     batch_a: usize,
     batch_b: usize,
+    opt: &mut Adam,
 ) -> (Vec<TraceNode>, Vec<(String, Option<usize>)>) {
     let mut tape = nm_autograd::Tape::new();
     let ba = probe_batch(batch_a);
     let bb = probe_batch(batch_b);
-    let _loss = model.loss(&mut tape, &ba, &bb, 0);
+    let loss = model.loss(&mut tape, &ba, &bb, 0);
     let trace = tape.export_trace();
-    let reach = model
-        .params()
+    let params = model.params();
+    let reach = params
         .iter()
         .map(|p| {
             let before = tape.len();
@@ -224,7 +246,101 @@ fn trace_loss(
             (p.name().to_string(), bound.then(|| var.index()))
         })
         .collect();
+    tape.backward(loss);
+    for p in &params {
+        p.absorb_grad(&tape);
+    }
+    opt.step(&params);
     (trace, reach)
+}
+
+/// Serializes the optimizer state and checks it field by field against
+/// the live parameter set: step counter, moment-pair count, and the
+/// shape of every first/second moment tensor. A drifted moment would
+/// silently mis-scale updates after a checkpoint restore; this proves
+/// the exported state is congruent before it can ever be imported.
+fn verify_adam_state(opt: &Adam, params: &[&nm_nn::Param], steps: u32) -> Vec<Diagnostic> {
+    let mut buf = Vec::new();
+    if let Err(e) = opt.export_state(&mut buf) {
+        return vec![Diagnostic::new(
+            Pass::Shape,
+            "optim/state-export",
+            "Adam",
+            format!("optimizer state failed to serialize: {e}"),
+        )];
+    }
+    let expected: Vec<(String, usize, usize)> = params
+        .iter()
+        .map(|p| {
+            let (r, c) = p.shape();
+            (p.name().to_string(), r, c)
+        })
+        .collect();
+    verify_adam_export(&buf, &expected, steps)
+}
+
+/// Pure verifier over the serialized Adam state bytes — separated from
+/// [`verify_adam_state`] so the negative test can feed it a
+/// deliberately shape-drifted export.
+fn verify_adam_export(
+    buf: &[u8],
+    expected: &[(String, usize, usize)],
+    steps: u32,
+) -> Vec<Diagnostic> {
+    const RULE: &str = "optim/moment-shape";
+    let diag = |loc: &str, msg: String| Diagnostic::new(Pass::Shape, RULE, loc.to_string(), msg);
+    let r = &mut &buf[..];
+    let t = match read_u32(r) {
+        Ok(t) => t,
+        Err(e) => return vec![diag("Adam", format!("unreadable step counter: {e}"))],
+    };
+    let mut diags = Vec::new();
+    if t != steps {
+        diags.push(diag(
+            "Adam",
+            format!("state records {t} optimizer steps, trace ran {steps}"),
+        ));
+    }
+    let n = match read_u32(r) {
+        Ok(n) => n as usize,
+        Err(e) => {
+            diags.push(diag("Adam", format!("unreadable moment count: {e}")));
+            return diags;
+        }
+    };
+    if n != expected.len() {
+        diags.push(diag(
+            "Adam",
+            format!(
+                "state holds {n} moment pairs, model has {} parameters",
+                expected.len()
+            ),
+        ));
+        return diags;
+    }
+    for (name, rows, cols) in expected {
+        let pair = read_tensor(r).and_then(|m| read_tensor(r).map(|v| (m, v)));
+        let (m, v) = match pair {
+            Ok(p) => p,
+            Err(e) => {
+                diags.push(diag(name, format!("unreadable moment tensors: {e}")));
+                return diags;
+            }
+        };
+        for (which, t) in [("first", &m), ("second", &v)] {
+            let (mr, mc) = t.shape();
+            if (mr, mc) != (*rows, *cols) {
+                diags.push(diag(
+                    name,
+                    format!(
+                        "{which} moment is {mr}x{mc}, parameter is {rows}x{cols} \
+                         (shape-drifted optimizer state)"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
 }
 
 /// Distinct in-range users/items, all labeled positive. All-positive
@@ -292,31 +408,54 @@ fn lint_stage(root: &str, allowlist_path: &str, fix: bool) -> Result<Vec<Diagnos
 
 fn sched_stage() -> Vec<Diagnostic> {
     let mut diags = Vec::new();
+    // Lock-free algorithms: checked through their state-machine mirrors.
     run_sched(&mut diags, "obs.counter", CounterModel::atomic(2, 7));
     run_sched(&mut diags, "obs.histogram", HistogramModel::correct(4, 3));
     run_sched(&mut diags, "obs.trace-seq", SeqSinkModel::correct(3, 3));
-    run_sched(&mut diags, "serve.coalescer", CoalescerModel::correct(3, 2));
-    run_sched(&mut diags, "serve.conn-slots", ShedModel::correct(4, 2));
-    run_sched(
-        &mut diags,
-        "serve.exemplar-ring",
-        ExemplarRingModel::correct(4, 2),
-    );
     run_sched(
         &mut diags,
         "stream.ring",
         StreamRingModel::correct(6, 3, 2, 2),
     );
-    run_sched(
+    // Monitor-based cores: the *production* nm-sync generics under
+    // VirtualBackend — the code nm-serve/nm-obs actually run, with each
+    // seeded-bug knob off. Preemption bounds are tuned so every core
+    // clears the 1000-schedule bar without open-ended exploration.
+    run_sched_virtual(
+        &mut diags,
+        "serve.coalescer",
+        Some(2),
+        cores::coalescer(3, 2, CoalesceBug::None),
+    );
+    run_sched_virtual(
+        &mut diags,
+        "serve.conn-slots",
+        Some(3),
+        cores::conn_gate(3, 2, GateBug::None),
+    );
+    run_sched_virtual(
+        &mut diags,
+        "serve.exemplar-ring",
+        None,
+        cores::exemplar_ring(3, 2, RingBug::None),
+    );
+    run_sched_virtual(
         &mut diags,
         "obs.sampler-ring",
-        SamplerRingModel::correct(2, 3, 4, 2),
+        Some(3),
+        cores::sampler_ring(2, 2, 2, DeltaBug::None),
     );
-    run_sched(&mut diags, "serve.breaker", BreakerModel::correct(6));
-    run_sched(
+    run_sched_virtual(
+        &mut diags,
+        "serve.breaker",
+        Some(2),
+        cores::breaker(4, BreakerBug::None),
+    );
+    run_sched_virtual(
         &mut diags,
         "serve.supervisor",
-        SupervisorModel::correct(2, 10),
+        Some(2),
+        cores::supervisor(3, RespawnBug::None),
     );
     diags
 }
@@ -324,6 +463,28 @@ fn sched_stage() -> Vec<Diagnostic> {
 fn run_sched<M: SchedModel>(diags: &mut Vec<Diagnostic>, name: &str, model: M) {
     let r = explore(&model, &ExploreOpts::default());
     println!("[check] sched: {name}: {} schedules explored", r.schedules);
+    record_sched(diags, name, &r);
+}
+
+fn run_sched_virtual(
+    diags: &mut Vec<Diagnostic>,
+    name: &str,
+    bound: Option<u32>,
+    mk: impl Fn() -> VirtSpec,
+) {
+    let opts = ExploreOpts {
+        preemption_bound: bound,
+        ..Default::default()
+    };
+    let r = explore_virtual(mk, &opts);
+    println!(
+        "[check] sched: {name}: {} schedules explored (real core, virtualized)",
+        r.schedules
+    );
+    record_sched(diags, name, &r);
+}
+
+fn record_sched(diags: &mut Vec<Diagnostic>, name: &str, r: &Explored) {
     if let Some(d) = r.to_diagnostic(name) {
         diags.push(d);
     }
@@ -337,5 +498,72 @@ fn run_sched<M: SchedModel>(diags: &mut Vec<Diagnostic>, name: &str, model: M) {
                 r.schedules
             ),
         ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_nn::Param;
+    use nm_tensor::Tensor;
+
+    /// One gradient + Adam step on a single (2x3) parameter, state
+    /// exported for verification.
+    fn stepped_adam_export() -> (Adam, Vec<u8>) {
+        let p = Param::new("w", Tensor::zeros(2, 3));
+        let mut tape = nm_autograd::Tape::new();
+        let w = p.bind(&mut tape);
+        let l = tape.sum_all(w);
+        tape.backward(l);
+        p.absorb_grad(&tape);
+        let mut opt = Adam::new(0.1);
+        opt.step(&[&p]);
+        let mut buf = Vec::new();
+        opt.export_state(&mut buf).expect("export");
+        (opt, buf)
+    }
+
+    #[test]
+    fn congruent_adam_state_is_clean() {
+        let (_, buf) = stepped_adam_export();
+        let diags = verify_adam_export(&buf, &[("w".into(), 2, 3)], 1);
+        assert!(diags.is_empty(), "{:?}", diags);
+    }
+
+    #[test]
+    fn shape_drifted_moment_is_rejected() {
+        // The exported moments are 2x3; claim the parameter is 4x3 — as
+        // if the moment tensors drifted from the weights they scale.
+        let (_, buf) = stepped_adam_export();
+        let diags = verify_adam_export(&buf, &[("w".into(), 4, 3)], 1);
+        assert_eq!(diags.len(), 2, "{:?}", diags); // first AND second moment
+        for d in &diags {
+            assert_eq!(d.rule, "optim/moment-shape");
+            assert!(d.render().contains("shape-drifted"), "{}", d.render());
+        }
+    }
+
+    #[test]
+    fn wrong_step_count_is_rejected() {
+        let (_, buf) = stepped_adam_export();
+        let diags = verify_adam_export(&buf, &[("w".into(), 2, 3)], 2);
+        assert_eq!(diags.len(), 1, "{:?}", diags);
+        assert!(
+            diags[0].render().contains("optimizer steps"),
+            "{}",
+            diags[0].render()
+        );
+    }
+
+    #[test]
+    fn wrong_moment_count_is_rejected() {
+        let (_, buf) = stepped_adam_export();
+        let diags = verify_adam_export(&buf, &[("w".into(), 2, 3), ("b".into(), 1, 3)], 1);
+        assert_eq!(diags.len(), 1, "{:?}", diags);
+        assert!(
+            diags[0].render().contains("moment pairs"),
+            "{}",
+            diags[0].render()
+        );
     }
 }

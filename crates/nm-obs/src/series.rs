@@ -22,11 +22,10 @@
 //! in [`crate::slo`] (burn rates over fast/slow windows).
 
 use crate::json::Json;
-use crate::metrics::{escape_json, Registry};
-use crate::sync::lock;
-use std::collections::{BTreeMap, VecDeque};
+use crate::metrics::{escape_json, RawSnapshot, Registry};
+use nm_sync::{DeltaRing, StdBackend};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::Mutex;
 
 /// Metric whose deltas would embed the recorder's own wall-clock cost;
 /// recorded into the registry for the overhead bench, never into ticks.
@@ -255,26 +254,20 @@ fn parse_hist_delta(name: &str, v: &Json) -> Result<HistDelta, String> {
     })
 }
 
-#[derive(Default)]
-struct RecorderInner {
-    prev_counters: BTreeMap<String, u64>,
-    prev_buckets: BTreeMap<String, Vec<u64>>,
-    prev_sums: BTreeMap<String, u64>,
-    ticks: VecDeque<TickDelta>,
-    next_tick: u64,
-    dropped: u64,
-}
-
 /// The flight recorder: tick it with a registry and it appends the
 /// delta since its previous tick to a bounded drop-oldest ring.
 ///
-/// Thread-safe; concurrent tickers serialize on an internal mutex, so
-/// tick ordinals are unique and every registry increment lands in
-/// exactly one tick (delta conservation — model-checked by the
-/// `obs.sampler-ring` schedule model in nm-check).
+/// Thread-safe: the sampler core is [`nm_sync::DeltaRing`], whose
+/// monitor region covers the registry scrape, the diff against the
+/// watermark snapshot, and the watermark advance together — so tick
+/// ordinals are unique and every registry increment lands in exactly
+/// one tick (delta conservation — `nmcdr check` model-checks this
+/// same ring code under its virtual backend). The watermark is the
+/// previous raw snapshot; the diff below is a pure function of the
+/// two snapshots.
 pub struct FlightRecorder {
     cfg: RecorderConfig,
-    inner: Mutex<RecorderInner>,
+    ring: DeltaRing<RawSnapshot, TickDelta, StdBackend>,
 }
 
 impl std::fmt::Debug for FlightRecorder {
@@ -287,12 +280,20 @@ impl std::fmt::Debug for FlightRecorder {
 
 impl FlightRecorder {
     pub fn new(cfg: RecorderConfig) -> Self {
+        let cfg = RecorderConfig {
+            capacity: cfg.capacity.max(1),
+            ..cfg
+        };
         Self {
-            cfg: RecorderConfig {
-                capacity: cfg.capacity.max(1),
-                ..cfg
-            },
-            inner: Mutex::new(RecorderInner::default()),
+            ring: DeltaRing::new(
+                cfg.capacity,
+                RawSnapshot {
+                    counters: Vec::new(),
+                    gauges: Vec::new(),
+                    histograms: Vec::new(),
+                },
+            ),
+            cfg,
         }
     }
 
@@ -307,79 +308,88 @@ impl FlightRecorder {
     /// Samples `registry` and appends one [`TickDelta`]. Returns the
     /// tick ordinal just recorded.
     pub fn tick(&self, registry: &Registry) -> u64 {
-        let raw = registry.raw_snapshot();
-        let mut inner = lock(&self.inner);
-        let tick = inner.next_tick;
-        inner.next_tick += 1;
+        self.ring.tick_with(
+            || registry.raw_snapshot(),
+            |prev, cur, tick| self.diff(prev, cur, tick),
+        )
+    }
 
-        let mut counters = Vec::with_capacity(raw.counters.len());
-        for (name, cum) in raw.counters {
-            if self.excluded(&name) {
-                continue;
-            }
-            let prev = inner.prev_counters.insert(name.clone(), cum).unwrap_or(0);
-            counters.push((name, cum.saturating_sub(prev)));
-        }
-        let gauges = raw
-            .gauges
-            .into_iter()
+    /// Pure delta of two cumulative snapshots. A metric absent from
+    /// `prev` (first sighting) diffs against zero; a histogram whose
+    /// bucket layout changed between snapshots also resets to zero
+    /// rather than producing nonsense deltas.
+    fn diff(&self, prev: &RawSnapshot, cur: &RawSnapshot, tick: u64) -> TickDelta {
+        // `raw_snapshot` returns names sorted, so lookups into the
+        // watermark snapshot can binary-search.
+        let prev_counter = |name: &str| {
+            prev.counters
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+                .map(|i| prev.counters[i].1)
+                .unwrap_or(0)
+        };
+        let prev_hist = |name: &str| {
+            prev.histograms
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+                .ok()
+                .map(|i| &prev.histograms[i].1)
+        };
+        let counters = cur
+            .counters
+            .iter()
             .filter(|(name, _)| !self.excluded(name))
+            .map(|(name, cum)| (name.clone(), cum.saturating_sub(prev_counter(name))))
             .collect();
-        let mut hists = Vec::with_capacity(raw.histograms.len());
-        for (name, h) in raw.histograms {
-            if self.excluded(&name) {
+        let gauges = cur
+            .gauges
+            .iter()
+            .filter(|(name, _)| !self.excluded(name))
+            .cloned()
+            .collect();
+        let mut hists = Vec::with_capacity(cur.histograms.len());
+        for (name, h) in &cur.histograms {
+            if self.excluded(name) {
                 continue;
             }
-            let prev = inner
-                .prev_buckets
-                .insert(name.clone(), h.buckets.clone())
-                .filter(|p| p.len() == h.buckets.len())
-                .unwrap_or_else(|| vec![0; h.buckets.len()]);
+            let p = prev_hist(name).filter(|p| p.buckets.len() == h.buckets.len());
             let buckets: Vec<u64> = h
                 .buckets
                 .iter()
-                .zip(&prev)
-                .map(|(cur, p)| cur.saturating_sub(*p))
+                .enumerate()
+                .map(|(i, cum)| cum.saturating_sub(p.map_or(0, |p| p.buckets[i])))
                 .collect();
-            let prev_sum = inner.prev_sums.insert(name.clone(), h.sum).unwrap_or(0);
             let count = buckets.iter().sum();
             hists.push((
-                name,
+                name.clone(),
                 HistDelta {
-                    bounds: h.bounds,
+                    bounds: h.bounds.clone(),
                     buckets,
                     count,
-                    sum: h.sum.saturating_sub(prev_sum),
+                    sum: h.sum.saturating_sub(p.map_or(0, |p| p.sum)),
                     max: h.max,
                 },
             ));
         }
-        if inner.ticks.len() == self.cfg.capacity {
-            inner.ticks.pop_front();
-            inner.dropped += 1;
-        }
-        inner.ticks.push_back(TickDelta {
+        TickDelta {
             tick,
             counters,
             gauges,
             hists,
-        });
-        tick
+        }
     }
 
     /// The retained ticks, oldest first.
     pub fn ticks(&self) -> Vec<TickDelta> {
-        lock(&self.inner).ticks.iter().cloned().collect()
+        self.ring.ticks()
     }
 
     /// Ticks evicted by the drop-oldest policy so far.
     pub fn dropped(&self) -> u64 {
-        lock(&self.inner).dropped
+        self.ring.dropped()
     }
 
     /// The next tick ordinal to be assigned.
     pub fn next_tick(&self) -> u64 {
-        lock(&self.inner).next_tick
+        self.ring.next_tick()
     }
 }
 

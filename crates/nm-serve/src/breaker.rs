@@ -1,288 +1,14 @@
 //! Per-shard circuit breakers for the scoring fan-out.
 //!
-//! Classic closed → open → half-open state machine, with one twist for
-//! determinism: cooldown is measured in *scoring passes* of the owning
-//! domain, not wall time, so breaker transitions replay identically
-//! under the same request sequence (the no-wallclock discipline the
-//! rest of the workspace follows).
-//!
-//! * **Closed** — shard is scored normally; `failure_threshold`
-//!   consecutive failed passes trip it open.
-//! * **Open** — the shard is skipped (short-circuited) until
-//!   `cooldown_passes` passes have elapsed, shedding its work instead
-//!   of burning retries on a shard that keeps failing.
-//! * **Half-open** — exactly one *probe* pass is admitted (no
-//!   retries); success closes the breaker, failure re-opens it for
-//!   another cooldown.
-//!
-//! The engine serializes batches per domain (one leader at a time), so
-//! a `Mutex` around the per-domain set is uncontended in practice; the
-//! schedule-model twin in `nm-check` (`BreakerModel`) checks the
-//! multi-threaded consult/report protocol stays single-probe anyway.
+//! The state machine itself lives in `nm-sync` ([`nm_sync::breaker`]):
+//! classic closed → open → half-open, with cooldown measured in
+//! *scoring passes* of the owning domain rather than wall time, so
+//! breaker transitions replay identically under the same request
+//! sequence (the no-wallclock discipline the rest of the workspace
+//! follows). This module re-exports the types under their historical
+//! `nm_serve::breaker` paths; the engine wraps the set in a
+//! [`nm_sync::BreakerBank`] instantiated with the zero-cost
+//! `StdBackend`, and `nm-check` model-checks the *same* bank code with
+//! its virtual backend.
 
-/// Breaker tuning: `failure_threshold == 0` disables breakers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BreakerConfig {
-    /// Consecutive shard-pass failures that trip Closed → Open.
-    pub failure_threshold: u32,
-    /// Scoring passes an Open breaker waits before probing.
-    pub cooldown_passes: u64,
-}
-
-impl Default for BreakerConfig {
-    fn default() -> Self {
-        Self {
-            failure_threshold: 3,
-            cooldown_passes: 8,
-        }
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BreakerState {
-    Closed,
-    Open,
-    HalfOpen,
-}
-
-/// How a batch may treat one shard this pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Admission {
-    /// Score normally (retries allowed).
-    Allow,
-    /// Half-open probe: score once, no retries.
-    Probe,
-    /// Open: skip the shard, its slice of the catalog is shed.
-    Skip,
-}
-
-/// State transitions surfaced to the caller for counters/trace events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Transition {
-    /// Closed → Open (threshold reached).
-    Opened,
-    /// Open → HalfOpen (cooldown elapsed, probe admitted).
-    HalfOpened,
-    /// HalfOpen → Open (probe failed).
-    Reopened,
-    /// HalfOpen → Closed (probe succeeded).
-    Closed,
-}
-
-#[derive(Debug, Clone)]
-struct Shard {
-    state: BreakerState,
-    consecutive_failures: u32,
-    open_until_pass: u64,
-    probing: bool,
-}
-
-impl Default for Shard {
-    fn default() -> Self {
-        Self {
-            state: BreakerState::Closed,
-            consecutive_failures: 0,
-            open_until_pass: 0,
-            probing: false,
-        }
-    }
-}
-
-/// The breaker set of one domain, indexed by shard id. Lazily resized:
-/// a reload can change the catalog size and therefore the shard count;
-/// existing shards keep their state.
-#[derive(Debug)]
-pub struct ShardBreakers {
-    cfg: BreakerConfig,
-    shards: Vec<Shard>,
-}
-
-impl ShardBreakers {
-    pub fn new(cfg: BreakerConfig) -> Self {
-        Self {
-            cfg,
-            shards: Vec::new(),
-        }
-    }
-
-    pub fn enabled(&self) -> bool {
-        self.cfg.failure_threshold > 0
-    }
-
-    /// Grows the set to cover `n_shards` (never shrinks, so stale
-    /// shard state survives a transient catalog shrink).
-    pub fn resize(&mut self, n_shards: usize) {
-        if self.shards.len() < n_shards {
-            self.shards.resize(n_shards, Shard::default());
-        }
-    }
-
-    pub fn state(&self, shard: usize) -> BreakerState {
-        self.shards
-            .get(shard)
-            .map_or(BreakerState::Closed, |s| s.state)
-    }
-
-    /// Consults the breaker for `shard` at the start of scoring pass
-    /// `pass`. May transition Open → HalfOpen (returned so the caller
-    /// can count it).
-    pub fn admit(&mut self, shard: usize, pass: u64) -> (Admission, Option<Transition>) {
-        if !self.enabled() {
-            return (Admission::Allow, None);
-        }
-        self.resize(shard + 1);
-        let s = &mut self.shards[shard];
-        match s.state {
-            BreakerState::Closed => (Admission::Allow, None),
-            BreakerState::Open => {
-                if pass >= s.open_until_pass {
-                    s.state = BreakerState::HalfOpen;
-                    s.probing = true;
-                    (Admission::Probe, Some(Transition::HalfOpened))
-                } else {
-                    (Admission::Skip, None)
-                }
-            }
-            BreakerState::HalfOpen => {
-                // A probe is already in flight (its outcome not yet
-                // reported): admit nothing else.
-                if s.probing {
-                    (Admission::Skip, None)
-                } else {
-                    s.probing = true;
-                    (Admission::Probe, None)
-                }
-            }
-        }
-    }
-
-    /// Reports a successful pass over `shard`.
-    pub fn on_success(&mut self, shard: usize) -> Option<Transition> {
-        if !self.enabled() {
-            return None;
-        }
-        self.resize(shard + 1);
-        let s = &mut self.shards[shard];
-        s.consecutive_failures = 0;
-        match s.state {
-            BreakerState::HalfOpen => {
-                s.state = BreakerState::Closed;
-                s.probing = false;
-                Some(Transition::Closed)
-            }
-            _ => None,
-        }
-    }
-
-    /// Reports a failed pass over `shard` during pass `pass` (after
-    /// the batch's retry budget was spent).
-    pub fn on_failure(&mut self, shard: usize, pass: u64) -> Option<Transition> {
-        if !self.enabled() {
-            return None;
-        }
-        self.resize(shard + 1);
-        let cooldown = self.cfg.cooldown_passes.max(1);
-        let s = &mut self.shards[shard];
-        match s.state {
-            BreakerState::Closed => {
-                s.consecutive_failures += 1;
-                if s.consecutive_failures >= self.cfg.failure_threshold {
-                    s.state = BreakerState::Open;
-                    s.open_until_pass = pass.saturating_add(cooldown);
-                    Some(Transition::Opened)
-                } else {
-                    None
-                }
-            }
-            BreakerState::HalfOpen => {
-                s.state = BreakerState::Open;
-                s.probing = false;
-                s.open_until_pass = pass.saturating_add(cooldown);
-                Some(Transition::Reopened)
-            }
-            // Failure reported for a skipped shard: keep it open.
-            BreakerState::Open => None,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn set(threshold: u32, cooldown: u64) -> ShardBreakers {
-        ShardBreakers::new(BreakerConfig {
-            failure_threshold: threshold,
-            cooldown_passes: cooldown,
-        })
-    }
-
-    #[test]
-    fn trips_after_threshold_consecutive_failures() {
-        let mut b = set(3, 4);
-        assert_eq!(b.on_failure(0, 1), None);
-        assert_eq!(b.on_failure(0, 2), None);
-        assert_eq!(b.on_failure(0, 3), Some(Transition::Opened));
-        assert_eq!(b.state(0), BreakerState::Open);
-        // open: skipped until the cooldown elapses
-        assert_eq!(b.admit(0, 4).0, Admission::Skip);
-        assert_eq!(b.admit(0, 6).0, Admission::Skip);
-        let (adm, tr) = b.admit(0, 7);
-        assert_eq!(adm, Admission::Probe);
-        assert_eq!(tr, Some(Transition::HalfOpened));
-    }
-
-    #[test]
-    fn success_resets_the_failure_streak() {
-        let mut b = set(2, 4);
-        assert_eq!(b.on_failure(0, 1), None);
-        assert_eq!(b.on_success(0), None);
-        assert_eq!(b.on_failure(0, 2), None, "streak was reset");
-        assert_eq!(b.on_failure(0, 3), Some(Transition::Opened));
-    }
-
-    #[test]
-    fn probe_success_closes_probe_failure_reopens() {
-        let mut b = set(1, 2);
-        assert_eq!(b.on_failure(0, 0), Some(Transition::Opened));
-        assert_eq!(b.admit(0, 2).0, Admission::Probe);
-        assert_eq!(b.on_success(0), Some(Transition::Closed));
-        assert_eq!(b.state(0), BreakerState::Closed);
-        assert_eq!(b.admit(0, 3).0, Admission::Allow);
-
-        assert_eq!(b.on_failure(0, 3), Some(Transition::Opened));
-        assert_eq!(b.admit(0, 5).0, Admission::Probe);
-        assert_eq!(b.on_failure(0, 5), Some(Transition::Reopened));
-        assert_eq!(b.state(0), BreakerState::Open);
-        assert_eq!(b.admit(0, 6).0, Admission::Skip);
-    }
-
-    #[test]
-    fn half_open_admits_exactly_one_probe() {
-        let mut b = set(1, 1);
-        b.on_failure(0, 0);
-        assert_eq!(b.admit(0, 1).0, Admission::Probe);
-        // second consult while the probe is in flight: skip
-        assert_eq!(b.admit(0, 1).0, Admission::Skip);
-        assert_eq!(b.admit(0, 2).0, Admission::Skip);
-    }
-
-    #[test]
-    fn disabled_breaker_admits_everything() {
-        let mut b = set(0, 4);
-        assert!(!b.enabled());
-        for pass in 0..10 {
-            assert_eq!(b.on_failure(3, pass), None);
-            assert_eq!(b.admit(3, pass).0, Admission::Allow);
-        }
-    }
-
-    #[test]
-    fn shards_are_independent() {
-        let mut b = set(1, 8);
-        assert_eq!(b.on_failure(2, 0), Some(Transition::Opened));
-        assert_eq!(b.admit(2, 1).0, Admission::Skip);
-        assert_eq!(b.admit(0, 1).0, Admission::Allow);
-        assert_eq!(b.admit(5, 1).0, Admission::Allow);
-    }
-}
+pub use nm_sync::breaker::{Admission, BreakerConfig, BreakerState, ShardBreakers, Transition};

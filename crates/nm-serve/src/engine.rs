@@ -40,11 +40,12 @@ use crate::chaos::{seeded_backoff, Chaos, ChaosConfig, Deadline};
 use crate::reqtrace::{DegradedKind, ExemplarRing, ReqTiming};
 use crate::snapshot::Snapshot;
 use crate::stats::Stats;
-use crate::sync::{lock, read, wait, wait_timeout, write};
+use crate::sync::{lock, read, wait, write};
 use nm_eval::harness::{rank_order, Scorer};
 use nm_nn::checkpoint::CheckpointError;
 use nm_obs::clock::Stopwatch;
 use nm_obs::{Counter, SloDecision, Telemetry, TelemetryConfig};
+use nm_sync::{BatchQueue, BreakerBank, Slot, StdBackend};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -348,63 +349,43 @@ struct BatchTiming {
     degraded_shards: u32,
 }
 
-/// A follower's rendezvous slot: the batch leader fills it.
-struct ReqSlot {
-    result: Mutex<Option<(CachedList, BatchTiming, DegradedKind)>>,
-    ready: Condvar,
-}
+/// A follower's rendezvous slot: the batch leader fills it. The slot
+/// algorithm itself lives in [`nm_sync::coalesce`] — production
+/// instantiates it with the zero-cost [`StdBackend`], and `nmcdr
+/// check` model-checks the *same* code under its virtual backend.
+type ReqSlot = Slot<(CachedList, BatchTiming, DegradedKind), StdBackend>;
 
-impl ReqSlot {
-    fn new() -> Arc<Self> {
-        Arc::new(Self {
-            result: Mutex::new(None),
-            ready: Condvar::new(),
-        })
-    }
-
-    fn fill(&self, value: CachedList, timing: BatchTiming, kind: DegradedKind) {
-        *lock(&self.result) = Some((value, timing, kind));
-        self.ready.notify_all();
-    }
-
-    /// Waits for the leader's fill, bounded by `deadline`. `None`
-    /// means the deadline expired first (the abandoned slot is still
-    /// filled and dropped later; the leader never blocks on us).
-    fn wait_deadline(
-        &self,
-        deadline: &Deadline,
-    ) -> Option<(CachedList, BatchTiming, DegradedKind)> {
-        let mut guard = lock(&self.result);
-        loop {
-            if let Some((list, timing, kind)) = guard.as_ref() {
-                return Some((Arc::clone(list), *timing, *kind));
-            }
+/// Waits for the leader's fill, bounded by `deadline`. `None` means
+/// the deadline expired first (the abandoned slot is still filled and
+/// dropped later; the leader never blocks on us). Each individual
+/// sleep is clamped to [100µs, 50ms] so a coarse deadline still polls
+/// expiry promptly.
+fn slot_wait_deadline(
+    slot: &ReqSlot,
+    deadline: &Deadline,
+) -> Option<(CachedList, BatchTiming, DegradedKind)> {
+    slot.wait_deadline(
+        || deadline.expired(),
+        || {
             if deadline.is_unbounded() {
-                guard = wait(&self.ready, guard);
-                continue;
+                None
+            } else {
+                Some(
+                    deadline
+                        .remaining()
+                        .min(Duration::from_millis(50))
+                        .max(Duration::from_micros(100)),
+                )
             }
-            if deadline.expired() {
-                return None;
-            }
-            let budget = deadline
-                .remaining()
-                .min(Duration::from_millis(50))
-                .max(Duration::from_micros(100));
-            guard = wait_timeout(&self.ready, guard, budget);
-        }
-    }
+        },
+    )
 }
 
+#[derive(Clone)]
 struct Pending {
     user: u32,
     k: usize,
     slot: Arc<ReqSlot>,
-}
-
-#[derive(Default)]
-struct DomainQueue {
-    pending: VecDeque<Pending>,
-    leader_active: bool,
 }
 
 /// Counts outstanding shards of one scoring attempt.
@@ -565,12 +546,14 @@ pub struct Engine {
     /// lookups, stats). Only `reload` writes it, inside the write lock.
     epoch_mirror: AtomicU64,
     pool: SupervisedPool,
-    queues: [Mutex<DomainQueue>; 2],
+    /// Per-domain leader–follower coalescers (the generic core in
+    /// [`nm_sync::coalesce`], instantiated with the std backend).
+    queues: [BatchQueue<Pending, StdBackend>; 2],
     cache: Option<ShardedLru>,
     /// Last good answer per `(user, domain, k)`, epoch-agnostic;
     /// survives reloads and is only served on the degraded path.
     stale: Option<ShardedLru>,
-    breakers: [Mutex<ShardBreakers>; 2],
+    breakers: [BreakerBank<StdBackend>; 2],
     /// Per-domain scoring-pass ordinals (breaker cooldown time base).
     pass_seq: [AtomicU64; 2],
     reload_seq: AtomicU64,
@@ -605,15 +588,12 @@ impl Engine {
             }),
             epoch_mirror: AtomicU64::new(0),
             pool,
-            queues: [
-                Mutex::new(DomainQueue::default()),
-                Mutex::new(DomainQueue::default()),
-            ],
+            queues: [BatchQueue::new(), BatchQueue::new()],
             cache,
             stale,
             breakers: [
-                Mutex::new(ShardBreakers::new(cfg.resilience.breaker)),
-                Mutex::new(ShardBreakers::new(cfg.resilience.breaker)),
+                BreakerBank::new(cfg.resilience.breaker),
+                BreakerBank::new(cfg.resilience.breaker),
             ],
             pass_seq: [AtomicU64::new(0), AtomicU64::new(0)],
             reload_seq: AtomicU64::new(0),
@@ -782,24 +762,21 @@ impl Engine {
             // Shed before queueing: scoring could not finish in budget.
             return self.degrade_now(domain, user, k, t, true);
         }
-        let slot = ReqSlot::new();
+        let slot = Arc::new(ReqSlot::new());
         let lock_sw = Stopwatch::start();
-        let become_leader = {
-            let mut q = lock(&self.queues[domain]);
-            t.lock_us = lock_sw.elapsed_us();
-            t.queue_depth = q.pending.len() as u64;
-            q.pending.push_back(Pending {
+        // Enqueue + leader election, fused in one monitor region of the
+        // coalescer core; `on_enter` observes the depth at region entry.
+        let become_leader = self.queues[domain].submit(
+            Pending {
                 user,
                 k,
                 slot: Arc::clone(&slot),
-            });
-            if q.leader_active {
-                false
-            } else {
-                q.leader_active = true;
-                true
-            }
-        };
+            },
+            |depth| {
+                t.lock_us = lock_sw.elapsed_us();
+                t.queue_depth = depth as u64;
+            },
+        );
         if become_leader {
             self.lead_batches(domain);
         } else {
@@ -808,7 +785,7 @@ impl Engine {
         let wait_sw = Stopwatch::start();
         let filled = {
             let _s = nm_obs::trace::span("serve.coalesce");
-            slot.wait_deadline(&deadline)
+            slot_wait_deadline(&slot, &deadline)
         };
         if t.coalesced {
             t.coalesce_us = wait_sw.elapsed_us();
@@ -908,15 +885,13 @@ impl Engine {
     /// falls back per request to partial/stale/unavailable.
     fn lead_batches(&self, domain: usize) {
         loop {
-            let batch: Vec<Pending> = {
-                let mut q = lock(&self.queues[domain]);
-                let n = q.pending.len().min(self.cfg.batch_max);
-                if n == 0 {
-                    q.leader_active = false;
-                    return;
-                }
-                q.pending.drain(..n).collect()
-            };
+            let batch = self.queues[domain].drain(self.cfg.batch_max);
+            if batch.is_empty() {
+                // The queue drained: the coalescer core dropped the
+                // leadership flag in the same region that observed
+                // emptiness, so no follower can park unserved.
+                return;
+            }
             self.stats.batches.inc();
             if batch.len() > 1 {
                 self.stats.coalesced.add(batch.len() as u64);
@@ -947,18 +922,18 @@ impl Engine {
                             Arc::clone(&list),
                         );
                     }
-                    req.slot.fill(list, timing, DegradedKind::None);
+                    req.slot.fill((list, timing, DegradedKind::None));
                 } else if !list.is_empty() {
                     // Some shards survived: a partial answer over the
                     // scored slice of the catalog.
                     self.note_degraded(domain, DegradedKind::Partial);
-                    req.slot.fill(list, timing, DegradedKind::Partial);
+                    req.slot.fill((list, timing, DegradedKind::Partial));
                 } else if let Some(stale) = self.stale_lookup(domain, req.user, req.k) {
                     self.note_degraded(domain, DegradedKind::Stale);
-                    req.slot.fill(stale, timing, DegradedKind::Stale);
+                    req.slot.fill((stale, timing, DegradedKind::Stale));
                 } else {
                     self.note_degraded(domain, DegradedKind::Unavailable);
-                    req.slot.fill(list, timing, DegradedKind::Unavailable);
+                    req.slot.fill((list, timing, DegradedKind::Unavailable));
                 }
             }
         }
@@ -990,17 +965,19 @@ impl Engine {
         let users: Vec<u32> = batch.iter().map(|r| r.user).collect();
         let pass = self.pass_seq[domain].fetch_add(1, Ordering::AcqRel);
 
-        // Breaker admission: decide per shard before any work starts.
+        // Breaker admission: decide per shard before any work starts
+        // (one bank region for the whole scan, as before extraction).
         let mut admissions = vec![Admission::Allow; n_shards];
         if res.breaker.failure_threshold > 0 {
-            let mut br = lock(&self.breakers[domain]);
-            for (s, adm) in admissions.iter_mut().enumerate() {
-                let (a, tr) = br.admit(s, pass);
-                *adm = a;
-                if let Some(tr) = tr {
-                    self.note_breaker(domain, s, tr);
+            self.breakers[domain].with(|br| {
+                for (s, adm) in admissions.iter_mut().enumerate() {
+                    let (a, tr) = br.admit(s, pass);
+                    *adm = a;
+                    if let Some(tr) = tr {
+                        self.note_breaker(domain, s, tr);
+                    }
                 }
-            }
+            });
         }
         let short_circuited = admissions.iter().filter(|a| **a == Admission::Skip).count();
         if short_circuited > 0 {
@@ -1103,30 +1080,37 @@ impl Engine {
         drop(fanout_span);
         let fanout_us = fanout_sw.elapsed_us();
 
-        // Outcome accounting + breaker reporting, one scan.
+        // Outcome accounting + breaker reporting, one scan (and one
+        // bank region when breakers are enabled, as before extraction).
         let mut degraded_shards: u32 = 0;
         {
-            let mut br = (res.breaker.failure_threshold > 0).then(|| lock(&self.breakers[domain]));
-            for s in 0..n_shards {
-                match ctx.status[s].load(Ordering::Acquire) {
-                    SHARD_DONE => {
-                        if let Some(br) = br.as_mut() {
-                            if let Some(tr) = br.on_success(s) {
-                                self.note_breaker(domain, s, tr);
+            let mut scan = |mut br: Option<&mut ShardBreakers>| {
+                for s in 0..n_shards {
+                    match ctx.status[s].load(Ordering::Acquire) {
+                        SHARD_DONE => {
+                            if let Some(br) = br.as_mut() {
+                                if let Some(tr) = br.on_success(s) {
+                                    self.note_breaker(domain, s, tr);
+                                }
                             }
                         }
-                    }
-                    SHARD_SKIPPED => degraded_shards += 1,
-                    _ => {
-                        degraded_shards += 1;
-                        self.stats.shard_failures.inc();
-                        if let Some(br) = br.as_mut() {
-                            if let Some(tr) = br.on_failure(s, pass) {
-                                self.note_breaker(domain, s, tr);
+                        SHARD_SKIPPED => degraded_shards += 1,
+                        _ => {
+                            degraded_shards += 1;
+                            self.stats.shard_failures.inc();
+                            if let Some(br) = br.as_mut() {
+                                if let Some(tr) = br.on_failure(s, pass) {
+                                    self.note_breaker(domain, s, tr);
+                                }
                             }
                         }
                     }
                 }
+            };
+            if res.breaker.failure_threshold > 0 {
+                self.breakers[domain].with(|br| scan(Some(br)));
+            } else {
+                scan(None);
             }
         }
 

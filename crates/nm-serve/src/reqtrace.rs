@@ -28,10 +28,8 @@
 //! strict `nmcdr obs validate` schema, so every offline tool
 //! (`obs report`, `obs flame`) works on serving exemplars unchanged.
 
-use crate::sync::lock;
+use nm_sync::{Ranked, SlowRing, StdBackend};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Per-stage elapsed microseconds of one request.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -144,67 +142,62 @@ pub struct Exemplar {
     pub shed_seen: u64,
 }
 
+/// The ring ranks exemplars by total latency; the request id doubles
+/// as the tiebreak identity (ties keep the older entry, so the
+/// retained set is deterministic for a deterministic request
+/// sequence).
+impl Ranked for Exemplar {
+    fn weight(&self) -> u64 {
+        self.total_us
+    }
+
+    fn seq(&self) -> u64 {
+        self.id
+    }
+}
+
 /// Bounded ring retaining the slowest-N requests by `total_us`. A new
-/// exemplar evicts the current fastest entry once the ring is full
-/// (ties keep the older entry, so the retained set is deterministic
-/// for a deterministic request sequence).
+/// exemplar evicts the current fastest entry once the ring is full.
+/// The ring algorithm itself is [`nm_sync::SlowRing`] — instantiated
+/// here with the zero-cost std backend, and model-checked as-is by
+/// `nmcdr check` under the virtual backend.
 pub struct ExemplarRing {
-    cap: usize,
-    next_id: AtomicU64,
-    inner: Mutex<Vec<Exemplar>>,
+    ring: SlowRing<Exemplar, StdBackend>,
 }
 
 impl ExemplarRing {
     pub fn new(cap: usize) -> Self {
-        let cap = cap.max(1);
         Self {
-            cap,
-            next_id: AtomicU64::new(0),
-            inner: Mutex::new(Vec::with_capacity(cap)),
+            ring: SlowRing::new(cap),
         }
     }
 
     pub fn capacity(&self) -> usize {
-        self.cap
+        self.ring.capacity()
     }
 
     /// Allocates the next request id (deterministic: 0, 1, 2, …).
     pub fn next_id(&self) -> u64 {
-        self.next_id.fetch_add(1, Ordering::Relaxed)
+        self.ring.next_seq()
     }
 
     /// Offers an exemplar; keeps it only if the ring has room or it is
     /// slower than the current fastest retained entry.
     pub fn record(&self, ex: Exemplar) {
-        let mut ring = lock(&self.inner);
-        if ring.len() < self.cap {
-            ring.push(ex);
-            return;
-        }
-        if let Some((idx, fastest)) = ring
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| (e.total_us, u64::MAX - e.id))
-        {
-            if ex.total_us > fastest.total_us {
-                ring[idx] = ex;
-            }
-        }
+        self.ring.record(ex);
     }
 
     pub fn len(&self) -> usize {
-        lock(&self.inner).len()
+        self.ring.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.ring.is_empty()
     }
 
     /// Retained exemplars, slowest first (ties by id ascending).
     pub fn slowest(&self) -> Vec<Exemplar> {
-        let mut v = lock(&self.inner).clone();
-        v.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.id.cmp(&b.id)));
-        v
+        self.ring.snapshot()
     }
 }
 

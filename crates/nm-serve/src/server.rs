@@ -15,12 +15,12 @@ use crate::engine::Engine;
 use crate::protocol::{self, Request};
 use crate::reqtrace::DegradedKind;
 use crate::snapshot::Snapshot;
-use crate::sync::{lock, wait};
+use crate::sync::lock;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -67,38 +67,13 @@ impl Default for ServerConfig {
 /// supervisor).
 const ACCEPT_RESTART_BUDGET: u32 = 5;
 
-/// Counting semaphore for connection slots (also used to drain on stop).
-struct ConnSlots {
-    active: Mutex<usize>,
-    changed: Condvar,
-    max: usize,
-}
-
-impl ConnSlots {
-    /// Claims a slot if one is free; returns false when saturated. The
-    /// accept loop sheds load on false instead of blocking, so a burst
-    /// of connections cannot wedge accepts for well-behaved clients.
-    fn try_acquire(&self) -> bool {
-        let mut n = lock(&self.active);
-        if *n >= self.max {
-            return false;
-        }
-        *n += 1;
-        true
-    }
-
-    fn release(&self) {
-        *lock(&self.active) -= 1;
-        self.changed.notify_all();
-    }
-
-    fn wait_idle(&self) {
-        let mut n = lock(&self.active);
-        while *n > 0 {
-            n = wait(&self.changed, n);
-        }
-    }
-}
+/// Counting semaphore for connection slots (also used to drain on
+/// stop). The check-and-claim core is [`nm_sync::ConnGate`]: the
+/// accept loop sheds load when `try_acquire` returns false instead of
+/// blocking, so a burst of connections cannot wedge accepts for
+/// well-behaved clients. `nmcdr check` model-checks this same gate
+/// code under its virtual backend.
+type ConnSlots = nm_sync::ConnGate<nm_sync::StdBackend>;
 
 struct Shared {
     engine: Arc<Engine>,
@@ -140,11 +115,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             engine,
-            slots: ConnSlots {
-                active: Mutex::new(0),
-                changed: Condvar::new(),
-                max: cfg.max_conns.max(1),
-            },
+            slots: ConnSlots::new(cfg.max_conns),
             cfg,
             stopping: AtomicBool::new(false),
             addr: Mutex::new(Some(addr)),

@@ -16,10 +16,10 @@
 //! child quarantined (see DESIGN.md "Failure model & degraded modes").
 
 use crate::chaos::seeded_backoff;
-use crate::sync::lock;
 use nm_obs::Counter;
+use nm_sync::{ChildCell, RespawnCore, StdBackend};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -51,19 +51,12 @@ impl Default for RestartPolicy {
 /// that can be called again after the previous incarnation died.
 pub struct ChildSpec {
     pub name: String,
-    pub spawn: Box<dyn Fn() -> std::io::Result<thread::JoinHandle<()>> + Send + 'static>,
+    pub spawn: Box<dyn Fn() -> std::io::Result<thread::JoinHandle<()>> + Send + Sync + 'static>,
 }
 
-struct Child {
-    spec: ChildSpec,
-    handle: Option<thread::JoinHandle<()>>,
-    restarts: u32,
-    quarantined: bool,
-}
-
-struct SupState {
-    children: Vec<Child>,
-}
+/// The child table: one [`ChildCell`] per spec, the check-dead-then-
+/// respawn core shared with `nmcdr check` ([`nm_sync::supervise`]).
+type SupCore = RespawnCore<thread::JoinHandle<()>, StdBackend>;
 
 /// Counter handles the supervisor reports through (wired into the
 /// engine's stats registry by the caller).
@@ -77,7 +70,7 @@ pub struct SupCounters {
 /// live child — callers must first make children exit on their own
 /// shutdown signal (e.g. the worker pool's shutdown flag).
 pub struct Supervisor {
-    state: Arc<Mutex<SupState>>,
+    core: Arc<SupCore>,
     stop: Arc<AtomicBool>,
     monitor: Option<thread::JoinHandle<()>>,
 }
@@ -92,31 +85,23 @@ impl Supervisor {
         poll: Duration,
         counters: SupCounters,
     ) -> Self {
-        let state = Arc::new(Mutex::new(SupState {
-            children: children
-                .into_iter()
-                .map(|spec| {
-                    let handle = (spec.spawn)().ok();
-                    Child {
-                        spec,
-                        handle,
-                        restarts: 0,
-                        quarantined: false,
-                    }
-                })
-                .collect(),
-        }));
+        let cells = children
+            .iter()
+            .map(|spec| ChildCell::new((spec.spawn)().ok()))
+            .collect();
+        let core = Arc::new(SupCore::new(cells));
+        let specs: Arc<Vec<ChildSpec>> = Arc::new(children);
         let stop = Arc::new(AtomicBool::new(false));
         let monitor = {
-            let state = Arc::clone(&state);
+            let core = Arc::clone(&core);
             let stop = Arc::clone(&stop);
             thread::Builder::new()
                 .name("nm-serve-supervisor".into())
-                .spawn(move || monitor_loop(&state, &stop, &policy, poll, &counters))
+                .spawn(move || monitor_loop(&core, &specs, &stop, &policy, poll, &counters))
                 .ok()
         };
         Self {
-            state,
+            core,
             stop,
             monitor,
         }
@@ -124,20 +109,17 @@ impl Supervisor {
 
     /// Live (spawned and not finished) children.
     pub fn live(&self) -> usize {
-        lock(&self.state)
-            .children
-            .iter()
-            .filter(|c| c.handle.as_ref().is_some_and(|h| !h.is_finished()))
-            .count()
+        self.core.with(|ch| {
+            ch.iter()
+                .filter(|c| c.handle.as_ref().is_some_and(|h| !h.is_finished()))
+                .count()
+        })
     }
 
     /// Children that exhausted their restart budget.
     pub fn quarantined(&self) -> usize {
-        lock(&self.state)
-            .children
-            .iter()
-            .filter(|c| c.quarantined)
-            .count()
+        self.core
+            .with(|ch| ch.iter().filter(|c| c.quarantined).count())
     }
 
     /// Stops monitoring and joins all children. Children must already
@@ -148,11 +130,9 @@ impl Supervisor {
         if let Some(m) = self.monitor.take() {
             let _ = m.join();
         }
-        let handles: Vec<_> = lock(&self.state)
-            .children
-            .iter_mut()
-            .filter_map(|c| c.handle.take())
-            .collect();
+        let handles: Vec<_> = self
+            .core
+            .with(|ch| ch.iter_mut().filter_map(|c| c.handle.take()).collect());
         for h in handles {
             let _ = h.join();
         }
@@ -166,55 +146,46 @@ impl Drop for Supervisor {
 }
 
 fn monitor_loop(
-    state: &Mutex<SupState>,
+    core: &SupCore,
+    specs: &[ChildSpec],
     stop: &AtomicBool,
     policy: &RestartPolicy,
     poll: Duration,
     counters: &SupCounters,
 ) {
     while !stop.load(Ordering::Acquire) {
-        // Scan under the lock; the check-dead-then-respawn of one child
-        // must be atomic or two revival paths could double-spawn it
-        // (the seeded bug of nm-check's SupervisorModel).
-        {
-            let mut st = lock(state);
-            for c in st.children.iter_mut() {
-                if c.quarantined || stop.load(Ordering::Acquire) {
-                    continue;
-                }
-                let dead = match &c.handle {
-                    Some(h) => h.is_finished(),
-                    None => true,
-                };
-                if !dead {
-                    continue;
-                }
-                if let Some(h) = c.handle.take() {
-                    let _ = h.join();
-                }
-                if c.restarts >= policy.max_restarts {
-                    c.quarantined = true;
-                    counters.quarantines.inc();
-                    nm_obs::trace::event("serve.quarantine", |e| {
-                        e.s("child", &c.spec.name).u("restarts", c.restarts as u64);
-                    });
-                    continue;
-                }
-                c.restarts += 1;
+        // One core sweep: the check-dead-then-respawn of each child is
+        // atomic inside the core's monitor region, or two revival
+        // paths could double-spawn it (the `RespawnBug::SplitRespawn`
+        // defect the negative suite seeds and `nmcdr check` catches).
+        core.scan(
+            || stop.load(Ordering::Acquire),
+            |h| h.is_finished(),
+            |h| {
+                let _ = h.join();
+            },
+            policy.max_restarts,
+            |i, attempt| {
                 counters.restarts.inc();
                 nm_obs::trace::event("serve.restart", |e| {
-                    e.s("child", &c.spec.name).u("attempt", c.restarts as u64);
+                    e.s("child", &specs[i].name).u("attempt", attempt as u64);
                 });
                 thread::sleep(seeded_backoff(
                     policy.backoff_base,
                     policy.backoff_cap,
-                    c.restarts,
+                    attempt,
                     policy.seed,
-                    fnv(&c.spec.name),
+                    fnv(&specs[i].name),
                 ));
-                c.handle = (c.spec.spawn)().ok();
-            }
-        }
+                (specs[i].spawn)().ok()
+            },
+            |i, restarts| {
+                counters.quarantines.inc();
+                nm_obs::trace::event("serve.quarantine", |e| {
+                    e.s("child", &specs[i].name).u("restarts", restarts as u64);
+                });
+            },
+        );
         thread::sleep(poll);
     }
 }

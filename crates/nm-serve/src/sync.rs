@@ -6,9 +6,14 @@
 //! queue membership, counters), so the right recovery is to take the
 //! guard and keep serving rather than propagate the panic to every
 //! unrelated connection.
+//!
+//! The extracted concurrent cores (coalescer, breakers, exemplar ring,
+//! connection gate, respawn path) now live in `nm-sync` behind its
+//! `Backend` trait and apply the same discipline via
+//! `nm_sync::backend::lock_recover`; what remains here serves the
+//! crate-local plumbing (worker pool, latches, snapshot versioning).
 
 use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Duration;
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
 pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -30,16 +35,4 @@ pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(guard)
         .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-/// Bounded condvar wait (same poisoning discipline as [`wait`]); the
-/// caller re-checks both its predicate and its deadline after waking.
-pub(crate) fn wait_timeout<'a, T>(
-    cv: &Condvar,
-    guard: MutexGuard<'a, T>,
-    dur: Duration,
-) -> MutexGuard<'a, T> {
-    cv.wait_timeout(guard, dur)
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .0
 }

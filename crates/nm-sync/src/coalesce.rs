@@ -1,0 +1,243 @@
+//! The leader–follower request coalescer.
+//!
+//! Concurrent requests for the same domain enqueue into a
+//! [`BatchQueue`]; exactly one thread at a time is elected *leader*
+//! (the election rides the same monitor region as the enqueue, so it
+//! can never race) and drains the queue in batches, filling each
+//! request's [`Slot`] with the result while followers block on their
+//! slot. When the queue drains empty the leader resigns *in the same
+//! region* that observed emptiness — resigning in a separate region
+//! opens the classic lost-wakeup window where a follower enqueues
+//! between the two regions, sees `leader_active == true`, parks, and
+//! is never served ([`CoalesceBug::LostWakeup`] reintroduces exactly
+//! that, and the virtualized explorer reports it as a deadlock).
+
+use crate::backend::{Backend, Monitor};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Default-off defect knobs for the coalescer (negative-suite only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalesceBug {
+    None,
+    /// The leader's final empty drain resigns in a *second* monitor
+    /// region instead of the one that observed emptiness.
+    LostWakeup,
+    /// The first non-empty drain re-enqueues a copy of every drained
+    /// request, so each is dispatched twice.
+    DoubleDispatch,
+}
+
+/// A single-producer result slot a request parks on. The value is
+/// cloned out so late observers (e.g. a leader reading its own slot
+/// after leading) still see it.
+pub struct Slot<T: Send, B: Backend> {
+    cell: B::Monitor<Option<T>>,
+}
+
+impl<T: Send + Clone, B: Backend> Slot<T, B> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            cell: B::Monitor::new(None),
+        }
+    }
+
+    /// Publishes the result and wakes the parked requester.
+    pub fn fill(&self, value: T) {
+        self.cell.with(|c| *c = Some(value));
+        self.cell.notify_all();
+    }
+
+    /// Blocks until filled.
+    pub fn wait(&self) -> T {
+        self.cell.wait_until(|c| c.clone())
+    }
+
+    /// Blocks until filled or `expired()` turns true. `budget()`
+    /// bounds each individual sleep (`None` = unbounded); see
+    /// [`Monitor::wait_deadline`] for the exact contract.
+    pub fn wait_deadline(
+        &self,
+        expired: impl FnMut() -> bool,
+        budget: impl FnMut() -> Option<Duration>,
+    ) -> Option<T> {
+        self.cell.wait_deadline(|c| c.clone(), expired, budget)
+    }
+}
+
+struct QueueState<P> {
+    pending: VecDeque<P>,
+    leader_active: bool,
+    /// One-shot latch for [`CoalesceBug::DoubleDispatch`].
+    dup_done: bool,
+}
+
+/// The shared per-domain queue with fused leader election.
+pub struct BatchQueue<P: Send + Clone, B: Backend> {
+    q: B::Monitor<QueueState<P>>,
+    bug: CoalesceBug,
+}
+
+impl<P: Send + Clone, B: Backend> BatchQueue<P, B> {
+    pub fn new() -> Self {
+        Self::with_bug(CoalesceBug::None)
+    }
+
+    pub fn with_bug(bug: CoalesceBug) -> Self {
+        Self {
+            q: B::Monitor::new(QueueState {
+                pending: VecDeque::new(),
+                leader_active: false,
+                dup_done: false,
+            }),
+            bug,
+        }
+    }
+
+    /// Enqueues a request and elects this thread leader iff none is
+    /// active — one monitor region, so election can never be missed
+    /// or doubled. `on_enter` observes the queue depth at region
+    /// entry (before the push) for telemetry.
+    pub fn submit(&self, item: P, on_enter: impl FnOnce(usize)) -> bool {
+        self.q.with(|s| {
+            on_enter(s.pending.len());
+            s.pending.push_back(item);
+            if s.leader_active {
+                false
+            } else {
+                s.leader_active = true;
+                true
+            }
+        })
+    }
+
+    /// Takes the next batch (up to `max` requests). An empty return
+    /// means the queue drained: the leadership flag was dropped in
+    /// the same region that observed emptiness, and the caller must
+    /// stop leading.
+    pub fn drain(&self, max: usize) -> Vec<P> {
+        let (batch, resign_late) = self.q.with(|s| {
+            let n = s.pending.len().min(max);
+            if n == 0 {
+                if self.bug == CoalesceBug::LostWakeup {
+                    // Defect: observe emptiness here, resign later.
+                    return (Vec::new(), true);
+                }
+                s.leader_active = false;
+                return (Vec::new(), false);
+            }
+            let batch: Vec<P> = s.pending.drain(..n).collect();
+            if self.bug == CoalesceBug::DoubleDispatch && !s.dup_done {
+                s.dup_done = true;
+                for p in &batch {
+                    s.pending.push_back(p.clone());
+                }
+            }
+            (batch, false)
+        });
+        if resign_late {
+            // Defect window: a submitter who enqueued between the two
+            // regions saw leader_active == true and parked forever.
+            B::sched_point();
+            self.q.with(|s| s.leader_active = false);
+        }
+        batch
+    }
+
+    /// Whether a leader currently holds the queue.
+    pub fn leader_active(&self) -> bool {
+        self.q.with(|s| s.leader_active)
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.q.with(|s| s.pending.len())
+    }
+}
+
+impl<P: Send + Clone, B: Backend> Default for BatchQueue<P, B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::StdBackend;
+    use std::sync::Arc;
+
+    type Q = BatchQueue<u32, StdBackend>;
+
+    #[test]
+    fn first_submitter_leads_followers_do_not() {
+        let q = Q::new();
+        assert!(q.submit(1, |_| {}));
+        assert!(!q.submit(2, |_| {}));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.drain(8), vec![1, 2]);
+        assert!(q.leader_active());
+        assert!(q.drain(8).is_empty());
+        assert!(!q.leader_active());
+    }
+
+    #[test]
+    fn drain_respects_batch_max() {
+        let q = Q::new();
+        for i in 0..5 {
+            q.submit(i, |_| {});
+        }
+        assert_eq!(q.drain(2), vec![0, 1]);
+        assert_eq!(q.drain(2), vec![2, 3]);
+        assert_eq!(q.drain(2), vec![4]);
+    }
+
+    #[test]
+    fn on_enter_sees_depth_before_push() {
+        let q = Q::new();
+        let mut seen = 99;
+        q.submit(1, |d| seen = d);
+        assert_eq!(seen, 0);
+        q.submit(2, |d| seen = d);
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn slot_cross_thread_fill_and_wait() {
+        let slot: Arc<Slot<u32, StdBackend>> = Arc::new(Slot::new());
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.wait())
+        };
+        std::thread::sleep(Duration::from_millis(2));
+        slot.fill(17);
+        assert_eq!(waiter.join().unwrap(), 17);
+        // Late observer still sees the value.
+        assert_eq!(slot.wait(), 17);
+    }
+
+    #[test]
+    fn slot_deadline_expires() {
+        let slot: Slot<u32, StdBackend> = Slot::new();
+        let mut polls = 0;
+        let r = slot.wait_deadline(
+            move || {
+                polls += 1;
+                polls > 3
+            },
+            || Some(Duration::from_micros(200)),
+        );
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn double_dispatch_knob_duplicates_first_batch_once() {
+        let q = Q::with_bug(CoalesceBug::DoubleDispatch);
+        q.submit(1, |_| {});
+        q.submit(2, |_| {});
+        assert_eq!(q.drain(8), vec![1, 2]);
+        assert_eq!(q.drain(8), vec![1, 2], "first batch re-enqueued");
+        assert!(q.drain(8).is_empty(), "duplication is one-shot");
+    }
+}

@@ -1,0 +1,131 @@
+//! The connection-slot semaphore guarding the accept loop.
+//!
+//! A bounded counter with non-blocking acquire (over-limit arrivals
+//! are *shed*, never queued — load shedding is a first-class serving
+//! mode) and a blocking [`ConnGate::wait_idle`] used by graceful
+//! shutdown. The admission check and the increment share one monitor
+//! region; splitting them ([`GateBug::CheckThenAct`]) lets two
+//! connections both observe a free slot and both take it, breaching
+//! the configured ceiling.
+
+use crate::backend::{Backend, Monitor};
+
+/// Default-off defect knob for the gate (negative-suite only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateBug {
+    None,
+    /// Admission checks capacity in one region and increments in
+    /// another, admitting over capacity under contention.
+    CheckThenAct,
+}
+
+pub struct ConnGate<B: Backend> {
+    active: B::Monitor<usize>,
+    max: usize,
+    bug: GateBug,
+}
+
+impl<B: Backend> ConnGate<B> {
+    pub fn new(max: usize) -> Self {
+        Self::with_bug(max, GateBug::None)
+    }
+
+    pub fn with_bug(max: usize, bug: GateBug) -> Self {
+        Self {
+            active: B::Monitor::new(0),
+            max: max.max(1),
+            bug,
+        }
+    }
+
+    /// Takes a slot if one is free; `false` means shed the arrival.
+    pub fn try_acquire(&self) -> bool {
+        match self.bug {
+            GateBug::None => self.active.with(|n| {
+                if *n >= self.max {
+                    false
+                } else {
+                    *n += 1;
+                    true
+                }
+            }),
+            GateBug::CheckThenAct => {
+                // Defect: the observation and the claim are separate
+                // regions; another thread can take the last slot in
+                // between and both end up admitted.
+                let free = self.active.with(|n| *n < self.max);
+                if !free {
+                    return false;
+                }
+                B::sched_point();
+                self.active.with(|n| *n += 1);
+                true
+            }
+        }
+    }
+
+    /// Returns a slot and wakes `wait_idle` waiters.
+    pub fn release(&self) {
+        self.active.with(|n| *n = n.saturating_sub(1));
+        self.active.notify_all();
+    }
+
+    /// Blocks until every slot is free (graceful-shutdown drain).
+    pub fn wait_idle(&self) {
+        self.active.wait_until(|n| (*n == 0).then_some(()));
+    }
+
+    /// Currently held slots.
+    pub fn active(&self) -> usize {
+        self.active.with(|n| *n)
+    }
+
+    /// Configured ceiling.
+    pub fn capacity(&self) -> usize {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::StdBackend;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_at_capacity_and_frees_on_release() {
+        let g: ConnGate<StdBackend> = ConnGate::new(2);
+        assert!(g.try_acquire());
+        assert!(g.try_acquire());
+        assert!(!g.try_acquire(), "third conn must shed");
+        g.release();
+        assert!(g.try_acquire());
+        assert_eq!(g.active(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let g: ConnGate<StdBackend> = ConnGate::new(0);
+        assert_eq!(g.capacity(), 1);
+        assert!(g.try_acquire());
+        assert!(!g.try_acquire());
+    }
+
+    #[test]
+    fn wait_idle_blocks_until_drained() {
+        let g: Arc<ConnGate<StdBackend>> = Arc::new(ConnGate::new(4));
+        assert!(g.try_acquire());
+        assert!(g.try_acquire());
+        let waiter = {
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || g.wait_idle())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        g.release();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(!waiter.is_finished(), "one slot still held");
+        g.release();
+        waiter.join().unwrap();
+        assert_eq!(g.active(), 0);
+    }
+}

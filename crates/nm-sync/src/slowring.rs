@@ -1,0 +1,191 @@
+//! The slowest-N exemplar ring behind `nmcdr query trace`.
+//!
+//! Keeps the `cap` heaviest items seen so far: while below capacity
+//! every record is kept; at capacity a new item replaces the current
+//! lightest entry iff strictly heavier (ties keep the incumbent; among
+//! equal-weight evictees the *newest* — highest [`Ranked::seq`] — is
+//! evicted first, so long-lived exemplars are stable). The
+//! room-check and the insert share one monitor region; splitting them
+//! ([`RingBug::CheckThenAct`]) lets two recorders both see room for
+//! one and push the ring over capacity.
+
+use crate::backend::{AtomicU64Cell, Backend, Monitor};
+
+/// How the ring orders items: `weight` picks what "slowest" means
+/// (e.g. total latency µs), `seq` is the tiebreaker identity.
+pub trait Ranked {
+    fn weight(&self) -> u64;
+    fn seq(&self) -> u64;
+}
+
+/// Default-off defect knob for the ring (negative-suite only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingBug {
+    None,
+    /// The capacity check and the push are separate regions.
+    CheckThenAct,
+}
+
+pub struct SlowRing<T: Ranked + Send, B: Backend> {
+    cap: usize,
+    next_seq: B::AtomicU64,
+    inner: B::Monitor<Vec<T>>,
+    bug: RingBug,
+}
+
+impl<T: Ranked + Send, B: Backend> SlowRing<T, B> {
+    pub fn new(cap: usize) -> Self {
+        Self::with_bug(cap, RingBug::None)
+    }
+
+    pub fn with_bug(cap: usize, bug: RingBug) -> Self {
+        Self {
+            cap: cap.max(1),
+            next_seq: B::AtomicU64::new(0),
+            inner: B::Monitor::new(Vec::new()),
+            bug,
+        }
+    }
+
+    /// Allocates a fresh sequence id for an item about to be built.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq.fetch_add(1)
+    }
+
+    /// Offers an item: kept if below capacity or strictly heavier
+    /// than the current lightest resident.
+    pub fn record(&self, item: T) {
+        match self.bug {
+            RingBug::None => self
+                .inner
+                .with(|ring| Self::push_or_replace(ring, self.cap, item)),
+            RingBug::CheckThenAct => {
+                // Defect: room observed in one region, consumed in
+                // another — two recorders can both "fit" the last slot.
+                let room = self.inner.with(|ring| ring.len() < self.cap);
+                B::sched_point();
+                if room {
+                    self.inner.with(|ring| ring.push(item));
+                } else {
+                    self.inner
+                        .with(|ring| Self::push_or_replace(ring, self.cap, item));
+                }
+            }
+        }
+    }
+
+    fn push_or_replace(ring: &mut Vec<T>, cap: usize, item: T) {
+        if ring.len() < cap {
+            ring.push(item);
+            return;
+        }
+        let lightest = ring
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.weight(), u64::MAX - e.seq()))
+            .map(|(i, e)| (i, e.weight()));
+        if let Some((i, w)) = lightest {
+            if item.weight() > w {
+                ring[i] = item;
+            }
+        }
+    }
+
+    /// Items currently held.
+    pub fn len(&self) -> usize {
+        self.inner.with(|ring| ring.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Residents ordered heaviest-first (equal weights: oldest seq
+    /// first).
+    pub fn snapshot(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut v = self.inner.with(|ring| ring.clone());
+        v.sort_by(|a, b| b.weight().cmp(&a.weight()).then(a.seq().cmp(&b.seq())));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::StdBackend;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Item {
+        w: u64,
+        id: u64,
+    }
+    impl Ranked for Item {
+        fn weight(&self) -> u64 {
+            self.w
+        }
+        fn seq(&self) -> u64 {
+            self.id
+        }
+    }
+
+    type Ring = SlowRing<Item, StdBackend>;
+
+    fn rec(r: &Ring, w: u64) {
+        let id = r.next_seq();
+        r.record(Item { w, id });
+    }
+
+    #[test]
+    fn keeps_heaviest_n() {
+        let r = Ring::new(2);
+        for w in [10, 40, 20, 30, 5] {
+            rec(&r, w);
+        }
+        let weights: Vec<u64> = r.snapshot().iter().map(|e| e.w).collect();
+        assert_eq!(weights, vec![40, 30]);
+    }
+
+    #[test]
+    fn equal_weight_keeps_incumbent() {
+        let r = Ring::new(1);
+        rec(&r, 10);
+        rec(&r, 10);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].id, 0, "tie must not evict the incumbent");
+    }
+
+    #[test]
+    fn eviction_prefers_newest_among_equal_lightest() {
+        let r = Ring::new(2);
+        rec(&r, 10); // id 0
+        rec(&r, 10); // id 1
+        rec(&r, 20); // id 2: evicts the *newest* of the two 10s
+        let snap = r.snapshot();
+        assert_eq!(snap.iter().map(|e| e.id).collect::<Vec<_>>(), vec![2, 0]);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let r = Ring::new(3);
+        for w in 0..20 {
+            rec(&r, w);
+        }
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn seq_is_monotonic() {
+        let r = Ring::new(2);
+        assert_eq!(r.next_seq(), 0);
+        assert_eq!(r.next_seq(), 1);
+        assert_eq!(r.next_seq(), 2);
+    }
+}
