@@ -25,11 +25,23 @@
 //! Gradients are verified against central finite differences in
 //! `tests/grad_check.rs` for every op.
 
+//!
+//! ## Profiling
+//!
+//! [`profile`] attributes forward/backward self-time, modeled
+//! FLOPs/bytes (from the analytic rules in [`cost`]), and tensor
+//! allocation traffic to each [`OP_KINDS`] entry. Disabled (the
+//! default) it costs one relaxed atomic load per op.
+
 mod check;
+pub mod cost;
 mod ops;
 pub mod optrace;
+pub mod profile;
 mod tape;
 
 pub use check::finite_difference_grad;
+pub use cost::{cost_for, has_rule, OpCost, OpDims};
 pub use optrace::{TraceMeta, TraceNode, OP_KINDS};
+pub use profile::OpAgg;
 pub use tape::{Tape, Var};

@@ -70,6 +70,42 @@ pub(crate) enum Op {
 }
 
 impl Op {
+    /// Registry name of this op — one of [`crate::OP_KINDS`]. Cheaper
+    /// than `optrace::describe` (no metadata build), for the profiler's
+    /// per-op hot path.
+    pub(crate) fn kind(&self) -> &'static str {
+        use Op::*;
+        match self {
+            Leaf { .. } => "leaf",
+            Add(..) => "add",
+            Sub(..) => "sub",
+            Mul(..) => "mul",
+            Scale(..) => "scale",
+            AddScalar(..) => "add_scalar",
+            Neg(..) => "neg",
+            Matmul(..) => "matmul",
+            Relu(..) => "relu",
+            Sigmoid(..) => "sigmoid",
+            Tanh(..) => "tanh",
+            Softplus(..) => "softplus",
+            ConcatCols(..) => "concat_cols",
+            SliceRows(..) => "slice_rows",
+            SliceCols(..) => "slice_cols",
+            GatherRows(..) => "gather_rows",
+            Spmm(..) => "spmm",
+            RowwiseDot(..) => "rowwise_dot",
+            SumAll(..) => "sum_all",
+            MeanAll(..) => "mean_all",
+            SumAxisCols(..) => "sum_axis_cols",
+            SoftmaxRows(..) => "softmax_rows",
+            BceWithLogits(..) => "bce_with_logits",
+            Reshape(..) => "reshape",
+            RepeatRows(..) => "repeat_rows",
+            SegmentSumRows(..) => "segment_sum_rows",
+            SumSquares(..) => "sum_squares",
+        }
+    }
+
     /// Parents whose gradients this op can influence.
     pub(crate) fn parents(&self) -> [Option<Var>; 2] {
         use Op::*;

@@ -1,6 +1,8 @@
 //! The autodiff tape: forward constructors and the reverse sweep.
 
+use crate::cost::OpDims;
 use crate::ops::Op;
+use crate::profile;
 use nm_graph::Csr;
 use nm_tensor::{classify_broadcast, sigmoid_scalar, Axis, Broadcast, Tensor};
 use std::rc::Rc;
@@ -74,6 +76,33 @@ impl Tape {
             .map(|n| (&n.op, n.value.shape(), n.needs_grad))
     }
 
+    /// Cost-rule inputs for node `i`: its output shape, its dense
+    /// parents' shapes, and (for SpMM) the sparse operand's nnz.
+    fn profile_dims(&self, i: usize) -> OpDims {
+        let node = &self.nodes[i];
+        let ps = node.op.parents();
+        let shape_of = |v: Option<Var>| v.map_or((0, 0), |v| self.nodes[v.0].value.shape());
+        let nnz = match &node.op {
+            Op::Spmm(adj_t, _) => adj_t.nnz(),
+            _ => 0,
+        };
+        OpDims {
+            out: node.value.shape(),
+            a: shape_of(ps[0]),
+            b: shape_of(ps[1]),
+            nnz,
+        }
+    }
+
+    /// Closes a forward-pass profile window opened before the kernel
+    /// ran. A `None` timer (profiler disabled) costs nothing here.
+    fn finish_fwd(&self, t: Option<profile::OpTimer>, v: Var) -> Var {
+        if let Some(t) = t {
+            profile::op_finish_fwd(t, self.nodes[v.0].op.kind(), &self.profile_dims(v.0));
+        }
+        v
+    }
+
     fn push(&mut self, value: Tensor, op: Op) -> Var {
         let needs_grad = match &op {
             Op::Leaf { requires_grad } => *requires_grad,
@@ -94,22 +123,26 @@ impl Tape {
 
     /// Trainable leaf (parameter binding).
     pub fn leaf(&mut self, value: Tensor) -> Var {
-        self.push(
+        let t = profile::op_start();
+        let v = self.push(
             value,
             Op::Leaf {
                 requires_grad: true,
             },
-        )
+        );
+        self.finish_fwd(t, v)
     }
 
     /// Non-trainable input (features, labels used as values).
     pub fn constant(&mut self, value: Tensor) -> Var {
-        self.push(
+        let t = profile::op_start();
+        let v = self.push(
             value,
             Op::Leaf {
                 requires_grad: false,
             },
-        )
+        );
+        self.finish_fwd(t, v)
     }
 
     /// The tensor value of `v`.
@@ -126,36 +159,48 @@ impl Tape {
     // ---- arithmetic -------------------------------------------------
 
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let t = profile::op_start();
         let bc = classify_broadcast(self.value(a).shape(), self.value(b).shape(), "tape.add");
         let value = self.value(a).add(self.value(b));
-        self.push(value, Op::Add(a, b, bc))
+        let v = self.push(value, Op::Add(a, b, bc));
+        self.finish_fwd(t, v)
     }
 
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let t = profile::op_start();
         let bc = classify_broadcast(self.value(a).shape(), self.value(b).shape(), "tape.sub");
         let value = self.value(a).sub(self.value(b));
-        self.push(value, Op::Sub(a, b, bc))
+        let v = self.push(value, Op::Sub(a, b, bc));
+        self.finish_fwd(t, v)
     }
 
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let t = profile::op_start();
         let bc = classify_broadcast(self.value(a).shape(), self.value(b).shape(), "tape.mul");
         let value = self.value(a).mul(self.value(b));
-        self.push(value, Op::Mul(a, b, bc))
+        let v = self.push(value, Op::Mul(a, b, bc));
+        self.finish_fwd(t, v)
     }
 
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).scale(s);
-        self.push(value, Op::Scale(a, s))
+        let v = self.push(value, Op::Scale(a, s));
+        self.finish_fwd(t, v)
     }
 
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).add_scalar(s);
-        self.push(value, Op::AddScalar(a))
+        let v = self.push(value, Op::AddScalar(a));
+        self.finish_fwd(t, v)
     }
 
     pub fn neg(&mut self, a: Var) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).neg();
-        self.push(value, Op::Neg(a))
+        let v = self.push(value, Op::Neg(a));
+        self.finish_fwd(t, v)
     }
 
     /// `1 - a` — the gate complement used by Eq. 10/16.
@@ -165,69 +210,92 @@ impl Tape {
     }
 
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).matmul(self.value(b));
-        self.push(value, Op::Matmul(a, b))
+        let v = self.push(value, Op::Matmul(a, b));
+        self.finish_fwd(t, v)
     }
 
     // ---- activations ------------------------------------------------
 
     pub fn relu(&mut self, a: Var) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).relu();
-        self.push(value, Op::Relu(a))
+        let v = self.push(value, Op::Relu(a));
+        self.finish_fwd(t, v)
     }
 
     pub fn sigmoid(&mut self, a: Var) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).sigmoid();
-        self.push(value, Op::Sigmoid(a))
+        let v = self.push(value, Op::Sigmoid(a));
+        self.finish_fwd(t, v)
     }
 
     pub fn tanh(&mut self, a: Var) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).tanh();
-        self.push(value, Op::Tanh(a))
+        let v = self.push(value, Op::Tanh(a));
+        self.finish_fwd(t, v)
     }
 
     pub fn softplus(&mut self, a: Var) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).softplus();
-        self.push(value, Op::Softplus(a))
+        let v = self.push(value, Op::Softplus(a));
+        self.finish_fwd(t, v)
     }
 
     pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).softmax_rows();
-        self.push(value, Op::SoftmaxRows(a))
+        let v = self.push(value, Op::SoftmaxRows(a));
+        self.finish_fwd(t, v)
     }
 
     // ---- structure --------------------------------------------------
 
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).concat_cols(self.value(b));
-        self.push(value, Op::ConcatCols(a, b))
+        let v = self.push(value, Op::ConcatCols(a, b));
+        self.finish_fwd(t, v)
     }
 
     pub fn slice_rows(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).slice_rows(start, end);
-        self.push(value, Op::SliceRows(a, start, end))
+        let v = self.push(value, Op::SliceRows(a, start, end));
+        self.finish_fwd(t, v)
     }
 
     pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).slice_cols(start, end);
-        self.push(value, Op::SliceCols(a, start, end))
+        let v = self.push(value, Op::SliceCols(a, start, end));
+        self.finish_fwd(t, v)
     }
 
     pub fn gather_rows(&mut self, a: Var, indices: Rc<Vec<u32>>) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).gather_rows(&indices);
-        self.push(value, Op::GatherRows(a, indices))
+        let v = self.push(value, Op::GatherRows(a, indices));
+        self.finish_fwd(t, v)
     }
 
     pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let t = profile::op_start();
         let value = self
             .value(a)
             .reshape(rows, cols)
             .expect("tape.reshape: element count mismatch");
-        self.push(value, Op::Reshape(a))
+        let v = self.push(value, Op::Reshape(a));
+        self.finish_fwd(t, v)
     }
 
     /// Repeats each row `k` times consecutively: `R x C -> (R*k) x C`.
     pub fn repeat_rows(&mut self, a: Var, k: usize) -> Var {
+        let t = profile::op_start();
         assert!(k > 0, "repeat_rows: k must be positive");
         let src = self.value(a);
         let (r, c) = src.shape();
@@ -238,11 +306,13 @@ impl Tape {
                 out.row_slice_mut(i * k + j).copy_from_slice(row);
             }
         }
-        self.push(out, Op::RepeatRows(a, k))
+        let v = self.push(out, Op::RepeatRows(a, k));
+        self.finish_fwd(t, v)
     }
 
     /// Sums consecutive groups of `k` rows: `(R*k) x C -> R x C`.
     pub fn segment_sum_rows(&mut self, a: Var, k: usize) -> Var {
+        let t = profile::op_start();
         assert!(k > 0, "segment_sum_rows: k must be positive");
         let src = self.value(a);
         let (rk, c) = src.shape();
@@ -261,7 +331,8 @@ impl Tape {
                 }
             }
         }
-        self.push(out, Op::SegmentSumRows(a, k))
+        let v = self.push(out, Op::SegmentSumRows(a, k));
+        self.finish_fwd(t, v)
     }
 
     // ---- sparse -----------------------------------------------------
@@ -272,6 +343,7 @@ impl Tape {
     /// # Panics
     /// If `adj_t` is not shape-consistent with `adj`.
     pub fn spmm(&mut self, adj: Rc<Csr>, adj_t: Rc<Csr>, x: Var) -> Var {
+        let t = profile::op_start();
         assert_eq!(
             (adj.n_cols(), adj.n_rows()),
             (adj_t.n_rows(), adj_t.n_cols()),
@@ -288,35 +360,46 @@ impl Tape {
         );
         let out = adj.spmm(xv.data(), width);
         let value = Tensor::new(adj.n_rows(), width, out);
-        self.push(value, Op::Spmm(adj_t, x))
+        let v = self.push(value, Op::Spmm(adj_t, x));
+        self.finish_fwd(t, v)
     }
 
     // ---- reductions & losses -----------------------------------------
 
     pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).rowwise_dot(self.value(b));
-        self.push(value, Op::RowwiseDot(a, b))
+        let v = self.push(value, Op::RowwiseDot(a, b));
+        self.finish_fwd(t, v)
     }
 
     pub fn sum_all(&mut self, a: Var) -> Var {
+        let t = profile::op_start();
         let value = Tensor::scalar(self.value(a).sum());
-        self.push(value, Op::SumAll(a))
+        let v = self.push(value, Op::SumAll(a));
+        self.finish_fwd(t, v)
     }
 
     pub fn mean_all(&mut self, a: Var) -> Var {
+        let t = profile::op_start();
         let value = Tensor::scalar(self.value(a).mean());
-        self.push(value, Op::MeanAll(a))
+        let v = self.push(value, Op::MeanAll(a));
+        self.finish_fwd(t, v)
     }
 
     /// Row sums -> `R x 1`.
     pub fn sum_axis_cols(&mut self, a: Var) -> Var {
+        let t = profile::op_start();
         let value = self.value(a).sum_axis(Axis::Cols);
-        self.push(value, Op::SumAxisCols(a))
+        let v = self.push(value, Op::SumAxisCols(a));
+        self.finish_fwd(t, v)
     }
 
     pub fn sum_squares(&mut self, a: Var) -> Var {
+        let t = profile::op_start();
         let value = Tensor::scalar(self.value(a).sum_squares());
-        self.push(value, Op::SumSquares(a))
+        let v = self.push(value, Op::SumSquares(a));
+        self.finish_fwd(t, v)
     }
 
     /// Numerically-stable mean binary-cross-entropy on logits:
@@ -325,6 +408,7 @@ impl Tape {
     /// # Panics
     /// If `targets` shape differs from the logits.
     pub fn bce_with_logits_mean(&mut self, logits: Var, targets: Rc<Tensor>) -> Var {
+        let t = profile::op_start();
         let x = self.value(logits);
         assert_eq!(
             x.shape(),
@@ -341,7 +425,8 @@ impl Tape {
             .map(|(&xi, &yi)| nm_tensor::softplus_scalar(xi) - xi * yi)
             .sum::<f32>()
             / n;
-        self.push(Tensor::scalar(loss), Op::BceWithLogits(logits, targets))
+        let v = self.push(Tensor::scalar(loss), Op::BceWithLogits(logits, targets));
+        self.finish_fwd(t, v)
     }
 
     // ---- backward -----------------------------------------------------
@@ -389,6 +474,10 @@ impl Tape {
             let Some(grad) = self.nodes[i].grad.clone() else {
                 continue;
             };
+            // One profile window per node: the body below is exactly
+            // node i's backward kernel (adjoint computation plus the
+            // accumulate into its parents).
+            let timer = profile::op_start();
             // Clone the small op metadata; tensors inside are Rc'd.
             match &self.nodes[i].op {
                 Op::Leaf { .. } => {}
@@ -572,6 +661,9 @@ impl Tape {
                     }
                     self.accumulate(a, g);
                 }
+            }
+            if let Some(t) = timer {
+                profile::op_finish_bwd(t, self.nodes[i].op.kind(), &self.profile_dims(i));
             }
         }
     }

@@ -97,6 +97,7 @@ impl ExpProfile {
             eval_every: 0,
             top_k: 10,
             early_stop_patience: 0,
+            profile: false,
         }
     }
 

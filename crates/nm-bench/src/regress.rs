@@ -13,6 +13,10 @@
 //! * `obs.overhead_ns` — per-probe cost of a *disabled* trace span.
 //!   The observability contract is that uninstalled instrumentation
 //!   costs one relaxed atomic load; this metric gates creep.
+//! * `profile.overhead_ns` — per-op cost of the *disabled* kernel
+//!   profiler (`nm_autograd::profile`). Same contract as the tracer:
+//!   with profiling off, every instrumented tape op pays one relaxed
+//!   atomic load and nothing else.
 //!
 //! `--record` writes the suite to a named baseline JSON
 //! (`results/BENCH_baseline.json` by default — machine-dependent, so
@@ -98,6 +102,13 @@ pub const METRICS: &[MetricDef] = &[
     },
     MetricDef {
         name: "obs.overhead_ns",
+        unit: "ns",
+        lower_is_better: true,
+        rel_tol: 1.00,
+        abs_floor: 50.0,
+    },
+    MetricDef {
+        name: "profile.overhead_ns",
         unit: "ns",
         lower_is_better: true,
         rel_tol: 1.00,
@@ -221,8 +232,24 @@ pub fn disabled_probe_ns() -> f64 {
     sw.elapsed_us() as f64 * 1000.0 / N as f64
 }
 
+/// Per-probe cost of the kernel profiler's disabled path, in
+/// nanoseconds. Profiling is off (the process default), so every probe
+/// takes `op_start`'s early-out: one relaxed atomic load.
+pub fn profile_disabled_probe_ns() -> f64 {
+    const N: u64 = 1_000_000;
+    for _ in 0..10_000 {
+        std::hint::black_box(nm_autograd::profile::disabled_probe());
+    }
+    let sw = Stopwatch::start();
+    for _ in 0..N {
+        std::hint::black_box(nm_autograd::profile::disabled_probe());
+    }
+    sw.elapsed_us() as f64 * 1000.0 / N as f64
+}
+
 fn obs_metrics(out: &mut Measurements) {
     out.insert("obs.overhead_ns".into(), disabled_probe_ns());
+    out.insert("profile.overhead_ns".into(), profile_disabled_probe_ns());
 }
 
 fn measure_once() -> Result<Measurements, String> {
@@ -508,6 +535,38 @@ mod tests {
             "disabled trace probe costs {probe:.1}ns, limit {limit:.1}ns \
              (relaxed load: {load_ns:.2}ns) — the disabled path must stay \
              within a small multiple of one relaxed atomic load"
+        );
+    }
+
+    #[test]
+    fn disabled_profiler_probe_stays_near_a_relaxed_load() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Must measure the disabled path: the suite never leaves
+        // profiling on, but be explicit in case a parallel test does.
+        nm_autograd::profile::set_enabled(false);
+        let probe = profile_disabled_probe_ns();
+        // Same machine-scaled reference as the tracer bound above: a
+        // bare relaxed load in the same loop shape.
+        let a = AtomicU64::new(1);
+        const N: u64 = 1_000_000;
+        let sw = Stopwatch::start();
+        let mut acc = 0u64;
+        for _ in 0..N {
+            acc = acc.wrapping_add(std::hint::black_box(&a).load(Ordering::Relaxed));
+        }
+        std::hint::black_box(acc);
+        let load_ns = (sw.elapsed_us() as f64 * 1000.0 / N as f64).max(0.1);
+        let limit = if cfg!(debug_assertions) {
+            (200.0 * load_ns).max(2_000.0)
+        } else {
+            (25.0 * load_ns).max(250.0)
+        };
+        assert!(
+            probe < limit,
+            "disabled profiler probe costs {probe:.1}ns, limit {limit:.1}ns \
+             (relaxed load: {load_ns:.2}ns) — with profiling off an \
+             instrumented op must stay within a small multiple of one \
+             relaxed atomic load"
         );
     }
 

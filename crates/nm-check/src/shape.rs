@@ -494,6 +494,29 @@ pub fn compare_symbolic(
     out
 }
 
+/// Profiler cost-model coverage: every op kind in the registry must
+/// have an analytic FLOP/byte rule, or the roofline report would
+/// silently attribute zero work to the missing kind. `has_rule` is
+/// injected (production passes `nm_autograd::cost::has_rule`) so the
+/// negative suite can seed a gap without mutating the real cost table.
+pub fn verify_op_coverage(kinds: &[&str], has_rule: &dyn Fn(&str) -> bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for kind in kinds {
+        if !has_rule(kind) {
+            out.push(Diagnostic::new(
+                Pass::Shape,
+                "profile/op-coverage",
+                format!("op:{kind}"),
+                format!(
+                    "op kind '{kind}' has no analytic cost rule — `nmcdr obs profile` \
+                     would report zero FLOPs/bytes for it"
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,6 +7,7 @@
 //! 2. illegal broadcast         -> shape/broadcast
 //! 3. graph cycle               -> shape/cycle
 //! 4. unreachable parameter     -> shape/unreachable-param (bound + never-bound forms)
+//! 4b. missing op cost rule     -> profile/op-coverage
 //! 5. banned call               -> lint/no-unwrap
 //! 6. missing SAFETY comment    -> lint/safety-comment
 //! 7. hash in serialization     -> lint/no-hash-iter
@@ -31,7 +32,7 @@ use nm_autograd::{TraceMeta, TraceNode};
 use nm_check::sched::models::*;
 use nm_check::sched::virt::explore_virtual;
 use nm_check::sched::{cores, explore, ExploreOpts};
-use nm_check::shape::{compare_symbolic, verify_reachability, verify_trace};
+use nm_check::shape::{compare_symbolic, verify_op_coverage, verify_reachability, verify_trace};
 use nm_check::{lint, Diagnostic};
 use nm_sync::{BreakerBug, CoalesceBug, DeltaBug, GateBug, RespawnBug, RingBug};
 
@@ -157,6 +158,19 @@ fn seeded_symbolic_leak_batch_dim_hardcoded() {
         "{:?}",
         rules(&diags)
     );
+}
+
+#[test]
+fn seeded_missing_cost_rule() {
+    // Simulate a registry op the analytic cost table forgot: the sweep
+    // must flag exactly that kind and nothing else. The real table is
+    // verified complete by the clean half below.
+    let diags = verify_op_coverage(nm_autograd::OP_KINDS, &|k| k != "matmul");
+    assert_only_rule(&diags, "profile/op-coverage");
+    assert_eq!(diags.len(), 1, "{:?}", rules(&diags));
+    assert!(diags[0].location.contains("matmul"));
+    // Clean half: the production cost table covers the whole registry.
+    assert!(verify_op_coverage(nm_autograd::OP_KINDS, &nm_autograd::has_rule).is_empty());
 }
 
 // ---- linter -----------------------------------------------------------

@@ -209,6 +209,13 @@ fn shape_stage() -> Result<Vec<Diagnostic>, String> {
         ));
     }
 
+    // Profiler cost-model sweep: every registry op kind must carry an
+    // analytic FLOP/byte rule, or `obs profile` would lie by omission.
+    diags.extend(nm_check::shape::verify_op_coverage(
+        nm_autograd::OP_KINDS,
+        &nm_autograd::has_rule,
+    ));
+
     let n = diags.len();
     println!(
         "[check] shape: {} model traces verified, {n} finding(s)",

@@ -26,6 +26,9 @@ COMMANDS:
              [--dim 16] [--epochs 6] [--lr 0.01] [--seed N]
              [--checkpoint <file>] [--checkpoint-every 1] [--resume]
              [--max-rollbacks 3] [--early-stop] [--trace-out <file.jsonl>]
+             [--profile-out <dump.jsonl>] per-op kernel profile: call
+             counts, modeled FLOPs/bytes, alloc traffic (deterministic
+             dump; measured self-times go into --trace-out)
              with --checkpoint, training state is saved atomically at
              epoch boundaries; --resume continues a killed run from the
              checkpoint and reproduces the uninterrupted result exactly
@@ -46,6 +49,8 @@ COMMANDS:
              [--max-rollbacks 2] [--ring 4096] [--microbatch 256]
              [--slate 8] [--slope 3.0] [--domain-mix 0.5] [--workers 2]
              [--warm-epochs 0] [--seed N] [--trace-out <file.jsonl>]
+             [--profile-out <dump.jsonl>] (per-op profile summed over
+             the rounds this process trains)
              [--require-swaps N] [--require-rollbacks N]
              re-running the same --out resumes/verifies bit-identically;
              --require-* make the exit code a CI gate
@@ -86,6 +91,15 @@ COMMANDS:
              flame    --in <file> --out <flame.svg> [--collapsed <txt>]
                       collapsed-stack fold + SVG flamegraph +
                       critical-path report
+             profile  --profile <dump.jsonl> [--trace <file.jsonl>]
+                      per-op roofline report from a --profile-out dump:
+                      self time, achieved GFLOP/s and GB/s, arithmetic
+                      intensity, memory- vs compute-bound class
+                      [--compare <old-dump> [--compare-trace <old>]]
+                      [--rel-tol 0.5] [--abs-floor-us 200]
+                      differential gate: deterministic counters diffed
+                      strictly, timings under noise-aware thresholds;
+                      exits non-zero on regression (a CI gate)
              tail     --series <file> [--window 20]
                       per-tick rates + latency quantiles from a
                       flight-recorder dump (chaos --series-out)
@@ -115,6 +129,51 @@ TRACING:
 SCENARIOS: music-movie, cloth-sport, phone-elec, loan-fund
 MODELS:    LR BPR NeuMF MMoE PLE CoNet MiNet GA-DTCDR DML HeroGraph PTUPCDR NMCDR"
     );
+}
+
+/// Converts the trainer's per-op aggregates plus the frozen alloc
+/// counters into the deterministic profile dump and writes it. The
+/// measured `*_ns` fields stay out on purpose: the dump must be
+/// byte-identical across same-seed runs (timings travel in the trace
+/// as `obs.profile.time` events instead).
+fn write_profile_dump(
+    path: &Path,
+    table: &[(&'static str, nm_models::OpAgg)],
+    alloc: Option<nm_tensor::alloc::AllocStats>,
+) -> Result<(), String> {
+    let ops: Vec<nm_obs::OpCounters> = table
+        .iter()
+        .map(|(kind, a)| nm_obs::OpCounters {
+            kind: (*kind).to_string(),
+            fwd_calls: a.fwd_calls,
+            bwd_calls: a.bwd_calls,
+            fwd_flops: a.fwd_flops,
+            bwd_flops: a.bwd_flops,
+            fwd_bytes: a.fwd_bytes,
+            bwd_bytes: a.bwd_bytes,
+            alloc_b: a.alloc_b,
+            freed_b: a.freed_b,
+        })
+        .collect();
+    let alloc = alloc.map_or(
+        nm_obs::AllocSummary {
+            allocated_b: 0,
+            freed_b: 0,
+            peak_b: 0,
+        },
+        |a| nm_obs::AllocSummary {
+            allocated_b: a.allocated_b,
+            freed_b: a.freed_b,
+            peak_b: a.peak_b,
+        },
+    );
+    if ops.is_empty() {
+        return Err(
+            "profiler recorded no ops (did this run train anything in this process?)".into(),
+        );
+    }
+    std::fs::write(path, nm_obs::render_dump(&ops, &alloc))
+        .map_err(|e| format!("cannot write profile dump '{}': {e}", path.display()))
 }
 
 fn profile_from(args: &Args) -> Result<ExpProfile, String> {
@@ -234,6 +293,8 @@ pub fn train(args: &Args) -> Result<(), String> {
     if early_stop {
         train_cfg.early_stop_patience = 2;
     }
+    let profile_out = args.get("profile-out").map(PathBuf::from);
+    train_cfg.profile = profile_out.is_some();
     let ft = FtConfig {
         checkpoint: args.get("checkpoint").map(PathBuf::from),
         checkpoint_every: args.parse_or("checkpoint-every", 1)?,
@@ -289,6 +350,24 @@ pub fn train(args: &Args) -> Result<(), String> {
             path.display(),
             path.display()
         );
+    }
+    if let Some(path) = &profile_out {
+        write_profile_dump(path, stats.profile.as_deref().unwrap_or(&[]), stats.alloc)?;
+        match &trace_out {
+            Some(t) => println!(
+                "profile dump written to {} (inspect with `nmcdr obs profile --profile {} \
+                 --trace {}`)",
+                path.display(),
+                path.display(),
+                t.display()
+            ),
+            None => println!(
+                "profile dump written to {} (inspect with `nmcdr obs profile --profile {}`; \
+                 add --trace-out for measured self-times)",
+                path.display(),
+                path.display()
+            ),
+        }
     }
     Ok(())
 }
@@ -458,7 +537,12 @@ pub fn stream(args: &Args) -> Result<(), String> {
         ..StreamConfig::new(out)
     };
     let warm: usize = args.parse_or("warm-epochs", 0)?;
-    let train_cfg = profile.train_config();
+    let mut train_cfg = profile.train_config();
+    let profile_out = args.get("profile-out").map(PathBuf::from);
+    // The trainer resets its table on every call, so the dump covers
+    // exactly the streaming rounds (a --warm-epochs call's drains are
+    // returned to drive() and discarded, not accumulated).
+    train_cfg.profile = profile_out.is_some();
 
     let trace_out = args.get("trace-out").map(PathBuf::from);
     if let Some(path) = &trace_out {
@@ -543,6 +627,14 @@ pub fn stream(args: &Args) -> Result<(), String> {
     if let Some(path) = &trace_out {
         println!(
             "trace written to {} (inspect with `nmcdr obs validate --trace {}`)",
+            path.display(),
+            path.display()
+        );
+    }
+    if let Some(path) = &profile_out {
+        write_profile_dump(path, report.profile.as_deref().unwrap_or(&[]), report.alloc)?;
+        println!(
+            "profile dump written to {} (inspect with `nmcdr obs profile --profile {}`)",
             path.display(),
             path.display()
         );
@@ -729,7 +821,8 @@ pub fn bench(args: &Args) -> Result<(), String> {
     }
 }
 
-/// `nmcdr obs <report|validate|flame>` — see [`crate::obs`].
+/// `nmcdr obs <report|validate|flame|tail|slo|profile>` — see
+/// [`crate::obs`].
 pub fn obs(action: &str, args: &Args) -> Result<(), String> {
     crate::obs::run(action, args)
 }

@@ -18,6 +18,10 @@
 //!                --series-out chaos-series.jsonl
 //! nmcdr query    --addr 127.0.0.1:7878 --op topk --user 3 --domain a --k 10
 //! nmcdr train    --scenario cloth-sport --trace-out results/trace/run.jsonl
+//! nmcdr train    --scenario cloth-sport --trace-out run.jsonl \
+//!                --profile-out profile.jsonl
+//! nmcdr obs profile  --profile profile.jsonl --trace run.jsonl
+//! nmcdr obs profile  --profile new-profile.jsonl --compare old-profile.jsonl
 //! nmcdr obs report   --trace results/trace/run.jsonl
 //! nmcdr obs validate --trace results/trace/run.jsonl
 //! nmcdr obs flame    --in results/trace/run.jsonl --out flame.svg
@@ -51,8 +55,9 @@ fn main() -> ExitCode {
             Some((a, r)) if !a.starts_with("--") => (Some(a.clone()), r),
             _ => {
                 eprintln!(
-                    "error: usage: nmcdr obs <report|validate|flame|tail|slo> --trace <file> \
-                     (flame: --in <file> --out <svg>; tail/slo: --series <file>)"
+                    "error: usage: nmcdr obs <report|validate|flame|tail|slo|profile> \
+                     --trace <file> (flame: --in <file> --out <svg>; tail/slo: \
+                     --series <file>; profile: --profile <dump> [--compare <old>])"
                 );
                 return ExitCode::FAILURE;
             }

@@ -20,6 +20,13 @@
 //! * `obs slo`  — burn-rate replay: error-budget table and alert
 //!   transitions, with `--require-alerts N` / `--require-clean` CI
 //!   gates.
+//!
+//! And one reads a *kernel-profile dump* (`train --profile-out` /
+//! `stream --profile-out`), optionally joined with a trace:
+//!
+//! * `obs profile` — per-op roofline report (self time, achieved
+//!   GFLOP/s and GB/s, arithmetic intensity, memory- vs compute-bound
+//!   class), plus the `--compare` differential gate.
 
 use crate::args::Args;
 use nm_obs::parse::parse_trace;
@@ -32,6 +39,9 @@ pub fn run(action: &str, args: &Args) -> Result<(), String> {
     }
     if action == "tail" || action == "slo" {
         return series(action, args);
+    }
+    if action == "profile" {
+        return kernel_profile(args);
     }
     let path = args.required("trace")?;
     let text =
@@ -53,7 +63,8 @@ pub fn run(action: &str, args: &Args) -> Result<(), String> {
         ),
         other => {
             return Err(format!(
-                "unknown obs action '{other}' (expected: report, validate, flame, tail, slo)"
+                "unknown obs action '{other}' \
+                 (expected: report, validate, flame, tail, slo, profile)"
             ))
         }
     };
@@ -96,6 +107,72 @@ fn series(action: &str, args: &Args) -> Result<(), String> {
             "only {alerts} burn-rate alert(s) fired, --require-alerts {want} not met"
         ));
     }
+    Ok(())
+}
+
+/// `nmcdr obs profile --profile dump.jsonl [--trace run.jsonl]`
+/// `nmcdr obs profile --profile new.jsonl --compare old.jsonl
+///                    [--compare-trace old-run.jsonl]
+///                    [--rel-tol 0.5] [--abs-floor-us 200]`
+///
+/// Report mode joins the deterministic per-op dump (`--profile-out`)
+/// with the measured `obs.profile.time` self-times and the
+/// `obs.profile.peaks` machine ceilings from the run's trace, and
+/// renders the top-ops roofline table. Without `--trace` the counters
+/// still render; times and roofline classes show as unknown.
+///
+/// Compare mode is the differential gate: deterministic counters must
+/// match *exactly* (any drift in the op stream, the cost model, or
+/// allocation traffic fails), while per-op self-times are compared
+/// under `nmcdr bench`-style noise-aware thresholds — both the
+/// relative tolerance AND the absolute floor must be exceeded to fail.
+/// Exits non-zero on regression, so CI can gate on it.
+fn kernel_profile(args: &Args) -> Result<(), String> {
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))
+    };
+    let load_dump = |path: &str| -> Result<nm_obs::ProfileDump, String> {
+        nm_obs::parse_dump(&read(path)?).map_err(|e| format!("invalid profile dump '{path}': {e}"))
+    };
+    let load_timings = |key: &str| -> Result<
+        (
+            std::collections::BTreeMap<String, nm_obs::OpTiming>,
+            Option<nm_obs::Peaks>,
+        ),
+        String,
+    > {
+        match args.get(key) {
+            Some(path) => nm_obs::profile::parse_trace_timings(&read(path)?)
+                .map_err(|e| format!("invalid trace '{path}': {e}")),
+            None => Ok((std::collections::BTreeMap::new(), None)),
+        }
+    };
+
+    let dump_path = args.required("profile")?;
+    let dump = load_dump(dump_path)?;
+    let (timings, peaks) = load_timings("trace")?;
+
+    if let Some(old_path) = args.get("compare") {
+        let old = load_dump(old_path)?;
+        let (old_timings, _) = load_timings("compare-trace")?;
+        let defaults = nm_obs::profile::CompareConfig::default();
+        let cfg = nm_obs::profile::CompareConfig {
+            rel_tol: args.parse_or("rel-tol", defaults.rel_tol)?,
+            abs_floor_ns: args.parse_or::<u64>("abs-floor-us", defaults.abs_floor_ns / 1000)?
+                * 1000,
+        };
+        let diff = nm_obs::profile::compare(&dump, &timings, &old, &old_timings, &cfg);
+        print_piped(&nm_obs::profile::render_verdict(&diff, &cfg));
+        if diff.failed() {
+            return Err(format!("profile regression against '{old_path}'"));
+        }
+        return Ok(());
+    }
+    print_piped(&nm_obs::profile::render_report(
+        &dump,
+        &timings,
+        peaks.as_ref(),
+    ));
     Ok(())
 }
 

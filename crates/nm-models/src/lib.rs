@@ -41,7 +41,11 @@ pub use baselines::neumf::NeuMfModel;
 pub use baselines::ple::PleModel;
 pub use baselines::ptupcdr::PtupcdrModel;
 pub use common::SharedUserIndex;
+// Re-exported so downstream consumers of `TrainStats::profile` (the
+// streaming loop, the CLI) can name the aggregate type without a
+// direct nm-autograd dependency.
 pub use model::{CdrModel, Domain};
+pub use nm_autograd::OpAgg;
 pub use resume::{peek_state, FaultPlan, FtConfig, TrainError, TrainerState};
 pub use task::{CdrTask, TaskConfig};
 pub use train::{

@@ -41,6 +41,11 @@ pub struct TrainConfig {
     /// improvement and restore the best weights (0 = off; requires the
     /// task to be built with `TaskConfig { validation: true, .. }`).
     pub early_stop_patience: usize,
+    /// Kernel-level profiling: per-op self-time, modeled FLOPs/bytes,
+    /// and allocation traffic attribution (`train --profile-out`).
+    /// Observation only — the loss stream and final parameters stay
+    /// bit-identical to an unprofiled run.
+    pub profile: bool,
 }
 
 impl Default for TrainConfig {
@@ -55,6 +60,7 @@ impl Default for TrainConfig {
             eval_every: 0,
             top_k: 10,
             early_stop_patience: 0,
+            profile: false,
         }
     }
 }
@@ -174,6 +180,13 @@ pub struct TrainStats {
     pub rollbacks: usize,
     /// Epoch this run resumed from, if it restored a checkpoint.
     pub resumed_from: Option<usize>,
+    /// Run-level per-op-kind profiler aggregates, sorted by kind —
+    /// `Some` only when `cfg.profile` was set. Counter fields are
+    /// deterministic; the `*_ns` fields are measured wall time.
+    pub profile: Option<Vec<(&'static str, nm_autograd::OpAgg)>>,
+    /// Tensor-allocation accounting over the profiled window, frozen
+    /// at the end of the run — `Some` only when `cfg.profile` was set.
+    pub alloc: Option<nm_tensor::alloc::AllocStats>,
 }
 
 /// Evaluates `model` on both domains' held-out candidates.
@@ -324,6 +337,22 @@ pub fn train_joint_ft_with(
     // front so even an epoch-0 divergence has somewhere to roll back to.
     let mut last_good = resume::encode_state(model, &opt, &st, cfg)?;
 
+    if cfg.profile {
+        nm_autograd::profile::reset();
+        nm_autograd::profile::set_enabled(true);
+        nm_tensor::alloc::reset();
+        nm_tensor::alloc::set_enabled(true);
+        if trace::enabled() {
+            // The roofline ceilings are machine facts, so they go into
+            // the (machine-dependent) trace, never the profile dump.
+            // Probed once per process: the streaming loop calls the
+            // trainer once per round and must not re-probe every time.
+            nm_obs::profile::emit_peaks_event(nm_obs::profile::cached_peaks());
+        }
+    }
+    let mut prof_table: std::collections::BTreeMap<&'static str, nm_autograd::OpAgg> =
+        std::collections::BTreeMap::new();
+
     let t_start = nm_obs::clock::Stopwatch::start();
     let steps_before = st.steps;
     let early_stopping = cfg.early_stop_patience > 0 && !task.valid_eval_a.is_empty();
@@ -341,6 +370,12 @@ pub fn train_joint_ft_with(
             // Discard aggregates left over from eval or a previous
             // model so this epoch's telemetry only sees its own loop.
             drop(trace::drain_thread_stats());
+        }
+        if cfg.profile {
+            // Same discipline for the op profiler: drop ops recorded by
+            // eval tapes or a rolled-back epoch attempt so the drain
+            // after this epoch attributes only its own loop.
+            drop(nm_autograd::profile::take());
         }
         model.begin_epoch(epoch);
         opt.set_lr(st.lr);
@@ -384,6 +419,32 @@ pub fn train_joint_ft_with(
                 let n_steps = steps - st.steps;
                 st.steps = steps;
                 let mean_loss = (loss_sum / (n_steps.max(1) as f64)) as f32;
+                if cfg.profile {
+                    // Drain this epoch's per-op aggregates: emit the
+                    // measured self-times into the trace (one shared
+                    // emission-ordinal tick per epoch batch, kinds in
+                    // sorted order) and fold the deterministic
+                    // counters into the run-level table. The tick is
+                    // an ordinal, not the epoch: the streaming loop's
+                    // drift rollback re-trains earlier epochs, and the
+                    // strict parser rejects a regressing tick.
+                    let part = nm_autograd::profile::take();
+                    if trace::enabled() {
+                        let tick = nm_obs::profile::next_time_tick();
+                        for (kind, agg) in &part {
+                            let t = nm_obs::profile::OpTiming {
+                                fwd_calls: agg.fwd_calls,
+                                bwd_calls: agg.bwd_calls,
+                                fwd_ns: agg.fwd_ns,
+                                bwd_ns: agg.bwd_ns,
+                            };
+                            trace::event("obs.profile.time", |e| {
+                                nm_obs::profile::time_event_fields(e, tick, kind, &t);
+                            });
+                        }
+                    }
+                    nm_autograd::profile::merge_into(&mut prof_table, &part);
+                }
                 let telemetry = if trace::enabled() {
                     let wall_us = epoch_wall.elapsed_us();
                     trace::drain_thread_stats()
@@ -476,6 +537,20 @@ pub fn train_joint_ft_with(
     }
     let train_secs = t_start.elapsed_secs();
     let (final_a, final_b) = evaluate_model(model, cfg.top_k);
+    let (profile, alloc) = if cfg.profile {
+        // Final-eval tapes recorded ops after the last epoch drain;
+        // drop them so the table covers exactly the training epochs.
+        drop(nm_autograd::profile::take());
+        nm_autograd::profile::set_enabled(false);
+        // Freeze and capture the alloc counters (run-level traffic,
+        // evals included — all of it deterministic); the caller turns
+        // this into the dump's `obs.alloc.summary` record.
+        let alloc = nm_tensor::alloc::stats();
+        nm_tensor::alloc::set_enabled(false);
+        (Some(prof_table.into_iter().collect()), Some(alloc))
+    } else {
+        (None, None)
+    };
     Ok(TrainStats {
         logs: st.logs,
         final_a,
@@ -484,6 +559,8 @@ pub fn train_joint_ft_with(
         param_count: model.param_count(),
         rollbacks: st.rollbacks,
         resumed_from,
+        profile,
+        alloc,
     })
 }
 
@@ -551,11 +628,7 @@ fn run_epoch(
             // gradient and pre-update parameters. Observation only —
             // no RNG stream or parameter is touched.
             let g = params.iter().map(|p| p.grad_norm_sq()).sum::<f32>().sqrt();
-            let w = params
-                .iter()
-                .map(|p| p.value().sum_squares())
-                .sum::<f32>()
-                .sqrt();
+            let w = params.iter().map(|p| p.value_norm_sq()).sum::<f32>().sqrt();
             trace::value("train.grad_norm", g as f64);
             trace::value("train.param_norm", w as f64);
         }
@@ -816,6 +889,62 @@ mod tests {
         assert!(lines
             .iter()
             .any(|l| l.contains("\"name\":\"train.forward\"")));
+    }
+
+    #[test]
+    fn profiled_run_attributes_ops_and_matches_unprofiled_bits() {
+        let task = tiny_task();
+        let cfg = TrainConfig {
+            epochs: 2,
+            lr: 1e-2,
+            ..Default::default()
+        };
+        let mut plain = TinyMf::new(task.clone(), 9);
+        let s_plain = train_joint(&mut plain, &cfg).expect("unprofiled training");
+        assert!(s_plain.profile.is_none());
+
+        // Profiling is process-global and the aggregate table is
+        // thread-local: run the profiled leg on its own thread, like
+        // the nm-autograd unit tests.
+        let prof_cfg = TrainConfig {
+            profile: true,
+            ..cfg.clone()
+        };
+        let s_prof = std::thread::scope(|s| {
+            s.spawn(|| {
+                // task data is regenerated in-thread (Rc is not Send);
+                // generation is seeded, so the data is identical.
+                let mut profiled = TinyMf::new(tiny_task(), 9);
+                train_joint(&mut profiled, &prof_cfg).expect("profiled training")
+            })
+            .join()
+            .expect("profiled thread")
+        });
+
+        // profiling observes, never mutates: bit-identical loss stream
+        for (a, b) in s_plain.logs.iter().zip(&s_prof.logs) {
+            assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits());
+        }
+        assert_eq!(s_plain.final_a.hr.to_bits(), s_prof.final_a.hr.to_bits());
+
+        let table = s_prof.profile.expect("profiled run returns a table");
+        let get = |k: &str| {
+            table
+                .iter()
+                .find(|(kind, _)| *kind == k)
+                .map(|(_, a)| *a)
+                .unwrap_or_else(|| panic!("no aggregate for {k}"))
+        };
+        // TinyMF's loss graph: embedding gathers, a row-wise dot, the
+        // fused BCE loss — all attributed, both passes.
+        let gather = get("gather_rows");
+        assert!(gather.fwd_calls > 0);
+        assert!(gather.bwd_calls > 0);
+        let dot = get("rowwise_dot");
+        assert!(dot.fwd_flops > 0, "cost model attributed no flops");
+        assert!(get("bce_with_logits").fwd_calls > 0);
+        // table is sorted by kind
+        assert!(table.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

@@ -116,6 +116,14 @@ impl Param {
         self.grad.borrow().sum_squares()
     }
 
+    /// Squared L2 norm of the value buffer, computed in place — unlike
+    /// `value().sum_squares()` this allocates nothing, so observation
+    /// paths (the trainer's norm telemetry) stay invisible to the
+    /// profiler's allocation accounting.
+    pub fn value_norm_sq(&self) -> f32 {
+        self.value.borrow().sum_squares()
+    }
+
     /// Scales the gradient buffer in place (gradient clipping).
     pub fn scale_grad(&self, s: f32) {
         self.grad.borrow_mut().scale_assign(s);

@@ -22,6 +22,13 @@ pub fn now_us() -> u64 {
     epoch().elapsed().as_micros().min(u64::MAX as u128) as u64
 }
 
+/// Nanoseconds since the process clock epoch. Same domain as
+/// [`now_us`], at the resolution the per-op kernel profiler needs —
+/// individual tape ops run well under a microsecond on small models.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
 /// A started stopwatch: the replacement for ad-hoc `Instant::now()` +
 /// `elapsed()` pairs outside this crate.
 #[derive(Debug, Clone, Copy)]

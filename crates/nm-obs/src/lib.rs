@@ -27,6 +27,10 @@
 //! * [`flame`] — collapsed-stack folding, self-contained SVG
 //!   flamegraph rendering, and critical-path extraction behind
 //!   `nmcdr obs flame`.
+//! * [`profile`] — kernel-profile artifacts: the deterministic per-op
+//!   dump written by `train --profile-out`, the roofline report and
+//!   differential gate behind `nmcdr obs profile`, and the
+//!   machine-peak micro-probes.
 //! * [`series`] + [`slo`] — continuous telemetry: the flight recorder
 //!   (a bounded drop-oldest ring of per-tick registry delta snapshots
 //!   on a deterministic logical tick source), the windowed derivation
@@ -44,6 +48,7 @@ pub mod flame;
 pub mod json;
 pub mod metrics;
 pub mod parse;
+pub mod profile;
 pub mod report;
 pub mod series;
 pub mod slo;
@@ -56,6 +61,9 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, LATENCY_BOUNDS_US,
 };
 pub use parse::parse_trace;
+pub use profile::{
+    parse_dump, probe_peaks, render_dump, AllocSummary, OpCounters, OpTiming, Peaks, ProfileDump,
+};
 pub use report::{validate, ProfileRow, TraceRecord, ValidateSummary};
 pub use series::{
     render_tail, FlightRecorder, HistDelta, HistWindow, RecorderConfig, TickDelta, WindowStats,

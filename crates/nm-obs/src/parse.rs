@@ -20,26 +20,54 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, String> {
     // is emission order); a repeat or regression means a corrupted or
     // hand-edited trace.
     let mut last_sample_tick: Option<u64> = None;
+    // Profile-dump op ordinals are strictly increasing (one per op
+    // kind, canonical order); per-epoch timing ordinals only
+    // non-decreasing (every kind of one epoch shares that epoch's
+    // tick).
+    let mut last_profile_op_tick: Option<u64> = None;
+    let mut last_profile_time_tick: Option<u64> = None;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let n = i + 1;
         let json = Json::parse(line).map_err(|e| format!("line {n}: not valid JSON: {e}"))?;
-        if json.get("name").and_then(Json::as_str) == Some("obs.sample") {
-            let tick = json
-                .get("f")
+        let name = json.get("name").and_then(Json::as_str);
+        let tick = || {
+            json.get("f")
                 .and_then(|f| f.get("tick"))
-                .and_then(Json::as_u64);
-            match (tick, last_sample_tick) {
+                .and_then(Json::as_u64)
+            // missing/mistyped ticks are caught by record_from
+        };
+        match name {
+            Some("obs.sample") => match (tick(), last_sample_tick) {
                 (Some(t), Some(last)) if t <= last => {
                     return Err(format!(
                         "line {n}: obs.sample tick {t} not strictly after {last}"
                     ));
                 }
                 (Some(t), _) => last_sample_tick = Some(t),
-                (None, _) => {} // missing/mistyped tick caught by record_from
-            }
+                (None, _) => {}
+            },
+            Some("obs.profile.op") => match (tick(), last_profile_op_tick) {
+                (Some(t), Some(last)) if t <= last => {
+                    return Err(format!(
+                        "line {n}: obs.profile.op tick {t} not strictly after {last}"
+                    ));
+                }
+                (Some(t), _) => last_profile_op_tick = Some(t),
+                (None, _) => {}
+            },
+            Some("obs.profile.time") => match (tick(), last_profile_time_tick) {
+                (Some(t), Some(last)) if t < last => {
+                    return Err(format!(
+                        "line {n}: obs.profile.time tick {t} regressed below {last}"
+                    ));
+                }
+                (Some(t), _) => last_profile_time_tick = Some(t),
+                (None, _) => {}
+            },
+            _ => {}
         }
         records.push(record_from(&json).map_err(|e| format!("line {n}: {e}"))?);
     }
@@ -53,6 +81,30 @@ const TYPED_EVENT_FIELDS: &[(&str, &[&str])] = &[
     ("obs.sample", &["tick", "self_us"]),
     ("obs.slo.alert", &["slo", "tick", "fast_burn", "slow_burn"]),
     ("obs.slo.resolve", &["slo", "tick"]),
+    (
+        "obs.profile.op",
+        &[
+            "tick",
+            "kind",
+            "fwd_calls",
+            "bwd_calls",
+            "fwd_flops",
+            "bwd_flops",
+            "fwd_bytes",
+            "bwd_bytes",
+            "alloc_b",
+            "freed_b",
+        ],
+    ),
+    (
+        "obs.profile.time",
+        &["tick", "kind", "fwd_calls", "bwd_calls", "fwd_ns", "bwd_ns"],
+    ),
+    ("obs.profile.peaks", &["gflops", "gbps"]),
+    (
+        "obs.alloc.summary",
+        &["tick", "allocated_b", "freed_b", "peak_b"],
+    ),
 ];
 
 fn check_typed_event(name: &str, json: &Json) -> Result<(), String> {
@@ -75,9 +127,9 @@ fn check_typed_event(name: &str, json: &Json) -> Result<(), String> {
             .get(want)
             .ok_or_else(|| format!("missing field {want:?} on {name:?} event payload"))?;
         let ok = match *want {
-            "slo" => v.as_str().is_some(),
-            "fast_burn" | "slow_burn" => v.as_f64().is_some(),
-            // tick / self_us: non-negative integers
+            "slo" | "kind" => v.as_str().is_some(),
+            "fast_burn" | "slow_burn" | "gflops" | "gbps" => v.as_f64().is_some(),
+            // tick / counts / ns / bytes: non-negative integers
             _ => v.as_u64().is_some(),
         };
         if !ok {
@@ -284,6 +336,87 @@ mod tests {
         assert!(err.contains("not strictly after"), "{err}");
         // a repeated tick is just as corrupt as a regression
         assert!(parse_trace(&mk(&[3, 3])).is_err());
+    }
+
+    #[test]
+    fn profile_events_are_schema_checked() {
+        // well-formed profile/alloc events parse
+        let good = format!(
+            "{META}\n\
+             {{\"t\":\"event\",\"name\":\"obs.profile.op\",\"at_us\":0,\"tid\":0,\"seq\":1,\"f\":{{\"tick\":0,\"kind\":\"add\",\"fwd_calls\":1,\"bwd_calls\":1,\"fwd_flops\":2,\"bwd_flops\":2,\"fwd_bytes\":8,\"bwd_bytes\":8,\"alloc_b\":4,\"freed_b\":0}}}}\n\
+             {{\"t\":\"event\",\"name\":\"obs.profile.time\",\"at_us\":1,\"tid\":0,\"seq\":2,\"f\":{{\"tick\":0,\"kind\":\"add\",\"fwd_calls\":1,\"bwd_calls\":1,\"fwd_ns\":10,\"bwd_ns\":20}}}}\n\
+             {{\"t\":\"event\",\"name\":\"obs.profile.peaks\",\"at_us\":2,\"tid\":0,\"seq\":3,\"f\":{{\"gflops\":12.5,\"gbps\":4.0}}}}\n\
+             {{\"t\":\"event\",\"name\":\"obs.alloc.summary\",\"at_us\":3,\"tid\":0,\"seq\":4,\"f\":{{\"tick\":1,\"allocated_b\":100,\"freed_b\":50,\"peak_b\":60}}}}\n"
+        );
+        assert_eq!(parse_trace(&good).unwrap().len(), 5);
+
+        // unknown payload field rejected
+        let unknown = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"obs.profile.time\",\"at_us\":1,\"tid\":0,\"seq\":1,\"f\":{{\"tick\":0,\"kind\":\"add\",\"fwd_calls\":1,\"bwd_calls\":1,\"fwd_ns\":10,\"bwd_ns\":20,\"extra\":1}}}}\n"
+        );
+        let err = parse_trace(&unknown).unwrap_err();
+        assert!(err.contains("unknown field \"extra\""), "{err}");
+
+        // missing required payload field rejected
+        let missing = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"obs.alloc.summary\",\"at_us\":1,\"tid\":0,\"seq\":1,\"f\":{{\"tick\":0,\"allocated_b\":100,\"freed_b\":50}}}}\n"
+        );
+        assert!(parse_trace(&missing).unwrap_err().contains("peak_b"));
+
+        // mistyped string field rejected
+        let bad_kind = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"obs.profile.time\",\"at_us\":1,\"tid\":0,\"seq\":1,\"f\":{{\"tick\":0,\"kind\":7,\"fwd_calls\":1,\"bwd_calls\":1,\"fwd_ns\":10,\"bwd_ns\":20}}}}\n"
+        );
+        assert!(parse_trace(&bad_kind).unwrap_err().contains("wrong type"));
+
+        // mistyped float field rejected
+        let bad_peak = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"obs.profile.peaks\",\"at_us\":1,\"tid\":0,\"seq\":1,\"f\":{{\"gflops\":\"fast\",\"gbps\":4.0}}}}\n"
+        );
+        assert!(parse_trace(&bad_peak).unwrap_err().contains("wrong type"));
+
+        // negative counter rejected
+        let neg = format!(
+            "{META}\n{{\"t\":\"event\",\"name\":\"obs.profile.op\",\"at_us\":0,\"tid\":0,\"seq\":1,\"f\":{{\"tick\":0,\"kind\":\"add\",\"fwd_calls\":-1,\"bwd_calls\":1,\"fwd_flops\":2,\"bwd_flops\":2,\"fwd_bytes\":8,\"bwd_bytes\":8,\"alloc_b\":4,\"freed_b\":0}}}}\n"
+        );
+        assert!(parse_trace(&neg).unwrap_err().contains("wrong type"));
+    }
+
+    #[test]
+    fn profile_op_ticks_must_strictly_increase() {
+        let mk = |ticks: &[u64]| {
+            let mut s = format!("{META}\n");
+            for (i, t) in ticks.iter().enumerate() {
+                s.push_str(&format!(
+                    "{{\"t\":\"event\",\"name\":\"obs.profile.op\",\"at_us\":0,\"tid\":0,\"seq\":{},\"f\":{{\"tick\":{t},\"kind\":\"add\",\"fwd_calls\":1,\"bwd_calls\":1,\"fwd_flops\":2,\"bwd_flops\":2,\"fwd_bytes\":8,\"bwd_bytes\":8,\"alloc_b\":4,\"freed_b\":0}}}}\n",
+                    i + 1
+                ));
+            }
+            s
+        };
+        assert!(parse_trace(&mk(&[0, 1, 2])).is_ok());
+        let err = parse_trace(&mk(&[0, 2, 1])).unwrap_err();
+        assert!(err.contains("not strictly after"), "{err}");
+        assert!(parse_trace(&mk(&[3, 3])).is_err());
+    }
+
+    #[test]
+    fn profile_time_ticks_may_repeat_but_not_regress() {
+        let mk = |ticks: &[u64]| {
+            let mut s = format!("{META}\n");
+            for (i, t) in ticks.iter().enumerate() {
+                s.push_str(&format!(
+                    "{{\"t\":\"event\",\"name\":\"obs.profile.time\",\"at_us\":{},\"tid\":0,\"seq\":{},\"f\":{{\"tick\":{t},\"kind\":\"add\",\"fwd_calls\":1,\"bwd_calls\":1,\"fwd_ns\":10,\"bwd_ns\":20}}}}\n",
+                    i + 1,
+                    i + 1
+                ));
+            }
+            s
+        };
+        // several kinds share one epoch's tick: repeats are fine
+        assert!(parse_trace(&mk(&[0, 0, 1, 1, 2])).is_ok());
+        let err = parse_trace(&mk(&[0, 1, 0])).unwrap_err();
+        assert!(err.contains("regressed below"), "{err}");
     }
 
     #[test]

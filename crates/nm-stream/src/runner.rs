@@ -48,7 +48,8 @@ use crate::tuner::MicroBatchSource;
 use crate::{DriftConfig, StreamError};
 use nm_models::resume::{encode_state, restore_state};
 use nm_models::{
-    peek_state, train_joint_ft_with, CdrModel, FaultPlan, FtConfig, TrainConfig, TrainerState,
+    peek_state, train_joint_ft_with, CdrModel, FaultPlan, FtConfig, OpAgg, TrainConfig,
+    TrainerState,
 };
 use nm_nn::checkpoint::atomic_write_bytes;
 use nm_obs::{clock, trace};
@@ -147,6 +148,15 @@ pub struct StreamReport {
     /// Bit-for-bit snapshot parity assertions that passed (init, every
     /// publish, every rollback).
     pub parity_checks: u64,
+    /// Per-op-kind profiler aggregates summed over every round *this
+    /// process* trained (rolled-back rounds count each time they run —
+    /// deterministic under a fixed seed). `Some` only when the supplied
+    /// `TrainConfig` had `profile` set (`stream --profile-out`).
+    pub profile: Option<Vec<(&'static str, OpAgg)>>,
+    /// Tensor-allocation traffic summed the same way: cumulative
+    /// allocated/freed bytes, and the max of the per-round live-byte
+    /// high-water marks.
+    pub alloc: Option<nm_tensor::alloc::AllocStats>,
 }
 
 struct Paths {
@@ -389,6 +399,14 @@ pub fn run_stream<M: CdrModel + FrozenModel>(
         cfg.ring_capacity,
     );
 
+    // Per-round profiler drains accumulate here when the caller's
+    // TrainConfig has `profile` set; the trainer resets its table and
+    // the alloc counters on every call, so each round contributes its
+    // own delta.
+    let mut prof_acc: std::collections::BTreeMap<&'static str, OpAgg> =
+        std::collections::BTreeMap::new();
+    let mut alloc_acc: Option<nm_tensor::alloc::AllocStats> = None;
+
     // ---- main loop ----
     while lp.rs.trained_after < cfg.rounds && !lp.rs.halted {
         let r = lp.rs.trained_after;
@@ -434,6 +452,23 @@ pub fn run_stream<M: CdrModel + FrozenModel>(
                 round: r,
             });
         }
+        if let Some(part) = &stats.profile {
+            for (kind, agg) in part {
+                prof_acc.entry(kind).or_default().merge(agg);
+            }
+        }
+        if let Some(a) = stats.alloc {
+            let acc = alloc_acc.get_or_insert(nm_tensor::alloc::AllocStats {
+                allocated_b: 0,
+                freed_b: 0,
+                live_b: 0,
+                peak_b: 0,
+            });
+            acc.allocated_b += a.allocated_b;
+            acc.freed_b += a.freed_b;
+            acc.live_b = a.live_b;
+            acc.peak_b = acc.peak_b.max(a.peak_b);
+        }
         let (mean_loss, hr) = round_metrics(&stats.logs, r)?;
         let (pushed, dropped, drained) = ring.counters();
         trace::event("stream.round", |e| {
@@ -469,6 +504,8 @@ pub fn run_stream<M: CdrModel + FrozenModel>(
         ring_counters: ring.counters(),
         final_hr,
         parity_checks: lp.parity_checks,
+        profile: lp.tc.profile.then(|| prof_acc.into_iter().collect()),
+        alloc: alloc_acc,
         decisions: lp.decisions,
     })
 }

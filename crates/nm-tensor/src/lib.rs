@@ -15,6 +15,8 @@
 //! * Hot loops (`matmul`, elementwise kernels) are written over raw
 //!   slices so the optimizer can vectorize; no `Rc`/indirection inside.
 
+pub mod alloc;
+
 mod activations;
 mod error;
 mod init;

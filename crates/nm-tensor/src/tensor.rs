@@ -1,14 +1,26 @@
-use crate::TensorError;
+use crate::{alloc, TensorError};
 
 /// A dense, row-major `rows x cols` matrix of `f32`.
 ///
 /// The single tensor type of the workspace. Vectors are `1 x n` or
 /// `n x 1`; scalars are `1 x 1`.
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Self::built(self.rows, self.cols, self.data.clone())
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        alloc::on_free(self.data.len() * 4);
+    }
 }
 
 impl std::fmt::Debug for Tensor {
@@ -24,6 +36,14 @@ impl std::fmt::Debug for Tensor {
 }
 
 impl Tensor {
+    /// The single construction funnel: every fresh tensor buffer is
+    /// accounted here so `alloc` sees all allocation traffic.
+    #[inline]
+    pub(crate) fn built(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        alloc::on_alloc(data.len() * 4);
+        Self { rows, cols, data }
+    }
+
     /// Builds a tensor from row-major data.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
         if data.len() != rows * cols {
@@ -33,7 +53,7 @@ impl Tensor {
                 len: data.len(),
             });
         }
-        Ok(Self { rows, cols, data })
+        Ok(Self::built(rows, cols, data))
     }
 
     /// Builds a tensor from row-major data, panicking on length mismatch.
@@ -45,11 +65,7 @@ impl Tensor {
 
     /// All-zeros tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        Self::built(rows, cols, vec![0.0; rows * cols])
     }
 
     /// All-ones tensor.
@@ -59,11 +75,7 @@ impl Tensor {
 
     /// Constant-filled tensor.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![value; rows * cols],
-        }
+        Self::built(rows, cols, vec![value; rows * cols])
     }
 
     /// Identity matrix.
@@ -131,9 +143,13 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning its buffer. The buffer leaves the
+    /// accounting domain (counted as freed here; re-wrapping it via
+    /// [`Tensor::from_vec`] counts as a fresh allocation).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        let data = std::mem::take(&mut self.data);
+        alloc::on_free(data.len() * 4);
+        data
     }
 
     /// Element accessor.
@@ -197,11 +213,7 @@ impl Tensor {
                 to: (rows, cols),
             });
         }
-        Ok(Self {
-            rows,
-            cols,
-            data: self.data.clone(),
-        })
+        Ok(Self::built(rows, cols, self.data.clone()))
     }
 
     /// Transposed copy.
@@ -231,11 +243,7 @@ impl Tensor {
             data.extend_from_slice(self.row_slice(r));
             data.extend_from_slice(other.row_slice(r));
         }
-        Self {
-            rows: self.rows,
-            cols,
-            data,
-        }
+        Self::built(self.rows, cols, data)
     }
 
     /// Vertical concatenation (stack rows).
@@ -250,11 +258,7 @@ impl Tensor {
         );
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Self {
-            rows: self.rows + other.rows,
-            cols: self.cols,
-            data,
-        }
+        Self::built(self.rows + other.rows, self.cols, data)
     }
 
     /// Copy of rows `[start, end)`.
@@ -266,11 +270,11 @@ impl Tensor {
             end,
             self.rows
         );
-        Self {
-            rows: end - start,
-            cols: self.cols,
-            data: self.data[start * self.cols..end * self.cols].to_vec(),
-        }
+        Self::built(
+            end - start,
+            self.cols,
+            self.data[start * self.cols..end * self.cols].to_vec(),
+        )
     }
 
     /// Copy of columns `[start, end)`.
@@ -287,11 +291,7 @@ impl Tensor {
         for r in 0..self.rows {
             data.extend_from_slice(&self.row_slice(r)[start..end]);
         }
-        Self {
-            rows: self.rows,
-            cols,
-            data,
-        }
+        Self::built(self.rows, cols, data)
     }
 
     /// Row gather: `out[i] = self[indices[i]]`.
@@ -312,11 +312,7 @@ impl Tensor {
             );
             data.extend_from_slice(self.row_slice(ix));
         }
-        Self {
-            rows: indices.len(),
-            cols: self.cols,
-            data,
-        }
+        Self::built(indices.len(), self.cols, data)
     }
 
     /// Row scatter-add: `self[indices[i]] += src[i]` — the adjoint of

@@ -77,6 +77,56 @@ cargo run --release -q -p nm-cli -- obs flame --in "$TRACE_OUT" \
 grep -q "<svg" results/trace/ci_train_flame.svg \
   || { echo "flamegraph artifact is not an SVG"; exit 1; }
 
+echo "== kernel-profile smoke: deterministic dump, roofline report, diff gate =="
+# Profiled 1-epoch train, run twice with the same seed: the counter
+# dump must be byte-identical (counts/FLOPs/bytes are analytic — any
+# diff is nondeterminism). The report joined with the run's trace must
+# rank matmul as the top op, the clean differential compare must pass,
+# and both CI injection knobs (a per-op busy-spin slowdown and a
+# doubled matmul FLOP model) must make it fail — a gate that cannot
+# catch a planted regression is treated as broken.
+PROF_ARGS=(train --scenario music-movie --scale 0.002 --epochs 1 --dim 8
+  --seed 7)
+PROF_DUMP=target/ci_profile.jsonl
+PROF_TRACE=target/ci_profile_trace.jsonl
+rm -f "$PROF_DUMP" "$PROF_DUMP.b" "$PROF_TRACE" "$PROF_TRACE.slow"
+cargo run --release -q -p nm-cli -- "${PROF_ARGS[@]}" \
+  --profile-out "$PROF_DUMP" --trace-out "$PROF_TRACE"
+cargo run --release -q -p nm-cli -- "${PROF_ARGS[@]}" \
+  --profile-out "$PROF_DUMP.b"
+cmp "$PROF_DUMP" "$PROF_DUMP.b" \
+  || { echo "profile smoke: dumps differ between same-seed runs"; exit 1; }
+# the dump is itself a valid trace under the strict schema
+cargo run --release -q -p nm-cli -- obs validate --trace "$PROF_DUMP"
+cargo run --release -q -p nm-cli -- obs profile --profile "$PROF_DUMP" \
+  --trace "$PROF_TRACE" > target/ci_profile_report.txt
+head -3 target/ci_profile_report.txt | grep -q '^matmul ' \
+  || { echo "profile smoke: matmul is not the top op"; exit 1; }
+grep -q '^machine peaks:' target/ci_profile_report.txt \
+  || { echo "profile smoke: report lacks machine-peaks roofline line"; exit 1; }
+cargo run --release -q -p nm-cli -- obs profile --profile "$PROF_DUMP" \
+  --trace "$PROF_TRACE" --compare "$PROF_DUMP" --compare-trace "$PROF_TRACE" \
+  || { echo "profile smoke: clean self-compare failed"; exit 1; }
+echo "== profile gate self-test: injected drift must fail the compare =="
+NMCDR_PROF_SLOW_OP=matmul:4 cargo run --release -q -p nm-cli -- \
+  "${PROF_ARGS[@]}" --profile-out "$PROF_DUMP.b" --trace-out "$PROF_TRACE.slow"
+if cargo run --release -q -p nm-cli -- obs profile --profile "$PROF_DUMP.b" \
+    --trace "$PROF_TRACE.slow" --compare "$PROF_DUMP" --compare-trace "$PROF_TRACE"; then
+  echo "profile gate self-test FAILED: 4x matmul slowdown went undetected"
+  exit 1
+fi
+NMCDR_PROF_FLOPS_DRIFT=1 cargo run --release -q -p nm-cli -- \
+  "${PROF_ARGS[@]}" --profile-out "$PROF_DUMP.b"
+if cargo run --release -q -p nm-cli -- obs profile --profile "$PROF_DUMP.b" \
+    --compare "$PROF_DUMP"; then
+  echo "profile gate self-test FAILED: matmul FLOP-model drift went undetected"
+  exit 1
+fi
+echo "profile gate self-test ok: both injected drifts detected"
+# archive the deterministic dump next to the bench trajectory
+mkdir -p results
+cp "$PROF_DUMP" results/PROFILE_ci_train.jsonl
+
 echo "== streaming smoke: serve-while-train, hot-swap, drift rollback =="
 # Fixed-seed online loop (~10s): the injected preference inversion at
 # round 8 must trip the drift monitor and roll back to last-good, with
